@@ -1,0 +1,117 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+- §4.2 lonely-variables optimisation on/off,
+- §4.3 cardinality-driven variable ordering on/off,
+- RRR block-size sweep (the paper's b = 16 vs b = 64 trade-off),
+- bidirectionality: one ring vs the two unidirectional rings.
+"""
+
+import pytest
+
+from repro.baselines import CyclicUnidirectionalIndex
+from repro.bench.runner import run_benchmark, summarize
+from repro.core import CompressedRingIndex, RingIndex
+from repro.core.ring import Ring
+
+
+@pytest.fixture(scope="module")
+def star_queries(wgpb_queries):
+    # Star shapes are where lonely variables dominate (§4.2 discussion).
+    return {
+        name: wgpb_queries[name]
+        for name in ("T3", "T4", "Ti3", "Ti4", "J4")
+        if wgpb_queries.get(name)
+    }
+
+
+@pytest.mark.parametrize("use_lonely", [True, False], ids=["lonely", "no-lonely"])
+def test_ablation_lonely_variables(benchmark, bench_graph, star_queries,
+                                   use_lonely):
+    system = RingIndex(bench_graph, use_lonely=use_lonely)
+
+    def run():
+        return run_benchmark([system], star_queries, limit=1000, timeout=30.0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = summarize(result.timings)
+    benchmark.extra_info["mean_ms"] = round(1000 * stats["mean"], 2)
+
+
+@pytest.mark.parametrize("use_ordering", [True, False], ids=["cardinality", "naive-order"])
+def test_ablation_variable_ordering(benchmark, bench_graph, wgpb_queries,
+                                    use_ordering):
+    system = RingIndex(bench_graph, use_ordering=use_ordering)
+    queries = {
+        name: wgpb_queries[name]
+        for name in ("Tr1", "Tr2", "S1", "P3")
+        if wgpb_queries.get(name)
+    }
+
+    def run():
+        return run_benchmark([system], queries, limit=1000, timeout=30.0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = summarize(result.timings)
+    benchmark.extra_info["mean_ms"] = round(1000 * stats["mean"], 2)
+
+
+@pytest.mark.parametrize("block_size", [15, 31, 63])
+def test_ablation_rrr_block_size(benchmark, bench_graph, block_size):
+    """Larger b: smaller index, slower operations (paper §4.4/§5.2.1)."""
+    ring = benchmark.pedantic(
+        lambda: Ring(bench_graph, compressed=True, block_size=block_size),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["bytes_per_triple"] = round(
+        ring.size_in_bits() / 8 / max(ring.n, 1), 2
+    )
+
+
+def test_ablation_rrr_space_monotone(bench_graph):
+    sizes = {
+        b: Ring(bench_graph, compressed=True, block_size=b).size_in_bits()
+        for b in (15, 63)
+    }
+    assert sizes[63] <= sizes[15]
+
+
+@pytest.mark.parametrize(
+    "cls", [RingIndex, CyclicUnidirectionalIndex],
+    ids=["ring-bidirectional", "two-unidirectional-rings"],
+)
+def test_ablation_bidirectionality(benchmark, bench_graph, wgpb_queries, cls):
+    """Same LTJ, same answers; bidirectionality halves the index count."""
+    system = cls(bench_graph)
+    queries = {
+        name: wgpb_queries[name]
+        for name in ("P2", "T2", "Ti2")
+        if wgpb_queries.get(name)
+    }
+
+    def run():
+        return run_benchmark([system], queries, limit=1000, timeout=30.0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = summarize(result.timings)
+    benchmark.extra_info["mean_ms"] = round(1000 * stats["mean"], 2)
+    benchmark.extra_info["bytes_per_triple"] = round(
+        system.bytes_per_triple(), 2
+    )
+
+
+def test_compressed_ring_slower_but_smaller(bench_graph, wgpb_queries):
+    """Table 1 shape: C-Ring ≈ 2-4x slower, smaller index."""
+    ring = RingIndex(bench_graph)
+    cring = CompressedRingIndex(bench_graph)
+    assert cring.size_in_bits() < ring.size_in_bits()
+    queries = {"P2": wgpb_queries.get("P2", [])}
+    if not queries["P2"]:
+        pytest.skip("no P2 instances")
+    t_ring = summarize(
+        run_benchmark([ring], queries, limit=1000).timings
+    )["mean"]
+    t_cring = summarize(
+        run_benchmark([cring], queries, limit=1000).timings
+    )["mean"]
+    assert t_cring > t_ring * 0.8  # compressed is never meaningfully faster

@@ -1,0 +1,100 @@
+"""Dynamic-ring benches (the §7 future-work feature we implement).
+
+Measures insert throughput (amortised over LSM compactions), delete
+cost, and query latency before/after an update storm — the trade-off
+the paper's conclusion describes ("trade such a penalty factor for
+amortised update times").
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import run_benchmark, summarize
+from repro.core import RingIndex
+from repro.core.dynamic import DynamicRingIndex
+from repro.graph.dataset import Graph
+
+
+@pytest.fixture(scope="module")
+def base_graph(bench_graph):
+    return bench_graph
+
+
+def _random_triples(graph, count, seed):
+    rng = np.random.default_rng(seed)
+    return [
+        (
+            int(rng.integers(0, graph.n_nodes)),
+            int(rng.integers(0, graph.n_predicates)),
+            int(rng.integers(0, graph.n_nodes)),
+        )
+        for _ in range(count)
+    ]
+
+
+def test_insert_throughput(benchmark, base_graph):
+    triples = _random_triples(base_graph, 2000, seed=1)
+
+    def build_and_fill():
+        index = DynamicRingIndex(
+            Graph(
+                np.zeros((0, 3)),
+                n_nodes=base_graph.n_nodes,
+                n_predicates=base_graph.n_predicates,
+            ),
+            buffer_threshold=256,
+        )
+        for t in triples:
+            index.insert(*t)
+        return index
+
+    index = benchmark.pedantic(build_and_fill, rounds=1, iterations=1)
+    benchmark.extra_info["components"] = index.n_components
+    benchmark.extra_info["triples"] = index.n_triples
+
+
+def test_delete_throughput(benchmark, base_graph):
+    index = DynamicRingIndex(base_graph, buffer_threshold=512)
+    victims = [tuple(int(v) for v in t) for t in base_graph.triples[::7]]
+
+    def run():
+        for t in victims:
+            index.delete(*t)
+        for t in victims:
+            index.insert(*t)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_query_latency_after_updates(benchmark, base_graph, wgpb_queries):
+    index = DynamicRingIndex(base_graph, buffer_threshold=256)
+    for t in _random_triples(base_graph, 600, seed=3):
+        index.insert(*t)
+    for t in [tuple(int(v) for v in r) for r in base_graph.triples[::11]]:
+        index.delete(*t)
+    queries = {k: v for k, v in wgpb_queries.items() if k in ("P2", "T2", "Tr1")}
+
+    def run():
+        return run_benchmark([index], queries, limit=1000, timeout=30.0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = summarize(result.timings)
+    benchmark.extra_info["mean_ms"] = round(1000 * stats["mean"], 2)
+    benchmark.extra_info["components"] = index.n_components
+
+
+def test_static_vs_dynamic_overhead(base_graph, wgpb_queries):
+    """The dynamic index costs a (component-count) factor over a static
+    ring — logarithmic, not linear."""
+    static = RingIndex(base_graph)
+    dynamic = DynamicRingIndex(base_graph, buffer_threshold=256)
+    queries = {"P2": wgpb_queries.get("P2", [])}
+    if not queries["P2"]:
+        pytest.skip("no P2 instances")
+    t_static = summarize(
+        run_benchmark([static], queries, limit=1000).timings
+    )["mean"]
+    t_dynamic = summarize(
+        run_benchmark([dynamic], queries, limit=1000).timings
+    )["mean"]
+    assert t_dynamic < 25 * t_static

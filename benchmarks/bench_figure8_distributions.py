@@ -1,0 +1,66 @@
+"""Figure 8 — per-shape query-time distributions.
+
+One benchmark per (system, shape-family) pair over the wco systems the
+figure contrasts; the detailed quartile matrix is printed via
+``python -m repro.bench figure8``.
+"""
+
+import pytest
+
+from repro.baselines import FlatTrieIndex, JenaLTJIndex, QdagIndex
+from repro.bench.runner import run_queries, summarize
+from repro.core import CompressedRingIndex, RingIndex
+
+SYSTEMS = [RingIndex, CompressedRingIndex, FlatTrieIndex, JenaLTJIndex, QdagIndex]
+
+#: Shape families of Figure 8, grouped to keep the matrix compact.
+FAMILIES = {
+    "paths": ("P2", "P3", "P4"),
+    "stars": ("T2", "T3", "T4", "Ti2", "Ti3", "Ti4"),
+    "joins": ("J3", "J4"),
+    "cycles": ("Tr1", "Tr2", "S1", "S2", "S3", "S4"),
+}
+
+
+@pytest.fixture(scope="module")
+def built(bench_graph):
+    return {cls.name: cls(bench_graph) for cls in SYSTEMS}
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("name", [cls.name for cls in SYSTEMS])
+def test_figure8_family(benchmark, built, wgpb_queries, name, family):
+    system = built[name]
+    queries = [
+        q for shape in FAMILIES[family] for q in wgpb_queries.get(shape, [])
+    ]
+    if not queries:
+        pytest.skip("no instances generated for this family")
+
+    def run():
+        return run_queries(system, queries, group=family, limit=1000,
+                           timeout=10.0)
+
+    timings = benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = summarize(timings)
+    if stats["n"]:
+        benchmark.extra_info["median_ms"] = round(1000 * stats["median"], 3)
+        benchmark.extra_info["p75_ms"] = round(1000 * stats["p75"], 3)
+    benchmark.extra_info["unsupported"] = stats.get("unsupported", 0)
+
+
+def test_ring_stability(built, wgpb_queries):
+    """§5.2.2: the Ring's times are *stable* across the acyclic shapes
+    (the paper: "the 75% percentile never exceeds 0.05 seconds") — its
+    p75 never explodes the way Qdag's does on larger acyclic queries."""
+    ring = built["Ring"]
+    per_family_p75 = []
+    for family in ("paths", "stars", "joins"):
+        queries = [q for s in FAMILIES[family] for q in wgpb_queries.get(s, [])]
+        if not queries:
+            continue
+        stats = summarize(run_queries(ring, queries, family, limit=1000))
+        per_family_p75.append(stats["p75"])
+    positives = [p for p in per_family_p75 if p > 0]
+    if len(positives) >= 2:
+        assert max(positives) < 60 * min(positives)

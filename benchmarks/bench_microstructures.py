@@ -1,0 +1,112 @@
+"""Micro-benchmarks of the succinct substrates.
+
+Not a paper table, but the constants behind every one of them: bitvector
+rank/select, wavelet-matrix operations, and the three leap flavours of
+the ring.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bits import BitVector, RRRBitVector
+from repro.core.ring import Ring
+from repro.graph.model import O, P, S
+from repro.sequences import WaveletMatrix
+
+N_BITS = 200_000
+N_SYMS = 50_000
+
+
+@pytest.fixture(scope="module")
+def bits():
+    rng = np.random.default_rng(0)
+    return rng.random(N_BITS) < 0.4
+
+
+@pytest.fixture(scope="module")
+def plain_bv(bits):
+    return BitVector.from_bool_array(bits)
+
+
+@pytest.fixture(scope="module")
+def rrr_bv(bits):
+    return RRRBitVector.from_bool_array(bits)
+
+
+@pytest.fixture(scope="module")
+def wavelet():
+    rng = np.random.default_rng(1)
+    return WaveletMatrix(rng.integers(0, 10_000, N_SYMS))
+
+
+@pytest.fixture(scope="module")
+def ring(bench_graph):
+    return Ring(bench_graph)
+
+
+def test_bitvector_rank(benchmark, plain_bv):
+    positions = list(range(0, N_BITS, N_BITS // 1000))
+    benchmark(lambda: [plain_bv.rank1(i) for i in positions])
+
+
+def test_bitvector_select(benchmark, plain_bv):
+    ks = list(range(1, plain_bv.ones, plain_bv.ones // 500))
+    benchmark(lambda: [plain_bv.select1(k) for k in ks])
+
+
+def test_rrr_rank(benchmark, rrr_bv):
+    positions = list(range(0, N_BITS, N_BITS // 500))
+    benchmark(lambda: [rrr_bv.rank1(i) for i in positions])
+
+
+def test_wavelet_access(benchmark, wavelet):
+    idx = list(range(0, N_SYMS, N_SYMS // 500))
+    benchmark(lambda: [wavelet[i] for i in idx])
+
+
+def test_wavelet_rank(benchmark, wavelet):
+    benchmark(lambda: [wavelet.rank(s, N_SYMS) for s in range(0, 10_000, 40)])
+
+
+def test_wavelet_range_next_value(benchmark, wavelet):
+    benchmark(
+        lambda: [
+            wavelet.next_in_range(100, 40_000, c) for c in range(0, 10_000, 50)
+        ]
+    )
+
+
+def test_ring_backward_leap(benchmark, ring, bench_graph):
+    p = int(bench_graph.triples[0, P])
+    zone, lo, hi = ring.pattern_range({P: p})
+
+    def run():
+        c = 0
+        for _ in range(100):
+            value = ring.backward_leap(zone, lo, hi, c)
+            if value is None:
+                c = 0
+            else:
+                c = value + 1
+
+    benchmark(run)
+
+
+def test_ring_forward_leap(benchmark, ring, bench_graph):
+    s = int(bench_graph.triples[0, S])
+
+    def run():
+        c = 0
+        for _ in range(100):
+            value = ring.forward_leap(S, s, c)
+            if value is None:
+                c = 0
+            else:
+                c = value + 1
+
+    benchmark(run)
+
+
+def test_ring_triple_retrieval(benchmark, ring):
+    idx = list(range(0, ring.n, max(1, ring.n // 300)))
+    benchmark(lambda: [ring.triple(i) for i in idx])

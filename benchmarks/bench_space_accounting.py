@@ -1,0 +1,59 @@
+"""§5.2.1 — space accounting: representations, compressors, retrieval.
+
+Regenerates the in-text numbers of the paper's space study: bytes per
+triple of the simple/packed/ring/C-Ring representations, the compressor
+comparison, triple-retrieval latency and construction rate.
+"""
+
+import pytest
+
+from repro.bench.space import format_space_report, space_report
+from repro.core.ring import Ring
+
+
+@pytest.fixture(scope="module")
+def report(bench_graph):
+    return space_report(bench_graph, retrieval_samples=100)
+
+
+def test_space_report_print(report):
+    print()
+    print(format_space_report(report))
+
+
+def test_ring_between_packed_and_simple(report):
+    """Theorem 3.4 shape: ring ≈ packed + o(·), well under 'simple'."""
+    assert report["packed_bpt"] <= report["ring_bpt"] * 1.05
+    assert report["ring_bpt"] < report["simple_bpt"]
+
+
+def test_cring_b64_compresses_best_of_rings(report):
+    assert report["cring_b64_bpt"] <= report["cring_b16_bpt"] * 1.02
+    assert report["cring_b64_bpt"] <= report["ring_bpt"]
+
+
+def test_plain_retrieval_faster_than_compressed(report):
+    """§5.2.1: 5 µs plain vs 20 µs compressed — the *ratio* transfers."""
+    assert report["ring_retrieval_us"] < report["cring_b16_retrieval_us"]
+
+
+def bench_build_ring(benchmark, bench_graph):
+    benchmark.pedantic(lambda: Ring(bench_graph), rounds=1, iterations=1)
+
+
+def test_construction_rate(benchmark, bench_graph):
+    ring = benchmark.pedantic(
+        lambda: Ring(bench_graph), rounds=1, iterations=1
+    )
+    assert ring.n == bench_graph.n_triples
+
+
+def test_triple_retrieval_latency(benchmark, bench_graph):
+    ring = Ring(bench_graph)
+    n = ring.n
+
+    def retrieve():
+        for i in range(0, n, max(1, n // 200)):
+            ring.triple(i)
+
+    benchmark(retrieve)

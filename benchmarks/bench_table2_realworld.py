@@ -1,0 +1,63 @@
+"""Table 2 — real-world-style workload with constants anywhere.
+
+The systems of the paper's full-scale benchmark (EmptyHeaded/Qdag/
+Graphflow excluded, per §5.3); Qdag's exclusion is verified explicitly.
+"""
+
+import pytest
+
+from repro.baselines import (
+    BlazegraphIndex,
+    JenaIndex,
+    JenaLTJIndex,
+    QdagIndex,
+    RDF3XIndex,
+    VirtuosoIndex,
+)
+from repro.bench.runner import run_queries, summarize
+from repro.core import RingIndex
+
+SYSTEMS = [
+    RingIndex,
+    JenaIndex,
+    JenaLTJIndex,
+    RDF3XIndex,
+    VirtuosoIndex,
+    BlazegraphIndex,
+]
+
+
+@pytest.fixture(scope="module")
+def built(bench_graph):
+    return {cls.name: cls(bench_graph) for cls in SYSTEMS}
+
+
+@pytest.mark.parametrize("name", [cls.name for cls in SYSTEMS])
+def test_table2_workload(benchmark, built, realworld_queries, name):
+    system = built[name]
+
+    def run():
+        return run_queries(system, realworld_queries, group="log",
+                           limit=1000, timeout=5.0)
+
+    timings = benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = summarize(timings)
+    benchmark.extra_info["bytes_per_triple"] = round(
+        system.bytes_per_triple(), 2
+    )
+    if stats["n"]:
+        benchmark.extra_info["median_ms"] = round(1000 * stats["median"], 2)
+        benchmark.extra_info["timeouts"] = stats["timeouts"]
+
+
+def test_qdag_excluded_from_table2(bench_graph, realworld_queries):
+    """§5.3 excludes Qdag: it cannot evaluate constants in arbitrary
+    positions.  Our harness records this as 'unsupported'."""
+    qdag = QdagIndex(bench_graph)
+    timings = run_queries(qdag, realworld_queries, group="log")
+    assert any(t.unsupported for t in timings)
+
+
+def test_ring_smallest_in_table2(bench_graph, built):
+    space = {name: s.bytes_per_triple() for name, s in built.items()}
+    assert min(space, key=space.get) == "Ring"

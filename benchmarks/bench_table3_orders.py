@@ -1,0 +1,54 @@
+"""Table 3 — number of index orders per class, per arity.
+
+Benchmarks the exact set-cover search and asserts the paper's exact
+values for d <= 5 (where the search fully terminates).
+"""
+
+import pytest
+
+from repro.bench.report import format_table3
+from repro.relational.orders import minimum_orders, table3
+
+PAPER_EXACT = {
+    2: {"w": 2, "tw": 2, "cw": 1, "ctw": 1, "cbw": 1, "cbtw": 1},
+    3: {"w": 6, "tw": 6, "cw": 2, "ctw": 2, "cbw": 1, "cbtw": 1},
+    4: {"w": 24, "tw": 12, "cw": 6, "ctw": 4, "cbw": 2, "cbtw": 2},
+    5: {"w": 120, "tw": 30, "cw": 24, "ctw": 8, "cbw": 5, "cbtw": 5},
+}
+
+
+@pytest.mark.parametrize("d", [2, 3, 4, 5])
+def test_table3_row(benchmark, d):
+    row = benchmark.pedantic(
+        lambda: {cls: minimum_orders(cls, d) for cls in PAPER_EXACT[d]},
+        rounds=1,
+        iterations=1,
+    )
+    for cls, expected in PAPER_EXACT[d].items():
+        assert row[cls] == (expected, expected), (d, cls)
+    benchmark.extra_info["row"] = {k: v[0] for k, v in row.items()}
+
+
+def test_print_table3():
+    rows = table3(d_values=(2, 3, 4, 5), node_budget=2_000_000)
+    text = format_table3(rows)
+    print()
+    print(text)
+    assert "CBTW" in text
+
+
+def test_d6_bounds(benchmark):
+    """d = 6: exact search exceeds the budget; bounds must bracket the
+    paper's values (ctw in [10,12], cbw = 10, cbtw = 7)."""
+    bounds = benchmark.pedantic(
+        lambda: {
+            cls: minimum_orders(cls, 6, node_budget=150_000)
+            for cls in ("ctw", "cbw", "cbtw")
+        },
+        rounds=1,
+        iterations=1,
+    )
+    assert bounds["ctw"][0] <= 12 and bounds["ctw"][1] >= 10
+    assert bounds["cbw"][0] <= 10 <= bounds["cbw"][1]
+    assert bounds["cbtw"][0] <= 7 <= bounds["cbtw"][1]
+    benchmark.extra_info["bounds"] = {k: list(v) for k, v in bounds.items()}

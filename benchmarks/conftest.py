@@ -1,0 +1,39 @@
+"""Shared fixtures for the pytest-benchmark suite.
+
+Scale is controlled by environment variables so the default run stays
+laptop-friendly while still exercising every code path:
+
+- ``REPRO_BENCH_N``        — graph size in triples (default 4000)
+- ``REPRO_BENCH_QUERIES``  — WGPB instances per shape (default 2)
+
+Every benchmark file regenerates one table or figure of the paper; the
+printed reports land in the pytest output (``-s`` to see them live).
+"""
+
+import os
+
+import pytest
+
+from repro.bench.wgpb import generate_wgpb_queries
+from repro.bench.workloads import generate_realworld_queries
+from repro.graph.generators import wikidata_like
+
+BENCH_N = int(os.environ.get("REPRO_BENCH_N", "4000"))
+BENCH_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "2"))
+
+
+@pytest.fixture(scope="session")
+def bench_graph():
+    return wikidata_like(BENCH_N, seed=0)
+
+
+@pytest.fixture(scope="session")
+def wgpb_queries(bench_graph):
+    return generate_wgpb_queries(
+        bench_graph, queries_per_shape=BENCH_QUERIES, seed=0
+    )
+
+
+@pytest.fixture(scope="session")
+def realworld_queries(bench_graph):
+    return generate_realworld_queries(bench_graph, n_queries=15, seed=0)

@@ -1,0 +1,56 @@
+"""The paper's running example, end to end (Figures 3, 4 and 6).
+
+Builds the Nobel graph of Figure 3, shows the ring's three BWT zones
+(the split form of Figure 6), recovers triples by LF-walking the ring
+(Example 3.2), and evaluates the Figure 4 basic graph pattern with LTJ.
+
+Run with::
+
+    python examples/nobel_graph.py
+"""
+
+from repro.core import RingIndex
+from repro.core.ring import Ring
+from repro.graph.generators import nobel_graph
+from repro.graph.model import O, P, S
+
+
+def main() -> None:
+    graph = nobel_graph()
+    print("Figure 3 graph:", graph)
+    for s, p, o in sorted(graph.labelled_triples()):
+        print(f"  {s:>8} --{p}--> {o}")
+
+    # The ring: three wavelet matrices, one per bended-BWT zone.
+    ring = Ring(graph)
+    print("\nRing zones (Figure 6, split form of §4.1):")
+    print("  zone S (objects,    spo-sorted):",
+          ring.zone_sequence(S).to_numpy().tolist())
+    print("  zone P (subjects,   pos-sorted):",
+          ring.zone_sequence(P).to_numpy().tolist())
+    print("  zone O (predicates, osp-sorted):",
+          ring.zone_sequence(O).to_numpy().tolist())
+
+    # Example 3.2: recover a triple by cycling o -> p -> s with LF steps.
+    print("\nTriples recovered from the index alone (Example 3.2):")
+    d = graph.dictionary
+    for i in (0, 5, 12):
+        s, p, o = ring.triple(i)
+        print(f"  triple {i:>2}: ({d.node_label(s)}, "
+              f"{d.predicate_label(p)}, {d.node_label(o)})")
+
+    # Figure 4: x nominates y, x awards z, and z was advised by y.
+    index = RingIndex(graph)
+    print("\nFigure 4 query: ?x nom ?y . ?x win ?z . ?z adv ?y")
+    for mu in index.evaluate("?x nom ?y . ?x win ?z . ?z adv ?y",
+                             decode=True):
+        print(f"  x={mu['x']:<7} y={mu['y']:<8} z={mu['z']}")
+
+    # On-the-fly statistics (§4.3): pattern cardinalities in O(log U).
+    print("\nExact pattern cardinalities from the C arrays (§4.3):")
+    for text in ("?x adv ?y", "Nobel nom ?y", "?x win Bohr"):
+        print(f"  |{text}| = {index.count(text)}")
+
+
+if __name__ == "__main__":
+    main()

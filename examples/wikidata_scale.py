@@ -1,0 +1,51 @@
+"""A miniature of the paper's evaluation: space and time across systems.
+
+Builds a Wikidata-shaped synthetic graph, instantiates WGPB-style
+queries (Figure 7 shapes) by random walks, and prints a small Table 1:
+bytes per triple and mean query time for the ring, the C-ring and a
+selection of baselines.
+
+Run with::
+
+    python examples/wikidata_scale.py [n_triples]
+"""
+
+import sys
+
+from repro.baselines import FlatTrieIndex, JenaIndex, JenaLTJIndex, QdagIndex
+from repro.bench.report import format_table1
+from repro.bench.runner import run_benchmark
+from repro.bench.wgpb import generate_wgpb_queries
+from repro.core import CompressedRingIndex, RingIndex
+from repro.graph.generators import wikidata_like
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 5000
+    graph = wikidata_like(n, seed=0)
+    print(f"synthetic Wikidata-like graph: {graph!r}")
+
+    queries = generate_wgpb_queries(graph, queries_per_shape=3, seed=0)
+    total = sum(len(qs) for qs in queries.values())
+    print(f"{total} WGPB-style queries over {len(queries)} shapes "
+          f"(Figure 7)\n")
+
+    systems = []
+    for cls in (RingIndex, CompressedRingIndex, FlatTrieIndex, QdagIndex,
+                JenaIndex, JenaLTJIndex):
+        print(f"building {cls.name} …")
+        systems.append(cls(graph))
+
+    result = run_benchmark(systems, queries, limit=1000, timeout=10.0)
+    print()
+    print(format_table1(systems, result))
+    print(
+        "\nExpected shape (cf. paper Table 1): the Ring within ~2x of the\n"
+        "packed data size and several times smaller than the 6-order\n"
+        "indexes; wco systems stable across shapes; Qdag smallest but\n"
+        "slow on the larger acyclic shapes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Baseline systems: from-scratch analogues of the paper's competitors.
+
+Each class realises the *algorithmic regime* of one system from §5.1
+(see DESIGN.md §4 for the mapping):
+
+- :class:`~repro.baselines.flat_trie.FlatTrieIndex` — all 3! = 6 orders
+  materialised, wco LTJ (EmptyHeaded regime; "Flat" in Figure 2);
+- :class:`~repro.baselines.jena.JenaIndex` — 3 B+tree orders, pairwise
+  nested-loop joins (Jena regime);
+- :class:`~repro.baselines.jena.JenaLTJIndex` — 6 B+tree orders, wco LTJ
+  (Jena-LTJ regime);
+- :class:`~repro.baselines.jena.BlazegraphIndex` — 3 B+tree orders,
+  pairwise hash joins (Blazegraph regime);
+- :class:`~repro.baselines.rdf3x.RDF3XIndex` — 6 delta-compressed
+  clustered orders, pairwise merge/hash joins (RDF-3X regime);
+- :class:`~repro.baselines.virtuoso.VirtuosoIndex` — predicate-oriented
+  column index, pairwise hash joins (Virtuoso regime);
+- :class:`~repro.baselines.qdag.QdagIndex` — k²-tree quadtree join, the
+  succinct wco competitor (Qdag regime);
+- :class:`~repro.baselines.cyclic.CyclicUnidirectionalIndex` — two
+  backward-only rings (the Brisaboa-et-al. CSA regime / "Cycle" in
+  Figure 2), the paper's bidirectionality ablation.
+"""
+
+from repro.baselines.cyclic import CyclicUnidirectionalIndex
+from repro.baselines.flat_trie import FlatTrieIndex
+from repro.baselines.jena import BlazegraphIndex, JenaIndex, JenaLTJIndex
+from repro.baselines.qdag import QdagIndex, UnsupportedQueryError
+from repro.baselines.rdf3x import RDF3XIndex
+from repro.baselines.virtuoso import VirtuosoIndex
+from repro.baselines.yannakakis import EmptyHeadedIndex
+
+__all__ = [
+    "BlazegraphIndex",
+    "EmptyHeadedIndex",
+    "CyclicUnidirectionalIndex",
+    "FlatTrieIndex",
+    "JenaIndex",
+    "JenaLTJIndex",
+    "QdagIndex",
+    "RDF3XIndex",
+    "UnsupportedQueryError",
+    "VirtuosoIndex",
+]

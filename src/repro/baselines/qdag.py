@@ -1,0 +1,202 @@
+"""Qdag regime: succinct quadtree (k²-tree) worst-case-optimal joins.
+
+Navarro, Reutter & Rojas's Qdags (§2.2.4, §5.1) are the paper's only
+succinct wco competitor: each binary relation is a k²-tree (a quadtree
+whose levels are bitvectors, 4 bits per non-empty node), and a join over
+variables ``x1..xv`` is evaluated by a synchronised descent over the
+``v``-dimensional grid — at every level each variable's range halves,
+producing ``2^v`` sub-cells, and a sub-cell survives only if *every*
+pattern's quadtree has the matching child.  Output is wco with the extra
+``O(2^v)`` factor the paper highlights ("an encoding that grows
+exponentially with the number of nodes in patterns"), which is why Qdag
+wins on 3-variable patterns and degrades on the larger acyclic ones.
+
+Faithfully to footnote 6 of the paper, constants are supported only in
+the predicate position ("we use a Qdag to index one binary relation per
+predicate"); anything else raises :class:`UnsupportedQueryError`, which
+is how the harness reproduces Qdag's exclusion from Table 2.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Iterator, Optional
+
+import numpy as np
+
+from repro.bits.bitvector import BitVector
+from repro.core.interface import QueryTimeout
+from repro.core.system import BaseQuerySystem
+from repro.graph.dataset import Graph
+from repro.graph.model import BasicGraphPattern, P, Var
+
+
+class UnsupportedQueryError(Exception):
+    """The index cannot evaluate this query shape (by design)."""
+
+
+class K2Tree:
+    """A static k²-tree (k = 2) over points in ``[0, 2^height)²``."""
+
+    def __init__(self, points: np.ndarray, height: int) -> None:
+        pts = np.asarray(points, dtype=np.int64).reshape(-1, 2)
+        if height < 1:
+            raise ValueError("height must be >= 1")
+        side = 1 << height
+        if len(pts) and (pts.min() < 0 or pts.max() >= side):
+            raise ValueError("point outside the grid")
+        self.height = height
+        self.n_points = len(np.unique(pts, axis=0)) if len(pts) else 0
+        codes = self._morton(pts[:, 0], pts[:, 1], height)
+        codes = np.unique(codes)
+        self._levels: list[BitVector] = []
+        for depth in range(height):
+            parents = np.unique(codes >> 2 * (height - depth)) if len(codes) else (
+                np.zeros(0, dtype=np.int64)
+            )
+            if depth == 0:
+                parents = np.zeros(1, dtype=np.int64)  # the root, even if empty
+            children = np.unique(codes >> 2 * (height - depth - 1)) if len(
+                codes
+            ) else np.zeros(0, dtype=np.int64)
+            bits = np.zeros(4 * len(parents), dtype=bool)
+            if len(children):
+                parent_of = children >> 2
+                quadrant = children & 3
+                idx = np.searchsorted(parents, parent_of)
+                bits[4 * idx + quadrant] = True
+            self._levels.append(BitVector.from_bool_array(bits))
+
+    @staticmethod
+    def _morton(s: np.ndarray, o: np.ndarray, height: int) -> np.ndarray:
+        codes = np.zeros(len(s), dtype=np.int64)
+        for level in range(height):
+            shift = height - 1 - level
+            quadrant = 2 * ((s >> shift) & 1) + ((o >> shift) & 1)
+            codes = (codes << 2) | quadrant
+        return codes
+
+    def child(self, depth: int, node: int, quadrant: int) -> Optional[int]:
+        """Index at ``depth + 1`` of the node's quadrant child, or ``None``.
+
+        ``depth`` 0 is the root; at ``depth == height - 1`` the returned
+        index identifies a *cell* (presence only).
+        """
+        bv = self._levels[depth]
+        pos = 4 * node + quadrant
+        if not bv[pos]:
+            return None
+        return bv.rank1(pos)
+
+    def is_empty(self) -> bool:
+        return self.n_points == 0
+
+    def contains(self, s: int, o: int) -> bool:
+        node = 0
+        for depth in range(self.height):
+            shift = self.height - 1 - depth
+            quadrant = 2 * ((s >> shift) & 1) + ((o >> shift) & 1)
+            child = self.child(depth, node, quadrant)
+            if child is None:
+                return False
+            node = child
+        return True
+
+    def size_in_bits(self) -> int:
+        return sum(bv.size_in_bits() for bv in self._levels) + 128
+
+
+class QdagIndex(BaseQuerySystem):
+    """One k²-tree per predicate; multiway quadtree join over BGPs."""
+
+    name = "Qdag"
+
+    def __init__(self, graph: Graph) -> None:
+        super().__init__(graph)
+        self._height = max(1, (max(graph.n_nodes - 1, 1)).bit_length())
+        self._trees: dict[int, K2Tree] = {}
+        t = graph.triples
+        for p in (np.unique(t[:, P]) if len(t) else []):
+            rows = t[t[:, P] == p]
+            self._trees[int(p)] = K2Tree(rows[:, [0, 2]], self._height)
+
+    def _solutions(
+        self,
+        bgp: BasicGraphPattern,
+        timeout: Optional[float],
+        **options,
+    ) -> Iterable[dict[Var, int]]:
+        deadline = time.monotonic() + timeout if timeout else None
+        variables: list[Var] = []
+        tasks: list[tuple[K2Tree, int, int]] = []  # (tree, dim_s, dim_o)
+        for pattern in bgp:
+            s, p, o = pattern.terms
+            if isinstance(p, Var) or not isinstance(s, Var) or not isinstance(o, Var):
+                raise UnsupportedQueryError(
+                    "Qdag supports only (?s, p, ?o) patterns with constant "
+                    "predicates (paper §5.1, footnote 6)"
+                )
+            if s == o:
+                raise UnsupportedQueryError(
+                    "Qdag does not support repeated variables in one pattern"
+                )
+            tree = self._trees.get(p)
+            if tree is None or tree.is_empty():
+                return
+            for var in (s, o):
+                if var not in variables:
+                    variables.append(var)
+            tasks.append((tree, variables.index(s), variables.index(o)))
+        v = len(variables)
+        yield from self._descend(
+            tasks,
+            [0] * len(tasks),
+            [0] * v,
+            0,
+            variables,
+            deadline,
+            [0],
+        )
+
+    def _descend(
+        self,
+        tasks: list[tuple[K2Tree, int, int]],
+        nodes: list[int],
+        values: list[int],
+        depth: int,
+        variables: list[Var],
+        deadline: Optional[float],
+        counter: list[int],
+    ) -> Iterator[dict[Var, int]]:
+        if depth == self._height:
+            yield {
+                var: values[i] for i, var in enumerate(variables)
+            }
+            return
+        v = len(values)
+        for combo in range(1 << v):
+            counter[0] += 1
+            if deadline is not None and not counter[0] & 0x3F:
+                if time.monotonic() > deadline:
+                    raise QueryTimeout
+            bits = [(combo >> (v - 1 - i)) & 1 for i in range(v)]
+            children = []
+            alive = True
+            for (tree, ds, do), node in zip(tasks, nodes):
+                quadrant = 2 * bits[ds] + bits[do]
+                child = tree.child(depth, node, quadrant)
+                if child is None:
+                    alive = False
+                    break
+                children.append(child)
+            if not alive:
+                continue
+            next_values = [
+                (values[i] << 1) | bits[i] for i in range(v)
+            ]
+            yield from self._descend(
+                tasks, children, next_values, depth + 1, variables, deadline, counter
+            )
+
+    def size_in_bits(self) -> int:
+        return sum(t.size_in_bits() for t in self._trees.values()) + 256

@@ -1,0 +1,264 @@
+"""Sorted permutation orders: the "flat" indexing scheme of Figure 2.
+
+A :class:`SortedOrder` stores the triples lexicographically sorted by one
+permutation of ``(s, p, o)`` as a single composite-key array, supporting
+``O(log n)`` prefix-range narrowing and in-range leaps via binary search.
+Six of them give the classical complete wco index; they also provide the
+scan primitives the pairwise-join baselines use.
+
+:class:`OrderSetIterator` implements the LTJ
+:class:`~repro.core.interface.PatternIterator` protocol on top of a set
+of orders, picking per leap the order whose prefix covers the bound
+positions — the textbook trie-iterator of Veldhuizen.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.core.interface import first_candidate, pattern_constants
+from repro.graph.dataset import Graph
+from repro.graph.model import O, P, S, TriplePattern, Var
+
+ALL_ORDERS: tuple[tuple[int, int, int], ...] = tuple(permutations((S, P, O)))
+ORDER_NAMES = {perm: "".join("spo"[a] for a in perm) for perm in ALL_ORDERS}
+
+
+class SortedOrder:
+    """Triples sorted by one attribute permutation, as composite keys."""
+
+    def __init__(self, graph: Graph, perm: Sequence[int]) -> None:
+        self.perm = tuple(perm)
+        sizes = [
+            graph.n_nodes if attr != P else graph.n_predicates for attr in perm
+        ]
+        self._sizes = tuple(int(max(s, 1)) for s in sizes)
+        self._strides = (
+            self._sizes[1] * self._sizes[2],
+            self._sizes[2],
+            1,
+        )
+        cols = [graph.triples[:, attr].astype(np.int64) for attr in perm]
+        keys = (
+            cols[0] * self._strides[0]
+            + cols[1] * self._strides[1]
+            + cols[2]
+        )
+        self._keys = np.sort(keys)
+        self._n = len(self._keys)
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    def size(self, depth: int) -> int:
+        """Universe of the attribute at trie depth ``depth``."""
+        return self._sizes[depth]
+
+    def _prefix_key(self, values: Sequence[int]) -> int:
+        key = 0
+        for depth, v in enumerate(values):
+            key += int(v) * self._strides[depth]
+        return key
+
+    def prefix_range(self, values: Sequence[int]) -> tuple[int, int]:
+        """Row range ``[lo, hi)`` of triples starting with ``values``."""
+        depth = len(values)
+        if depth == 0:
+            return 0, self._n
+        if any(not 0 <= v < self._sizes[d] for d, v in enumerate(values)):
+            return 0, 0  # value outside this attribute's universe
+        lo_key = self._prefix_key(values)
+        hi_key = lo_key + self._strides[depth - 1]
+        lo = int(np.searchsorted(self._keys, lo_key, side="left"))
+        hi = int(np.searchsorted(self._keys, hi_key, side="left"))
+        return lo, hi
+
+    def leap_in_range(
+        self, values: Sequence[int], lo: int, hi: int, c: int
+    ) -> Optional[int]:
+        """Smallest value ``>= c`` at depth ``len(values)`` within the
+        prefix range ``[lo, hi)``."""
+        depth = len(values)
+        if c >= self._sizes[depth]:
+            return None
+        probe = self._prefix_key(values) + c * self._strides[depth]
+        pos = int(np.searchsorted(self._keys, probe, side="left"))
+        if pos >= hi:
+            return None
+        return int(self._keys[pos] // self._strides[depth]) % self._sizes[depth]
+
+    def decode(self, row: int) -> tuple[int, int, int]:
+        """Triple (in s, p, o position order) stored at ``row``."""
+        key = int(self._keys[row])
+        out = [0, 0, 0]
+        for depth, attr in enumerate(self.perm):
+            out[attr] = (key // self._strides[depth]) % self._sizes[depth]
+        return tuple(out)
+
+    def scan(self, values: Sequence[int]) -> Iterator[tuple[int, int, int]]:
+        """All triples whose order-prefix equals ``values``."""
+        lo, hi = self.prefix_range(values)
+        for row in range(lo, hi):
+            yield self.decode(row)
+
+    def size_in_bits(self) -> int:
+        return 64 * self._n + 256
+
+
+class OrderSet:
+    """A collection of sorted orders with per-(bound-set, target) lookup.
+
+    ``order_factory`` lets the B+tree baselines substitute their own
+    order implementation while reusing the iterator logic.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        perms: Iterable[Sequence[int]],
+        order_factory=SortedOrder,
+    ) -> None:
+        self._orders = {tuple(p): order_factory(graph, p) for p in perms}
+        self._n = graph.n_triples
+
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def orders(self) -> dict[tuple[int, int, int], SortedOrder]:
+        return self._orders
+
+    def order_for(
+        self, bound: frozenset[int], target: int
+    ) -> Optional[tuple[SortedOrder, tuple[int, ...]]]:
+        """An order whose first ``len(bound)`` attributes are ``bound`` and
+        whose next attribute is ``target``; returns it with its prefix."""
+        for perm, order in self._orders.items():
+            k = len(bound)
+            if set(perm[:k]) == bound and perm[k] == target:
+                return order, perm[:k]
+        return None
+
+    def size_in_bits(self) -> int:
+        return sum(o.size_in_bits() for o in self._orders.values())
+
+
+class OrderSetIterator:
+    """LTJ trie-iterator over a set of sorted orders (flat scheme)."""
+
+    def __init__(self, orders: OrderSet, pattern: TriplePattern) -> None:
+        self._orders = orders
+        self._pattern = pattern
+        self._constants = pattern_constants(pattern)
+        self._var_positions = {
+            var: tuple(pattern.variable_positions(var))
+            for var in pattern.variables()
+        }
+        self._stack: list[tuple[Var, tuple[int, ...]]] = []
+
+    @property
+    def pattern(self) -> TriplePattern:
+        return self._pattern
+
+    def _lookup(
+        self, target: int
+    ) -> Optional[tuple[SortedOrder, Sequence[int], int, int]]:
+        bound = frozenset(self._constants)
+        found = self._orders.order_for(bound, target)
+        if found is None:
+            return None
+        order, prefix_attrs = found
+        values = [self._constants[a] for a in prefix_attrs]
+        lo, hi = order.prefix_range(values)
+        return order, values, lo, hi
+
+    def count(self) -> int:
+        bound = frozenset(self._constants)
+        if len(bound) == 3:
+            order = next(iter(self._orders.orders.values()))
+            values = [self._constants[a] for a in order.perm]
+            lo, hi = order.prefix_range(values)
+            return hi - lo
+        target = next(a for a in (S, P, O) if a not in bound)
+        found = self._lookup(target)
+        if found is None:  # incomplete order set; conservative estimate
+            return self._orders.n
+        _, _, lo, hi = found
+        return hi - lo
+
+    def leap(self, var: Var, c: int) -> Optional[int]:
+        positions = self._var_positions[var]
+        if len(positions) == 1:
+            found = self._lookup(positions[0])
+            if found is None:
+                raise LookupError(
+                    f"no order covers bound={sorted(self._constants)} "
+                    f"target={positions[0]}"
+                )
+            order, values, lo, hi = found
+            return order.leap_in_range(values, lo, hi, c)
+        # Repeated variable: candidates from the first position, verified
+        # by requiring a fully-consistent prefix range.  A value must fit
+        # every universe it occupies.
+        any_order = next(iter(self._orders.orders.values()))
+        ceiling = min(
+            any_order.size(any_order.perm.index(pos)) for pos in positions
+        )
+        while True:
+            candidate = self._probe(positions[0], c)
+            if candidate is None or candidate >= ceiling:
+                return None
+            trial = dict(self._constants)
+            for pos in positions:
+                trial[pos] = candidate
+            if self._count_constants(trial) > 0:
+                return candidate
+            c = candidate + 1
+
+    def _probe(self, pos: int, c: int) -> Optional[int]:
+        found = self._lookup(pos)
+        if found is None:
+            raise LookupError("no order covers probe")
+        order, values, lo, hi = found
+        return order.leap_in_range(values, lo, hi, c)
+
+    def _count_constants(self, constants: dict[int, int]) -> int:
+        # Use any order whose prefix covers the constants; with all six
+        # available a full match always exists.
+        bound = frozenset(constants)
+        for perm, order in self._orders.orders.items():
+            if set(perm[: len(bound)]) == bound:
+                values = [constants[a] for a in perm[: len(bound)]]
+                lo, hi = order.prefix_range(values)
+                return hi - lo
+        raise LookupError("no covering order")
+
+    def bind(self, var: Var, value: int) -> None:
+        positions = self._var_positions[var]
+        self._stack.append((var, positions))
+        for pos in positions:
+            self._constants[pos] = value
+
+    def unbind(self, var: Var) -> None:
+        if not self._stack or self._stack[-1][0] != var:
+            raise ValueError("unbind order violation")
+        _, positions = self._stack.pop()
+        for pos in positions:
+            del self._constants[pos]
+
+    def values(self, var: Var) -> Iterator[int]:
+        c = 0
+        while True:
+            value = self.leap(var, c)
+            if value is None:
+                return
+            yield value
+            c = value + 1
+
+    def preferred_lonely(self, candidates: Iterable[Var]) -> Var:
+        return first_candidate(candidates)

@@ -1,0 +1,20 @@
+"""Benchmark harness: workloads, runner and report printers.
+
+Everything needed to regenerate the paper's evaluation section
+(Tables 1–3, Figures 7–8 and the §5.2.1 space study) at a Python-tractable
+scale.  ``python -m repro.bench --help`` lists the entry points; the
+``benchmarks/`` directory drives the same code through pytest-benchmark.
+"""
+
+from repro.bench.runner import BenchmarkResult, run_benchmark, summarize
+from repro.bench.wgpb import WGPB_SHAPES, generate_wgpb_queries
+from repro.bench.workloads import generate_realworld_queries
+
+__all__ = [
+    "BenchmarkResult",
+    "WGPB_SHAPES",
+    "generate_realworld_queries",
+    "generate_wgpb_queries",
+    "run_benchmark",
+    "summarize",
+]

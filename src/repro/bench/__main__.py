@@ -1,0 +1,185 @@
+"""Command-line entry points regenerating the paper's tables and figures.
+
+Examples::
+
+    python -m repro.bench table1 --n 20000 --queries 10
+    python -m repro.bench figure8 --n 10000 --queries 5
+    python -m repro.bench table2 --n 50000 --queries 60 --timeout 5
+    python -m repro.bench table3 --dmax 6
+    python -m repro.bench space --n 20000
+    python -m repro.bench shapes
+
+Scale knobs default to laptop-friendly values; raise ``--n`` and
+``--queries`` to approach the paper's proportions (wall-clock grows
+accordingly — this is pure Python).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.baselines import (
+    BlazegraphIndex,
+    CyclicUnidirectionalIndex,
+    EmptyHeadedIndex,
+    FlatTrieIndex,
+    JenaIndex,
+    JenaLTJIndex,
+    QdagIndex,
+    RDF3XIndex,
+    VirtuosoIndex,
+)
+from repro.bench.report import (
+    format_figure8,
+    format_table1,
+    format_table2,
+    format_table3,
+)
+from repro.bench.runner import run_benchmark
+from repro.bench.space import format_space_report, space_report
+from repro.bench.wgpb import WGPB_SHAPES, generate_wgpb_queries
+from repro.bench.workloads import generate_realworld_queries
+from repro.core import CompressedRingIndex, RingIndex
+from repro.graph.generators import wikidata_like
+
+TABLE1_SYSTEMS = {
+    "Ring": RingIndex,
+    "C-Ring": CompressedRingIndex,
+    "EmptyHeaded": EmptyHeadedIndex,
+    "FlatTrie": FlatTrieIndex,
+    "Qdag": QdagIndex,
+    "Jena": JenaIndex,
+    "Jena-LTJ": JenaLTJIndex,
+    "RDF-3X": RDF3XIndex,
+    "Virtuoso": VirtuosoIndex,
+    "Blazegraph": BlazegraphIndex,
+    "Cyclic-2R": CyclicUnidirectionalIndex,
+}
+
+TABLE2_SYSTEMS = {
+    # Per §5.3: EmptyHeaded (space), Qdag and Graphflow (constants) are
+    # excluded at full scale; the remaining systems compete.
+    "Ring": RingIndex,
+    "Jena": JenaIndex,
+    "Jena-LTJ": JenaLTJIndex,
+    "RDF-3X": RDF3XIndex,
+    "Virtuoso": VirtuosoIndex,
+    "Blazegraph": BlazegraphIndex,
+}
+
+
+def _build(graph, names: dict) -> list:
+    systems = []
+    for name, cls in names.items():
+        print(f"building {name} …", flush=True)
+        systems.append(cls(graph))
+    return systems
+
+
+def cmd_table1(args) -> None:
+    graph = wikidata_like(args.n, seed=args.seed)
+    queries = generate_wgpb_queries(graph, args.queries, seed=args.seed)
+    total = sum(len(v) for v in queries.values())
+    print(f"graph: {graph!r}; {total} WGPB-style queries\n")
+    systems = _build(graph, TABLE1_SYSTEMS)
+    result = run_benchmark(systems, queries, limit=args.limit,
+                           timeout=args.timeout)
+    print()
+    print(format_table1(systems, result))
+
+
+def cmd_figure8(args) -> None:
+    graph = wikidata_like(args.n, seed=args.seed)
+    queries = generate_wgpb_queries(graph, args.queries, seed=args.seed)
+    systems = _build(graph, TABLE1_SYSTEMS)
+    result = run_benchmark(systems, queries, limit=args.limit,
+                           timeout=args.timeout)
+    print()
+    print(format_figure8(result))
+
+
+def cmd_table2(args) -> None:
+    graph = wikidata_like(args.n, seed=args.seed)
+    queries = generate_realworld_queries(graph, args.queries, seed=args.seed)
+    print(f"graph: {graph!r}; {len(queries)} log-style queries\n")
+    systems = _build(graph, TABLE2_SYSTEMS)
+    result = run_benchmark(
+        systems, {"log": queries}, limit=args.limit, timeout=args.timeout
+    )
+    print()
+    print(format_table2(systems, result))
+
+
+def cmd_table3(args) -> None:
+    from repro.relational.orders import table3
+
+    rows = table3(
+        d_values=tuple(range(2, args.dmax + 1)), node_budget=args.budget
+    )
+    print(format_table3(rows))
+
+
+def cmd_space(args) -> None:
+    graph = wikidata_like(args.n, seed=args.seed)
+    print(f"graph: {graph!r}\n")
+    print(format_space_report(space_report(graph)))
+
+
+def cmd_shapes(_args) -> None:
+    print("Figure 7 — WGPB query shapes (edges over variables x0, x1, …)")
+    for shape in WGPB_SHAPES:
+        edges = ", ".join(f"x{a}->x{b}" for a, b in shape.edges)
+        print(f"  {shape.name:<4} vars={shape.n_variables}  {edges}")
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, n_default):
+        p.add_argument("--n", type=int, default=n_default,
+                       help="graph size in triples")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--limit", type=int, default=1000,
+                       help="result limit per query (paper: 1000)")
+        p.add_argument("--timeout", type=float, default=10.0,
+                       help="per-query timeout in seconds")
+
+    p1 = sub.add_parser("table1", help="space + mean WGPB time per system")
+    common(p1, 20_000)
+    p1.add_argument("--queries", type=int, default=5,
+                    help="instances per shape")
+    p1.set_defaults(func=cmd_table1)
+
+    p8 = sub.add_parser("figure8", help="per-shape time distributions")
+    common(p8, 10_000)
+    p8.add_argument("--queries", type=int, default=5)
+    p8.set_defaults(func=cmd_figure8)
+
+    p2 = sub.add_parser("table2", help="real-world-style workload")
+    common(p2, 50_000)
+    p2.add_argument("--queries", type=int, default=50)
+    p2.set_defaults(func=cmd_table2)
+
+    p3 = sub.add_parser("table3", help="index orders per class")
+    p3.add_argument("--dmax", type=int, default=6)
+    p3.add_argument("--budget", type=int, default=2_000_000,
+                    help="branch-and-bound node budget")
+    p3.set_defaults(func=cmd_table3)
+
+    ps = sub.add_parser("space", help="space accounting study (§5.2.1)")
+    common(ps, 20_000)
+    ps.set_defaults(func=cmd_space)
+
+    pf = sub.add_parser("shapes", help="list the 17 WGPB shapes (Figure 7)")
+    pf.set_defaults(func=cmd_shapes)
+
+    args = parser.parse_args(argv)
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""Text renderers for the paper's tables and figures."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.runner import BenchmarkResult, summarize
+
+
+def format_table1(
+    systems: Sequence, result: BenchmarkResult
+) -> str:
+    """Table 1: bytes per triple and mean WGPB query time per system."""
+    lines = [
+        "Table 1 — index space and mean query time (WGPB-style)",
+        "-" * 60,
+        f"{'System':<14}{'Space (B/t)':>14}{'Time (ms)':>14}{'Notes':>16}",
+        "-" * 60,
+    ]
+    by_name = {s.name: s for s in systems}
+    for name in result.systems():
+        stats = summarize(result.for_system(name))
+        system = by_name[name]
+        if stats["n"] == 0:
+            time_str, note = "—", f"{stats['unsupported']} unsupported"
+        else:
+            time_str = f"{1000 * stats['mean']:.1f}"
+            note = (
+                f"{stats['timeouts']} timeouts" if stats["timeouts"] else ""
+            )
+        lines.append(
+            f"{name:<14}{system.bytes_per_triple():>14.2f}"
+            f"{time_str:>14}{note:>16}"
+        )
+    return "\n".join(lines)
+
+
+def format_figure8(result: BenchmarkResult) -> str:
+    """Figure 8: per-shape quartiles (ms) per system, as a text matrix."""
+    lines = [
+        "Figure 8 — query time distributions per shape "
+        "(p25 / median / p75, ms)",
+        "-" * 76,
+    ]
+    groups = result.groups()
+    for name in result.systems():
+        lines.append(name)
+        for group in groups:
+            stats = summarize(result.for_group(name, group))
+            if stats["n"] == 0:
+                lines.append(f"  {group:<6} unsupported")
+                continue
+            lines.append(
+                f"  {group:<6}"
+                f"{1000 * stats['p25']:>10.2f}"
+                f"{1000 * stats['median']:>10.2f}"
+                f"{1000 * stats['p75']:>10.2f}"
+                f"   (min {1000 * stats['min']:.2f}, max {1000 * stats['max']:.2f})"
+            )
+    return "\n".join(lines)
+
+
+def format_table2(systems: Sequence, result: BenchmarkResult) -> str:
+    """Table 2: space + min/avg/median times + timeout counts."""
+    lines = [
+        "Table 2 — real-world-style workload at full scale",
+        "-" * 76,
+        f"{'System':<14}{'Space (B/t)':>12}{'Min (s)':>10}{'Avg (s)':>10}"
+        f"{'Median (s)':>12}{'Timeouts':>10}",
+        "-" * 76,
+    ]
+    by_name = {s.name: s for s in systems}
+    for name in result.systems():
+        stats = summarize(result.for_system(name))
+        system = by_name[name]
+        if stats["n"] == 0:
+            lines.append(f"{name:<14}{system.bytes_per_triple():>12.2f}"
+                         f"{'(unsupported workload)':>42}")
+            continue
+        lines.append(
+            f"{name:<14}{system.bytes_per_triple():>12.2f}"
+            f"{stats['min']:>10.5f}{stats['mean']:>10.4f}"
+            f"{stats['median']:>12.5f}{stats['timeouts']:>10d}"
+        )
+    return "\n".join(lines)
+
+
+def format_table3(rows: list[dict]) -> str:
+    """Table 3: orders per class and arity; '[lo,hi]' marks bounds."""
+    header = f"{'d':>3}" + "".join(
+        f"{cls.upper():>10}" for cls in ("w", "tw", "cw", "ctw", "cbw", "cbtw")
+    )
+    lines = [
+        "Table 3 — number of index orders required per class",
+        "-" * len(header),
+        header,
+        "-" * len(header),
+    ]
+    for row in rows:
+        cells = [f"{row['d']:>3}"]
+        for cls in ("w", "tw", "cw", "ctw", "cbw", "cbtw"):
+            lo, hi = row[cls]
+            cells.append(f"{lo:>10}" if lo == hi else f"{f'[{lo},{hi}]':>10}")
+        lines.append("".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""Timing runner: evaluate query sets over systems, collect statistics.
+
+Follows the paper's protocol (§5.1): every query runs with a result
+limit (1000 in the paper) and a timeout; timeouts are recorded rather
+than fatal; systems that cannot express a query (Qdag on Table 2-style
+patterns) are recorded as *unsupported*, mirroring how the paper excludes
+them from the affected benchmark.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.baselines.qdag import UnsupportedQueryError
+from repro.core.interface import QueryTimeout
+from repro.graph.model import BasicGraphPattern
+
+
+@dataclass
+class QueryTiming:
+    """Outcome of one (system, query) execution."""
+
+    system: str
+    group: str
+    query_index: int
+    seconds: float
+    n_results: int
+    timed_out: bool = False
+    unsupported: bool = False
+
+
+@dataclass
+class BenchmarkResult:
+    """All timings of one benchmark run."""
+
+    timings: list[QueryTiming] = field(default_factory=list)
+
+    def for_system(self, name: str) -> list[QueryTiming]:
+        """Timings of one system across all groups."""
+        return [t for t in self.timings if t.system == name]
+
+    def for_group(self, name: str, group: str) -> list[QueryTiming]:
+        """Timings of one system within one query group (shape)."""
+        return [
+            t for t in self.timings if t.system == name and t.group == group
+        ]
+
+    def systems(self) -> list[str]:
+        """System names in first-seen order."""
+        seen: list[str] = []
+        for t in self.timings:
+            if t.system not in seen:
+                seen.append(t.system)
+        return seen
+
+    def groups(self) -> list[str]:
+        """Query-group names in first-seen order."""
+        seen: list[str] = []
+        for t in self.timings:
+            if t.group not in seen:
+                seen.append(t.group)
+        return seen
+
+
+def run_queries(
+    system,
+    queries: Sequence[BasicGraphPattern],
+    group: str = "",
+    limit: Optional[int] = 1000,
+    timeout: Optional[float] = None,
+) -> list[QueryTiming]:
+    """Evaluate ``queries`` on one system, timing each."""
+    out = []
+    for i, bgp in enumerate(queries):
+        start = time.perf_counter()
+        try:
+            results = system.evaluate(bgp, limit=limit, timeout=timeout)
+            elapsed = time.perf_counter() - start
+            out.append(
+                QueryTiming(system.name, group, i, elapsed, len(results))
+            )
+        except QueryTimeout:
+            elapsed = time.perf_counter() - start
+            out.append(
+                QueryTiming(system.name, group, i, elapsed, 0, timed_out=True)
+            )
+        except UnsupportedQueryError:
+            out.append(
+                QueryTiming(system.name, group, i, 0.0, 0, unsupported=True)
+            )
+    return out
+
+
+def run_benchmark(
+    systems: Sequence,
+    query_groups: dict[str, Sequence[BasicGraphPattern]],
+    limit: Optional[int] = 1000,
+    timeout: Optional[float] = None,
+) -> BenchmarkResult:
+    """Run every system over every query group."""
+    result = BenchmarkResult()
+    for system in systems:
+        for group, queries in query_groups.items():
+            result.timings.extend(
+                run_queries(system, queries, group, limit, timeout)
+            )
+    return result
+
+
+def summarize(timings: Sequence[QueryTiming]) -> dict[str, float]:
+    """min / mean / median / quartiles / max / timeout & support counts.
+
+    Timed-out queries enter the time statistics at their elapsed time
+    (a lower bound), as in the paper's Table 2 protocol; unsupported
+    queries are excluded from time statistics but counted.
+    """
+    supported = [t for t in timings if not t.unsupported]
+    times = [t.seconds for t in supported]
+    if not times:
+        return {
+            "n": 0,
+            "timeouts": 0,
+            "unsupported": len(timings),
+        }
+    times_sorted = sorted(times)
+    return {
+        "n": len(times),
+        "min": times_sorted[0],
+        "max": times_sorted[-1],
+        "mean": statistics.fmean(times),
+        "median": statistics.median(times_sorted),
+        "p25": _percentile(times_sorted, 0.25),
+        "p75": _percentile(times_sorted, 0.75),
+        "timeouts": sum(1 for t in supported if t.timed_out),
+        "unsupported": sum(1 for t in timings if t.unsupported),
+        "results": sum(t.n_results for t in supported),
+    }
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        raise ValueError("no values")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    pos = q * (len(sorted_values) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac

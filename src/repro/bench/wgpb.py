@@ -1,0 +1,170 @@
+"""The Wikidata Graph Pattern Benchmark's 17 query shapes (Figure 7).
+
+Each shape is a small directed multigraph over abstract variables; an
+*instance* replaces every edge label by a concrete predicate found by a
+random walk through the data graph so that the query is guaranteed
+non-empty — exactly the WGPB construction ("each pattern is instantiated
+with 50 queries built using random walks such that the results are
+nonempty", §5.2).  All subjects/objects stay variables and every variable
+occurs at most once per triple pattern, as in the benchmark.
+
+Shape naming follows the paper's Figure 7: ``P`` paths, ``T`` out-stars,
+``Ti`` in-stars, ``J`` mixed-direction stars, ``Tr`` triangles, ``S``
+squares (4-cycles with varying edge orientations).  The exact edge
+orientations of ``J``/``S`` shapes are reconstructed from the figure's
+glyphs; EXPERIMENTS.md records this as a documented approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.dataset import Graph
+from repro.graph.model import BasicGraphPattern, TriplePattern, Var
+
+Edge = tuple[int, int]  # (source variable index, target variable index)
+
+
+@dataclass(frozen=True)
+class Shape:
+    """An abstract query shape: directed edges over variable indexes."""
+
+    name: str
+    edges: tuple[Edge, ...]
+
+    @property
+    def n_variables(self) -> int:
+        return 1 + max(max(e) for e in self.edges)
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.edges)
+
+
+WGPB_SHAPES: tuple[Shape, ...] = (
+    # Paths: x0 -> x1 -> ... (P2 has 2 edges / 3 variables).
+    Shape("P2", ((0, 1), (1, 2))),
+    Shape("P3", ((0, 1), (1, 2), (2, 3))),
+    Shape("P4", ((0, 1), (1, 2), (2, 3), (3, 4))),
+    # Out-stars: all edges leave the centre x0.
+    Shape("T2", ((0, 1), (0, 2))),
+    Shape("T3", ((0, 1), (0, 2), (0, 3))),
+    Shape("T4", ((0, 1), (0, 2), (0, 3), (0, 4))),
+    # In-stars: all edges enter the centre x0.
+    Shape("Ti2", ((1, 0), (2, 0))),
+    Shape("Ti3", ((1, 0), (2, 0), (3, 0))),
+    Shape("Ti4", ((1, 0), (2, 0), (3, 0), (4, 0))),
+    # Mixed stars (joins on the centre with both directions).
+    Shape("J3", ((1, 0), (0, 2), (3, 0))),
+    Shape("J4", ((1, 0), (0, 2), (3, 0), (0, 4))),
+    # Triangles.
+    Shape("Tr1", ((0, 1), (1, 2), (2, 0))),
+    Shape("Tr2", ((0, 1), (1, 2), (0, 2))),
+    # Squares: 4-cycles with varying orientations.
+    Shape("S1", ((0, 1), (1, 2), (2, 3), (3, 0))),
+    Shape("S2", ((0, 1), (1, 2), (2, 3), (0, 3))),
+    Shape("S3", ((0, 1), (1, 2), (3, 2), (3, 0))),
+    Shape("S4", ((0, 1), (2, 1), (2, 3), (0, 3))),
+)
+
+SHAPES_BY_NAME = {s.name: s for s in WGPB_SHAPES}
+
+
+class _Adjacency:
+    """Sorted edge tables for fast random-walk instantiation."""
+
+    def __init__(self, graph: Graph) -> None:
+        t = graph.triples
+        self._by_s = t[np.argsort(t[:, 0], kind="stable")]
+        self._by_o = t[np.argsort(t[:, 2], kind="stable")]
+        self._n = len(t)
+
+    def random_edge(self, rng: np.random.Generator) -> tuple[int, int, int]:
+        """A uniformly random edge (walk seed)."""
+        row = self._by_s[int(rng.integers(0, self._n))]
+        return int(row[0]), int(row[1]), int(row[2])
+
+    def _slice(self, table: np.ndarray, col: int, value: int) -> np.ndarray:
+        lo = int(np.searchsorted(table[:, col], value, "left"))
+        hi = int(np.searchsorted(table[:, col], value, "right"))
+        return table[lo:hi]
+
+    def edges_from(self, s: int) -> np.ndarray:
+        """All edges leaving node ``s``."""
+        return self._slice(self._by_s, 0, s)
+
+    def edges_to(self, o: int) -> np.ndarray:
+        """All edges entering node ``o``."""
+        return self._slice(self._by_o, 2, o)
+
+
+def instantiate_shape(
+    shape: Shape,
+    graph: Graph,
+    rng: np.random.Generator,
+    max_attempts: int = 200,
+) -> BasicGraphPattern | None:
+    """One random-walk instance of ``shape`` with a guaranteed witness.
+
+    Walks the shape's edges, assigning concrete nodes to variables from
+    actual graph edges; the assembled query keeps the nodes as variables
+    and the walked predicates as constants, so the walked assignment
+    itself is a solution.  Returns ``None`` when ``max_attempts`` random
+    walks all dead-end (possible on sparse graphs).
+    """
+    if graph.n_triples == 0:
+        return None
+    adj = _Adjacency(graph)
+    for _ in range(max_attempts):
+        nodes: dict[int, int] = {}
+        predicates: list[int] = []
+        ok = True
+        for src, dst in shape.edges:
+            if src in nodes and dst in nodes:
+                candidates = adj.edges_from(nodes[src])
+                candidates = candidates[candidates[:, 2] == nodes[dst]]
+            elif src in nodes:
+                candidates = adj.edges_from(nodes[src])
+            elif dst in nodes:
+                candidates = adj.edges_to(nodes[dst])
+            else:
+                s, p, o = adj.random_edge(rng)
+                nodes[src], nodes[dst] = s, o
+                predicates.append(p)
+                continue
+            if len(candidates) == 0:
+                ok = False
+                break
+            row = candidates[int(rng.integers(0, len(candidates)))]
+            nodes.setdefault(src, int(row[0]))
+            nodes.setdefault(dst, int(row[2]))
+            predicates.append(int(row[1]))
+        if not ok:
+            continue
+        patterns = [
+            TriplePattern(Var(f"x{src}"), predicates[i], Var(f"x{dst}"))
+            for i, (src, dst) in enumerate(shape.edges)
+        ]
+        return BasicGraphPattern(patterns)
+    return None
+
+
+def generate_wgpb_queries(
+    graph: Graph,
+    queries_per_shape: int = 10,
+    seed: int = 0,
+    shapes: tuple[Shape, ...] = WGPB_SHAPES,
+) -> dict[str, list[BasicGraphPattern]]:
+    """WGPB-style query set: ``queries_per_shape`` instances per shape."""
+    rng = np.random.default_rng(seed)
+    out: dict[str, list[BasicGraphPattern]] = {}
+    for shape in shapes:
+        instances = []
+        for _ in range(queries_per_shape):
+            bgp = instantiate_shape(shape, graph, rng)
+            if bgp is not None:
+                instances.append(bgp)
+        out[shape.name] = instances
+    return out

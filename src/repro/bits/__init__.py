@@ -1,0 +1,28 @@
+"""Bit-level succinct data structures.
+
+This subpackage provides the low-level building blocks of the ring index
+and of the compressed baselines:
+
+- :class:`~repro.bits.bitvector.BitVector` — plain bitvector with
+  constant-time ``rank`` and near-constant ``select`` (two-level counters).
+- :class:`~repro.bits.rrr.RRRBitVector` — compressed bitvector in the style
+  of Raman–Raman–Rao as engineered in sdsl's ``rrr_vector`` (block
+  class/offset encoding); this is what turns the Ring into the C-Ring.
+- :class:`~repro.bits.elias_fano.EliasFano` — compressed monotone integer
+  sequences (used for sparse ``C`` arrays).
+- :class:`~repro.bits.packed.PackedIntArray` — fixed-width integer arrays
+  (the "packed representation" the paper uses as a space yardstick).
+- :mod:`~repro.bits.codecs` — byte-oriented varint/delta codecs used by the
+  RDF-3X-style clustered index and the compression comparison of §5.2.1.
+
+All structures implement ``size_in_bits()`` which counts every bit the
+structure retains (payload, counters, headers), so the space numbers
+reported by the benchmark harness are measured rather than estimated.
+"""
+
+from repro.bits.bitvector import BitVector
+from repro.bits.elias_fano import EliasFano
+from repro.bits.packed import PackedIntArray
+from repro.bits.rrr import RRRBitVector
+
+__all__ = ["BitVector", "EliasFano", "PackedIntArray", "RRRBitVector"]

@@ -1,0 +1,218 @@
+"""Plain bitvector with constant-time rank and fast select.
+
+The layout follows the classical two-level scheme of Clark and Munro that
+the paper cites for its ``o(n)``-bit rank/select support:
+
+- the bits themselves live in little-endian 64-bit words (``numpy``),
+- a *superblock* counter (64-bit) stores the number of ones before every
+  group of ``WORDS_PER_SUPERBLOCK`` words,
+- a *relative* counter (16-bit) stores, for every word, the number of ones
+  between the start of its superblock and the word.
+
+``rank1`` therefore costs one superblock lookup, one relative lookup and
+one popcount.  ``select`` binary-searches the superblock counters and then
+scans at most ``WORDS_PER_SUPERBLOCK`` words.
+
+Indexing conventions (used consistently across the library):
+
+- positions are 0-based;
+- ``rank1(i)`` counts ones in the half-open prefix ``[0, i)``;
+- ``select1(k)`` returns the position of the k-th one with ``k >= 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+WORDS_PER_SUPERBLOCK = 8
+_LOW6 = 63
+
+
+def _popcount_words(words: np.ndarray) -> np.ndarray:
+    """Vectorised popcount of an array of uint64 words."""
+    if len(words) == 0:
+        return np.zeros(0, dtype=np.uint64)
+    as_bytes = words.view(np.uint8).reshape(len(words), 8)
+    # unpackbits is per-byte so endianness within the word does not matter
+    # for counting.
+    return np.unpackbits(as_bytes, axis=1).sum(axis=1).astype(np.uint64)
+
+
+class BitVector:
+    """A static bitvector supporting access, rank and select.
+
+    Parameters
+    ----------
+    bits:
+        Anything convertible to a 1-D boolean ``numpy`` array (an iterable
+        of 0/1, a boolean array, ...).  Use :meth:`from_positions` or
+        :meth:`from_words` for the other common construction paths.
+    """
+
+    __slots__ = ("_n", "_words", "_super", "_rel", "_ones")
+
+    def __init__(self, bits: Iterable[int]) -> None:
+        arr = np.asarray(list(bits) if not isinstance(bits, np.ndarray) else bits)
+        arr = arr.astype(bool)
+        self._init_from_bool_array(arr)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_bool_array(cls, arr: np.ndarray) -> "BitVector":
+        """Build from a boolean ``numpy`` array without copying twice."""
+        bv = cls.__new__(cls)
+        bv._init_from_bool_array(np.asarray(arr, dtype=bool))
+        return bv
+
+    @classmethod
+    def from_positions(cls, n: int, positions: Iterable[int]) -> "BitVector":
+        """Build a length-``n`` bitvector with ones at ``positions``."""
+        arr = np.zeros(n, dtype=bool)
+        pos = np.fromiter(positions, dtype=np.int64)
+        if len(pos):
+            if pos.min() < 0 or pos.max() >= n:
+                raise ValueError("position out of range")
+            arr[pos] = True
+        return cls.from_bool_array(arr)
+
+    def _init_from_bool_array(self, arr: np.ndarray) -> None:
+        if arr.ndim != 1:
+            raise ValueError("bits must be one-dimensional")
+        self._n = len(arr)
+        padded_len = -(-max(self._n, 1) // 64) * 64
+        padded = np.zeros(padded_len, dtype=bool)
+        padded[: self._n] = arr
+        # Pack into little-endian words: bit i of word w is position 64*w+i.
+        bytes_ = np.packbits(padded.reshape(-1, 8), axis=1, bitorder="little")
+        self._words = bytes_.reshape(-1, 8).copy().view(np.uint64).reshape(-1)
+        self._build_counters()
+
+    def _build_counters(self) -> None:
+        counts = _popcount_words(self._words)
+        nwords = len(self._words)
+        nsuper = -(-nwords // WORDS_PER_SUPERBLOCK)
+        padded = np.zeros(nsuper * WORDS_PER_SUPERBLOCK, dtype=np.uint64)
+        padded[:nwords] = counts
+        grouped = padded.reshape(nsuper, WORDS_PER_SUPERBLOCK)
+        per_super = grouped.sum(axis=1)
+        self._super = np.zeros(nsuper + 1, dtype=np.uint64)
+        np.cumsum(per_super, out=self._super[1:])
+        rel = np.cumsum(grouped, axis=1)
+        rel_shifted = np.zeros_like(rel)
+        rel_shifted[:, 1:] = rel[:, :-1]
+        self._rel = rel_shifted.reshape(-1)[:nwords].astype(np.uint16)
+        self._ones = int(self._super[-1])
+
+    # -- basic queries -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def ones(self) -> int:
+        """Total number of set bits."""
+        return self._ones
+
+    @property
+    def zeros(self) -> int:
+        """Total number of unset bits."""
+        return self._n - self._ones
+
+    def __getitem__(self, i: int) -> int:
+        if not 0 <= i < self._n:
+            raise IndexError(f"bit index {i} out of range [0, {self._n})")
+        return (int(self._words[i >> 6]) >> (i & _LOW6)) & 1
+
+    def rank1(self, i: int) -> int:
+        """Number of ones in positions ``[0, i)``; ``0 <= i <= len``."""
+        if i <= 0:
+            return 0
+        if i >= self._n:
+            return self._ones
+        w = i >> 6
+        base = int(self._super[w // WORDS_PER_SUPERBLOCK]) + int(self._rel[w])
+        rem = i & _LOW6
+        if rem == 0:
+            return base
+        word = int(self._words[w]) & ((1 << rem) - 1)
+        return base + word.bit_count()
+
+    def rank0(self, i: int) -> int:
+        """Number of zeros in positions ``[0, i)``."""
+        i = min(max(i, 0), self._n)
+        return i - self.rank1(i)
+
+    def select1(self, k: int) -> int:
+        """Position of the k-th one (``1 <= k <= ones``)."""
+        if not 1 <= k <= self._ones:
+            raise ValueError(f"select1({k}) out of range [1, {self._ones}]")
+        # Superblock whose prefix count is still < k.
+        sb = int(np.searchsorted(self._super, k, side="left")) - 1
+        count = int(self._super[sb])
+        w = sb * WORDS_PER_SUPERBLOCK
+        last = min(w + WORDS_PER_SUPERBLOCK, len(self._words))
+        while w < last:
+            word = int(self._words[w])
+            c = word.bit_count()
+            if count + c >= k:
+                return (w << 6) + _select_in_word(word, k - count)
+            count += c
+            w += 1
+        raise AssertionError("select1 internal inconsistency")
+
+    def select0(self, k: int) -> int:
+        """Position of the k-th zero (``1 <= k <= zeros``)."""
+        if not 1 <= k <= self.zeros:
+            raise ValueError(f"select0({k}) out of range [1, {self.zeros}]")
+        lo, hi = 0, self._n  # invariant: rank0(lo) < k <= rank0(hi)
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self.rank0(mid) < k:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    def next_one(self, i: int) -> Optional[int]:
+        """Smallest position ``>= i`` holding a one, or ``None``."""
+        if i < 0:
+            i = 0
+        if i >= self._n:
+            return None
+        r = self.rank1(i)
+        if r >= self._ones:
+            return None
+        return self.select1(r + 1)
+
+    # -- bulk access -------------------------------------------------------
+
+    def to_bool_array(self) -> np.ndarray:
+        """Materialise the bits as a boolean array (testing/debug)."""
+        bits = np.unpackbits(
+            self._words.view(np.uint8), bitorder="little"
+        ).astype(bool)
+        return bits[: self._n]
+
+    # -- accounting --------------------------------------------------------
+
+    def size_in_bits(self) -> int:
+        """Total retained size: payload words plus rank counters."""
+        return (
+            64 * len(self._words)
+            + 64 * len(self._super)
+            + 16 * len(self._rel)
+            + 128  # header: length, ones, pointers
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BitVector(n={self._n}, ones={self._ones})"
+
+
+def _select_in_word(word: int, k: int) -> int:
+    """Position (0-based) of the k-th set bit of ``word`` (``k >= 1``)."""
+    for _ in range(k - 1):
+        word &= word - 1
+    return (word & -word).bit_length() - 1

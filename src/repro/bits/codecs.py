@@ -1,0 +1,123 @@
+"""Byte-oriented integer codecs: varint (LEB128) and triple delta coding.
+
+These implement the compression scheme the paper attributes to RDF-3X
+("the triples are sorted, so that those in each B+-tree leaf can be
+differentially encoded") and its own "special-purpose front-coding plus
+delta-coding of the differences" yardstick from §5.2.1.
+
+A block of lexicographically sorted ``(a, b, c)`` triples is encoded as:
+
+- the first triple with full varints,
+- every following triple as a 2-bit header naming the longest shared
+  prefix with its predecessor (0, 1 or 2 components), then the gap of the
+  first differing component, then the remaining components verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+Triple = Tuple[int, int, int]
+
+
+def encode_varint(value: int, out: bytearray) -> None:
+    """Append the LEB128 encoding of a non-negative integer."""
+    if value < 0:
+        raise ValueError("varint values must be non-negative")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def decode_varint(data: bytes, pos: int) -> tuple[int, int]:
+    """Decode one varint at ``pos``; returns ``(value, next_pos)``."""
+    value = 0
+    shift = 0
+    while True:
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+
+
+def encode_varints(values: Iterable[int]) -> bytes:
+    """LEB128-encode a whole sequence into one byte string."""
+    out = bytearray()
+    for v in values:
+        encode_varint(v, out)
+    return bytes(out)
+
+
+def decode_varints(data: bytes) -> List[int]:
+    """Decode a byte string of concatenated varints."""
+    out: List[int] = []
+    pos = 0
+    while pos < len(data):
+        v, pos = decode_varint(data, pos)
+        out.append(v)
+    return out
+
+
+def encode_triple_block(triples: Sequence[Triple]) -> bytes:
+    """Front-code a block of lexicographically sorted triples."""
+    out = bytearray()
+    encode_varint(len(triples), out)
+    prev: Triple | None = None
+    for t in triples:
+        if prev is None:
+            out.append(0)
+            for comp in t:
+                encode_varint(comp, out)
+        else:
+            if t < prev:
+                raise ValueError("triples must be sorted")
+            if t[0] == prev[0] and t[1] == prev[1]:
+                out.append(2)
+                encode_varint(t[2] - prev[2], out)
+            elif t[0] == prev[0]:
+                out.append(1)
+                encode_varint(t[1] - prev[1], out)
+                encode_varint(t[2], out)
+            else:
+                out.append(0)
+                encode_varint(t[0] - prev[0], out)
+                encode_varint(t[1], out)
+                encode_varint(t[2], out)
+        prev = t
+    return bytes(out)
+
+
+def decode_triple_block(data: bytes) -> List[Triple]:
+    """Inverse of :func:`encode_triple_block`."""
+    count, pos = decode_varint(data, 0)
+    out: List[Triple] = []
+    prev: Triple | None = None
+    for _ in range(count):
+        shared = data[pos]
+        pos += 1
+        if prev is None:
+            a, pos = decode_varint(data, pos)
+            b, pos = decode_varint(data, pos)
+            c, pos = decode_varint(data, pos)
+        elif shared == 2:
+            gap, pos = decode_varint(data, pos)
+            a, b, c = prev[0], prev[1], prev[2] + gap
+        elif shared == 1:
+            gap, pos = decode_varint(data, pos)
+            c, pos = decode_varint(data, pos)
+            a, b = prev[0], prev[1] + gap
+        else:
+            gap, pos = decode_varint(data, pos)
+            b, pos = decode_varint(data, pos)
+            c, pos = decode_varint(data, pos)
+            a = (prev[0] + gap) if prev is not None else gap
+        prev = (a, b, c)
+        out.append(prev)
+    return out

@@ -1,0 +1,113 @@
+"""Elias–Fano encoding of monotone integer sequences.
+
+Stores ``m`` non-decreasing values in ``[0, universe)`` using roughly
+``m * (2 + log2(universe / m))`` bits.  Values are split into ``low`` bits
+(stored verbatim in a :class:`~repro.bits.packed.PackedIntArray`) and
+``high`` bits (stored in unary in a plain bitvector, on which ``select``
+recovers values in constant time).
+
+In this library Elias–Fano backs the space-optimised representation of the
+ring's ``C`` arrays (which are cumulative counts, hence monotone) — the
+role played by the bitvector ``D`` with ``select`` support in §2.3.3 of the
+paper — and serves the baselines that keep sorted id lists.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.bits.bitvector import BitVector
+from repro.bits.packed import PackedIntArray
+
+
+class EliasFano:
+    """Monotone sequence with access, successor and predecessor queries."""
+
+    __slots__ = ("_m", "_universe", "_low_bits", "_low", "_high")
+
+    def __init__(self, values: Iterable[int], universe: int | None = None) -> None:
+        vals = np.asarray(
+            list(values) if not isinstance(values, np.ndarray) else values,
+            dtype=np.int64,
+        )
+        if len(vals) and np.any(np.diff(vals) < 0):
+            raise ValueError("values must be non-decreasing")
+        if len(vals) and vals[0] < 0:
+            raise ValueError("values must be non-negative")
+        if universe is None:
+            universe = int(vals[-1]) + 1 if len(vals) else 1
+        if len(vals) and int(vals[-1]) >= universe:
+            raise ValueError("value outside universe")
+        self._m = len(vals)
+        self._universe = universe
+
+        m = max(self._m, 1)
+        self._low_bits = max(0, (universe // m).bit_length() - 1)
+        low_mask = (1 << self._low_bits) - 1
+        lows = (vals & low_mask) if self._low_bits else np.zeros(len(vals), np.int64)
+        highs = vals >> self._low_bits
+
+        self._low = PackedIntArray(lows.astype(np.uint64), width=max(1, self._low_bits))
+        # Unary high part: value i contributes a one at position highs[i] + i.
+        n_high = (universe >> self._low_bits) + self._m + 1
+        self._high = BitVector.from_positions(
+            n_high, (int(h) + i for i, h in enumerate(highs))
+        )
+
+    def __len__(self) -> int:
+        return self._m
+
+    @property
+    def universe(self) -> int:
+        return self._universe
+
+    def __getitem__(self, i: int) -> int:
+        if not 0 <= i < self._m:
+            raise IndexError(f"index {i} out of range [0, {self._m})")
+        high = self._high.select1(i + 1) - i
+        if self._low_bits:
+            return (high << self._low_bits) | self._low[i]
+        return high
+
+    def __iter__(self):
+        for i in range(self._m):
+            yield self[i]
+
+    def next_geq(self, x: int) -> Optional[tuple[int, int]]:
+        """Smallest ``(index, value)`` with ``value >= x``, else ``None``."""
+        if self._m == 0:
+            return None
+        if x >= self._universe:
+            return None if x > self._last() else (self._m - 1, self._last())
+        if x <= self[0]:
+            return 0, self[0]
+        # Candidates start where the high part reaches x's high bits.
+        hx = x >> self._low_bits
+        start = self._high.rank1(self._high.select0(hx) + 1) if hx > 0 else 0
+        for i in range(start, self._m):
+            v = self[i]
+            if v >= x:
+                return i, v
+        return None
+
+    def rank_lt(self, x: int) -> int:
+        """Number of stored values strictly below ``x``."""
+        lo, hi = 0, self._m  # first index with value >= x
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self[mid] < x:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def _last(self) -> int:
+        return self[self._m - 1]
+
+    def size_in_bits(self) -> int:
+        return self._low.size_in_bits() + self._high.size_in_bits() + 128
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EliasFano(m={self._m}, universe={self._universe})"

@@ -1,0 +1,356 @@
+"""Dynamic ring: insertions and deletions over static rings (§7).
+
+The paper's conclusions sketch two routes to updates; this implements
+the second: *"we can trade such a penalty factor for amortised update
+times by taking the union of results over a small dynamic text index
+where new triples are added, and a constant amount of increasing static
+rings for handling space overflows [32].  Various static rings can be
+merged periodically with the dynamic index to build a bigger ring."*
+
+Concretely (an LSM shape):
+
+- inserts land in a small **buffer** (indexed with sorted orders so it
+  can serve LTJ leaps);
+- when the buffer exceeds its threshold it is frozen into a new static
+  :class:`~repro.core.ring.Ring`; rings of similar size are merged
+  geometrically, keeping the component count logarithmic;
+- deletes of buffered triples remove them outright; deletes of
+  ring-resident triples become **tombstones**, folded away at the next
+  merge touching their ring;
+- queries run LTJ over a **union iterator**: a leap over the union is
+  the minimum of the component leaps, with a live-ness check against
+  the tombstones (skipping values whose only support was deleted).
+
+Queries therefore stay worst-case optimal up to the (logarithmic)
+component count and the tombstone volume — the amortised trade the
+paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+import numpy as np
+
+from repro.baselines.sorted_orders import ALL_ORDERS, OrderSet, OrderSetIterator
+from repro.core.interface import first_candidate
+from repro.core.iterators import RingIterator
+from repro.core.ring import Ring
+from repro.core.system import BaseLTJSystem
+from repro.graph.dataset import Graph
+from repro.graph.model import TriplePattern, Var
+
+DEFAULT_BUFFER_THRESHOLD = 1024
+
+
+def _matches(pattern: TriplePattern, triple: tuple[int, int, int]) -> bool:
+    binding: dict[Var, int] = {}
+    for term, value in zip(pattern.terms, triple):
+        if isinstance(term, Var):
+            if binding.get(term, value) != value:
+                return False
+            binding[term] = value
+        elif term != value:
+            return False
+    return True
+
+
+class _UnionIterator:
+    """LTJ iterator over several components minus tombstones."""
+
+    def __init__(
+        self,
+        components: list,
+        tombstones: set[tuple[int, int, int]],
+        pattern: TriplePattern,
+    ) -> None:
+        self._components = components
+        self._tombstones = tombstones
+        self._pattern = pattern
+        self._binding: dict[Var, int] = {}
+        self._stack: list[Var] = []
+
+    @property
+    def pattern(self) -> TriplePattern:
+        return self._pattern
+
+    def _current_pattern(self) -> TriplePattern:
+        return self._pattern.substitute(self._binding)
+
+    def _tomb_count(self, pattern: TriplePattern) -> int:
+        if not self._tombstones:
+            return 0
+        return sum(1 for t in self._tombstones if _matches(pattern, t))
+
+    def count(self) -> int:
+        total = sum(c.count() for c in self._components)
+        return max(total - self._tomb_count(self._current_pattern()), 0)
+
+    def leap(self, var: Var, c: int) -> Optional[int]:
+        while True:
+            candidate: Optional[int] = None
+            for comp in self._components:
+                value = comp.leap(var, c)
+                if value is not None and (candidate is None or value < candidate):
+                    candidate = value
+            if candidate is None:
+                return None
+            if not self._tombstones:
+                return candidate
+            # Live-ness: some matching triple must survive the tombstones.
+            trial = self._current_pattern().substitute({var: candidate})
+            support = 0
+            for comp in self._components:
+                comp.bind(var, candidate)
+                support += comp.count()
+                comp.unbind(var)
+            if support - self._tomb_count(trial) > 0:
+                return candidate
+            c = candidate + 1
+
+    def bind(self, var: Var, value: int) -> None:
+        for comp in self._components:
+            comp.bind(var, value)
+        self._binding[var] = value
+        self._stack.append(var)
+
+    def unbind(self, var: Var) -> None:
+        if not self._stack or self._stack[-1] != var:
+            raise ValueError("unbind order violation")
+        self._stack.pop()
+        del self._binding[var]
+        for comp in self._components:
+            comp.unbind(var)
+
+    def values(self, var: Var) -> Iterator[int]:
+        c = 0
+        while True:
+            value = self.leap(var, c)
+            if value is None:
+                return
+            yield value
+            c = value + 1
+
+    def preferred_lonely(self, candidates: Iterable[Var]) -> Var:
+        return first_candidate(candidates)
+
+
+class _EmptyIterator:
+    """Iterator of an empty component (placates the union)."""
+
+    def __init__(self, pattern: TriplePattern) -> None:
+        self.pattern = pattern
+
+    def count(self) -> int:
+        return 0
+
+    def leap(self, var: Var, c: int) -> Optional[int]:
+        return None
+
+    def bind(self, var: Var, value: int) -> None:
+        pass
+
+    def unbind(self, var: Var) -> None:
+        pass
+
+    def values(self, var: Var) -> Iterator[int]:
+        return iter(())
+
+    def preferred_lonely(self, candidates: Iterable[Var]) -> Var:
+        return first_candidate(candidates)
+
+
+class DynamicRingIndex(BaseLTJSystem):
+    """A ring index supporting ``insert`` and ``delete``.
+
+    Parameters
+    ----------
+    graph:
+        Initial contents (may be empty).
+    buffer_threshold:
+        Buffered inserts before the buffer freezes into a ring.
+    """
+
+    name = "DynamicRing"
+
+    def __init__(
+        self,
+        graph: Graph,
+        buffer_threshold: int = DEFAULT_BUFFER_THRESHOLD,
+        use_lonely: bool = True,
+        use_ordering: bool = True,
+    ) -> None:
+        super().__init__(graph, use_lonely=use_lonely, use_ordering=use_ordering)
+        self._n_nodes = graph.n_nodes
+        self._n_predicates = graph.n_predicates
+        self._threshold = max(buffer_threshold, 8)
+        self._rings: list[Ring] = []
+        if graph.n_triples:
+            self._rings.append(Ring(graph))
+        self._buffer: set[tuple[int, int, int]] = set()
+        self._buffer_orders: Optional[OrderSet] = None
+        self._tombstones: set[tuple[int, int, int]] = set()
+
+    # -- sizes -----------------------------------------------------------------
+
+    @property
+    def n_triples(self) -> int:
+        return (
+            sum(r.n for r in self._rings)
+            + len(self._buffer)
+            - len(self._tombstones)
+        )
+
+    @property
+    def n_components(self) -> int:
+        return len(self._rings) + (1 if self._buffer else 0)
+
+    # -- updates ----------------------------------------------------------------
+
+    def _contains_static(self, triple: tuple[int, int, int]) -> bool:
+        return any(r.contains(*triple) for r in self._rings)
+
+    def contains(self, s: int, p: int, o: int) -> bool:
+        triple = (s, p, o)
+        if triple in self._buffer:
+            return True
+        if triple in self._tombstones:
+            return False
+        return self._contains_static(triple)
+
+    def insert(self, s: int, p: int, o: int) -> bool:
+        """Add a triple; returns ``False`` when it was already present.
+
+        Node/predicate ids must fit the universes fixed at construction
+        (growing the dictionary means growing the wavelet alphabets,
+        which a static ring cannot do — the paper's structure shares
+        this constraint).
+        """
+        triple = (int(s), int(p), int(o))
+        self._check_ids(triple)
+        if triple in self._tombstones:
+            self._tombstones.discard(triple)
+            return True
+        if triple in self._buffer or self._contains_static(triple):
+            return False
+        self._buffer.add(triple)
+        self._buffer_orders = None
+        if len(self._buffer) >= self._threshold:
+            self._compact()
+        return True
+
+    def delete(self, s: int, p: int, o: int) -> bool:
+        """Remove a triple; returns ``False`` when it was absent."""
+        triple = (int(s), int(p), int(o))
+        if triple in self._buffer:
+            self._buffer.discard(triple)
+            self._buffer_orders = None
+            return True
+        if triple in self._tombstones:
+            return False
+        if self._contains_static(triple):
+            self._tombstones.add(triple)
+            if len(self._tombstones) >= self._threshold:
+                self._compact(full=True)
+            return True
+        return False
+
+    def insert_labelled(self, s: str, p: str, o: str) -> bool:
+        """Label-level insert (requires a dictionary-backed graph).
+
+        Labels must already be interned: a static ring's wavelet
+        alphabets cannot grow, so genuinely new constants require a
+        rebuild — the same constraint the paper's structure has.
+        """
+        return self.insert(*self._encode_labels(s, p, o))
+
+    def delete_labelled(self, s: str, p: str, o: str) -> bool:
+        """Label-level delete (requires a dictionary-backed graph)."""
+        try:
+            triple = self._encode_labels(s, p, o)
+        except KeyError:
+            return False  # unknown label: nothing to delete
+        return self.delete(*triple)
+
+    def _encode_labels(self, s: str, p: str, o: str) -> tuple[int, int, int]:
+        d = self.graph.dictionary
+        if d is None:
+            raise ValueError("label-level updates require a dictionary")
+        return (d.node_id(s), d.predicate_id(p), d.node_id(o))
+
+    def _check_ids(self, triple: tuple[int, int, int]) -> None:
+        s, p, o = triple
+        if not (0 <= s < self._n_nodes and 0 <= o < self._n_nodes):
+            raise ValueError("node id outside the graph's universe")
+        if not 0 <= p < self._n_predicates:
+            raise ValueError("predicate id outside the graph's universe")
+
+    def _compact(self, full: bool = False) -> None:
+        """Freeze the buffer into a ring; merge similar-sized rings.
+
+        ``full=True`` merges *everything* (used to fold tombstones away).
+        """
+        if self._buffer:
+            self._rings.append(Ring(self._graph_of(sorted(self._buffer))))
+            self._buffer.clear()
+            self._buffer_orders = None
+        if full:
+            merged = set()
+            for ring in self._rings:
+                merged.update(ring.triple(i) for i in range(ring.n))
+            merged -= self._tombstones
+            self._tombstones.clear()
+            self._rings = (
+                [Ring(self._graph_of(sorted(merged)))] if merged else []
+            )
+            return
+        # Geometric merging: keep sizes growing by at least 2x.
+        self._rings.sort(key=lambda r: r.n)
+        while len(self._rings) >= 2 and (
+            self._rings[-1].n < 2 * self._rings[-2].n or len(self._rings) > 8
+        ):
+            a = self._rings.pop()
+            b = self._rings.pop()
+            triples = {a.triple(i) for i in range(a.n)}
+            triples.update(b.triple(i) for i in range(b.n))
+            survivors = triples - self._tombstones
+            self._tombstones -= triples
+            if survivors:
+                self._rings.append(Ring(self._graph_of(sorted(survivors))))
+            self._rings.sort(key=lambda r: r.n)
+
+    def _graph_of(self, triples) -> Graph:
+        arr = np.array(triples, dtype=np.int64).reshape(-1, 3)
+        return Graph(
+            arr, n_nodes=self._n_nodes, n_predicates=self._n_predicates
+        )
+
+    # -- queries ----------------------------------------------------------------
+
+    def iterator(self, pattern: TriplePattern):
+        components: list = [RingIterator(r, pattern) for r in self._rings]
+        if self._buffer:
+            if self._buffer_orders is None:
+                self._buffer_orders = OrderSet(
+                    self._graph_of(sorted(self._buffer)), ALL_ORDERS
+                )
+            components.append(OrderSetIterator(self._buffer_orders, pattern))
+        if not components:
+            components.append(_EmptyIterator(pattern))
+        return _UnionIterator(components, self._tombstones, pattern)
+
+    def to_graph(self) -> Graph:
+        """Materialise the current live triples."""
+        live: set[tuple[int, int, int]] = set(self._buffer)
+        for ring in self._rings:
+            live.update(ring.triple(i) for i in range(ring.n))
+        live -= self._tombstones
+        return self._graph_of(sorted(live))
+
+    def size_in_bits(self) -> int:
+        ring_bits = sum(r.size_in_bits() for r in self._rings)
+        buffer_bits = 3 * 64 * len(self._buffer)
+        tomb_bits = 3 * 64 * len(self._tombstones)
+        if self._buffer_orders is not None:
+            buffer_bits += self._buffer_orders.size_in_bits()
+        return ring_bits + buffer_bits + tomb_bits + 256

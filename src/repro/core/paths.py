@@ -1,0 +1,335 @@
+"""Regular path queries over the ring (§7: "Supporting further query
+operators, such as … regular path queries").
+
+A regular path expression over predicate labels::
+
+    expr  := alt
+    alt   := seq ('|' seq)*
+    seq   := unary ('/' unary)*
+    unary := atom ('*' | '+' | '?')*
+    atom  := predicate | '^' atom | '(' expr ')'
+
+``^p`` traverses ``p`` backwards.  The expression compiles to a Thompson
+NFA; evaluation is a BFS over the product of graph nodes and NFA states.
+Neighbour enumeration is served by the ring itself — forward edges
+``(v, p, ?o)`` via a backward leap from the (s, p) run and inverse edges
+``(?s, p, v)`` via the (p, o) run — so no adjacency lists are
+materialised; the index *is* the graph (§3.1.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Union
+
+from repro.core.ring import Ring
+from repro.graph.model import O, P, S
+
+# -- expression AST --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Pred:
+    """One predicate step; ``inverse`` walks object→subject."""
+
+    label: Union[str, int]
+    inverse: bool = False
+
+
+@dataclass(frozen=True)
+class Seq:
+    """Concatenation: ``a/b``."""
+
+    parts: tuple
+
+
+@dataclass(frozen=True)
+class Alt:
+    """Alternation: ``a|b``."""
+
+    options: tuple
+
+
+@dataclass(frozen=True)
+class Star:
+    """Kleene star: ``a*`` (zero or more)."""
+
+    inner: object
+
+
+@dataclass(frozen=True)
+class Plus:
+    """One or more: ``a+``."""
+
+    inner: object
+
+
+@dataclass(frozen=True)
+class Opt:
+    """Optional: ``a?``."""
+
+    inner: object
+
+
+class PathSyntaxError(ValueError):
+    """Malformed regular path expression."""
+
+
+def parse_path(text: str):
+    """Parse the textual syntax above into an AST."""
+    tokens = _tokenize(text)
+    expr, pos = _parse_alt(tokens, 0)
+    if pos != len(tokens):
+        raise PathSyntaxError(f"trailing input at token {pos}: {tokens[pos:]}")
+    return expr
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+        elif ch in "()/|*+?^":
+            tokens.append(ch)
+            i += 1
+        else:
+            j = i
+            while j < len(text) and (text[j] not in "()/|*+?^" and
+                                     not text[j].isspace()):
+                j += 1
+            tokens.append(text[i:j])
+            i = j
+    if not tokens:
+        raise PathSyntaxError("empty path expression")
+    return tokens
+
+
+def _parse_alt(tokens, pos):
+    parts = []
+    expr, pos = _parse_seq(tokens, pos)
+    parts.append(expr)
+    while pos < len(tokens) and tokens[pos] == "|":
+        expr, pos = _parse_seq(tokens, pos + 1)
+        parts.append(expr)
+    return (parts[0] if len(parts) == 1 else Alt(tuple(parts))), pos
+
+
+def _parse_seq(tokens, pos):
+    parts = []
+    expr, pos = _parse_unary(tokens, pos)
+    parts.append(expr)
+    while pos < len(tokens) and tokens[pos] == "/":
+        expr, pos = _parse_unary(tokens, pos + 1)
+        parts.append(expr)
+    return (parts[0] if len(parts) == 1 else Seq(tuple(parts))), pos
+
+
+def _parse_unary(tokens, pos):
+    expr, pos = _parse_atom(tokens, pos)
+    while pos < len(tokens) and tokens[pos] in "*+?":
+        if tokens[pos] == "*":
+            expr = Star(expr)
+        elif tokens[pos] == "+":
+            expr = Plus(expr)
+        else:
+            expr = Opt(expr)
+        pos += 1
+    return expr, pos
+
+
+def _parse_atom(tokens, pos):
+    if pos >= len(tokens):
+        raise PathSyntaxError("unexpected end of expression")
+    token = tokens[pos]
+    if token == "(":
+        expr, pos = _parse_alt(tokens, pos + 1)
+        if pos >= len(tokens) or tokens[pos] != ")":
+            raise PathSyntaxError("unbalanced parenthesis")
+        return expr, pos + 1
+    if token == "^":
+        expr, pos = _parse_atom(tokens, pos + 1)
+        return _invert(expr), pos
+    if token in ")/|*+?":
+        raise PathSyntaxError(f"unexpected token {token!r}")
+    return Pred(token), pos + 1
+
+
+def _invert(expr):
+    if isinstance(expr, Pred):
+        return Pred(expr.label, not expr.inverse)
+    if isinstance(expr, Seq):
+        return Seq(tuple(_invert(p) for p in reversed(expr.parts)))
+    if isinstance(expr, Alt):
+        return Alt(tuple(_invert(p) for p in expr.options))
+    if isinstance(expr, Star):
+        return Star(_invert(expr.inner))
+    if isinstance(expr, Plus):
+        return Plus(_invert(expr.inner))
+    if isinstance(expr, Opt):
+        return Opt(_invert(expr.inner))
+    raise TypeError(f"unknown node {expr!r}")
+
+
+# -- Thompson NFA ------------------------------------------------------------
+
+
+@dataclass
+class _NFA:
+    """ε-NFA with predicate-labelled transitions."""
+
+    start: int
+    accept: int
+    # state -> list of (label: Pred | None, target)
+    edges: dict[int, list[tuple[Optional[Pred], int]]] = field(
+        default_factory=dict
+    )
+
+    def add(self, src: int, label: Optional[Pred], dst: int) -> None:
+        self.edges.setdefault(src, []).append((label, dst))
+
+
+def compile_nfa(expr) -> _NFA:
+    """Thompson construction: path AST -> epsilon-NFA."""
+    counter = [0]
+
+    def fresh() -> int:
+        counter[0] += 1
+        return counter[0] - 1
+
+    def build(node) -> tuple[int, int, list]:
+        edges: list = []
+        if isinstance(node, Pred):
+            a, b = fresh(), fresh()
+            edges.append((a, node, b))
+            return a, b, edges
+        if isinstance(node, Seq):
+            first_start = None
+            prev_accept = None
+            for part in node.parts:
+                s, a, e = build(part)
+                edges.extend(e)
+                if first_start is None:
+                    first_start = s
+                else:
+                    edges.append((prev_accept, None, s))
+                prev_accept = a
+            return first_start, prev_accept, edges
+        if isinstance(node, Alt):
+            a, b = fresh(), fresh()
+            for option in node.options:
+                s, t, e = build(option)
+                edges.extend(e)
+                edges.append((a, None, s))
+                edges.append((t, None, b))
+            return a, b, edges
+        if isinstance(node, (Star, Plus, Opt)):
+            s, t, e = build(node.inner)
+            edges.extend(e)
+            a, b = fresh(), fresh()
+            edges.append((a, None, s))
+            edges.append((t, None, b))
+            if isinstance(node, (Star, Opt)):
+                edges.append((a, None, b))
+            if isinstance(node, (Star, Plus)):
+                edges.append((t, None, s))
+            return a, b, edges
+        raise TypeError(f"unknown node {node!r}")
+
+    start, accept, edge_list = build(expr)
+    nfa = _NFA(start, accept)
+    for src, label, dst in edge_list:
+        nfa.add(src, label, dst)
+    return nfa
+
+
+def _epsilon_closure(nfa: _NFA, states: Iterable[int]) -> frozenset[int]:
+    seen = set(states)
+    stack = list(seen)
+    while stack:
+        state = stack.pop()
+        for label, target in nfa.edges.get(state, ()):
+            if label is None and target not in seen:
+                seen.add(target)
+                stack.append(target)
+    return frozenset(seen)
+
+
+# -- evaluation over the ring ---------------------------------------------------
+
+
+class PathEvaluator:
+    """BFS product-automaton evaluation of regular path queries."""
+
+    def __init__(self, ring: Ring, predicate_resolver=None) -> None:
+        self._ring = ring
+        self._resolve = predicate_resolver or (lambda label: label)
+
+    def _pred_id(self, pred: Pred) -> Optional[int]:
+        try:
+            value = self._resolve(pred.label)
+        except KeyError:
+            return None
+        return int(value)
+
+    def _neighbours(self, node: int, pred: Pred) -> Iterator[int]:
+        """Successors of ``node`` over one predicate step, via the ring."""
+        ring = self._ring
+        p = self._pred_id(pred)
+        if p is None:
+            return
+        if pred.inverse:
+            constants = {P: p, O: node}
+        else:
+            constants = {S: node, P: p}
+        state = ring.pattern_range(constants)
+        if state is None:
+            return
+        zone, lo, hi = state
+        # The free attribute cyclically precedes the run start: enumerate
+        # it backwards with the wavelet matrix's distinct operation.
+        wm = ring.zone_sequence(zone)
+        for value, _count in wm.distinct_in_range(lo, hi):
+            yield value
+
+    def reachable(self, source: int, expr) -> set[int]:
+        """All nodes reachable from ``source`` along paths matching
+        ``expr``.
+
+        Product BFS over (graph node, NFA state) pairs; ε transitions
+        are walked like ordinary edges, so no closure precomputation is
+        needed.
+        """
+        nfa = compile_nfa(expr)
+        start = (source, nfa.start)
+        visited: set[tuple[int, int]] = {start}
+        frontier: deque[tuple[int, int]] = deque([start])
+        out: set[int] = set()
+        if nfa.start == nfa.accept:
+            out.add(source)
+        while frontier:
+            node, state = frontier.popleft()
+            for label, target in nfa.edges.get(state, ()):
+                if label is None:
+                    candidates = [(node, target)]
+                else:
+                    candidates = [
+                        (nbr, target) for nbr in self._neighbours(node, label)
+                    ]
+                for pair in candidates:
+                    if pair in visited:
+                        continue
+                    visited.add(pair)
+                    frontier.append(pair)
+                    if pair[1] == nfa.accept:
+                        out.add(pair[0])
+        return out
+
+    def pairs(self, expr, sources: Iterable[int]) -> Iterator[tuple[int, int]]:
+        """``(source, target)`` pairs for each source (documented as the
+        O(sources × states × edges) product construction)."""
+        for source in sources:
+            for target in self.reachable(source, expr):
+                yield (source, target)

@@ -1,0 +1,263 @@
+"""The ring index (§3–§4 of the paper).
+
+Representation (§4.1, the split form): instead of one wavelet tree over
+the shifted 3n-symbol bended BWT, the ring keeps one wavelet matrix per
+zone with identifiers in non-shifted form:
+
+- ``seq[S]``  — the *objects* of the triples sorted by ``(s, p, o)``
+  (the paper's ``BWT_o``),
+- ``seq[P]``  — the *subjects* sorted by ``(p, o, s)`` (``BWT_s``),
+- ``seq[O]``  — the *predicates* sorted by ``(o, s, p)`` (``BWT_p``),
+
+plus three cumulative-count arrays ``C[S]``, ``C[P]``, ``C[O]`` over the
+subject, predicate and object values respectively.  Zone ``z``'s sequence
+holds the attribute that *cyclically precedes* ``z`` (the BWT symbol), so
+an LF step moves S → O → P → S — one step backwards around the cyclic
+triple (Lemma 3.3).  No suffix array is ever materialised: because the
+text is a concatenation of sorted stratified triples, the three zones are
+obtained directly by three sorts (see DESIGN.md §6.1; the equivalence
+with Definition 3.1 is asserted by the test-suite against
+:mod:`repro.text`).
+
+The ring *replaces* the graph: :meth:`Ring.triple` recovers any triple in
+``O(log U)``, exactly as §3.1.2 describes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.counts import make_counts
+from repro.graph.dataset import Graph
+from repro.graph.model import O, P, S
+from repro.sequences.wavelet_matrix import WaveletMatrix
+
+ZoneState = tuple[int, int, int]  # (zone attribute, lo, hi) with [lo, hi)
+
+
+def prev_attr(attr: int) -> int:
+    """Attribute cyclically preceding ``attr`` (o before s, s before p…)."""
+    return (attr - 1) % 3
+
+
+def next_attr(attr: int) -> int:
+    """Attribute cyclically following ``attr``."""
+    return (attr + 1) % 3
+
+
+class Ring:
+    """Bended-BWT index over a :class:`~repro.graph.Graph`.
+
+    Parameters
+    ----------
+    graph:
+        Source triples (sorted, deduplicated by the Graph container).
+    compressed:
+        Use RRR bitvectors inside the wavelet matrices — the **C-Ring**.
+    block_size:
+        RRR block size (paper's sdsl ``b``; 15 ≈ the paper's ``b=16``
+        C-Ring, 63 ≈ its ``b=64`` compression-study variant).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        compressed: bool = False,
+        block_size: int = 15,
+        succinct_counts: bool = False,
+    ) -> None:
+        triples = graph.triples
+        self._n = len(triples)
+        self._sigma = (graph.n_nodes, graph.n_predicates, graph.n_nodes)
+        self._compressed = compressed
+
+        # Zone S holds objects in (s, p, o) order; Graph stores triples
+        # already sorted that way.
+        spo = triples
+        pos = triples[np.lexsort((triples[:, S], triples[:, O], triples[:, P]))]
+        osp = triples[np.lexsort((triples[:, P], triples[:, S], triples[:, O]))]
+        self._seq = {
+            S: WaveletMatrix(
+                spo[:, O], self._sigma[O], compressed, block_size
+            ),
+            P: WaveletMatrix(
+                pos[:, S], self._sigma[S], compressed, block_size
+            ),
+            O: WaveletMatrix(
+                osp[:, P], self._sigma[P], compressed, block_size
+            ),
+        }
+        self._c = {
+            attr: make_counts(
+                triples[:, attr], self._sigma[attr], succinct_counts
+            )
+            for attr in (S, P, O)
+        }
+
+    # -- basic properties ----------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of indexed triples."""
+        return self._n
+
+    @property
+    def compressed(self) -> bool:
+        return self._compressed
+
+    def sigma(self, attr: int) -> int:
+        """Universe size of attribute ``attr``."""
+        return self._sigma[attr]
+
+    def zone_sequence(self, zone: int) -> WaveletMatrix:
+        """The wavelet matrix of ``zone`` (symbols of ``prev_attr(zone)``)."""
+        return self._seq[zone]
+
+    def c_array(self, attr: int) -> np.ndarray:
+        """Cumulative counts of attribute ``attr``'s values (raw array)."""
+        return self._c[attr].raw()
+
+    def counts(self, attr: int):
+        """The C component itself (plain or Elias–Fano layout)."""
+        return self._c[attr]
+
+    # -- LF machinery -----------------------------------------------------------
+
+    def backward_step(
+        self, zone: int, lo: int, hi: int, symbol: int
+    ) -> ZoneState:
+        """Batch LF step (Eq. 2): prepend ``symbol`` to the bound run.
+
+        Maps the range ``[lo, hi)`` of zone ``zone`` to the range of
+        rotations additionally starting with ``symbol`` in zone
+        ``prev_attr(zone)``.  May return an empty range.
+        """
+        target = prev_attr(zone)
+        wm = self._seq[zone]
+        base = self._c[target].access(symbol)
+        return (target, base + wm.rank(symbol, lo), base + wm.rank(symbol, hi))
+
+    def attribute_range(self, attr: int, value: int) -> ZoneState:
+        """Range of rotations starting with ``value`` at attribute ``attr``."""
+        c = self._c[attr]
+        if not 0 <= value < self._sigma[attr]:
+            return (attr, 0, 0)
+        return (attr, c.access(value), c.access(value + 1))
+
+    def pattern_range(self, constants: dict[int, int]) -> Optional[ZoneState]:
+        """Lemma 3.6: locate the occurrences of a triple pattern.
+
+        ``constants`` maps bound positions to values.  Returns the zone
+        state whose range points at the occurrences (the zone is the
+        first bound attribute of the cyclic run), or ``None`` when the
+        pattern has no occurrences.  With no constants the full zone S is
+        returned (any zone would do).
+        """
+        if not constants:
+            return (S, 0, self._n)
+        for attr, value in constants.items():
+            if not 0 <= value < self._sigma[attr]:
+                return None
+        run = self._cyclic_run(tuple(sorted(constants)))
+        value = constants[run[-1]]
+        state = self.attribute_range(run[-1], value)
+        if state[1] >= state[2]:
+            return None
+        for attr in reversed(run[:-1]):
+            state = self.backward_step(state[0], state[1], state[2], constants[attr])
+            if state[1] >= state[2]:
+                return None
+        return state
+
+    @staticmethod
+    def _cyclic_run(positions: tuple[int, ...]) -> tuple[int, ...]:
+        """Order bound positions as a cyclically contiguous run.
+
+        Any subset of {S, P, O} is contiguous on a 3-cycle; the run start
+        is chosen so the whole subset follows consecutively.
+        """
+        if positions == (S, O):
+            return (O, S)  # cyclically o precedes s
+        return positions
+
+    # -- leaps (Lemma 3.7) ---------------------------------------------------------
+
+    def next_value(self, attr: int, c: int) -> Optional[int]:
+        """Smallest value ``>= c`` of attribute ``attr`` present in the
+        graph (the unconstrained leap, answered from ``C`` alone)."""
+        if c < 0:
+            c = 0
+        if c >= self._sigma[attr]:
+            return None
+        return self._c[attr].next_nonempty(c)
+
+    def backward_leap(
+        self, zone: int, lo: int, hi: int, c: int
+    ) -> Optional[int]:
+        """Smallest value ``>= c`` of ``prev_attr(zone)`` co-occurring with
+        the bound run: range-next-value on the zone's wavelet matrix."""
+        return self._seq[zone].next_in_range(lo, hi, c)
+
+    def forward_leap(self, attr: int, d: int, c: int) -> Optional[int]:
+        """Smallest value ``>= c`` of ``next_attr(attr)`` among triples
+        whose ``attr`` equals ``d`` (§3.2.2, the forward case).
+
+        In zone ``B = next_attr(attr)`` the BWT symbols are ``attr``
+        values; the first occurrence of ``d`` at a zone-B position whose
+        rotation starts with a value ``>= c`` names the answer, recovered
+        by binary search on ``C[B]``.
+        """
+        target = next_attr(attr)
+        if c < 0:
+            c = 0
+        if c >= self._sigma[target]:
+            return None
+        wm = self._seq[target]
+        start = self._c[target].access(c)
+        before = wm.rank(d, start)
+        if before >= wm.rank(d, self._n):
+            return None
+        q = wm.select(d, before + 1)
+        value = self._c[target].bucket_of(q)
+        return value if value < self._sigma[target] else None
+
+    # -- triple retrieval --------------------------------------------------------
+
+    def triple(self, i: int) -> tuple[int, int, int]:
+        """Recover the i-th triple in ``(s, p, o)`` order in O(log U).
+
+        This is why the ring *replaces* the raw data (§3.1.2): the index
+        is the graph.
+        """
+        if not 0 <= i < self._n:
+            raise IndexError(f"triple index {i} out of range [0, {self._n})")
+        o = self._seq[S][i]
+        j = self._c[O].access(o) + self._seq[S].rank(o, i)
+        p = self._seq[O][j]
+        k = self._c[P].access(p) + self._seq[O].rank(p, j)
+        s = self._seq[P][k]
+        return (s, p, o)
+
+    def contains(self, s: int, p: int, o: int) -> bool:
+        """Membership test via Lemma 3.6."""
+        return self.pattern_range({S: s, P: p, O: o}) is not None
+
+    def count_pattern(self, constants: dict[int, int]) -> int:
+        """Number of triples matching the bound positions (on-the-fly
+        statistics of §4.3: exact, in O(log U))."""
+        state = self.pattern_range(constants)
+        return 0 if state is None else state[2] - state[1]
+
+    # -- accounting -----------------------------------------------------------------
+
+    def size_in_bits(self) -> int:
+        """Wavelet matrices plus the three C arrays (stored packed)."""
+        seq_bits = sum(wm.size_in_bits() for wm in self._seq.values())
+        c_bits = sum(c.size_in_bits() for c in self._c.values())
+        return seq_bits + c_bits + 256
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "C-Ring" if self._compressed else "Ring"
+        return f"{kind}(n={self._n}, nodes={self._sigma[S]}, preds={self._sigma[P]})"

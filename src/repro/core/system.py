@@ -1,0 +1,293 @@
+"""Packaged query systems: build an index from a Graph, evaluate BGPs.
+
+:class:`BaseQuerySystem` fixes the query-time conventions the benchmark
+harness relies on (string or parsed BGPs, result ``limit`` as in the
+paper's experiments, per-query ``timeout``, optional label decoding);
+:class:`BaseLTJSystem` adds LTJ plumbing shared by the ring and the
+wco baselines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, Optional, Sequence, Union  # noqa: F401
+
+from repro.core.interface import PatternIterator, QueryTimeout
+from repro.core.iterators import RingIterator
+from repro.core.ltj import LeapfrogTrieJoin
+from repro.core.ring import Ring
+from repro.graph.dataset import Graph
+from repro.graph.model import BasicGraphPattern, TriplePattern, Var
+from repro.graph.parser import parse_bgp
+
+Query = Union[str, BasicGraphPattern]
+
+
+class BaseQuerySystem:
+    """Common evaluate()/space conventions for every system."""
+
+    name = "abstract"
+
+    def __init__(self, graph: Graph) -> None:
+        self._graph = graph
+
+    @property
+    def graph(self) -> Graph:
+        return self._graph
+
+    # -- to be provided by subclasses ---------------------------------------
+
+    def _solutions(
+        self,
+        bgp: BasicGraphPattern,
+        timeout: Optional[float],
+        **options,
+    ) -> Iterable[dict[Var, int]]:
+        raise NotImplementedError
+
+    def size_in_bits(self) -> int:
+        raise NotImplementedError
+
+    # -- public API -----------------------------------------------------------
+
+    def evaluate(
+        self,
+        query: Query,
+        limit: Optional[int] = None,
+        timeout: Optional[float] = None,
+        decode: bool = False,
+        project: Optional[Sequence[Var]] = None,
+        **options,
+    ) -> list:
+        """Evaluate a basic graph pattern.
+
+        Parameters mirror the paper's experimental protocol: ``limit``
+        (1000 in the paper) caps the number of solutions, ``timeout`` (in
+        seconds) aborts long evaluations by raising
+        :class:`~repro.core.interface.QueryTimeout`.
+
+        ``project`` restricts solutions to the given variables with
+        duplicate elimination (SPARQL ``SELECT DISTINCT`` semantics — one
+        of the §7 "further query operators", layered on top of the
+        index).  ``decode=True`` returns ``{name: label}`` dictionaries
+        through the graph's dictionary; otherwise solutions are
+        ``{Var: id}``.
+        """
+        bgp = parse_bgp(query) if isinstance(query, str) else query
+        encoded = self._graph.encode_bgp(bgp)
+        if encoded is None:  # a constant is absent from the graph
+            return []
+        out = []
+        seen: set[frozenset] = set()
+        for solution in self._solutions(encoded, timeout, **options):
+            if project is not None:
+                solution = {v: solution[v] for v in project if v in solution}
+                key = frozenset(solution.items())
+                if key in seen:
+                    continue
+                seen.add(key)
+            out.append(solution)
+            if limit is not None and len(out) >= limit:
+                break
+        if decode:
+            roles = self._graph.variable_roles(bgp)
+            out = [self._graph.decode_solution(s, roles) for s in out]
+        return out
+
+    def count(
+        self,
+        query: Query,
+        timeout: Optional[float] = None,
+        **options,
+    ) -> int:
+        """Number of solutions (no limit)."""
+        return len(self.evaluate(query, timeout=timeout, **options))
+
+    def bytes_per_triple(self) -> float:
+        """The space unit of the paper's Tables 1 and 2."""
+        n = max(self._graph.n_triples, 1)
+        return self.size_in_bits() / 8 / n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(n={self._graph.n_triples})"
+
+
+class BaseLTJSystem(BaseQuerySystem):
+    """A system whose engine is Leapfrog TrieJoin over its iterators."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        use_lonely: bool = True,
+        use_ordering: bool = True,
+    ) -> None:
+        super().__init__(graph)
+        self._engine = LeapfrogTrieJoin(
+            self.iterator,
+            graph.n_triples,
+            use_lonely=use_lonely,
+            use_ordering=use_ordering,
+        )
+
+    def iterator(self, pattern: TriplePattern) -> PatternIterator:
+        raise NotImplementedError
+
+    def _solutions(
+        self,
+        bgp: BasicGraphPattern,
+        timeout: Optional[float],
+        var_order: Optional[Sequence[Var]] = None,
+        stats: Optional[dict] = None,
+    ) -> Iterable[dict[Var, int]]:
+        return self._engine.evaluate(
+            bgp, timeout=timeout, var_order=var_order, stats=stats
+        )
+
+    def explain(self, query: Query) -> dict:
+        """The §4.3 plan: elimination order, lonely variables, and the
+        exact on-the-fly pattern cardinalities driving both."""
+        bgp = parse_bgp(query) if isinstance(query, str) else query
+        encoded = self._graph.encode_bgp(bgp)
+        if encoded is None:
+            return {
+                "variable_order": [],
+                "lonely_variables": [],
+                "pattern_cardinalities": {},
+                "empty": True,
+            }
+        return self._engine.plan(encoded)
+
+
+class RingIndex(BaseLTJSystem):
+    """The paper's system: LTJ over a (plain-bitvector) ring."""
+
+    name = "Ring"
+
+    def __init__(
+        self,
+        graph: Graph,
+        compressed: bool = False,
+        block_size: int = 15,
+        succinct_counts: bool = False,
+        use_lonely: bool = True,
+        use_ordering: bool = True,
+    ) -> None:
+        super().__init__(graph, use_lonely=use_lonely, use_ordering=use_ordering)
+        self._ring = Ring(
+            graph,
+            compressed=compressed,
+            block_size=block_size,
+            succinct_counts=succinct_counts,
+        )
+
+    @property
+    def ring(self) -> Ring:
+        return self._ring
+
+    def iterator(self, pattern: TriplePattern) -> RingIterator:
+        return RingIterator(self._ring, pattern)
+
+    def triple(self, i: int) -> tuple[int, int, int]:
+        """Recover a triple from the index alone (§3.1.2)."""
+        return self._ring.triple(i)
+
+    def size_in_bits(self) -> int:
+        return self._ring.size_in_bits()
+
+
+    # -- regular path queries (§7) ----------------------------------------------
+
+    def evaluate_path(self, expression: str, source, decode: bool = False):
+        """Nodes reachable from ``source`` along a regular path.
+
+        ``expression`` uses the mini-syntax of :mod:`repro.core.paths`
+        (``adv+``, ``nom/^win``, ``(adv|nom)*`` …).  ``source`` may be a
+        node label (dictionary-backed graphs) or an id.  One of the §7
+        "further query operators", layered on the ring's leap/enumerate
+        primitives — no adjacency lists are materialised.
+        """
+        from repro.core.paths import PathEvaluator, parse_path
+
+        d = self._graph.dictionary
+        if isinstance(source, str):
+            if d is None:
+                raise ValueError("string nodes require a dictionary")
+            if not d.has_node(source):
+                return set()
+            source_id = d.node_id(source)
+        else:
+            source_id = int(source)
+
+        def resolve(label):
+            if isinstance(label, str):
+                if d is None:
+                    raise ValueError("string predicates require a dictionary")
+                return d.predicate_id(label)  # KeyError -> no matches
+            return label
+
+        evaluator = PathEvaluator(self._ring, predicate_resolver=resolve)
+        result = evaluator.reachable(source_id, parse_path(expression))
+        if decode:
+            if d is None:
+                raise ValueError("decode requires a dictionary")
+            return {d.node_label(v) for v in result}
+        return result
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Persist the index (source graph + configuration) to ``path``.
+
+        Loading rebuilds the succinct structures — construction is fast
+        (§4.4) and the on-disk format stays a plain ``.npz`` plus a JSON
+        sidecar for the configuration.
+        """
+        from repro.graph.io import save_graph
+
+        save_graph(self._graph, path)
+        with open(str(path) + ".config.json", "w") as f:
+            json.dump({"compressed": self._ring.compressed}, f)
+
+    @classmethod
+    def load(cls, path) -> "RingIndex":
+        """Inverse of :meth:`save`."""
+        from repro.graph.io import load_graph
+
+        graph = load_graph(path)
+        config_path = str(path) + ".config.json"
+        compressed = False
+        if os.path.exists(config_path):
+            with open(config_path) as f:
+                compressed = json.load(f).get("compressed", False)
+        return cls(graph, compressed=compressed)
+
+
+class CompressedRingIndex(RingIndex):
+    """The C-Ring: RRR-compressed bitvectors, parameter ``b`` (§4.4)."""
+
+    name = "C-Ring"
+
+    def __init__(
+        self,
+        graph: Graph,
+        block_size: int = 15,
+        use_lonely: bool = True,
+        use_ordering: bool = True,
+    ) -> None:
+        super().__init__(
+            graph,
+            compressed=True,
+            block_size=block_size,
+            use_lonely=use_lonely,
+            use_ordering=use_ordering,
+        )
+
+
+__all__ = [
+    "BaseLTJSystem",
+    "BaseQuerySystem",
+    "CompressedRingIndex",
+    "QueryTimeout",
+    "RingIndex",
+]

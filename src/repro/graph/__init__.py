@@ -1,0 +1,31 @@
+"""Graph data model: triples, patterns, dictionaries, datasets, generators.
+
+This subpackage supplies the relational view of graphs of §2.1: a graph is
+a set of ``(subject, predicate, object)`` triples over a totally ordered
+universe of constants, and queries are *basic graph patterns* — sets of
+triple patterns mixing constants and variables.
+
+Identifier layout follows the paper's §4.1 engineering: subjects and
+objects share one dense id space (so a node keeps one id whether it
+appears as source or target), predicates get their own smaller id space.
+"""
+
+from repro.graph.dataset import Graph
+from repro.graph.dictionary import Dictionary
+from repro.graph.model import (
+    BasicGraphPattern,
+    Triple,
+    TriplePattern,
+    Var,
+)
+from repro.graph.parser import parse_bgp
+
+__all__ = [
+    "BasicGraphPattern",
+    "Dictionary",
+    "Graph",
+    "Triple",
+    "TriplePattern",
+    "Var",
+    "parse_bgp",
+]

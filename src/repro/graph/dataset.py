@@ -1,0 +1,226 @@
+"""The :class:`Graph` container: dictionary-encoded, sorted, deduplicated.
+
+A :class:`Graph` owns an ``(n, 3)`` integer array of triples (sorted by
+``(s, p, o)``, duplicates removed — the paper's graphs are *sets* of
+triples) plus an optional :class:`~repro.graph.dictionary.Dictionary`.
+Every index in :mod:`repro.core` and :mod:`repro.baselines` is built from
+a :class:`Graph` and operates on ids; this class also handles
+encoding/decoding of patterns and solutions at the string level.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+import numpy as np
+
+from repro.graph.dictionary import Dictionary
+from repro.graph.model import O, P, S, BasicGraphPattern, Triple, TriplePattern, Var
+
+
+class Graph:
+    """An immutable set of dictionary-encoded triples."""
+
+    def __init__(
+        self,
+        triples: np.ndarray,
+        n_nodes: int | None = None,
+        n_predicates: int | None = None,
+        dictionary: Dictionary | None = None,
+    ) -> None:
+        arr = np.asarray(triples, dtype=np.int64)
+        if arr.ndim != 2 or arr.shape[1] != 3:
+            raise ValueError("triples must form an (n, 3) array")
+        if len(arr) and arr.min() < 0:
+            raise ValueError("ids must be non-negative")
+        arr = np.unique(arr, axis=0) if len(arr) else arr.reshape(0, 3)
+        self._triples = arr
+        if dictionary is not None:
+            n_nodes = dictionary.n_nodes
+            n_predicates = dictionary.n_predicates
+        if n_nodes is None:
+            n_nodes = int(max(arr[:, S].max(), arr[:, O].max())) + 1 if len(arr) else 0
+        if n_predicates is None:
+            n_predicates = int(arr[:, P].max()) + 1 if len(arr) else 0
+        if len(arr):
+            if max(int(arr[:, S].max()), int(arr[:, O].max())) >= n_nodes:
+                raise ValueError("node id outside [0, n_nodes)")
+            if int(arr[:, P].max()) >= n_predicates:
+                raise ValueError("predicate id outside [0, n_predicates)")
+        self._n_nodes = n_nodes
+        self._n_predicates = n_predicates
+        self._dictionary = dictionary
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_string_triples(
+        cls, triples: Iterable[tuple[str, str, str]]
+    ) -> "Graph":
+        """Build a graph (and its dictionary) from labelled triples."""
+        materialised = list(triples)
+        dictionary = Dictionary.from_triples(materialised)
+        encoded = np.array(
+            [
+                (
+                    dictionary.node_id(s),
+                    dictionary.predicate_id(p),
+                    dictionary.node_id(o),
+                )
+                for s, p, o in materialised
+            ],
+            dtype=np.int64,
+        ).reshape(-1, 3)
+        return cls(encoded, dictionary=dictionary)
+
+    @classmethod
+    def from_file(cls, path: str) -> "Graph":
+        """Load whitespace-separated ``s p o`` lines (``#`` comments ok)."""
+        triples = []
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                parts = line.split()
+                if len(parts) != 3:
+                    raise ValueError(f"malformed triple line: {line!r}")
+                triples.append(tuple(parts))
+        return cls.from_string_triples(triples)
+
+    # -- basic access ----------------------------------------------------------
+
+    @property
+    def triples(self) -> np.ndarray:
+        """The ``(n, 3)`` sorted id array (do not mutate)."""
+        return self._triples
+
+    @property
+    def n_triples(self) -> int:
+        return len(self._triples)
+
+    @property
+    def n_nodes(self) -> int:
+        """Size of the shared subject/object universe."""
+        return self._n_nodes
+
+    @property
+    def n_predicates(self) -> int:
+        return self._n_predicates
+
+    @property
+    def dictionary(self) -> Optional[Dictionary]:
+        return self._dictionary
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[tuple[int, int, int]]:
+        for row in self._triples:
+            yield (int(row[0]), int(row[1]), int(row[2]))
+
+    def __contains__(self, triple) -> bool:
+        t = np.asarray(triple, dtype=np.int64)
+        idx = np.searchsorted(
+            self._view_sorted(), self._key(t[0], t[1], t[2])
+        )
+        return idx < len(self._triples) and self._view_sorted()[idx] == self._key(
+            t[0], t[1], t[2]
+        )
+
+    def _key(self, s: int, p: int, o: int) -> int:
+        return (int(s) * self._n_predicates + int(p)) * self._n_nodes + int(o)
+
+    def _view_sorted(self) -> np.ndarray:
+        # Triples are spo-sorted, so the combined key is sorted too.
+        t = self._triples
+        return (t[:, S] * self._n_predicates + t[:, P]) * self._n_nodes + t[:, O]
+
+    def labelled_triples(self) -> Iterator[tuple[str, str, str]]:
+        """Decode every triple back to labels (requires a dictionary)."""
+        d = self._require_dictionary()
+        for s, p, o in self:
+            yield (d.node_label(s), d.predicate_label(p), d.node_label(o))
+
+    # -- pattern encoding ---------------------------------------------------------
+
+    def encode_pattern(self, pattern: TriplePattern) -> Optional[TriplePattern]:
+        """Translate string constants to ids; ``None`` if any is unknown
+        (such a pattern matches nothing)."""
+        d = self._dictionary
+        terms = []
+        for pos, term in enumerate(pattern.terms):
+            if isinstance(term, Var):
+                terms.append(term)
+            elif isinstance(term, int):
+                terms.append(term)
+            else:
+                if d is None:
+                    raise ValueError(
+                        "string constants require a dictionary-backed graph"
+                    )
+                try:
+                    terms.append(
+                        d.predicate_id(term) if pos == P else d.node_id(term)
+                    )
+                except KeyError:
+                    return None
+        return TriplePattern(*terms)
+
+    def encode_bgp(
+        self, bgp: BasicGraphPattern
+    ) -> Optional[BasicGraphPattern]:
+        """Encode every pattern; ``None`` when some constant is unknown."""
+        encoded = []
+        for pattern in bgp:
+            enc = self.encode_pattern(pattern)
+            if enc is None:
+                return None
+            encoded.append(enc)
+        return BasicGraphPattern(encoded)
+
+    def variable_roles(self, bgp: BasicGraphPattern) -> dict[Var, int]:
+        """Position (S/P/O) from which each variable should be decoded."""
+        roles: dict[Var, int] = {}
+        for pattern in bgp:
+            for pos, term in enumerate(pattern.terms):
+                if isinstance(term, Var) and term not in roles:
+                    roles[term] = pos
+        return roles
+
+    def decode_solution(
+        self, solution: dict[Var, int], roles: dict[Var, int]
+    ) -> dict[str, str]:
+        """Translate an id-level solution to labels."""
+        d = self._require_dictionary()
+        out = {}
+        for var, value in solution.items():
+            if roles.get(var, S) == P:
+                out[var.name] = d.predicate_label(value)
+            else:
+                out[var.name] = d.node_label(value)
+        return out
+
+    def _require_dictionary(self) -> Dictionary:
+        if self._dictionary is None:
+            raise ValueError("this graph has no dictionary")
+        return self._dictionary
+
+    # -- space accounting ------------------------------------------------------------
+
+    def plain_size_in_bits(self) -> int:
+        """The "simple representation": three 32-bit words per triple."""
+        return 3 * 32 * self.n_triples
+
+    def packed_size_in_bits(self) -> int:
+        """The paper's packed yardstick: ``2*ceil(log2 |nodes|) +
+        ceil(log2 |preds|)`` bits per triple."""
+        node_bits = max(1, (max(self._n_nodes - 1, 0)).bit_length())
+        pred_bits = max(1, (max(self._n_predicates - 1, 0)).bit_length())
+        return (2 * node_bits + pred_bits) * self.n_triples
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Graph(n={self.n_triples}, nodes={self._n_nodes}, "
+            f"predicates={self._n_predicates})"
+        )

@@ -1,0 +1,150 @@
+"""Triples, triple patterns and basic graph patterns (§2.1 of the paper).
+
+Terms of a pattern are either a :class:`Var` or a constant.  Constants may
+be strings (user level) or integer ids (engine level, after encoding with
+a :class:`~repro.graph.dictionary.Dictionary`); the engines in
+:mod:`repro.core` and :mod:`repro.baselines` require encoded patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, NamedTuple, Sequence, Union
+
+S, P, O = 0, 1, 2  #: attribute positions within a triple
+ATTRIBUTE_NAMES = ("subject", "predicate", "object")
+
+
+@dataclass(frozen=True, slots=True)
+class Var:
+    """A query variable (drawn from the set V of §2.1.2)."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("variable name must be non-empty")
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+Term = Union[Var, int, str]
+
+
+class Triple(NamedTuple):
+    """A graph edge ``s --p--> o``."""
+
+    s: Term
+    p: Term
+    o: Term
+
+
+@dataclass(frozen=True, slots=True)
+class TriplePattern:
+    """A triple where any position may be a variable.
+
+    The pattern is the atomic query of §2.1.2; a set of them forms a
+    :class:`BasicGraphPattern` (a conjunctive query over the graph).
+    """
+
+    s: Term
+    p: Term
+    o: Term
+
+    @property
+    def terms(self) -> tuple[Term, Term, Term]:
+        return (self.s, self.p, self.o)
+
+    def variables(self) -> list[Var]:
+        """Distinct variables in (s, p, o) position order."""
+        seen: list[Var] = []
+        for term in self.terms:
+            if isinstance(term, Var) and term not in seen:
+                seen.append(term)
+        return seen
+
+    def variable_positions(self, var: Var) -> list[int]:
+        """Positions (0=s, 1=p, 2=o) where ``var`` occurs."""
+        return [i for i, term in enumerate(self.terms) if term == var]
+
+    def constants(self) -> list[tuple[int, Term]]:
+        """``(position, constant)`` pairs of the bound positions."""
+        return [
+            (i, term)
+            for i, term in enumerate(self.terms)
+            if not isinstance(term, Var)
+        ]
+
+    def has_repeated_variable(self) -> bool:
+        """True when some variable occurs in more than one position."""
+        vars_ = [t for t in self.terms if isinstance(t, Var)]
+        return len(vars_) != len(set(vars_))
+
+    def is_fully_bound(self) -> bool:
+        return not any(isinstance(t, Var) for t in self.terms)
+
+    def substitute(self, binding: dict[Var, Term]) -> "TriplePattern":
+        """Replace variables that appear in ``binding`` by their values."""
+        return TriplePattern(
+            *(binding.get(t, t) if isinstance(t, Var) else t for t in self.terms)
+        )
+
+    def kind(self) -> str:
+        """Pattern-type signature such as ``(?, p, o)`` (used by Table 2)."""
+        letters = []
+        for pos, term in enumerate(self.terms):
+            if isinstance(term, Var):
+                letters.append("?")
+            else:
+                letters.append("spo"[pos])
+        return "(" + ", ".join(letters) + ")"
+
+    def __repr__(self) -> str:
+        def fmt(t: Term) -> str:
+            return repr(t) if isinstance(t, Var) else str(t)
+
+        return f"({fmt(self.s)} {fmt(self.p)} {fmt(self.o)})"
+
+
+class BasicGraphPattern:
+    """A set of triple patterns, i.e. a conjunctive query (§2.1.2)."""
+
+    def __init__(self, patterns: Sequence[TriplePattern]) -> None:
+        if not patterns:
+            raise ValueError("a basic graph pattern needs at least one pattern")
+        self._patterns = list(patterns)
+
+    @property
+    def patterns(self) -> list[TriplePattern]:
+        return list(self._patterns)
+
+    def __len__(self) -> int:
+        return len(self._patterns)
+
+    def __iter__(self) -> Iterator[TriplePattern]:
+        return iter(self._patterns)
+
+    def variables(self) -> list[Var]:
+        """Distinct variables in first-appearance order."""
+        seen: list[Var] = []
+        for pattern in self._patterns:
+            for var in pattern.variables():
+                if var not in seen:
+                    seen.append(var)
+        return seen
+
+    def patterns_with(self, var: Var) -> list[TriplePattern]:
+        """The sub-multiset Q_{x} of patterns mentioning ``var``."""
+        return [t for t in self._patterns if var in t.variables()]
+
+    def lonely_variables(self) -> set[Var]:
+        """Variables appearing in exactly one triple pattern (§4.2)."""
+        counts: dict[Var, int] = {}
+        for pattern in self._patterns:
+            for var in pattern.variables():
+                counts[var] = counts.get(var, 0) + 1
+        return {v for v, c in counts.items() if c == 1}
+
+    def __repr__(self) -> str:
+        return " . ".join(repr(t) for t in self._patterns)

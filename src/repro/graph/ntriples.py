@@ -1,0 +1,115 @@
+"""A pragmatic N-Triples subset loader.
+
+Wikidata and most RDF corpora ship as N-Triples; this parses the subset
+that matters for graph-pattern workloads:
+
+- IRIs: ``<http://…>``;
+- literals: ``"text"`` with ``\\"``/``\\\\``/``\\n``/``\\t`` escapes,
+  optional ``@lang`` tag or ``^^<datatype>`` suffix (kept as part of the
+  label, as triple stores do for dictionary purposes);
+- blank nodes: ``_:name``;
+- comments (``#`` lines) and blank lines;
+- the terminating ``.``.
+
+Everything becomes a plain label string in the
+:class:`~repro.graph.Dictionary`; the ring does not care what the label
+looks like.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.graph.dataset import Graph
+
+
+class NTriplesError(ValueError):
+    """Malformed N-Triples input (with line number context)."""
+
+
+def _parse_term(text: str, pos: int, line_no: int) -> tuple[str, int]:
+    """Parse one term starting at ``pos``; returns (label, next_pos)."""
+    while pos < len(text) and text[pos].isspace():
+        pos += 1
+    if pos >= len(text):
+        raise NTriplesError(f"line {line_no}: expected a term")
+    ch = text[pos]
+    if ch == "<":
+        end = text.find(">", pos + 1)
+        if end == -1:
+            raise NTriplesError(f"line {line_no}: unterminated IRI")
+        return text[pos + 1 : end], end + 1
+    if ch == "_":
+        if not text.startswith("_:", pos):
+            raise NTriplesError(f"line {line_no}: malformed blank node")
+        end = pos + 2
+        while end < len(text) and not text[end].isspace():
+            end += 1
+        return text[pos:end], end
+    if ch == '"':
+        out = []
+        i = pos + 1
+        while i < len(text):
+            c = text[i]
+            if c == "\\":
+                if i + 1 >= len(text):
+                    raise NTriplesError(f"line {line_no}: dangling escape")
+                escape = text[i + 1]
+                out.append(
+                    {"n": "\n", "t": "\t", "r": "\r", '"': '"', "\\": "\\"}.get(
+                        escape, escape
+                    )
+                )
+                i += 2
+            elif c == '"':
+                i += 1
+                # Optional @lang or ^^<datatype> suffix.
+                suffix_start = i
+                if text.startswith("@", i):
+                    while i < len(text) and not text[i].isspace():
+                        i += 1
+                elif text.startswith("^^<", i):
+                    end = text.find(">", i + 3)
+                    if end == -1:
+                        raise NTriplesError(
+                            f"line {line_no}: unterminated datatype IRI"
+                        )
+                    i = end + 1
+                return '"' + "".join(out) + '"' + text[suffix_start:i], i
+            else:
+                out.append(c)
+                i += 1
+        raise NTriplesError(f"line {line_no}: unterminated literal")
+    raise NTriplesError(f"line {line_no}: unexpected character {ch!r}")
+
+
+def parse_ntriples_line(
+    line: str, line_no: int = 0
+) -> tuple[str, str, str] | None:
+    """Parse one N-Triples statement; ``None`` for blanks/comments."""
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    s, pos = _parse_term(stripped, 0, line_no)
+    p, pos = _parse_term(stripped, pos, line_no)
+    o, pos = _parse_term(stripped, pos, line_no)
+    rest = stripped[pos:].strip()
+    if rest != ".":
+        raise NTriplesError(
+            f"line {line_no}: expected terminating '.', got {rest!r}"
+        )
+    return s, p, o
+
+
+def iter_ntriples(lines: Iterable[str]) -> Iterator[tuple[str, str, str]]:
+    """Stream parsed triples from an iterable of lines."""
+    for line_no, line in enumerate(lines, start=1):
+        parsed = parse_ntriples_line(line, line_no)
+        if parsed is not None:
+            yield parsed
+
+
+def load_ntriples(path: str) -> Graph:
+    """Load an N-Triples file into a dictionary-encoded :class:`Graph`."""
+    with open(path, encoding="utf-8") as f:
+        return Graph.from_string_triples(iter_ntriples(f))

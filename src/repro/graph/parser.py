@@ -1,0 +1,48 @@
+"""A minimal textual syntax for basic graph patterns.
+
+Grammar (SPARQL-flavoured, whitespace-tokenised)::
+
+    bgp     := pattern ( "." pattern )*
+    pattern := term term term
+    term    := "?" NAME          -- variable
+             | NAME              -- constant label
+
+Example::
+
+    parse_bgp("?x adv ?y . Nobel win ?x")
+
+yields the Figure 4 query of the paper (modulo naming).
+"""
+
+from __future__ import annotations
+
+from repro.graph.model import BasicGraphPattern, Term, TriplePattern, Var
+
+
+def parse_term(token: str) -> Term:
+    """Parse one token into a variable or a string constant."""
+    if token.startswith("?"):
+        if len(token) == 1:
+            raise ValueError("variable needs a name after '?'")
+        return Var(token[1:])
+    return token
+
+
+def parse_bgp(text: str) -> BasicGraphPattern:
+    """Parse a textual basic graph pattern.
+
+    Raises ``ValueError`` on malformed input (wrong arity, empty query).
+    """
+    patterns = []
+    for chunk in text.split("."):
+        tokens = chunk.split()
+        if not tokens:
+            continue
+        if len(tokens) != 3:
+            raise ValueError(
+                f"each pattern needs exactly 3 terms, got {len(tokens)}: {chunk!r}"
+            )
+        patterns.append(TriplePattern(*(parse_term(t) for t in tokens)))
+    if not patterns:
+        raise ValueError("empty basic graph pattern")
+    return BasicGraphPattern(patterns)

@@ -1,0 +1,33 @@
+"""Rings in higher dimensions (§6 of the paper).
+
+- :mod:`repro.relational.orders` — the index-order classes of Table 3
+  (W, TW, CW, CTW, CBW, CBTW): coverage predicates, closed forms, exact
+  minimum covers for small arities and greedy bounds beyond.
+- :mod:`repro.relational.relation` — a d-ary relation container and
+  arity-d patterns.
+- :mod:`repro.relational.ring_d` — :class:`RelationRing` (one cyclic
+  order over d attributes) and :class:`RelationalRingSystem`, which keeps
+  the ``cbtw(d)``-many rings a wco LTJ needs (Theorem 6.1/6.2).
+"""
+
+from repro.relational.orders import (
+    closed_form_cw,
+    closed_form_tw,
+    closed_form_w,
+    minimum_orders,
+    table3,
+)
+from repro.relational.relation import Relation, RelationPattern
+from repro.relational.ring_d import RelationalRingSystem, RelationRing
+
+__all__ = [
+    "Relation",
+    "RelationPattern",
+    "RelationRing",
+    "RelationalRingSystem",
+    "closed_form_cw",
+    "closed_form_tw",
+    "closed_form_w",
+    "minimum_orders",
+    "table3",
+]

@@ -1,0 +1,326 @@
+"""Index-order classes and minimum covers (§6, Table 3 of the paper).
+
+An index *order* fixes how one physical index sorts the tuples; a wco
+algorithm needs a *set* of orders such that any elimination order of the
+query variables can be served.  The paper's six classes:
+
+================  =========================  ==========================
+class             index shape                requirement covered
+================  =========================  ==========================
+W                 flat permutation           whole elimination order π,
+                                             no reordering of bound
+                                             attributes
+TW                flat + trie switching      each step (B, x): B is the
+                                             prefix *set*, x comes next
+CW                cyclic, unidirectional     whole π, bound set stays a
+                                             run, extends backwards only
+CTW               cyclic + switching         (B, x): B a run, x precedes
+CBW               cyclic bidirectional       whole π, run may grow both
+                                             ways (the ring, no switch)
+CBTW              ring + switching           (B, x): B a run, x adjacent
+                                             to either end
+================  =========================  ==========================
+
+Closed forms (Theorem 6.2): ``w(d) = d!``, ``cw(d) = (d-1)!`` and
+``tw(d) = ceil(d/2) * C(d, floor(d/2))``.  The remaining classes are
+solved as minimum set covers: exactly (branch and bound) when the search
+space allows, otherwise as ``[lower, upper]`` bounds combining the
+theorem's inequalities with greedy covers — precisely how the paper
+filled Table 3.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from math import comb, factorial
+from typing import Iterable, Optional, Sequence
+
+Cycle = tuple[int, ...]
+Requirement = tuple[frozenset[int], int]  # (bound set B, next attribute x)
+
+CLASSES = ("w", "tw", "cw", "ctw", "cbw", "cbtw")
+
+
+# -- closed forms (Theorem 6.2) -------------------------------------------------
+
+def closed_form_w(d: int) -> int:
+    """Flat, no switching: all ``d!`` permutations."""
+    return factorial(d)
+
+
+def closed_form_cw(d: int) -> int:
+    """Cyclic unidirectional, no switching: ``(d-1)!`` necklaces."""
+    return factorial(d - 1)
+
+
+def closed_form_tw(d: int) -> int:
+    """Flat with trie switching: ``ceil(d/2) * C(d, floor(d/2))``."""
+    return -(-d // 2) * comb(d, d // 2)
+
+
+# -- candidate index orders ---------------------------------------------------------
+
+def flat_orders(d: int) -> list[tuple[int, ...]]:
+    """All d! attribute permutations (the W/TW candidate set)."""
+    return list(permutations(range(d)))
+
+
+def cyclic_orders(d: int) -> list[Cycle]:
+    """Necklaces: permutations canonicalised to start at attribute 0."""
+    return [(0,) + rest for rest in permutations(range(1, d))]
+
+
+def bidirectional_cyclic_orders(d: int) -> list[Cycle]:
+    """Necklaces modulo reversal (a ring equals its mirror image)."""
+    seen = set()
+    out = []
+    for cycle in cyclic_orders(d):
+        mirrored = _canonical_cycle(tuple(reversed(cycle)))
+        if mirrored in seen:
+            continue
+        seen.add(cycle)
+        out.append(cycle)
+    return out
+
+
+def _canonical_cycle(cycle: Sequence[int]) -> Cycle:
+    cycle = tuple(cycle)
+    i = cycle.index(0)
+    return cycle[i:] + cycle[:i]
+
+
+# -- coverage predicates -----------------------------------------------------------
+
+def _runs(cycle: Cycle, length: int) -> Iterable[tuple[int, ...]]:
+    """All contiguous runs of ``length`` in the cyclic order."""
+    d = len(cycle)
+    if length == 0:
+        yield ()
+        return
+    for start in range(d):
+        yield tuple(cycle[(start + i) % d] for i in range(length))
+
+
+def run_of(cycle: Cycle, bound: frozenset[int]) -> Optional[tuple[int, ...]]:
+    """The contiguous run realising ``bound`` in ``cycle``, if any."""
+    for run in _runs(cycle, len(bound)):
+        if frozenset(run) == bound:
+            return run
+    return None
+
+
+def covers_tw(order: tuple[int, ...], req: Requirement) -> bool:
+    """Flat order + trie switching: B is the prefix set, x comes next."""
+    bound, x = req
+    k = len(bound)
+    return frozenset(order[:k]) == bound and order[k] == x
+
+
+def covers_ctw(cycle: Cycle, req: Requirement) -> bool:
+    """Unidirectional: x must *precede* the run (backward extension)."""
+    bound, x = req
+    if not bound:
+        return True  # any single attribute starts a backward search
+    run = run_of(cycle, bound)
+    if run is None:
+        return False
+    d = len(cycle)
+    before = cycle[(cycle.index(run[0]) - 1) % d]
+    return before == x
+
+
+def covers_cbtw(cycle: Cycle, req: Requirement) -> bool:
+    """Bidirectional: x adjacent to either end of the run."""
+    bound, x = req
+    if not bound:
+        return True
+    run = run_of(cycle, bound)
+    if run is None:
+        return False
+    d = len(cycle)
+    before = cycle[(cycle.index(run[0]) - 1) % d]
+    after = cycle[(cycle.index(run[-1]) + 1) % d]
+    return x in (before, after)
+
+
+def covers_w(order: tuple[int, ...], pi: tuple[int, ...]) -> bool:
+    """Flat order, no switching: only its own elimination order."""
+    return order == pi
+
+
+def covers_cw(cycle: Cycle, pi: tuple[int, ...]) -> bool:
+    """Every step of π must extend the run backwards in this cycle."""
+    for k in range(len(pi)):
+        if not covers_ctw(cycle, (frozenset(pi[:k]), pi[k])):
+            return False
+    return True
+
+
+def covers_cbw(cycle: Cycle, pi: tuple[int, ...]) -> bool:
+    """Every step of π must keep the bound set a run (either end)."""
+    for k in range(len(pi)):
+        if not covers_cbtw(cycle, (frozenset(pi[:k]), pi[k])):
+            return False
+    return True
+
+
+# -- requirement universes --------------------------------------------------------------
+
+def switching_requirements(d: int) -> list[Requirement]:
+    """All (B, x) pairs — what switching classes must cover."""
+    out = []
+    attrs = range(d)
+    for mask in range(1 << d):
+        bound = frozenset(a for a in attrs if mask >> a & 1)
+        for x in attrs:
+            if x not in bound:
+                out.append((bound, x))
+    return out
+
+
+def elimination_orders(d: int) -> list[tuple[int, ...]]:
+    """All full elimination permutations — for non-switching classes."""
+    return list(permutations(range(d)))
+
+
+# -- minimum set cover ----------------------------------------------------------------------
+
+def greedy_cover(universe: list, cover_sets: list[set[int]]) -> list[int]:
+    """Classic ln-n-approximate greedy cover; returns candidate indexes."""
+    uncovered = set(range(len(universe)))
+    chosen: list[int] = []
+    while uncovered:
+        best = max(range(len(cover_sets)), key=lambda i: len(cover_sets[i] & uncovered))
+        gained = cover_sets[best] & uncovered
+        if not gained:
+            raise ValueError("universe is not coverable by the candidates")
+        chosen.append(best)
+        uncovered -= gained
+    return chosen
+
+
+def exact_cover_size(
+    universe_size: int,
+    cover_sets: list[set[int]],
+    upper: int,
+    node_budget: int = 2_000_000,
+) -> Optional[int]:
+    """Branch-and-bound minimum cover size; ``None`` if the budget blows.
+
+    Branches on the lowest-index uncovered element (standard set-cover
+    exact search); prunes with ``ceil(remaining / max_set)``.
+    """
+    element_to_sets: list[list[int]] = [[] for _ in range(universe_size)]
+    for idx, s in enumerate(cover_sets):
+        for e in s:
+            element_to_sets[e].append(idx)
+    max_size = max((len(s) for s in cover_sets), default=1)
+    best = upper
+    nodes = 0
+
+    def bnb(uncovered: frozenset[int], used: int) -> None:
+        nonlocal best, nodes
+        nodes += 1
+        if nodes > node_budget:
+            raise TimeoutError
+        if not uncovered:
+            best = min(best, used)
+            return
+        if used + -(-len(uncovered) // max_size) >= best:
+            return
+        pivot = min(uncovered)
+        for idx in element_to_sets[pivot]:
+            bnb(uncovered - cover_sets[idx], used + 1)
+
+    try:
+        bnb(frozenset(range(universe_size)), 0)
+        return best
+    except TimeoutError:
+        return None
+
+
+def minimum_orders(
+    cls: str, d: int, node_budget: int = 2_000_000
+) -> tuple[int, int]:
+    """``(lower, upper)`` bound on the number of orders class ``cls``
+    must index for arity ``d``; equal entries mean an exact value."""
+    if cls not in CLASSES:
+        raise ValueError(f"unknown class {cls!r}; expected one of {CLASSES}")
+    if d < 2:
+        raise ValueError("arity must be at least 2")
+    if cls == "w":
+        n = closed_form_w(d)
+        return n, n
+    if cls == "cw":
+        n = closed_form_cw(d)
+        return n, n
+    if cls == "tw":
+        n = closed_form_tw(d)
+        return n, n
+
+    if cls == "ctw":
+        candidates = cyclic_orders(d)
+        universe = switching_requirements(d)
+        predicate = covers_ctw
+        lower_hint = -(-closed_form_tw(d) // d)  # Thm 6.2: ctw >= tw/d
+    elif cls == "cbtw":
+        candidates = bidirectional_cyclic_orders(d)
+        universe = switching_requirements(d)
+        predicate = covers_cbtw
+        lower_hint = -(-closed_form_tw(d) // (2 * d))
+    else:  # cbw
+        candidates = bidirectional_cyclic_orders(d)
+        universe = elimination_orders(d)
+        predicate = covers_cbw
+        lower_hint = -(-closed_form_cw(d) // (1 << (d - 2)))
+
+    cover_sets = [
+        {i for i, req in enumerate(universe) if predicate(cand, req)}
+        for cand in candidates
+    ]
+    upper = len(greedy_cover(universe, cover_sets))
+    exact = exact_cover_size(len(universe), cover_sets, upper, node_budget)
+    if exact is not None:
+        return exact, exact
+    return max(lower_hint, 1), upper
+
+
+def find_cover(cls: str, d: int) -> list[Cycle]:
+    """A concrete (greedy) set of orders realising class ``cls`` —
+    what :class:`~repro.relational.ring_d.RelationalRingSystem` indexes."""
+    if cls == "ctw":
+        candidates: list = cyclic_orders(d)
+        universe: list = switching_requirements(d)
+        predicate = covers_ctw
+    elif cls == "cbtw":
+        candidates = bidirectional_cyclic_orders(d)
+        universe = switching_requirements(d)
+        predicate = covers_cbtw
+    elif cls == "tw":
+        candidates = flat_orders(d)
+        universe = switching_requirements(d)
+        predicate = covers_tw
+    else:
+        raise ValueError("find_cover supports tw, ctw and cbtw")
+    cover_sets = [
+        {i for i, req in enumerate(universe) if predicate(cand, req)}
+        for cand in candidates
+    ]
+    return [candidates[i] for i in greedy_cover(universe, cover_sets)]
+
+
+def table3(
+    d_values: Sequence[int] = (2, 3, 4, 5, 6, 7),
+    node_budget: int = 2_000_000,
+) -> list[dict]:
+    """Reproduce Table 3: orders per class for each arity.
+
+    Entries are ``(lower, upper)`` tuples; equal bounds are exact.
+    """
+    rows = []
+    for d in d_values:
+        row = {"d": d}
+        for cls in CLASSES:
+            row[cls] = minimum_orders(cls, d, node_budget)
+        rows.append(row)
+    return rows

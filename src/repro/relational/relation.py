@@ -1,0 +1,133 @@
+"""d-ary relations and tuple patterns (the §6 generalisation).
+
+A :class:`Relation` is the arity-d analogue of
+:class:`~repro.graph.Graph`: a sorted, deduplicated ``(n, d)`` id array
+with per-attribute universes.  A :class:`RelationPattern` generalises
+:class:`~repro.graph.TriplePattern` to any arity, exposing the same
+interface the LTJ engine consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Union
+
+import numpy as np
+
+from repro.graph.model import Var
+
+Term = Union[Var, int]
+
+
+class Relation:
+    """An immutable set of d-ary tuples over per-attribute universes."""
+
+    def __init__(
+        self, tuples: np.ndarray, sigmas: Sequence[int] | None = None
+    ) -> None:
+        arr = np.asarray(tuples, dtype=np.int64)
+        if arr.ndim != 2:
+            raise ValueError("tuples must form an (n, d) array")
+        if arr.shape[1] < 2:
+            raise ValueError("arity must be at least 2")
+        if len(arr) and arr.min() < 0:
+            raise ValueError("ids must be non-negative")
+        arr = np.unique(arr, axis=0) if len(arr) else arr
+        self._tuples = arr
+        d = arr.shape[1]
+        if sigmas is None:
+            sigmas = [
+                int(arr[:, a].max()) + 1 if len(arr) else 1 for a in range(d)
+            ]
+        sigmas = [int(s) for s in sigmas]
+        if len(sigmas) != d:
+            raise ValueError("one universe size per attribute required")
+        for a in range(d):
+            if len(arr) and int(arr[:, a].max()) >= sigmas[a]:
+                raise ValueError(f"attribute {a} exceeds its universe")
+        self._sigmas = tuple(sigmas)
+
+    @property
+    def tuples(self) -> np.ndarray:
+        return self._tuples
+
+    @property
+    def arity(self) -> int:
+        return self._tuples.shape[1]
+
+    @property
+    def n(self) -> int:
+        return len(self._tuples)
+
+    def sigma(self, attr: int) -> int:
+        return self._sigmas[attr]
+
+    @property
+    def sigmas(self) -> tuple[int, ...]:
+        return self._sigmas
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        for row in self._tuples:
+            yield tuple(int(v) for v in row)
+
+    def __contains__(self, item) -> bool:
+        target = tuple(int(v) for v in item)
+        return any(t == target for t in self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Relation(n={self.n}, arity={self.arity})"
+
+
+@dataclass(frozen=True)
+class RelationPattern:
+    """An arity-d tuple pattern mixing variables and constants."""
+
+    terms: tuple[Term, ...]
+
+    def __init__(self, *terms: Term) -> None:
+        if len(terms) == 1 and isinstance(terms[0], (tuple, list)):
+            terms = tuple(terms[0])
+        if len(terms) < 2:
+            raise ValueError("patterns need arity >= 2")
+        object.__setattr__(self, "terms", tuple(terms))
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> list[Var]:
+        seen: list[Var] = []
+        for term in self.terms:
+            if isinstance(term, Var) and term not in seen:
+                seen.append(term)
+        return seen
+
+    def variable_positions(self, var: Var) -> list[int]:
+        return [i for i, term in enumerate(self.terms) if term == var]
+
+    def constants(self) -> list[tuple[int, int]]:
+        return [
+            (i, term)
+            for i, term in enumerate(self.terms)
+            if not isinstance(term, Var)
+        ]
+
+    def has_repeated_variable(self) -> bool:
+        vars_ = [t for t in self.terms if isinstance(t, Var)]
+        return len(vars_) != len(set(vars_))
+
+    def is_fully_bound(self) -> bool:
+        return not any(isinstance(t, Var) for t in self.terms)
+
+    def substitute(self, binding: dict[Var, int]) -> "RelationPattern":
+        return RelationPattern(
+            *(binding.get(t, t) if isinstance(t, Var) else t for t in self.terms)
+        )
+
+    def __repr__(self) -> str:
+        return "(" + " ".join(
+            repr(t) if isinstance(t, Var) else str(t) for t in self.terms
+        ) + ")"

@@ -1,0 +1,15 @@
+"""Sequence representations with rank/select/range support.
+
+The ring index stores each of its three bended-BWT components in a
+:class:`~repro.sequences.wavelet_matrix.WaveletMatrix` (the pointerless
+wavelet tree suited to the large alphabets of graph dictionaries, exactly
+as the paper's §4.4 chooses).  A classical pointer-based
+:class:`~repro.sequences.wavelet_tree.WaveletTree` is kept as an
+executable reference implementation against which the matrix is
+cross-validated.
+"""
+
+from repro.sequences.wavelet_matrix import WaveletMatrix
+from repro.sequences.wavelet_tree import WaveletTree
+
+__all__ = ["WaveletMatrix", "WaveletTree"]

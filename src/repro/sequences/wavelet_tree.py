@@ -1,0 +1,180 @@
+"""Pointer-based wavelet tree (reference implementation).
+
+This is the textbook structure of §2.3.4 (Figure 5 of the paper): a binary
+tree over the alphabet ``[0, sigma)`` where each internal node stores one
+bitvector marking whether each of its symbols descends left or right.
+
+The production structure is the pointerless
+:class:`~repro.sequences.wavelet_matrix.WaveletMatrix`; this class exists
+to cross-validate it (the two must answer every query identically) and to
+mirror the paper's exposition, including the worked ``oorcc$o`` example
+used in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.bits.bitvector import BitVector
+
+
+class _Node:
+    __slots__ = ("a", "b", "bits", "left", "right")
+
+    def __init__(self, a: int, b: int) -> None:
+        self.a = a
+        self.b = b
+        self.bits: Optional[BitVector] = None
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+
+
+class WaveletTree:
+    """Static sequence over ``[0, sigma)`` with rank/select/range queries."""
+
+    def __init__(self, values, sigma: int | None = None) -> None:
+        seq = np.asarray(
+            list(values) if not isinstance(values, np.ndarray) else values,
+            dtype=np.int64,
+        )
+        if len(seq) and seq.min() < 0:
+            raise ValueError("symbols must be non-negative")
+        if sigma is None:
+            sigma = int(seq.max()) + 1 if len(seq) else 1
+        if len(seq) and int(seq.max()) >= sigma:
+            raise ValueError("symbol outside alphabet")
+        self._n = len(seq)
+        self._sigma = sigma
+        self._root = self._build(seq, 0, sigma - 1)
+
+    def _build(self, seq: np.ndarray, a: int, b: int) -> Optional[_Node]:
+        node = _Node(a, b)
+        if a == b:
+            return node  # leaf: stores nothing
+        mid = (a + b) // 2
+        bits = seq > mid
+        node.bits = BitVector.from_bool_array(bits)
+        node.left = self._build(seq[~bits], a, mid)
+        node.right = self._build(seq[bits], mid + 1, b)
+        return node
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def sigma(self) -> int:
+        return self._sigma
+
+    def __getitem__(self, i: int) -> int:
+        if not 0 <= i < self._n:
+            raise IndexError(f"index {i} out of range [0, {self._n})")
+        node = self._root
+        while node.a != node.b:
+            if node.bits[i]:
+                i = node.bits.rank1(i)
+                node = node.right
+            else:
+                i = node.bits.rank0(i)
+                node = node.left
+        return node.a
+
+    def rank(self, symbol: int, i: int) -> int:
+        """Occurrences of ``symbol`` in the prefix ``[0, i)``."""
+        if not 0 <= symbol < self._sigma:
+            return 0
+        i = min(max(i, 0), self._n)
+        node = self._root
+        while node.a != node.b:
+            mid = (node.a + node.b) // 2
+            if symbol > mid:
+                i = node.bits.rank1(i)
+                node = node.right
+            else:
+                i = node.bits.rank0(i)
+                node = node.left
+            if i == 0:
+                return 0
+        return i
+
+    def select(self, symbol: int, k: int) -> int:
+        """Position of the k-th occurrence of ``symbol`` (``k >= 1``)."""
+        if not 0 <= symbol < self._sigma:
+            raise ValueError(f"symbol {symbol} outside alphabet")
+        total = self.rank(symbol, self._n)
+        if not 1 <= k <= total:
+            raise ValueError(f"select({symbol}, {k}): only {total} occurrences")
+        path = []
+        node = self._root
+        while node.a != node.b:
+            mid = (node.a + node.b) // 2
+            go_right = symbol > mid
+            path.append((node, go_right))
+            node = node.right if go_right else node.left
+        pos = k - 1
+        for node, went_right in reversed(path):
+            if went_right:
+                pos = node.bits.select1(pos + 1)
+            else:
+                pos = node.bits.select0(pos + 1)
+        return pos
+
+    def next_in_range(self, lo: int, hi: int, c: int) -> Optional[int]:
+        """Smallest symbol ``>= c`` in ``[lo, hi)`` (range-next-value)."""
+        lo = max(lo, 0)
+        hi = min(hi, self._n)
+        if lo >= hi or c >= self._sigma:
+            return None
+        return self._next(self._root, lo, hi, max(c, 0))
+
+    def _next(self, node: _Node, lo: int, hi: int, c: int) -> Optional[int]:
+        if lo >= hi or node.b < c:
+            return None
+        if node.a == node.b:
+            return node.a
+        lo0, hi0 = node.bits.rank0(lo), node.bits.rank0(hi)
+        mid = (node.a + node.b) // 2
+        if c <= mid:
+            res = self._next(node.left, lo0, hi0, c)
+            if res is not None:
+                return res
+        return self._next(node.right, lo - lo0, hi - hi0, c)
+
+    def distinct_in_range(self, lo: int, hi: int) -> Iterator[tuple[int, int]]:
+        """Yield ``(symbol, multiplicity)`` over ``[lo, hi)``, ascending."""
+        lo = max(lo, 0)
+        hi = min(hi, self._n)
+        if lo >= hi:
+            return
+        yield from self._distinct(self._root, lo, hi)
+
+    def _distinct(self, node: _Node, lo: int, hi: int) -> Iterator[tuple[int, int]]:
+        if lo >= hi:
+            return
+        if node.a == node.b:
+            yield node.a, hi - lo
+            return
+        lo0, hi0 = node.bits.rank0(lo), node.bits.rank0(hi)
+        yield from self._distinct(node.left, lo0, hi0)
+        yield from self._distinct(node.right, lo - lo0, hi - hi0)
+
+    def size_in_bits(self) -> int:
+        """Bitvector payloads plus per-node pointer overhead.
+
+        The ``O(σ log n)`` pointer term is exactly why the paper switches
+        to the wavelet matrix for its large dictionaries.
+        """
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            total += 2 * 64 + 64  # two child pointers + [a,b] header
+            if node.bits is not None:
+                total += node.bits.size_in_bits()
+                stack.append(node.left)
+                stack.append(node.right)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WaveletTree(n={self._n}, sigma={self._sigma})"

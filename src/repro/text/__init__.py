@@ -1,0 +1,30 @@
+"""Text-indexing primitives: suffix arrays, BWT, bended BWT.
+
+These implement §2.3 and §3.1 of the paper *literally*: a suffix array
+over the shifted triple text ``T = s1 p1 o1 … sn pn on $``, its
+Burrows–Wheeler transform, backward search, and the *bended* BWT of
+Definition 3.1 that regards the triples as cyclic strings.
+
+The production ring (:mod:`repro.core.ring`) builds its three BWT
+components directly by sorting (see DESIGN.md §6.1) — the functions here
+exist to *verify* that shortcut against the textbook definitions
+(Lemma 3.3) and to reproduce the paper's Figure 6 exactly in the tests.
+"""
+
+from repro.text.bwt import (
+    backward_search,
+    bended_bwt,
+    bwt_from_suffix_array,
+    count_array,
+    lf_step,
+)
+from repro.text.suffix_array import suffix_array
+
+__all__ = [
+    "backward_search",
+    "bended_bwt",
+    "bwt_from_suffix_array",
+    "count_array",
+    "lf_step",
+    "suffix_array",
+]

@@ -1,0 +1,128 @@
+"""Burrows–Wheeler transform, backward search, and the bended BWT.
+
+Implements §2.3.3 and Definition 3.1 of the paper with 0-based indexing:
+
+- ``bwt_from_suffix_array``: ``BWT[i] = T[A[i] - 1]`` (``T[n-1]`` when
+  ``A[i] = 0``);
+- ``count_array``: the ``C`` array with ``C[c]`` = number of symbols
+  smaller than ``c`` in the string;
+- ``lf_step``: Eq. (1), ``LF(i) = C[BWT[i]] + rank_{BWT[i]}(BWT, i)``;
+- ``backward_search``: Eq. (2), mapping a pattern to its suffix-array
+  range;
+- ``bended_bwt``: Definition 3.1 — for the 3n+1-symbol triple text
+  ``T = s1 p1 o1 … sn pn on $`` (triples sorted, alphabet stratified as
+  subjects < predicates < objects < $), the bend moves each object into
+  the slot of its own triple so that LF steps cycle within triples
+  (Lemma 3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def bwt_from_suffix_array(text, sa) -> np.ndarray:
+    """BWT of ``text`` given its suffix array."""
+    arr = np.asarray(text, dtype=np.int64)
+    sa = np.asarray(sa, dtype=np.int64)
+    return arr[(sa - 1) % len(arr)]
+
+
+def count_array(text, sigma: int | None = None) -> np.ndarray:
+    """``C[c]`` = number of symbols strictly smaller than ``c``.
+
+    Returned with length ``sigma + 1`` so ``C[c+1] - C[c]`` is the number
+    of occurrences of ``c`` and ``[C[c], C[c+1])`` is symbol ``c``'s bucket
+    in the suffix array.
+    """
+    arr = np.asarray(text, dtype=np.int64)
+    if sigma is None:
+        sigma = int(arr.max()) + 1 if len(arr) else 1
+    counts = np.bincount(arr, minlength=sigma)
+    c = np.zeros(sigma + 1, dtype=np.int64)
+    np.cumsum(counts, out=c[1:])
+    return c
+
+
+def _rank(bwt: Sequence[int], symbol: int, i: int) -> int:
+    """Naive rank for the verification-oriented functions of this module."""
+    arr = np.asarray(bwt)
+    return int(np.count_nonzero(arr[:i] == symbol))
+
+
+def lf_step(bwt, c: np.ndarray, i: int) -> int:
+    """One LF step (Eq. 1): position of ``T[j-1]`` given ``BWT[i] = T[j]``."""
+    symbol = int(bwt[i])
+    return int(c[symbol]) + _rank(bwt, symbol, i + 1) - 1
+
+
+def backward_search(
+    bwt, c: np.ndarray, pattern: Sequence[int]
+) -> Optional[tuple[int, int]]:
+    """Suffix-array range ``[s, e)`` of suffixes prefixed by ``pattern``.
+
+    Implements Eq. (2).  Returns ``None`` when the pattern does not occur.
+    """
+    if len(pattern) == 0:
+        return 0, len(np.asarray(bwt))
+    sigma = len(c) - 1
+    last = int(pattern[-1])
+    if not 0 <= last < sigma:
+        return None
+    s, e = int(c[last]), int(c[last + 1])
+    for symbol in reversed(pattern[:-1]):
+        symbol = int(symbol)
+        if not 0 <= symbol < sigma or s >= e:
+            return None
+        s = int(c[symbol]) + _rank(bwt, symbol, s)
+        e = int(c[symbol]) + _rank(bwt, symbol, e)
+    return (s, e) if s < e else None
+
+
+def triple_text(sorted_triples: np.ndarray, universe: int) -> np.ndarray:
+    """Concatenate sorted *shifted* triples and append the ``$`` sentinel.
+
+    ``sorted_triples`` is an ``(n, 3)`` array of raw ids in ``[0, U)``;
+    the function applies the paper's shifts (``p + U``, ``o + 2U``) and
+    appends ``$ = 3U`` (the largest symbol).
+    """
+    t = np.asarray(sorted_triples, dtype=np.int64)
+    if t.ndim != 2 or t.shape[1] != 3:
+        raise ValueError("expected an (n, 3) array of triples")
+    shifted = t + np.array([0, universe, 2 * universe], dtype=np.int64)
+    flat = shifted.reshape(-1)
+    return np.concatenate([flat, [3 * universe]])
+
+
+def bended_bwt(text: np.ndarray) -> np.ndarray:
+    """The bended BWT of Definition 3.1 (0-based).
+
+    ``text`` must be a triple text of length ``3n + 1`` built by
+    :func:`triple_text` (sorted triples, stratified alphabet, sentinel).
+    Definition 3.1 (1-based) reads::
+
+        BWT*[1..3n] = BWT[2..n] · BWT[3n+1] · BWT[n+1..3n]
+
+    which in 0-based slices is ``BWT[1:n] + BWT[3n] + BWT[n:3n]``.
+    """
+    n3 = len(text) - 1
+    if n3 % 3:
+        raise ValueError("triple text must have length 3n + 1")
+    n = n3 // 3
+    from repro.text.suffix_array import suffix_array
+
+    sa = suffix_array(text)
+    bwt = bwt_from_suffix_array(text, sa)
+    return np.concatenate([bwt[1:n], [bwt[3 * n]], bwt[n : 3 * n]])
+
+
+def bended_lf(bwt_star: np.ndarray, c: np.ndarray, i: int) -> int:
+    """LF over the bended BWT (``LF*`` of Lemma 3.3), 0-based.
+
+    ``c`` must be the count array of the *text without the sentinel*
+    (the bended BWT contains no ``$``).
+    """
+    symbol = int(bwt_star[i])
+    return int(c[symbol]) + _rank(bwt_star, symbol, i + 1) - 1

@@ -1,0 +1,70 @@
+"""Suffix array construction by prefix doubling.
+
+The paper builds its suffix array with quicksort (§4.4); we use the
+Manber–Myers prefix-doubling scheme vectorised with ``numpy`` —
+``O(n log n)`` time, which is ample for the verification role this module
+plays (the production ring never materialises a suffix array; see
+DESIGN.md §6.1).
+
+Convention: the input is a sequence of non-negative integers whose *last*
+symbol must be strictly largest (the ``$`` sentinel of §2.3.1, where ``$``
+is defined as "a special symbol larger than any other").  A helper is
+provided to append such a sentinel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def append_sentinel(text) -> np.ndarray:
+    """Return ``text`` with a fresh largest symbol appended."""
+    arr = np.asarray(text, dtype=np.int64)
+    sentinel = (int(arr.max()) + 1) if len(arr) else 0
+    return np.concatenate([arr, [sentinel]])
+
+
+def suffix_array(text) -> np.ndarray:
+    """Suffix array of ``text`` (0-based positions).
+
+    ``sa[k]`` is the start of the k-th lexicographically smallest suffix.
+    The caller is responsible for sentinel termination if unique ordering
+    of all suffixes is required (ties cannot occur once the final symbol
+    is strictly largest).
+    """
+    arr = np.asarray(text, dtype=np.int64)
+    n = len(arr)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    if len(arr) and arr.min() < 0:
+        raise ValueError("symbols must be non-negative")
+
+    # rank[i]: current bucket of suffix i by its first k symbols.
+    rank = np.unique(arr, return_inverse=True)[1].astype(np.int64)
+    sa = np.argsort(rank, kind="stable").astype(np.int64)
+    k = 1
+    while k < n:
+        # Secondary key: rank of suffix i+k (suffixes ending early sort first).
+        second = np.full(n, -1, dtype=np.int64)
+        second[: n - k] = rank[k:]
+        order = np.lexsort((second, rank))
+        sa = order.astype(np.int64)
+        # Recompute ranks: new bucket whenever either key changes.
+        key1 = rank[sa]
+        key2 = second[sa]
+        changed = np.ones(n, dtype=bool)
+        changed[1:] = (key1[1:] != key1[:-1]) | (key2[1:] != key2[:-1])
+        new_rank = np.empty(n, dtype=np.int64)
+        new_rank[sa] = np.cumsum(changed) - 1
+        rank = new_rank
+        if rank[sa[-1]] == n - 1:  # all suffixes distinct already
+            break
+        k <<= 1
+    return sa
+
+
+def inverse_suffix_array(sa: np.ndarray) -> np.ndarray:
+    """``isa[i]`` = lexicographic rank of the suffix starting at ``i``."""
+    isa = np.empty(len(sa), dtype=np.int64)
+    isa[sa] = np.arange(len(sa))
+    return isa

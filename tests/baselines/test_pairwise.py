@@ -1,0 +1,131 @@
+"""Unit tests for the pairwise join engine (planner + join methods)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.jena import _BTreeScanProvider, THREE_ORDERS
+from repro.baselines.btree import BTreeOrder
+from repro.baselines.pairwise import (
+    PairwiseJoinEngine,
+    match_binding,
+)
+from repro.baselines.sorted_orders import OrderSet
+from repro.core.interface import QueryTimeout
+from repro.graph import BasicGraphPattern, TriplePattern, Var
+from repro.graph.generators import nobel_graph, random_graph
+from tests.util import as_solution_set, naive_evaluate
+
+X, Y, Z = Var("x"), Var("y"), Var("z")
+
+
+@pytest.fixture(scope="module")
+def provider():
+    g = nobel_graph()
+    orders = OrderSet(
+        g, THREE_ORDERS, order_factory=lambda gr, p: BTreeOrder(gr, p, 16)
+    )
+    return g, _BTreeScanProvider(orders)
+
+
+class TestMatchBinding:
+    def test_simple(self):
+        assert match_binding(TriplePattern(X, 0, Y), (1, 0, 2)) == {X: 1, Y: 2}
+
+    def test_constant_mismatch(self):
+        assert match_binding(TriplePattern(X, 1, Y), (1, 0, 2)) is None
+
+    def test_repeated_variable_consistent(self):
+        assert match_binding(TriplePattern(X, 0, X), (2, 0, 2)) == {X: 2}
+        assert match_binding(TriplePattern(X, 0, X), (2, 0, 3)) is None
+
+
+class TestScanProvider:
+    def test_scan_by_every_mask(self, provider):
+        g, prov = provider
+        triples = [tuple(t) for t in g.triples]
+        s, p, o = triples[4]
+        cases = [
+            TriplePattern(X, Y, Z),
+            TriplePattern(s, Y, Z),
+            TriplePattern(X, p, Z),
+            TriplePattern(X, Y, o),
+            TriplePattern(s, p, Z),
+            TriplePattern(X, p, o),
+            TriplePattern(s, Y, o),
+            TriplePattern(s, p, o),
+        ]
+        for pattern in cases:
+            got = sorted(prov.scan_pattern(pattern))
+            expected = sorted(
+                t for t in triples
+                if match_binding(pattern, t) is not None
+            )
+            assert got == expected, pattern
+
+    def test_estimates_are_exact_for_prefix_masks(self, provider):
+        g, prov = provider
+        pattern = TriplePattern(X, g.dictionary.predicate_id("nom"), Y)
+        assert prov.estimate_pattern(pattern) == 5
+
+
+class TestPlanner:
+    def test_cheapest_first_and_connected(self, provider):
+        g, prov = provider
+        engine = PairwiseJoinEngine(prov, method="nested")
+        d = g.dictionary
+        selective = TriplePattern(X, d.predicate_id("adv"), Y)  # 4 rows
+        broad = TriplePattern(Var("w"), Var("p"), Var("q"))  # 13 rows
+        joined = TriplePattern(Y, d.predicate_id("nom"), Var("w"))
+        plan = engine.plan(BasicGraphPattern([broad, joined, selective]))
+        assert plan[0] == selective
+        # Second pick must share a variable with the first.
+        assert set(plan[1].variables()) & set(plan[0].variables())
+
+    def test_bad_method(self, provider):
+        _, prov = provider
+        with pytest.raises(ValueError):
+            PairwiseJoinEngine(prov, method="sort")
+
+
+class TestJoinMethods:
+    @pytest.mark.parametrize("method", ["nested", "hash"])
+    def test_matches_naive(self, provider, method):
+        g, prov = provider
+        engine = PairwiseJoinEngine(prov, method=method)
+        d = g.dictionary
+        bgp = BasicGraphPattern(
+            [
+                TriplePattern(X, d.predicate_id("nom"), Y),
+                TriplePattern(X, d.predicate_id("win"), Z),
+                TriplePattern(Z, d.predicate_id("adv"), Y),
+            ]
+        )
+        got = as_solution_set(engine.evaluate(bgp))
+        assert got == naive_evaluate(g, bgp)
+
+    @pytest.mark.parametrize("method", ["nested", "hash"])
+    def test_cross_product_of_disconnected(self, provider, method):
+        g, prov = provider
+        engine = PairwiseJoinEngine(prov, method=method)
+        d = g.dictionary
+        bgp = BasicGraphPattern(
+            [
+                TriplePattern(X, d.predicate_id("adv"), Y),
+                TriplePattern(Var("a"), d.predicate_id("win"), Var("b")),
+            ]
+        )
+        got = as_solution_set(engine.evaluate(bgp))
+        assert len(got) == 4 * 4  # 4 adv edges x 4 win edges
+        assert got == naive_evaluate(g, bgp)
+
+    def test_timeout_raises(self):
+        g = random_graph(400, n_nodes=20, n_predicates=2, seed=0)
+        orders = OrderSet(
+            g, THREE_ORDERS, order_factory=lambda gr, p: BTreeOrder(gr, p, 16)
+        )
+        engine = PairwiseJoinEngine(_BTreeScanProvider(orders), method="hash")
+        bgp = BasicGraphPattern(
+            [TriplePattern(X, Var("p"), Y), TriplePattern(Y, Var("q"), Z)]
+        )
+        with pytest.raises(QueryTimeout):
+            list(engine.evaluate(bgp, timeout=1e-6))

@@ -1,0 +1,181 @@
+"""Tests for the baseline substrates: sorted orders, B+tree, k²-tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.btree import BPlusTree, BTreeOrder
+from repro.baselines.qdag import K2Tree
+from repro.baselines.sorted_orders import ALL_ORDERS, SortedOrder
+from repro.graph.dataset import Graph
+from repro.graph.generators import nobel_graph, random_graph
+from repro.graph.model import O, P, S
+
+
+class TestSortedOrder:
+    @pytest.mark.parametrize("perm", ALL_ORDERS)
+    def test_prefix_ranges_count_matches(self, perm):
+        g = random_graph(150, n_nodes=10, n_predicates=4, seed=1)
+        order = SortedOrder(g, perm)
+        triples = [tuple(t) for t in g.triples]
+        rng = np.random.default_rng(0)
+        for _ in range(40):
+            depth = int(rng.integers(0, 4))
+            values = []
+            for d in range(depth):
+                attr = perm[d]
+                hi = 4 if attr == P else 10
+                values.append(int(rng.integers(0, hi)))
+            lo, hi_ = order.prefix_range(values)
+            expected = sum(
+                1
+                for t in triples
+                if all(t[perm[d]] == v for d, v in enumerate(values))
+            )
+            assert hi_ - lo == expected
+
+    def test_leap_in_range(self):
+        g = nobel_graph()
+        order = SortedOrder(g, (P, S, O))
+        p_adv = g.dictionary.predicate_id("adv")
+        lo, hi = order.prefix_range([p_adv])
+        subjects = sorted({t[S] for t in g.triples if t[P] == p_adv})
+        for c in range(g.n_nodes + 1):
+            expected = next((s for s in subjects if s >= c), None)
+            assert order.leap_in_range([p_adv], lo, hi, c) == expected
+
+    def test_decode_roundtrip(self):
+        g = random_graph(60, n_nodes=8, n_predicates=3, seed=2)
+        for perm in ALL_ORDERS:
+            order = SortedOrder(g, perm)
+            decoded = sorted(order.decode(i) for i in range(order.n))
+            assert decoded == [tuple(t) for t in g.triples]
+
+    def test_scan(self):
+        g = nobel_graph()
+        order = SortedOrder(g, (S, P, O))
+        nobel_id = g.dictionary.node_id("Nobel")
+        got = list(order.scan([nobel_id]))
+        expected = [tuple(t) for t in g.triples if t[S] == nobel_id]
+        assert sorted(got) == sorted(expected)
+
+
+class TestBPlusTree:
+    def test_empty(self):
+        t = BPlusTree(np.array([], dtype=np.int64))
+        assert len(t) == 0
+        assert t.seek(5) == 0
+
+    def test_seek_get(self):
+        keys = np.array(sorted([7, 7, 9, 100, 3, 42, 5] * 30))
+        t = BPlusTree(keys, fanout=8)
+        assert len(t) == len(keys)
+        for probe in [0, 3, 4, 7, 8, 42, 99, 100, 101]:
+            expected = int(np.searchsorted(keys, probe, side="left"))
+            assert t.seek(probe) == expected, probe
+        for i in range(len(keys)):
+            assert t.get(i) == keys[i]
+
+    def test_iter_range(self):
+        keys = np.arange(0, 500, 3)
+        t = BPlusTree(keys, fanout=16)
+        assert list(t.iter_range(10, 20)) == keys[10:20].tolist()
+        assert list(t.iter_range(-5, 3)) == keys[0:3].tolist()
+        assert list(t.iter_range(160, 900)) == keys[160:].tolist()
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            BPlusTree(np.array([3, 1]))
+
+    def test_rejects_small_fanout(self):
+        with pytest.raises(ValueError):
+            BPlusTree(np.array([1]), fanout=2)
+
+    def test_get_out_of_range(self):
+        t = BPlusTree(np.array([1, 2]))
+        with pytest.raises(IndexError):
+            t.get(2)
+
+    def test_has_internal_levels(self):
+        t = BPlusTree(np.arange(10_000), fanout=16)
+        assert t.height >= 2
+
+    def test_space_overhead_realistic(self):
+        # B+trees waste space: fill factor + internal nodes.
+        keys = np.arange(10_000)
+        t = BPlusTree(keys, fanout=64)
+        assert t.size_in_bits() > 64 * len(keys)  # above raw keys
+        assert t.size_in_bits() < 3 * 64 * len(keys)
+
+    @given(st.lists(st.integers(0, 10_000), min_size=0, max_size=300),
+           st.integers(0, 10_001))
+    @settings(max_examples=50, deadline=None)
+    def test_property_seek_matches_searchsorted(self, values, probe):
+        keys = np.array(sorted(values), dtype=np.int64)
+        t = BPlusTree(keys, fanout=8)
+        assert t.seek(probe) == int(np.searchsorted(keys, probe, side="left"))
+
+
+class TestBTreeOrder:
+    def test_matches_sorted_order(self):
+        g = random_graph(200, n_nodes=12, n_predicates=3, seed=3)
+        for perm in [(S, P, O), (O, S, P)]:
+            flat = SortedOrder(g, perm)
+            tree = BTreeOrder(g, perm, fanout=8)
+            for values in [[], [3], [3, 1]]:
+                assert flat.prefix_range(values) == tree.prefix_range(values)
+                lo, hi = flat.prefix_range(values)
+                for c in range(0, 12, 3):
+                    assert flat.leap_in_range(values, lo, hi, c) == \
+                        tree.leap_in_range(values, lo, hi, c)
+            assert [flat.decode(i) for i in range(flat.n)] == [
+                tree.decode(i) for i in range(tree.n)
+            ]
+
+
+class TestK2Tree:
+    def test_contains_all_points(self):
+        rng = np.random.default_rng(0)
+        pts = rng.integers(0, 16, size=(60, 2))
+        tree = K2Tree(pts, height=4)
+        for s, o in pts:
+            assert tree.contains(int(s), int(o))
+
+    def test_absent_points(self):
+        pts = np.array([[0, 0], [3, 7], [15, 15]])
+        tree = K2Tree(pts, height=4)
+        assert not tree.contains(1, 1)
+        assert not tree.contains(15, 14)
+
+    def test_empty_tree(self):
+        tree = K2Tree(np.zeros((0, 2)), height=3)
+        assert tree.is_empty()
+        assert not tree.contains(0, 0)
+
+    def test_point_out_of_grid(self):
+        with pytest.raises(ValueError):
+            K2Tree(np.array([[16, 0]]), height=4)
+
+    def test_n_points_deduplicates(self):
+        tree = K2Tree(np.array([[1, 2], [1, 2], [3, 4]]), height=3)
+        assert tree.n_points == 2
+
+    def test_succinct_space(self):
+        # A sparse relation should cost far less than a dense bitmap.
+        rng = np.random.default_rng(1)
+        pts = rng.integers(0, 1 << 10, size=(500, 2))
+        tree = K2Tree(pts, height=10)
+        assert tree.size_in_bits() < (1 << 20) / 8
+
+    @given(
+        st.sets(st.tuples(st.integers(0, 31), st.integers(0, 31)),
+                min_size=0, max_size=60)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_membership(self, point_set):
+        pts = np.array(sorted(point_set), dtype=np.int64).reshape(-1, 2)
+        tree = K2Tree(pts, height=5)
+        for s in range(0, 32, 5):
+            for o in range(0, 32, 5):
+                assert tree.contains(s, o) == ((s, o) in point_set)

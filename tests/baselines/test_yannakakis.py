@@ -1,0 +1,165 @@
+"""Tests for GYO reduction, Yannakakis, and the EmptyHeaded analogue."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import EmptyHeadedIndex
+from repro.baselines.yannakakis import gyo_reduction
+from repro.core import RingIndex
+from repro.graph import BasicGraphPattern, TriplePattern, Var, parse_bgp
+from repro.graph.dataset import Graph
+from repro.graph.generators import (
+    clique_graph,
+    nobel_graph,
+    random_graph,
+    wikidata_like,
+)
+from tests.util import as_solution_set, naive_evaluate
+
+X, Y, Z, W = Var("x"), Var("y"), Var("z"), Var("w")
+
+
+class TestGYO:
+    def test_single_pattern_acyclic(self):
+        bgp = BasicGraphPattern([TriplePattern(X, 0, Y)])
+        forest = gyo_reduction(bgp)
+        assert forest is not None
+        assert len(forest) == 1
+        assert forest[0].parent is None
+
+    def test_path_acyclic(self):
+        bgp = BasicGraphPattern(
+            [TriplePattern(X, 0, Y), TriplePattern(Y, 0, Z),
+             TriplePattern(Z, 0, W)]
+        )
+        forest = gyo_reduction(bgp)
+        assert forest is not None
+        assert len(forest) == 3
+
+    def test_star_acyclic(self):
+        bgp = BasicGraphPattern(
+            [TriplePattern(X, 0, Y), TriplePattern(X, 1, Z),
+             TriplePattern(X, 2, W)]
+        )
+        assert gyo_reduction(bgp) is not None
+
+    def test_triangle_cyclic(self):
+        bgp = BasicGraphPattern(
+            [TriplePattern(X, 0, Y), TriplePattern(Y, 0, Z),
+             TriplePattern(Z, 0, X)]
+        )
+        assert gyo_reduction(bgp) is None
+
+    def test_square_cyclic(self):
+        bgp = BasicGraphPattern(
+            [TriplePattern(X, 0, Y), TriplePattern(Y, 0, Z),
+             TriplePattern(Z, 0, W), TriplePattern(W, 0, X)]
+        )
+        assert gyo_reduction(bgp) is None
+
+    def test_disconnected_acyclic(self):
+        bgp = BasicGraphPattern(
+            [TriplePattern(X, 0, Y), TriplePattern(Z, 1, W)]
+        )
+        forest = gyo_reduction(bgp)
+        assert forest is not None
+        assert sum(1 for n in forest if n.parent is None) == 2
+
+    def test_parents_point_to_live_witnesses(self):
+        bgp = BasicGraphPattern(
+            [TriplePattern(X, 0, Y), TriplePattern(Y, 1, Z),
+             TriplePattern(Y, 2, W)]
+        )
+        forest = gyo_reduction(bgp)
+        assert forest is not None
+        removed_after = {n.index: pos for pos, n in enumerate(forest)}
+        for node in forest:
+            if node.parent is not None:
+                assert removed_after[node.parent] > removed_after[node.index]
+
+
+class TestEmptyHeadedIndex:
+    @pytest.fixture(scope="class")
+    def nobel(self):
+        return nobel_graph()
+
+    @pytest.mark.parametrize("query", [
+        "?x adv ?y",
+        "?x adv ?y . ?y adv ?z",  # path (acyclic -> Yannakakis)
+        "Nobel nom ?y . ?z adv ?y",  # join with constants
+        "?x nom ?y . ?x win ?z . ?z adv ?y",  # triangle-shaped (cyclic -> LTJ)
+        "?x ?p ?y . ?y ?q ?z",
+        "Bohr adv Thomson",
+    ])
+    def test_matches_naive(self, nobel, query):
+        bgp = nobel.encode_bgp(parse_bgp(query))
+        index = EmptyHeadedIndex(nobel)
+        assert as_solution_set(index.evaluate(bgp)) == naive_evaluate(
+            nobel, bgp
+        )
+
+    def test_triangle_on_clique(self):
+        g = clique_graph(5)
+        index = EmptyHeadedIndex(g)
+        bgp = BasicGraphPattern(
+            [TriplePattern(X, 0, Y), TriplePattern(Y, 0, Z),
+             TriplePattern(Z, 0, X)]
+        )
+        assert len(index.evaluate(bgp)) == 60
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_random_agreement_with_ring(self, seed):
+        g = wikidata_like(600, seed=seed)
+        eh = EmptyHeadedIndex(g)
+        ring = RingIndex(g)
+        queries = [
+            BasicGraphPattern([TriplePattern(X, 0, Y), TriplePattern(Y, 1, Z)]),
+            BasicGraphPattern([TriplePattern(X, 0, Y), TriplePattern(X, 1, Z)]),
+            BasicGraphPattern(
+                [TriplePattern(X, 0, Y), TriplePattern(Y, 1, Z),
+                 TriplePattern(Z, 2, W)]
+            ),
+        ]
+        for bgp in queries:
+            assert as_solution_set(
+                eh.evaluate(bgp, timeout=30)
+            ) == as_solution_set(ring.evaluate(bgp, timeout=30))
+
+    def test_empty_relation_short_circuits(self, nobel):
+        index = EmptyHeadedIndex(nobel)
+        assert index.evaluate("?x adv ?y . ?y madeup ?z") == []
+
+    def test_space_is_six_orders(self, nobel):
+        from repro.baselines import FlatTrieIndex
+
+        assert EmptyHeadedIndex(nobel).size_in_bits() == FlatTrieIndex(
+            nobel
+        ).size_in_bits()
+
+
+@given(
+    st.sets(
+        st.tuples(st.integers(0, 4), st.integers(0, 1), st.integers(0, 4)),
+        min_size=1,
+        max_size=25,
+    ),
+    st.sampled_from(["path2", "path3", "star", "triangle", "tee"]),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_emptyheaded_equals_naive(triples, shape):
+    graph = Graph(np.array(sorted(triples)), n_nodes=5, n_predicates=2)
+    shapes = {
+        "path2": [TriplePattern(X, 0, Y), TriplePattern(Y, 1, Z)],
+        "path3": [TriplePattern(X, 0, Y), TriplePattern(Y, 0, Z),
+                  TriplePattern(Z, 1, W)],
+        "star": [TriplePattern(X, 0, Y), TriplePattern(X, 1, Z)],
+        "triangle": [TriplePattern(X, 0, Y), TriplePattern(Y, 0, Z),
+                     TriplePattern(Z, 0, X)],
+        "tee": [TriplePattern(X, 0, Y), TriplePattern(Y, 1, Z),
+                TriplePattern(Y, 0, W)],
+    }
+    bgp = BasicGraphPattern(shapes[shape])
+    index = EmptyHeadedIndex(graph)
+    assert as_solution_set(index.evaluate(bgp)) == naive_evaluate(graph, bgp)

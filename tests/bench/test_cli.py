@@ -1,0 +1,52 @@
+"""Smoke tests for the ``python -m repro.bench`` command-line interface."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+def test_shapes_command(capsys):
+    main(["shapes"])
+    out = capsys.readouterr().out
+    assert "P2" in out and "S4" in out
+    assert out.count("x0") >= 17
+
+
+def test_table3_command(capsys):
+    main(["table3", "--dmax", "3", "--budget", "50000"])
+    out = capsys.readouterr().out
+    assert "CBTW" in out
+    # cbw(3) = 1: the paper's headline, printed in the d=3 row.
+    assert "  3" in out
+
+
+def test_space_command(capsys):
+    main(["space", "--n", "600"])
+    out = capsys.readouterr().out
+    assert "bytes per triple" in out
+    assert "Ring (plain bitvectors)" in out
+
+
+def test_table1_command_tiny(capsys):
+    main(["table1", "--n", "400", "--queries", "1", "--timeout", "5"])
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "Ring" in out and "Qdag" in out
+
+
+def test_table2_command_tiny(capsys):
+    main(["table2", "--n", "400", "--queries", "4", "--timeout", "5"])
+    out = capsys.readouterr().out
+    assert "Table 2" in out
+    assert "Timeouts" in out
+
+
+def test_figure8_command_tiny(capsys):
+    main(["figure8", "--n", "400", "--queries", "1", "--timeout", "5"])
+    out = capsys.readouterr().out
+    assert "Figure 8" in out
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,252 @@
+"""Tests for the WGPB generator, workload generator, runner and reports."""
+
+import numpy as np
+import pytest
+
+from repro.bench.report import (
+    format_figure8,
+    format_table1,
+    format_table2,
+    format_table3,
+)
+from repro.bench.runner import QueryTiming, run_benchmark, run_queries, summarize
+from repro.bench.space import format_space_report, packed_bytes, space_report
+from repro.bench.wgpb import (
+    SHAPES_BY_NAME,
+    WGPB_SHAPES,
+    generate_wgpb_queries,
+    instantiate_shape,
+)
+from repro.bench.workloads import (
+    PATTERN_TYPE_MIX,
+    generate_realworld_queries,
+    workload_type_histogram,
+)
+from repro.core import RingIndex
+from repro.graph.generators import wikidata_like
+from repro.graph.model import Var
+from tests.util import naive_evaluate
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return wikidata_like(1500, seed=0)
+
+
+class TestShapes:
+    def test_seventeen_shapes(self):
+        assert len(WGPB_SHAPES) == 17
+
+    def test_names_match_figure7(self):
+        expected = {
+            "P2", "P3", "P4", "T2", "T3", "T4", "Ti2", "Ti3", "Ti4",
+            "J3", "J4", "Tr1", "Tr2", "S1", "S2", "S3", "S4",
+        }
+        assert set(SHAPES_BY_NAME) == expected
+
+    def test_variable_counts(self):
+        # The paper: Qdag wins on the shapes with exactly 3 variables
+        # (P2, T2, Ti2, Tr1, Tr2) — so those must have 3.
+        for name in ("P2", "T2", "Ti2", "Tr1", "Tr2"):
+            assert SHAPES_BY_NAME[name].n_variables == 3
+        for name in ("P4", "T4", "Ti4", "J4"):
+            assert SHAPES_BY_NAME[name].n_variables == 5
+        for name in ("S1", "S2", "S3", "S4"):
+            assert SHAPES_BY_NAME[name].n_variables == 4
+
+
+class TestInstantiation:
+    def test_instances_are_nonempty_queries(self, graph):
+        """The WGPB guarantee: every instance has >= 1 solution."""
+        rng = np.random.default_rng(1)
+        index = RingIndex(graph)
+        for shape in WGPB_SHAPES:
+            bgp = instantiate_shape(shape, graph, rng)
+            if bgp is None:
+                continue  # sparse graph may fail cyclic shapes
+            assert len(index.evaluate(bgp, limit=1)) == 1, shape.name
+
+    def test_all_predicates_constant_all_nodes_variable(self, graph):
+        rng = np.random.default_rng(2)
+        bgp = instantiate_shape(SHAPES_BY_NAME["T3"], graph, rng)
+        assert bgp is not None
+        for pattern in bgp:
+            assert isinstance(pattern.s, Var)
+            assert isinstance(pattern.o, Var)
+            assert isinstance(pattern.p, int)
+
+    def test_deterministic_given_seed(self, graph):
+        q1 = generate_wgpb_queries(graph, queries_per_shape=2, seed=5)
+        q2 = generate_wgpb_queries(graph, queries_per_shape=2, seed=5)
+        assert repr(q1) == repr(q2)
+
+    def test_generate_counts(self, graph):
+        queries = generate_wgpb_queries(graph, queries_per_shape=3, seed=0)
+        assert set(queries) == set(SHAPES_BY_NAME)
+        for name, instances in queries.items():
+            assert len(instances) <= 3
+
+    def test_empty_graph(self):
+        from repro.graph.dataset import Graph
+
+        g = Graph(np.zeros((0, 3)))
+        rng = np.random.default_rng(0)
+        assert instantiate_shape(SHAPES_BY_NAME["P2"], g, rng) is None
+
+
+class TestWorkloads:
+    def test_mix_probabilities_sum_to_one(self):
+        assert abs(sum(PATTERN_TYPE_MIX.values()) - 1.0) < 0.01
+
+    def test_histogram_tracks_published_mix(self, graph):
+        queries = generate_realworld_queries(graph, n_queries=400, seed=0)
+        hist = workload_type_histogram(queries)
+        # The two dominant kinds must dominate, in order.
+        assert hist.get("(?, p, ?)", 0) > 0.35
+        assert hist.get("(?, p, o)", 0) > 0.2
+        assert hist.get("(?, p, ?)", 0) > hist.get("(?, p, o)", 0)
+
+    def test_queries_have_connected_shape(self, graph):
+        queries = generate_realworld_queries(graph, n_queries=50, seed=1)
+        sizes = [len(q) for q in queries]
+        assert min(sizes) >= 1
+        assert max(sizes) <= 22
+        assert 1.5 < sum(sizes) / len(sizes) < 4.0
+
+    def test_solutions_match_naive_on_small_queries(self, graph):
+        index = RingIndex(graph)
+        queries = generate_realworld_queries(graph, n_queries=12, seed=2)
+        for bgp in queries:
+            if len(bgp) <= 2 and all(not p.has_repeated_variable() for p in bgp):
+                got = {frozenset(s.items())
+                       for s in index.evaluate(bgp, limit=None)}
+                assert got == naive_evaluate(graph, bgp)
+
+    def test_empty_graph_rejected(self):
+        from repro.graph.dataset import Graph
+
+        with pytest.raises(ValueError):
+            generate_realworld_queries(Graph(np.zeros((0, 3))), 5)
+
+
+class TestRunner:
+    def test_run_queries_counts_and_limits(self, graph):
+        index = RingIndex(graph)
+        queries = generate_wgpb_queries(
+            graph, queries_per_shape=2, seed=0,
+            shapes=(SHAPES_BY_NAME["P2"], SHAPES_BY_NAME["T2"]),
+        )
+        result = run_benchmark([index], queries, limit=7)
+        assert result.systems() == ["Ring"]
+        for t in result.timings:
+            assert t.n_results <= 7
+            assert t.seconds >= 0
+
+    def test_timeout_recorded_not_raised(self, graph):
+        index = RingIndex(graph)
+        queries = generate_realworld_queries(graph, n_queries=3, seed=3)
+        timings = run_queries(index, queries, timeout=1e-6)
+        assert all(t.timed_out or t.seconds < 1.0 for t in timings)
+
+    def test_unsupported_recorded(self, graph):
+        from repro.baselines import QdagIndex
+
+        index = QdagIndex(graph)
+        queries = generate_realworld_queries(graph, n_queries=5, seed=0)
+        timings = run_queries(index, queries)
+        # Variable-predicate patterns dominate the mix, so most queries
+        # must be flagged unsupported rather than raising.
+        assert any(t.unsupported for t in timings)
+
+    def test_summarize_statistics(self):
+        timings = [
+            QueryTiming("X", "g", i, seconds, 1)
+            for i, seconds in enumerate([0.1, 0.2, 0.3, 0.4])
+        ]
+        stats = summarize(timings)
+        assert stats["min"] == pytest.approx(0.1)
+        assert stats["max"] == pytest.approx(0.4)
+        assert stats["mean"] == pytest.approx(0.25)
+        assert stats["median"] == pytest.approx(0.25)
+        assert stats["p25"] == pytest.approx(0.175)
+        assert stats["p75"] == pytest.approx(0.325)
+
+    def test_summarize_all_unsupported(self):
+        timings = [QueryTiming("X", "g", 0, 0.0, 0, unsupported=True)]
+        stats = summarize(timings)
+        assert stats["n"] == 0
+        assert stats["unsupported"] == 1
+
+
+class TestReports:
+    def test_formatting_smoke(self, graph):
+        index = RingIndex(graph)
+        queries = generate_wgpb_queries(
+            graph, queries_per_shape=1, seed=0,
+            shapes=(SHAPES_BY_NAME["P2"],),
+        )
+        result = run_benchmark([index], queries, limit=10)
+        assert "Ring" in format_table1([index], result)
+        assert "P2" in format_figure8(result)
+        assert "Ring" in format_table2([index], result)
+
+    def test_table3_formatting(self):
+        rows = [
+            {"d": 3, "w": (6, 6), "tw": (6, 6), "cw": (2, 2),
+             "ctw": (2, 2), "cbw": (1, 1), "cbtw": (1, 1)},
+            {"d": 6, "w": (720, 720), "tw": (60, 60), "cw": (120, 120),
+             "ctw": (10, 15), "cbw": (8, 12), "cbtw": (5, 7)},
+        ]
+        text = format_table3(rows)
+        assert "[10,15]" in text
+        assert "720" in text
+
+
+class TestGraphflowBound:
+    def test_quadratic_blowup(self):
+        """The paper's reason Graphflow could not index Wikidata: the
+        Ω(p·v) lower bound dwarfs every other index."""
+        from repro.bench.space import graphflow_memory_lower_bound_bytes
+        from repro.core import RingIndex
+
+        # Many edge labels is exactly Graphflow's bad case (the paper:
+        # 2 101 predicates x 52 M nodes).
+        g = wikidata_like(2000, n_predicates=200, seed=0)
+        bound = graphflow_memory_lower_bound_bytes(g)
+        assert bound == 4 * g.n_predicates * g.n_nodes
+        ring_bytes = RingIndex(g).size_in_bits() / 8
+        assert bound > 5 * ring_bytes
+
+    def test_matches_paper_formula_at_paper_scale(self):
+        """Plugging the paper's Wikidata numbers in reproduces its
+        '>8,966.90 bytes per triple' Table 1 entry."""
+        from repro.bench.space import graphflow_memory_lower_bound_bytes
+
+        class PaperGraph:
+            n_predicates = 2_101
+            n_nodes = 51_999_296
+            n_triples = 81_426_573
+
+        bound = graphflow_memory_lower_bound_bytes(PaperGraph)
+        per_triple = bound / PaperGraph.n_triples
+        assert per_triple > 5_000  # same order as the paper's 8,966.90
+
+
+class TestSpaceReport:
+    def test_report_keys_and_ranges(self):
+        g = wikidata_like(800, seed=0)
+        report = space_report(g, retrieval_samples=20)
+        assert report["simple_bpt"] == pytest.approx(12.0)
+        assert 0 < report["packed_bpt"] < 12
+        assert report["ring_bpt"] > 0
+        assert report["cring_b64_bpt"] <= report["cring_b16_bpt"] * 1.05
+        assert report["ring_retrieval_us"] > 0
+        text = format_space_report(report)
+        assert "bytes per triple" in text
+
+    def test_packed_bytes_length(self):
+        g = wikidata_like(500, seed=1)
+        node_bits = max(1, (g.n_nodes - 1).bit_length())
+        pred_bits = max(1, (g.n_predicates - 1).bit_length())
+        expected_bits = (2 * node_bits + pred_bits) * g.n_triples
+        assert len(packed_bytes(g)) == -(-expected_bits // 8)

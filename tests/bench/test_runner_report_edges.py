@@ -1,0 +1,113 @@
+"""Edge-case tests for the runner statistics and report renderers."""
+
+import pytest
+
+from repro.bench.report import format_figure8, format_table1, format_table2
+from repro.bench.runner import (
+    BenchmarkResult,
+    QueryTiming,
+    _percentile,
+    summarize,
+)
+
+
+class TestPercentile:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            _percentile([], 0.5)
+
+    def test_single_value(self):
+        assert _percentile([7.0], 0.25) == 7.0
+        assert _percentile([7.0], 0.99) == 7.0
+
+    def test_interpolation(self):
+        values = [0.0, 10.0]
+        assert _percentile(values, 0.5) == 5.0
+        assert _percentile(values, 0.0) == 0.0
+        assert _percentile(values, 1.0) == 10.0
+
+    def test_monotone(self):
+        values = sorted([3.0, 1.0, 4.0, 1.5, 9.0, 2.6])
+        qs = [_percentile(values, q / 10) for q in range(11)]
+        assert qs == sorted(qs)
+
+
+class TestSummarizeEdges:
+    def test_timeouts_counted_and_timed(self):
+        timings = [
+            QueryTiming("X", "g", 0, 5.0, 0, timed_out=True),
+            QueryTiming("X", "g", 1, 0.1, 3),
+        ]
+        stats = summarize(timings)
+        assert stats["timeouts"] == 1
+        assert stats["n"] == 2
+        assert stats["max"] == 5.0  # timeout time is a lower bound, kept
+
+    def test_mixed_unsupported(self):
+        timings = [
+            QueryTiming("X", "g", 0, 0.0, 0, unsupported=True),
+            QueryTiming("X", "g", 1, 0.2, 1),
+        ]
+        stats = summarize(timings)
+        assert stats["n"] == 1
+        assert stats["unsupported"] == 1
+
+    def test_results_total(self):
+        timings = [QueryTiming("X", "g", i, 0.1, i) for i in range(4)]
+        assert summarize(timings)["results"] == 6
+
+
+class TestBenchmarkResult:
+    def test_orderings_preserved(self):
+        result = BenchmarkResult(
+            [
+                QueryTiming("B", "g2", 0, 0.1, 1),
+                QueryTiming("A", "g1", 0, 0.1, 1),
+                QueryTiming("B", "g1", 1, 0.1, 1),
+            ]
+        )
+        assert result.systems() == ["B", "A"]
+        assert result.groups() == ["g2", "g1"]
+        assert len(result.for_system("B")) == 2
+        assert len(result.for_group("B", "g1")) == 1
+
+
+class TestReportEdges:
+    class _FakeSystem:
+        def __init__(self, name):
+            self.name = name
+
+        def bytes_per_triple(self):
+            return 1.5
+
+    def test_table1_unsupported_row(self):
+        system = self._FakeSystem("Qdag")
+        result = BenchmarkResult(
+            [QueryTiming("Qdag", "g", 0, 0.0, 0, unsupported=True)]
+        )
+        text = format_table1([system], result)
+        assert "unsupported" in text
+
+    def test_table2_unsupported_row(self):
+        system = self._FakeSystem("Qdag")
+        result = BenchmarkResult(
+            [QueryTiming("Qdag", "g", 0, 0.0, 0, unsupported=True)]
+        )
+        assert "unsupported workload" in format_table2([system], result)
+
+    def test_figure8_unsupported_group(self):
+        result = BenchmarkResult(
+            [QueryTiming("Qdag", "S1", 0, 0.0, 0, unsupported=True)]
+        )
+        text = format_figure8(result)
+        assert "unsupported" in text
+
+    def test_table1_timeout_note(self):
+        system = self._FakeSystem("X")
+        result = BenchmarkResult(
+            [
+                QueryTiming("X", "g", 0, 5.0, 0, timed_out=True),
+                QueryTiming("X", "g", 1, 0.1, 7),
+            ]
+        )
+        assert "1 timeouts" in format_table1([system], result)

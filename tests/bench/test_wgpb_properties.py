@@ -1,0 +1,50 @@
+"""Property tests for the WGPB instantiation invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.wgpb import SHAPES_BY_NAME, WGPB_SHAPES, instantiate_shape
+from repro.core import RingIndex
+from repro.graph.generators import wikidata_like
+from repro.graph.model import Var
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return wikidata_like(1200, seed=3)
+
+
+@pytest.fixture(scope="module")
+def index(graph):
+    return RingIndex(graph)
+
+
+@given(
+    shape_name=st.sampled_from([s.name for s in WGPB_SHAPES]),
+    seed=st.integers(0, 200),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_instances_nonempty_and_wellformed(shape_name, seed):
+    # Module-scope fixtures cannot mix with @given; build once per test
+    # run via a cache on the function object.
+    cache = test_property_instances_nonempty_and_wellformed.__dict__
+    if "graph" not in cache:
+        cache["graph"] = wikidata_like(1200, seed=3)
+        cache["index"] = RingIndex(cache["graph"])
+    graph, index = cache["graph"], cache["index"]
+    shape = SHAPES_BY_NAME[shape_name]
+    rng = np.random.default_rng(seed)
+    bgp = instantiate_shape(shape, graph, rng, max_attempts=30)
+    if bgp is None:
+        return  # sparse graphs may fail cyclic shapes; allowed
+    # Shape structure: one triple pattern per edge, constants only in
+    # the predicate position, variables named after shape vertices.
+    assert len(bgp) == shape.n_edges
+    assert len(bgp.variables()) == shape.n_variables
+    for pattern in bgp:
+        assert isinstance(pattern.s, Var) and isinstance(pattern.o, Var)
+        assert isinstance(pattern.p, (int, np.integer))
+    # The walked witness guarantees at least one solution.
+    assert index.evaluate(bgp, limit=1, timeout=30)

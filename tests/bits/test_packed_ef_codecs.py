@@ -1,0 +1,193 @@
+"""Tests for PackedIntArray, EliasFano and the varint/delta codecs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits import EliasFano, PackedIntArray
+from repro.bits.codecs import (
+    decode_triple_block,
+    decode_varint,
+    decode_varints,
+    encode_triple_block,
+    encode_varint,
+    encode_varints,
+)
+from repro.bits.packed import bits_needed
+
+
+class TestPackedIntArray:
+    def test_bits_needed(self):
+        assert bits_needed(0) == 1
+        assert bits_needed(1) == 1
+        assert bits_needed(2) == 2
+        assert bits_needed(255) == 8
+        assert bits_needed(256) == 9
+        with pytest.raises(ValueError):
+            bits_needed(-1)
+
+    @pytest.mark.parametrize("width", [1, 3, 7, 13, 31, 37, 63, 64])
+    def test_roundtrip_random(self, width):
+        rng = np.random.default_rng(width)
+        hi = (1 << width) - 1 if width < 64 else (1 << 64) - 1
+        vals = [int(rng.integers(0, min(hi, 2**62)) + 1) % (hi + 1) for _ in range(200)]
+        arr = PackedIntArray(vals, width=width)
+        assert len(arr) == 200
+        assert list(arr) == vals
+
+    def test_auto_width(self):
+        arr = PackedIntArray([3, 7, 1])
+        assert arr.width == 3
+
+    def test_value_too_large(self):
+        with pytest.raises(ValueError):
+            PackedIntArray([8], width=3)
+
+    def test_index_errors(self):
+        arr = PackedIntArray([1, 2, 3])
+        with pytest.raises(IndexError):
+            arr[3]
+        with pytest.raises(IndexError):
+            arr[-1]
+
+    def test_word_spanning_values(self):
+        # width 13: values straddle 64-bit word boundaries regularly.
+        vals = [i * 37 % 8192 for i in range(500)]
+        arr = PackedIntArray(vals, width=13)
+        assert arr.to_numpy().tolist() == vals
+
+    def test_space_close_to_n_times_width(self):
+        arr = PackedIntArray(list(range(1000)), width=10)
+        assert arr.size_in_bits() <= 1000 * 10 + 64 + 128
+
+    def test_empty(self):
+        arr = PackedIntArray([])
+        assert len(arr) == 0
+        assert list(arr) == []
+
+
+class TestEliasFano:
+    def test_roundtrip(self):
+        vals = [0, 0, 3, 5, 5, 9, 120, 130, 131]
+        ef = EliasFano(vals)
+        assert list(ef) == vals
+        assert len(ef) == len(vals)
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(ValueError):
+            EliasFano([3, 1])
+
+    def test_rejects_outside_universe(self):
+        with pytest.raises(ValueError):
+            EliasFano([5], universe=5)
+
+    def test_next_geq(self):
+        ef = EliasFano([2, 4, 4, 10, 50])
+        assert ef.next_geq(0) == (0, 2)
+        assert ef.next_geq(3) == (1, 4)
+        assert ef.next_geq(4) == (1, 4)
+        assert ef.next_geq(11) == (4, 50)
+        assert ef.next_geq(51) is None
+
+    def test_rank_lt(self):
+        ef = EliasFano([2, 4, 4, 10])
+        assert ef.rank_lt(0) == 0
+        assert ef.rank_lt(2) == 0
+        assert ef.rank_lt(3) == 1
+        assert ef.rank_lt(4) == 1
+        assert ef.rank_lt(5) == 3
+        assert ef.rank_lt(1000) == 4
+
+    def test_dense_sequence(self):
+        vals = list(range(1000))
+        ef = EliasFano(vals)
+        assert list(ef) == vals
+
+    def test_sparse_sequence_compresses(self):
+        vals = sorted(np.random.default_rng(0).integers(0, 2**40, 500).tolist())
+        ef = EliasFano(vals, universe=2**40)
+        # Roughly 2 + log2(U/m) ~ 33 bits per element; plain is 40.
+        assert ef.size_in_bits() < 40 * 500
+
+    def test_empty(self):
+        ef = EliasFano([])
+        assert len(ef) == 0
+        assert ef.next_geq(0) is None
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**21, 2**40 + 7])
+    def test_roundtrip_single(self, value):
+        out = bytearray()
+        encode_varint(value, out)
+        decoded, pos = decode_varint(bytes(out), 0)
+        assert decoded == value
+        assert pos == len(out)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1, bytearray())
+
+    def test_roundtrip_stream(self):
+        vals = [0, 5, 127, 128, 16384, 99, 2**30]
+        assert decode_varints(encode_varints(vals)) == vals
+
+    def test_small_values_one_byte(self):
+        assert len(encode_varints(range(128))) == 128
+
+
+class TestTripleBlocks:
+    def test_roundtrip_sorted(self):
+        triples = sorted(
+            {(a % 5, b % 7, (a * b) % 11) for a in range(20) for b in range(10)}
+        )
+        assert decode_triple_block(encode_triple_block(triples)) == triples
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            encode_triple_block([(2, 0, 0), (1, 0, 0)])
+
+    def test_empty_block(self):
+        assert decode_triple_block(encode_triple_block([])) == []
+
+    def test_shared_prefixes_compress(self):
+        # Many triples share (s, p): deltas should be tiny.
+        clustered = [(1, 1, o) for o in range(1000)]
+        scattered = [(o, o + 1, o + 2) for o in range(0, 3000, 3)]
+        assert len(encode_triple_block(clustered)) < len(
+            encode_triple_block(scattered)
+        )
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 50), st.integers(0, 50), st.integers(0, 50)
+        ),
+        max_size=100,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_property_triple_block_roundtrip(triples):
+    triples = sorted(set(triples))
+    assert decode_triple_block(encode_triple_block(triples)) == triples
+
+
+@given(st.lists(st.integers(0, 2**50), min_size=0, max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_property_varint_roundtrip(values):
+    assert decode_varints(encode_varints(values)) == values
+
+
+@given(st.lists(st.integers(0, 10_000), min_size=0, max_size=150))
+@settings(max_examples=50, deadline=None)
+def test_property_elias_fano_roundtrip(values):
+    values = sorted(values)
+    ef = EliasFano(values)
+    assert list(ef) == values
+    if values:
+        # next_geq agrees with a linear scan for a few probes.
+        for probe in [0, values[0], values[-1], values[-1] + 1]:
+            expected = next(((i, v) for i, v in enumerate(values) if v >= probe), None)
+            assert ef.next_geq(probe) == expected

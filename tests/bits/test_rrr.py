@@ -1,0 +1,133 @@
+"""Tests for the RRR compressed bitvector (C-Ring substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits import BitVector, RRRBitVector
+from repro.bits.rrr import _BlockCode
+
+
+class TestBlockCode:
+    @pytest.mark.parametrize("block_size", [15, 31])
+    def test_encode_decode_roundtrip_exhaustive_small(self, block_size):
+        coder = _BlockCode(block_size)
+        rng = np.random.default_rng(1)
+        for _ in range(300):
+            block = int(rng.integers(0, 1 << block_size))
+            k, off = coder.encode(block)
+            assert k == block.bit_count()
+            assert coder.decode(k, off) == block
+
+    def test_extreme_classes_have_zero_offset_bits(self):
+        coder = _BlockCode(15)
+        assert coder.offset_bits[0] == 0
+        assert coder.offset_bits[15] == 0
+
+    def test_offsets_are_dense(self):
+        # All 15-bit blocks of class 2 must get distinct offsets below C(15,2).
+        coder = _BlockCode(15)
+        seen = set()
+        for block in range(1 << 15):
+            if block.bit_count() == 2:
+                _, off = coder.encode(block)
+                assert 0 <= off < 105  # C(15, 2)
+                seen.add(off)
+        assert len(seen) == 105
+
+
+class TestRRRQueries:
+    @pytest.mark.parametrize("block_size", [15, 31, 63])
+    @pytest.mark.parametrize("density", [0.02, 0.5, 0.95])
+    def test_matches_plain_bitvector(self, block_size, density):
+        rng = np.random.default_rng(int(density * 100) + block_size)
+        arr = rng.random(700) < density
+        rrr = RRRBitVector.from_bool_array(arr, block_size)
+        plain = BitVector.from_bool_array(arr)
+        assert rrr.ones == plain.ones
+        for i in range(0, 701, 13):
+            assert rrr.rank1(i) == plain.rank1(i)
+            assert rrr.rank0(i) == plain.rank0(i)
+        for k in range(1, rrr.ones + 1, max(1, rrr.ones // 60)):
+            assert rrr.select1(k) == plain.select1(k)
+        for k in range(1, rrr.zeros + 1, max(1, rrr.zeros // 40)):
+            assert rrr.select0(k) == plain.select0(k)
+        for i in range(0, 700, 7):
+            assert rrr[i] == plain[i]
+
+    def test_empty(self):
+        rrr = RRRBitVector([])
+        assert len(rrr) == 0
+        assert rrr.ones == 0
+
+    def test_bad_block_size(self):
+        with pytest.raises(ValueError):
+            RRRBitVector([1, 0], block_size=10)
+
+    def test_select_errors(self):
+        rrr = RRRBitVector([1, 0, 1])
+        with pytest.raises(ValueError):
+            rrr.select1(0)
+        with pytest.raises(ValueError):
+            rrr.select1(3)
+
+    def test_superblock_boundary(self):
+        # block_size 15, 32 blocks per superblock -> boundary at bit 480.
+        n = 15 * 32 * 3 + 7
+        rng = np.random.default_rng(5)
+        arr = rng.random(n) < 0.3
+        rrr = RRRBitVector.from_bool_array(arr)
+        prefix = np.concatenate([[0], np.cumsum(arr)])
+        for i in [479, 480, 481, 960, n - 1, n]:
+            assert rrr.rank1(i) == prefix[i]
+
+    def test_to_bool_array_roundtrip(self):
+        rng = np.random.default_rng(11)
+        arr = rng.random(333) < 0.4
+        rrr = RRRBitVector.from_bool_array(arr)
+        assert np.array_equal(rrr.to_bool_array(), arr)
+
+
+class TestCompression:
+    def test_runny_input_compresses(self):
+        """BWT-like runny bitvectors must shrink below plain size."""
+        n = 50_000
+        arr = np.zeros(n, dtype=bool)
+        arr[n // 2:] = True  # one long run of zeros, one of ones
+        rrr = RRRBitVector.from_bool_array(arr)
+        plain = BitVector.from_bool_array(arr)
+        assert rrr.size_in_bits() < plain.size_in_bits() / 2
+
+    def test_larger_blocks_compress_runny_input_better(self):
+        n = 60_000
+        rng = np.random.default_rng(3)
+        # Markov-ish runs.
+        arr = np.zeros(n, dtype=bool)
+        state = False
+        for i in range(n):
+            if rng.random() < 0.01:
+                state = not state
+            arr[i] = state
+        small = RRRBitVector.from_bool_array(arr, 15)
+        large = RRRBitVector.from_bool_array(arr, 63)
+        assert large.size_in_bits() < small.size_in_bits()
+
+    def test_random_input_does_not_explode(self):
+        rng = np.random.default_rng(9)
+        arr = rng.random(30_000) < 0.5
+        rrr = RRRBitVector.from_bool_array(arr)
+        # Incompressible input should cost at most ~1.6 bits per bit here.
+        assert rrr.size_in_bits() < 1.6 * len(arr)
+
+
+@given(st.lists(st.booleans(), min_size=0, max_size=200), st.sampled_from([15, 31]))
+@settings(max_examples=50, deadline=None)
+def test_property_rrr_equals_naive(bits, block_size):
+    rrr = RRRBitVector(bits, block_size)
+    prefix = 0
+    for i, b in enumerate(bits):
+        assert rrr[i] == int(b)
+        assert rrr.rank1(i) == prefix
+        prefix += b
+    assert rrr.rank1(len(bits)) == prefix

@@ -1,0 +1,132 @@
+"""Tests for the C-array layouts (plain vs Elias–Fano, paper footnote 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.counts import (
+    EliasFanoCounts,
+    PackedCounts,
+    counts_from_column,
+    make_counts,
+)
+from repro.core.ring import Ring
+from repro.graph.generators import nobel_graph, wikidata_like
+
+LAYOUTS = [PackedCounts, EliasFanoCounts]
+
+
+def reference_ops(cumulative):
+    c = np.asarray(cumulative)
+
+    def access(v):
+        return int(c[v])
+
+    def bucket_of(q):
+        return int(np.searchsorted(c, q, side="right")) - 1
+
+    def next_nonempty(v):
+        for i in range(max(v, 0), len(c) - 1):
+            if c[i + 1] > c[i]:
+                return i
+        return None
+
+    return access, bucket_of, next_nonempty
+
+
+class TestCountsFromColumn:
+    def test_basic(self):
+        out = counts_from_column(np.array([0, 0, 2, 3]), sigma=5)
+        assert out.tolist() == [0, 2, 2, 3, 4, 4]
+
+    def test_empty_column(self):
+        assert counts_from_column(np.array([], dtype=np.int64), 3).tolist() == [
+            0, 0, 0, 0,
+        ]
+
+
+@pytest.mark.parametrize("layout", LAYOUTS, ids=lambda c: c.__name__)
+class TestLayouts:
+    def test_rejects_decreasing(self, layout):
+        with pytest.raises(ValueError):
+            layout(np.array([3, 1]))
+
+    def test_matches_reference(self, layout):
+        rng = np.random.default_rng(0)
+        column = rng.integers(0, 40, size=500)
+        cumulative = counts_from_column(column, sigma=40)
+        counts = layout(cumulative)
+        access, bucket_of, next_nonempty = reference_ops(cumulative)
+        assert len(counts) == 41
+        for v in range(41):
+            assert counts.access(v) == access(v)
+        for q in range(0, 500, 7):
+            assert counts.bucket_of(q) == bucket_of(q)
+        for c in range(42):
+            assert counts.next_nonempty(c) == next_nonempty(c)
+
+    def test_sparse_alphabet(self, layout):
+        # Most values absent: long flat stretches in the cumulative array.
+        column = np.array([3, 3, 3, 17, 30])
+        cumulative = counts_from_column(column, sigma=32)
+        counts = layout(cumulative)
+        assert counts.next_nonempty(0) == 3
+        assert counts.next_nonempty(4) == 17
+        assert counts.next_nonempty(18) == 30
+        assert counts.next_nonempty(31) is None
+        assert counts.bucket_of(0) == 3
+        assert counts.bucket_of(3) == 17
+        assert counts.bucket_of(4) == 30
+
+    def test_raw_roundtrip(self, layout):
+        cumulative = counts_from_column(np.array([1, 1, 4]), sigma=6)
+        assert layout(cumulative).raw().tolist() == cumulative.tolist()
+
+
+class TestMakeCounts:
+    def test_dispatch(self):
+        col = np.array([0, 1, 1])
+        assert isinstance(make_counts(col, 2, succinct=False), PackedCounts)
+        assert isinstance(make_counts(col, 2, succinct=True), EliasFanoCounts)
+
+
+class TestSuccinctRing:
+    def test_same_answers(self):
+        g = nobel_graph()
+        from repro.core import RingIndex
+
+        plain = RingIndex(g)
+        succinct = RingIndex(g, succinct_counts=True)
+        q = "?x nom ?y . ?x win ?z . ?z adv ?y"
+        assert plain.evaluate(q, decode=True) == succinct.evaluate(
+            q, decode=True
+        )
+
+    def test_triples_recoverable(self):
+        g = wikidata_like(300, seed=0)
+        ring = Ring(g, succinct_counts=True)
+        assert [ring.triple(i) for i in range(ring.n)] == [
+            tuple(t) for t in g.triples
+        ]
+
+    def test_saves_space_on_sparse_universes(self):
+        # Many nodes, few distinct per column: EF C arrays much smaller.
+        g = wikidata_like(2000, n_nodes=60_000, seed=1)
+        plain = Ring(g)
+        succinct = Ring(g, succinct_counts=True)
+        assert succinct.size_in_bits() < plain.size_in_bits()
+
+
+@given(st.lists(st.integers(0, 20), min_size=0, max_size=150))
+@settings(max_examples=50, deadline=None)
+def test_property_layouts_agree(column):
+    cumulative = counts_from_column(np.array(column, dtype=np.int64), sigma=21)
+    packed = PackedCounts(cumulative)
+    ef = EliasFanoCounts(cumulative)
+    for v in range(22):
+        assert packed.access(v) == ef.access(v)
+    for q in range(len(column) + 1):
+        assert packed.bucket_of(q) == ef.bucket_of(q)
+    for c in range(23):
+        assert packed.next_nonempty(c) == ef.next_nonempty(c)

@@ -1,0 +1,202 @@
+"""Tests for the dynamic (LSM) ring — inserts, deletes, merges, queries.
+
+Includes a hypothesis state machine driving random update/query mixes
+against a plain Python set model.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.dynamic import DynamicRingIndex
+from repro.graph import BasicGraphPattern, TriplePattern, Var
+from repro.graph.dataset import Graph
+from repro.graph.generators import nobel_graph, wikidata_like
+from tests.util import as_solution_set, naive_evaluate
+
+X, Y, Z = Var("x"), Var("y"), Var("z")
+
+
+def empty_graph(n_nodes=10, n_predicates=3):
+    return Graph(np.zeros((0, 3)), n_nodes=n_nodes, n_predicates=n_predicates)
+
+
+class TestUpdates:
+    def test_insert_then_query(self):
+        index = DynamicRingIndex(empty_graph())
+        assert index.insert(1, 0, 2)
+        assert index.insert(2, 0, 3)
+        assert not index.insert(1, 0, 2)  # duplicate
+        bgp = BasicGraphPattern([TriplePattern(X, 0, Y), TriplePattern(Y, 0, Z)])
+        out = index.evaluate(bgp)
+        assert as_solution_set(out) == {
+            frozenset({(X, 1), (Y, 2), (Z, 3)}.__iter__())
+        } or len(out) == 1
+
+    def test_delete_buffered(self):
+        index = DynamicRingIndex(empty_graph())
+        index.insert(1, 0, 2)
+        assert index.delete(1, 0, 2)
+        assert not index.delete(1, 0, 2)
+        assert index.n_triples == 0
+        assert index.evaluate(BasicGraphPattern([TriplePattern(X, 0, Y)])) == []
+
+    def test_delete_ring_resident_uses_tombstone(self):
+        g = nobel_graph()
+        index = DynamicRingIndex(g)
+        d = g.dictionary
+        triple = (d.node_id("Bohr"), d.predicate_id("adv"), d.node_id("Thomson"))
+        assert index.contains(*triple)
+        assert index.delete(*triple)
+        assert not index.contains(*triple)
+        # The query layer must not resurrect it.
+        out = index.evaluate("?x adv ?y", decode=True)
+        assert {(m["x"], m["y"]) for m in out} == {
+            ("Thomson", "Strutt"), ("Thorne", "Wheeler"), ("Wheeler", "Bohr"),
+        }
+
+    def test_reinsert_after_tombstone(self):
+        g = nobel_graph()
+        index = DynamicRingIndex(g)
+        d = g.dictionary
+        triple = (d.node_id("Bohr"), d.predicate_id("adv"), d.node_id("Thomson"))
+        index.delete(*triple)
+        assert index.insert(*triple)
+        assert index.contains(*triple)
+        assert index.n_triples == 13
+
+    def test_id_bounds_checked(self):
+        index = DynamicRingIndex(empty_graph(n_nodes=4, n_predicates=2))
+        with pytest.raises(ValueError):
+            index.insert(4, 0, 0)
+        with pytest.raises(ValueError):
+            index.insert(0, 2, 0)
+
+    def test_compaction_freezes_buffer(self):
+        index = DynamicRingIndex(
+            empty_graph(n_nodes=100), buffer_threshold=8
+        )
+        for i in range(30):
+            index.insert(i % 90, 0, (i * 7) % 90)
+        assert index.n_components <= 4
+        assert index.n_triples == len({(i % 90, 0, (i * 7) % 90)
+                                       for i in range(30)})
+
+    def test_full_compaction_folds_tombstones(self):
+        index = DynamicRingIndex(empty_graph(n_nodes=64), buffer_threshold=8)
+        for i in range(16):
+            index.insert(i, 0, i % 4)
+        for i in range(8):
+            index.delete(i, 0, i % 4)
+        index._compact(full=True)
+        assert index.n_triples == 8
+        assert len(index._tombstones) == 0
+        assert index.n_components <= 1
+
+
+class TestQueriesMatchStaticRing:
+    def test_equivalence_after_update_storm(self):
+        g = wikidata_like(400, seed=0)
+        index = DynamicRingIndex(g, buffer_threshold=32)
+        rng = np.random.default_rng(1)
+        live = {tuple(int(v) for v in t) for t in g.triples}
+        for _ in range(300):
+            s = int(rng.integers(0, g.n_nodes))
+            p = int(rng.integers(0, g.n_predicates))
+            o = int(rng.integers(0, g.n_nodes))
+            if rng.random() < 0.6:
+                index.insert(s, p, o)
+                live.add((s, p, o))
+            else:
+                if rng.random() < 0.5 and live:
+                    s, p, o = sorted(live)[int(rng.integers(0, len(live)))]
+                index.delete(s, p, o)
+                live.discard((s, p, o))
+        materialised = {tuple(int(v) for v in t)
+                        for t in index.to_graph().triples}
+        assert materialised == live
+        # Query equivalence against a fresh static ring on the live set.
+        from repro.core import RingIndex
+
+        reference = RingIndex(
+            Graph(np.array(sorted(live)), n_nodes=g.n_nodes,
+                  n_predicates=g.n_predicates)
+        )
+        queries = [
+            BasicGraphPattern([TriplePattern(X, 0, Y)]),
+            BasicGraphPattern([TriplePattern(X, 0, Y), TriplePattern(Y, 1, Z)]),
+            BasicGraphPattern([TriplePattern(X, Var("p"), 3)]),
+        ]
+        for bgp in queries:
+            assert as_solution_set(index.evaluate(bgp)) == as_solution_set(
+                reference.evaluate(bgp)
+            )
+
+    def test_space_stays_linear(self):
+        index = DynamicRingIndex(
+            empty_graph(n_nodes=2000), buffer_threshold=64
+        )
+        rng = np.random.default_rng(3)
+        for _ in range(1000):
+            index.insert(
+                int(rng.integers(0, 2000)), 0, int(rng.integers(0, 2000))
+            )
+        # Components stay few; size is far below one ring per insert.
+        assert index.n_components <= 9
+
+
+class DynamicRingMachine(RuleBasedStateMachine):
+    """Random update/query interleavings vs a Python-set model."""
+
+    def __init__(self):
+        super().__init__()
+        self.index = DynamicRingIndex(
+            empty_graph(n_nodes=6, n_predicates=2), buffer_threshold=8
+        )
+        self.model: set[tuple[int, int, int]] = set()
+
+    triples = st.tuples(
+        st.integers(0, 5), st.integers(0, 1), st.integers(0, 5)
+    )
+
+    @rule(t=triples)
+    def insert(self, t):
+        expected = t not in self.model
+        assert self.index.insert(*t) == expected
+        self.model.add(t)
+
+    @rule(t=triples)
+    def delete(self, t):
+        expected = t in self.model
+        assert self.index.delete(*t) == expected
+        self.model.discard(t)
+
+    @rule(t=triples)
+    def membership(self, t):
+        assert self.index.contains(*t) == (t in self.model)
+
+    @invariant()
+    def count_matches(self):
+        assert self.index.n_triples == len(self.model)
+
+    @invariant()
+    def join_matches_naive(self):
+        if not self.model:
+            return
+        graph = Graph(
+            np.array(sorted(self.model)), n_nodes=6, n_predicates=2
+        )
+        bgp = BasicGraphPattern(
+            [TriplePattern(X, 0, Y), TriplePattern(Y, 1, Z)]
+        )
+        assert as_solution_set(self.index.evaluate(bgp)) == naive_evaluate(
+            graph, bgp
+        )
+
+
+TestDynamicRingStateMachine = DynamicRingMachine.TestCase
+TestDynamicRingStateMachine.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,42 @@
+"""Tests for label-level updates on the dynamic ring."""
+
+import pytest
+
+from repro.core.dynamic import DynamicRingIndex
+from repro.graph.dataset import Graph
+from repro.graph.generators import nobel_graph
+
+import numpy as np
+
+
+class TestLabelledUpdates:
+    def test_insert_labelled(self):
+        index = DynamicRingIndex(nobel_graph())
+        assert index.insert_labelled("Nobel", "win", "Wheeler")
+        out = index.evaluate("Nobel win ?x", decode=True)
+        assert {m["x"] for m in out} >= {"Wheeler", "Bohr"}
+
+    def test_insert_labelled_duplicate(self):
+        index = DynamicRingIndex(nobel_graph())
+        assert not index.insert_labelled("Nobel", "win", "Bohr")
+
+    def test_delete_labelled(self):
+        index = DynamicRingIndex(nobel_graph())
+        assert index.delete_labelled("Nobel", "win", "Bohr")
+        out = index.evaluate("Nobel win ?x", decode=True)
+        assert "Bohr" not in {m["x"] for m in out}
+
+    def test_delete_unknown_label_is_noop(self):
+        index = DynamicRingIndex(nobel_graph())
+        assert not index.delete_labelled("Nobody", "win", "Bohr")
+
+    def test_insert_unknown_label_raises(self):
+        index = DynamicRingIndex(nobel_graph())
+        with pytest.raises(KeyError):
+            index.insert_labelled("Curie", "win", "Bohr")
+
+    def test_requires_dictionary(self):
+        g = Graph(np.array([[0, 0, 1]]), n_nodes=3, n_predicates=1)
+        index = DynamicRingIndex(g)
+        with pytest.raises(ValueError):
+            index.insert_labelled("a", "b", "c")

@@ -1,0 +1,92 @@
+"""Tests for the shared iterator-protocol utilities."""
+
+import pytest
+
+from repro.core.interface import (
+    PatternIterator,
+    first_candidate,
+    leap_based_values,
+    pattern_constants,
+)
+from repro.core.iterators import RingIterator
+from repro.core.ring import Ring
+from repro.graph import TriplePattern, Var
+from repro.graph.generators import nobel_graph
+
+X, Y = Var("x"), Var("y")
+
+
+class TestPatternConstants:
+    def test_plain(self):
+        assert pattern_constants(TriplePattern(X, 1, 2)) == {1: 1, 2: 2}
+
+    def test_numpy_ints_accepted(self):
+        import numpy as np
+
+        out = pattern_constants(TriplePattern(np.int64(3), X, np.int32(1)))
+        assert out == {0: 3, 2: 1}
+        assert all(type(v) is int for v in out.values())
+
+    def test_strings_rejected(self):
+        with pytest.raises(TypeError, match="dictionary-encoded"):
+            pattern_constants(TriplePattern("label", X, Y))
+
+    def test_all_variables(self):
+        assert pattern_constants(TriplePattern(X, Y, Var("z"))) == {}
+
+
+class TestFirstCandidate:
+    def test_returns_first(self):
+        assert first_candidate([X, Y]) == X
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            first_candidate([])
+
+
+class TestLeapBasedValues:
+    def test_enumerates_distinct_ascending(self):
+        g = nobel_graph()
+        ring = Ring(g)
+        p_nom = g.dictionary.predicate_id("nom")
+        it = RingIterator(ring, TriplePattern(X, p_nom, Y))
+        got = list(leap_based_values(it, Y))
+        expected = sorted({t[2] for t in g.triples if t[1] == p_nom})
+        assert got == expected
+
+    def test_empty_pattern(self):
+        g = nobel_graph()
+        ring = Ring(g)
+        # Constant combination with no matches.
+        it = RingIterator(
+            ring, TriplePattern(g.dictionary.node_id("Strutt"),
+                                g.dictionary.predicate_id("adv"), Y)
+        )
+        assert list(leap_based_values(it, Y)) == []
+
+
+class TestProtocolConformance:
+    """Every iterator implementation satisfies the runtime protocol."""
+
+    def test_ring_iterator(self):
+        g = nobel_graph()
+        it = RingIterator(Ring(g), TriplePattern(X, 0, Y))
+        assert isinstance(it, PatternIterator)
+
+    def test_order_set_iterator(self):
+        from repro.baselines.sorted_orders import (
+            ALL_ORDERS,
+            OrderSet,
+            OrderSetIterator,
+        )
+
+        g = nobel_graph()
+        it = OrderSetIterator(OrderSet(g, ALL_ORDERS), TriplePattern(X, 0, Y))
+        assert isinstance(it, PatternIterator)
+
+    def test_union_iterator(self):
+        from repro.core.dynamic import DynamicRingIndex
+
+        g = nobel_graph()
+        it = DynamicRingIndex(g).iterator(TriplePattern(X, 0, Y))
+        assert isinstance(it, PatternIterator)

@@ -1,0 +1,153 @@
+"""Tests for regular path queries over the ring (§7 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import RingIndex
+from repro.core.paths import (
+    Alt,
+    Opt,
+    PathSyntaxError,
+    Plus,
+    Pred,
+    Seq,
+    Star,
+    compile_nfa,
+    parse_path,
+)
+from repro.graph.dataset import Graph
+from repro.graph.generators import nobel_graph, path_graph
+
+
+class TestParser:
+    def test_single_predicate(self):
+        assert parse_path("adv") == Pred("adv")
+
+    def test_sequence(self):
+        assert parse_path("a/b") == Seq((Pred("a"), Pred("b")))
+
+    def test_alternation_binds_looser_than_sequence(self):
+        expr = parse_path("a/b|c")
+        assert isinstance(expr, Alt)
+        assert expr.options[0] == Seq((Pred("a"), Pred("b")))
+        assert expr.options[1] == Pred("c")
+
+    def test_closures(self):
+        assert parse_path("a*") == Star(Pred("a"))
+        assert parse_path("a+") == Plus(Pred("a"))
+        assert parse_path("a?") == Opt(Pred("a"))
+
+    def test_inverse(self):
+        assert parse_path("^a") == Pred("a", inverse=True)
+
+    def test_inverse_distributes_over_groups(self):
+        # ^(a/b) == ^b / ^a
+        expr = parse_path("^(a/b)")
+        assert expr == Seq((Pred("b", True), Pred("a", True)))
+
+    def test_parentheses(self):
+        expr = parse_path("(a|b)/c")
+        assert isinstance(expr, Seq)
+        assert isinstance(expr.parts[0], Alt)
+
+    def test_errors(self):
+        for bad in ("", "a/", "(a", "a)", "|a", "*"):
+            with pytest.raises(PathSyntaxError):
+                parse_path(bad)
+
+
+class TestNFA:
+    def test_compile_smoke(self):
+        nfa = compile_nfa(parse_path("(a|b)+/c"))
+        assert nfa.start != nfa.accept
+        labels = [
+            lab.label
+            for edges in nfa.edges.values()
+            for lab, _ in edges
+            if lab is not None
+        ]
+        assert sorted(labels) == ["a", "b", "c"]
+
+    def test_epsilon_closure(self):
+        from repro.core.paths import _epsilon_closure
+
+        nfa = compile_nfa(parse_path("a*"))
+        closure = _epsilon_closure(nfa, [nfa.start])
+        # A starred expression accepts the empty path: the accept state
+        # must be reachable from start through epsilon edges alone.
+        assert nfa.accept in closure
+
+    def test_epsilon_closure_plus_excludes_accept(self):
+        from repro.core.paths import _epsilon_closure
+
+        nfa = compile_nfa(parse_path("a+"))
+        closure = _epsilon_closure(nfa, [nfa.start])
+        assert nfa.accept not in closure
+
+
+class TestEvaluation:
+    @pytest.fixture(scope="class")
+    def nobel(self):
+        return RingIndex(nobel_graph())
+
+    def test_single_step(self, nobel):
+        assert nobel.evaluate_path("adv", "Bohr", decode=True) == {"Thomson"}
+
+    def test_transitive_closure(self, nobel):
+        # adv chain: Bohr -> Thomson -> Strutt; Thorne -> Wheeler -> Bohr.
+        assert nobel.evaluate_path("adv+", "Thorne", decode=True) == {
+            "Wheeler", "Bohr", "Thomson", "Strutt",
+        }
+
+    def test_star_includes_source(self, nobel):
+        out = nobel.evaluate_path("adv*", "Strutt", decode=True)
+        assert out == {"Strutt"}  # Strutt advises nobody
+
+    def test_inverse_step(self, nobel):
+        # ^win from Bohr: who awarded Bohr.
+        assert nobel.evaluate_path("^win", "Bohr", decode=True) == {"Nobel"}
+
+    def test_sequence_and_inverse(self, nobel):
+        # nominees of the awarder of Bohr: ^win/nom.
+        out = nobel.evaluate_path("^win/nom", "Bohr", decode=True)
+        assert out == {"Bohr", "Strutt", "Thomson", "Thorne", "Wheeler"}
+
+    def test_alternation(self, nobel):
+        out = nobel.evaluate_path("win|nom", "Nobel", decode=True)
+        assert out == {"Bohr", "Strutt", "Thomson", "Thorne", "Wheeler"}
+
+    def test_optional(self, nobel):
+        out = nobel.evaluate_path("adv?", "Bohr", decode=True)
+        assert out == {"Bohr", "Thomson"}
+
+    def test_unknown_predicate_empty(self, nobel):
+        assert nobel.evaluate_path("madeup+", "Bohr", decode=True) == set()
+
+    def test_unknown_source_empty(self, nobel):
+        assert nobel.evaluate_path("adv", "Nobody") == set()
+
+    def test_long_path_closure_with_ids(self):
+        g = path_graph(50)
+        index = RingIndex(g)
+        from repro.core.paths import PathEvaluator, Plus, Pred
+
+        evaluator = PathEvaluator(index.ring)
+        out = evaluator.reachable(0, Plus(Pred(0)))
+        assert out == set(range(1, 51))
+
+    def test_cycle_terminates(self):
+        # 0 -> 1 -> 2 -> 0 cycle must not loop forever under +.
+        g = Graph(np.array([[0, 0, 1], [1, 0, 2], [2, 0, 0]]))
+        from repro.core.paths import PathEvaluator, Plus, Pred
+
+        evaluator = PathEvaluator(RingIndex(g).ring)
+        assert evaluator.reachable(0, Plus(Pred(0))) == {0, 1, 2}
+
+    def test_pairs(self):
+        g = path_graph(4)
+        from repro.core.paths import PathEvaluator, Plus, Pred
+
+        evaluator = PathEvaluator(RingIndex(g).ring)
+        pairs = set(evaluator.pairs(Plus(Pred(0)), range(5)))
+        expected = {(a, b) for a in range(5) for b in range(a + 1, 5)}
+        assert pairs == expected

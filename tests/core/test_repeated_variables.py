@@ -1,0 +1,80 @@
+"""Regression tests for variables repeated across triple-pattern slots.
+
+A variable occurring in both a node slot and the predicate slot joins
+two id *spaces* of different sizes; the hypothesis fuzzer caught an
+index-out-of-bounds here (a node id probed into the predicate C array).
+All engines must treat such values as simply never matching.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FlatTrieIndex, JenaLTJIndex
+from repro.core import CompressedRingIndex, RingIndex
+from repro.graph import BasicGraphPattern, TriplePattern, Var
+from repro.graph.dataset import Graph
+from tests.util import as_solution_set, naive_evaluate
+
+X, Y = Var("x"), Var("y")
+
+ENGINES = [RingIndex, CompressedRingIndex, FlatTrieIndex, JenaLTJIndex]
+
+
+def graph_with_sp_match():
+    # Node ids up to 5, predicate ids up to 2; triple (1, 1, 0) matches
+    # (?x ?x ?y) while (4, 0, 0) must not (4 exceeds the pred universe).
+    return Graph(
+        np.array([[1, 1, 0], [4, 0, 0], [2, 0, 2]]), n_nodes=6, n_predicates=3
+    )
+
+
+@pytest.mark.parametrize("cls", ENGINES, ids=lambda c: c.name)
+class TestCrossSpaceRepetition:
+    def test_subject_equals_predicate(self, cls):
+        g = graph_with_sp_match()
+        bgp = BasicGraphPattern([TriplePattern(X, X, Y)])
+        index = cls(g)
+        assert as_solution_set(index.evaluate(bgp)) == naive_evaluate(g, bgp)
+
+    def test_predicate_equals_object(self, cls):
+        g = Graph(
+            np.array([[0, 2, 2], [3, 1, 5], [5, 0, 0]]),
+            n_nodes=6,
+            n_predicates=3,
+        )
+        bgp = BasicGraphPattern([TriplePattern(Y, X, X)])
+        index = cls(g)
+        assert as_solution_set(index.evaluate(bgp)) == naive_evaluate(g, bgp)
+
+    def test_subject_equals_object(self, cls):
+        g = Graph(
+            np.array([[4, 0, 4], [4, 1, 2], [0, 0, 1]]),
+            n_nodes=6,
+            n_predicates=3,
+        )
+        bgp = BasicGraphPattern([TriplePattern(X, Y, X)])
+        index = cls(g)
+        assert as_solution_set(index.evaluate(bgp)) == naive_evaluate(g, bgp)
+
+    def test_all_three_equal(self, cls):
+        g = Graph(
+            np.array([[1, 1, 1], [2, 2, 2], [2, 1, 2], [5, 0, 5]]),
+            n_nodes=6,
+            n_predicates=3,
+        )
+        bgp = BasicGraphPattern([TriplePattern(X, X, X)])
+        index = cls(g)
+        assert as_solution_set(index.evaluate(bgp)) == naive_evaluate(g, bgp)
+
+    def test_repeated_with_join(self, cls):
+        g = graph_with_sp_match()
+        bgp = BasicGraphPattern(
+            [TriplePattern(X, X, Y), TriplePattern(Y, 0, Var("z"))]
+        )
+        index = cls(g)
+        assert as_solution_set(index.evaluate(bgp)) == naive_evaluate(g, bgp)
+
+    def test_falsifying_example_from_fuzzer(self, cls):
+        g = Graph(np.array([[4, 0, 0]]), n_nodes=6, n_predicates=3)
+        bgp = BasicGraphPattern([TriplePattern(X, X, 0)])
+        assert cls(g).evaluate(bgp) == []

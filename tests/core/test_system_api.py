@@ -1,0 +1,61 @@
+"""Tests for the packaged query-system API: projection, decode, counts."""
+
+import pytest
+
+from repro.core import RingIndex
+from repro.graph import Var, parse_bgp
+from repro.graph.generators import nobel_graph
+
+X, Y, Z = Var("x"), Var("y"), Var("z")
+
+
+@pytest.fixture(scope="module")
+def nobel():
+    return RingIndex(nobel_graph())
+
+
+class TestProjection:
+    def test_project_deduplicates(self, nobel):
+        # Without projection: 9 (Nobel, ?, ?) solutions; projecting on
+        # the predicate leaves the 2 distinct predicates of Nobel.
+        full = nobel.evaluate("Nobel ?p ?x")
+        assert len(full) == 9
+        projected = nobel.evaluate("Nobel ?p ?x", project=[Var("p")])
+        assert len(projected) == 2
+
+    def test_project_with_decode(self, nobel):
+        out = nobel.evaluate("Nobel ?p ?x", project=[Var("p")], decode=True)
+        assert sorted(m["p"] for m in out) == ["nom", "win"]
+
+    def test_project_respects_limit(self, nobel):
+        out = nobel.evaluate("?x ?p ?y", project=[Var("p")], limit=2)
+        assert len(out) == 2
+
+    def test_project_on_join(self, nobel):
+        # Who advises a laureate? Project away everything else.
+        out = nobel.evaluate(
+            "Nobel win ?y . ?z adv ?y", project=[Var("z")], decode=True
+        )
+        assert sorted(m["z"] for m in out) == ["Bohr", "Thomson", "Wheeler"]
+
+
+class TestEvaluateConventions:
+    def test_string_and_parsed_agree(self, nobel):
+        text = "?x adv ?y"
+        assert nobel.evaluate(text) == nobel.evaluate(parse_bgp(text))
+
+    def test_decode_variable_predicate_role(self, nobel):
+        out = nobel.evaluate("Bohr ?p ?o", decode=True)
+        assert out == [{"p": "adv", "o": "Thomson"}]
+
+    def test_count(self, nobel):
+        assert nobel.count("?x win ?y") == 4
+        assert nobel.count("?x madeup ?y") == 0
+
+    def test_bytes_per_triple_consistent(self, nobel):
+        assert nobel.bytes_per_triple() == pytest.approx(
+            nobel.size_in_bits() / 8 / 13
+        )
+
+    def test_triple_accessor(self, nobel):
+        assert len(nobel.triple(0)) == 3

@@ -1,0 +1,162 @@
+"""Tests for Dictionary, Graph and the synthetic generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Dictionary, Graph, TriplePattern, Var
+from repro.graph.generators import (
+    NOBEL_TRIPLES,
+    clique_graph,
+    nobel_graph,
+    path_graph,
+    random_graph,
+    wikidata_like,
+)
+
+
+class TestDictionary:
+    def test_shared_node_space(self):
+        d = Dictionary()
+        bohr = d.add_node("Bohr")
+        assert d.add_node("Bohr") == bohr  # idempotent
+        assert d.node_id("Bohr") == bohr
+        assert d.node_label(bohr) == "Bohr"
+
+    def test_predicates_separate_space(self):
+        d = Dictionary()
+        a = d.add_node("x")
+        b = d.add_predicate("x")
+        assert a == 0 and b == 0  # same label, independent id spaces
+        assert d.n_nodes == 1 and d.n_predicates == 1
+
+    def test_unknown_raises(self):
+        d = Dictionary()
+        with pytest.raises(KeyError):
+            d.node_id("nope")
+
+    def test_from_triples(self):
+        d = Dictionary.from_triples(NOBEL_TRIPLES)
+        assert d.n_nodes == 6  # Bohr, Thomson, Strutt, Thorne, Wheeler, Nobel
+        assert d.n_predicates == 3  # adv, nom, win
+        assert d.has_node("Nobel") and d.has_predicate("win")
+        assert not d.has_node("win")
+
+
+class TestGraph:
+    def test_nobel_graph_shape(self):
+        g = nobel_graph()
+        assert g.n_triples == 13
+        assert g.n_nodes == 6
+        assert g.n_predicates == 3
+
+    def test_sorted_and_deduplicated(self):
+        g = Graph(np.array([[2, 0, 1], [0, 0, 1], [2, 0, 1]]))
+        assert g.n_triples == 2
+        assert g.triples.tolist() == [[0, 0, 1], [2, 0, 1]]
+
+    def test_contains(self):
+        g = nobel_graph()
+        d = g.dictionary
+        assert (d.node_id("Bohr"), d.predicate_id("adv"), d.node_id("Thomson")) in g
+        assert (d.node_id("Bohr"), d.predicate_id("adv"), d.node_id("Nobel")) not in g
+
+    def test_roundtrip_labels(self):
+        g = nobel_graph()
+        assert set(g.labelled_triples()) == set(NOBEL_TRIPLES)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            Graph(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            Graph(np.array([[-1, 0, 0]]))
+        with pytest.raises(ValueError):
+            Graph(np.array([[5, 0, 0]]), n_nodes=3, n_predicates=1)
+
+    def test_empty_graph(self):
+        g = Graph(np.zeros((0, 3)))
+        assert g.n_triples == 0
+        assert list(g) == []
+
+    def test_encode_pattern(self):
+        g = nobel_graph()
+        pattern = TriplePattern(Var("x"), "adv", "Bohr")
+        enc = g.encode_pattern(pattern)
+        assert enc.s == Var("x")
+        assert enc.p == g.dictionary.predicate_id("adv")
+        assert enc.o == g.dictionary.node_id("Bohr")
+
+    def test_encode_unknown_constant_gives_none(self):
+        g = nobel_graph()
+        assert g.encode_pattern(TriplePattern(Var("x"), "nope", Var("y"))) is None
+
+    def test_encode_without_dictionary_raises_for_strings(self):
+        g = Graph(np.array([[0, 0, 0]]))
+        with pytest.raises(ValueError):
+            g.encode_pattern(TriplePattern("a", "b", "c"))
+
+    def test_decode_solution_uses_roles(self):
+        from repro.graph import BasicGraphPattern
+
+        g = nobel_graph()
+        bgp = BasicGraphPattern([TriplePattern("Nobel", Var("p"), Var("x"))])
+        roles = g.variable_roles(bgp)
+        sol = {Var("p"): g.dictionary.predicate_id("win"),
+               Var("x"): g.dictionary.node_id("Bohr")}
+        decoded = g.decode_solution(sol, roles)
+        assert decoded == {"p": "win", "x": "Bohr"}
+
+    def test_space_yardsticks(self):
+        g = nobel_graph()
+        assert g.plain_size_in_bits() == 13 * 96
+        # 3 bits for 6 nodes (x2) + 2 bits for 3 predicates.
+        assert g.packed_size_in_bits() == 13 * (3 + 3 + 2)
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\nBohr adv Thomson\nNobel win Bohr\n\n")
+        g = Graph.from_file(str(path))
+        assert g.n_triples == 2
+
+    def test_from_file_malformed(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("just two\n")
+        with pytest.raises(ValueError):
+            Graph.from_file(str(path))
+
+
+class TestGenerators:
+    def test_wikidata_like_deterministic(self):
+        g1 = wikidata_like(500, seed=3)
+        g2 = wikidata_like(500, seed=3)
+        assert np.array_equal(g1.triples, g2.triples)
+        assert not np.array_equal(g1.triples, wikidata_like(500, seed=4).triples)
+
+    def test_wikidata_like_size(self):
+        g = wikidata_like(1000, seed=0)
+        assert g.n_triples == 1000
+        assert g.n_predicates < g.n_nodes
+
+    def test_wikidata_like_is_skewed(self):
+        g = wikidata_like(3000, seed=1)
+        counts = np.bincount(g.triples[:, 1], minlength=g.n_predicates)
+        # The most frequent predicate should dominate the least frequent.
+        assert counts.max() > 5 * max(counts.min(), 1)
+
+    def test_path_graph(self):
+        g = path_graph(5)
+        assert g.n_triples == 5
+        assert (0, 0, 1) in g
+        assert (5, 0, 6) not in g
+
+    def test_clique_graph(self):
+        g = clique_graph(4)
+        assert g.n_triples == 12  # k*(k-1)
+        assert (0, 0, 0) not in g
+
+    def test_random_graph_caps_at_capacity(self):
+        g = random_graph(1000, n_nodes=3, n_predicates=2, seed=0)
+        assert g.n_triples == 3 * 3 * 2
+
+    def test_random_graph_exact_count(self):
+        g = random_graph(50, n_nodes=20, n_predicates=3, seed=5)
+        assert g.n_triples == 50

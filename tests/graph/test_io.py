@@ -1,0 +1,65 @@
+"""Persistence tests: graph .npz round-trips and index save/load."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompressedRingIndex, RingIndex
+from repro.graph.dataset import Graph
+from repro.graph.generators import nobel_graph, wikidata_like
+from repro.graph.io import load_graph, save_graph
+
+
+class TestGraphRoundtrip:
+    def test_with_dictionary(self, tmp_path):
+        g = nobel_graph()
+        path = tmp_path / "nobel.npz"
+        save_graph(g, path)
+        loaded = load_graph(path)
+        assert np.array_equal(loaded.triples, g.triples)
+        assert set(loaded.labelled_triples()) == set(g.labelled_triples())
+
+    def test_without_dictionary(self, tmp_path):
+        g = wikidata_like(300, seed=0)
+        path = tmp_path / "g.npz"
+        save_graph(g, path)
+        loaded = load_graph(path)
+        assert np.array_equal(loaded.triples, g.triples)
+        assert loaded.n_nodes == g.n_nodes
+        assert loaded.n_predicates == g.n_predicates
+        assert loaded.dictionary is None
+
+    def test_empty_graph(self, tmp_path):
+        g = Graph(np.zeros((0, 3)), n_nodes=5, n_predicates=2)
+        path = tmp_path / "empty.npz"
+        save_graph(g, path)
+        loaded = load_graph(path)
+        assert loaded.n_triples == 0
+        assert loaded.n_nodes == 5
+
+
+class TestIndexRoundtrip:
+    def test_ring_save_load(self, tmp_path):
+        g = nobel_graph()
+        index = RingIndex(g)
+        path = tmp_path / "index.npz"
+        index.save(path)
+        loaded = RingIndex.load(path)
+        q = "?x nom ?y . ?x win ?z . ?z adv ?y"
+        assert loaded.evaluate(q, decode=True) == index.evaluate(q, decode=True)
+        assert not loaded.ring.compressed
+
+    def test_compressed_flag_persists(self, tmp_path):
+        g = nobel_graph()
+        index = CompressedRingIndex(g)
+        path = tmp_path / "cindex.npz"
+        index.save(path)
+        loaded = RingIndex.load(path)
+        assert loaded.ring.compressed
+
+    def test_load_without_config_defaults_plain(self, tmp_path):
+        g = nobel_graph()
+        path = tmp_path / "bare.npz"
+        save_graph(g, path)
+        loaded = RingIndex.load(path)
+        assert not loaded.ring.compressed
+        assert loaded.count("?x adv ?y") == 4

@@ -1,0 +1,127 @@
+"""Tests for triples, patterns, BGPs and the BGP parser."""
+
+import pytest
+
+from repro.graph import BasicGraphPattern, TriplePattern, Var, parse_bgp
+from repro.graph.model import O, P, S
+
+
+class TestVar:
+    def test_repr(self):
+        assert repr(Var("x")) == "?x"
+
+    def test_equality_by_name(self):
+        assert Var("x") == Var("x")
+        assert Var("x") != Var("y")
+
+    def test_hashable(self):
+        assert len({Var("x"), Var("x"), Var("y")}) == 2
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Var("")
+
+
+class TestTriplePattern:
+    def test_variables_in_position_order(self):
+        t = TriplePattern(Var("y"), "p", Var("x"))
+        assert t.variables() == [Var("y"), Var("x")]
+
+    def test_variables_deduplicated(self):
+        t = TriplePattern(Var("x"), Var("x"), Var("z"))
+        assert t.variables() == [Var("x"), Var("z")]
+
+    def test_variable_positions(self):
+        t = TriplePattern(Var("x"), "p", Var("x"))
+        assert t.variable_positions(Var("x")) == [S, O]
+        assert t.variable_positions(Var("zzz")) == []
+
+    def test_constants(self):
+        t = TriplePattern(Var("x"), "p", 7)
+        assert t.constants() == [(P, "p"), (O, 7)]
+
+    def test_has_repeated_variable(self):
+        assert TriplePattern(Var("x"), "p", Var("x")).has_repeated_variable()
+        assert not TriplePattern(Var("x"), "p", Var("y")).has_repeated_variable()
+
+    def test_is_fully_bound(self):
+        assert TriplePattern(1, 2, 3).is_fully_bound()
+        assert not TriplePattern(1, 2, Var("x")).is_fully_bound()
+
+    def test_substitute(self):
+        t = TriplePattern(Var("x"), Var("p"), Var("x"))
+        out = t.substitute({Var("x"): 5})
+        assert out == TriplePattern(5, Var("p"), 5)
+
+    def test_kind_signatures(self):
+        assert TriplePattern(Var("x"), "p", Var("y")).kind() == "(?, p, ?)"
+        assert TriplePattern("s", Var("p"), "o").kind() == "(s, ?, o)"
+        assert TriplePattern(Var("a"), Var("b"), Var("c")).kind() == "(?, ?, ?)"
+
+
+class TestBasicGraphPattern:
+    def test_requires_patterns(self):
+        with pytest.raises(ValueError):
+            BasicGraphPattern([])
+
+    def test_variables_first_appearance_order(self):
+        bgp = BasicGraphPattern(
+            [
+                TriplePattern(Var("b"), "p", Var("a")),
+                TriplePattern(Var("a"), "q", Var("c")),
+            ]
+        )
+        assert bgp.variables() == [Var("b"), Var("a"), Var("c")]
+
+    def test_patterns_with(self):
+        t1 = TriplePattern(Var("x"), "p", Var("y"))
+        t2 = TriplePattern(Var("y"), "q", Var("z"))
+        bgp = BasicGraphPattern([t1, t2])
+        assert bgp.patterns_with(Var("y")) == [t1, t2]
+        assert bgp.patterns_with(Var("x")) == [t1]
+
+    def test_lonely_variables(self):
+        bgp = BasicGraphPattern(
+            [
+                TriplePattern(Var("x"), "p", Var("y")),
+                TriplePattern(Var("y"), "q", Var("z")),
+            ]
+        )
+        assert bgp.lonely_variables() == {Var("x"), Var("z")}
+
+    def test_lonely_counts_patterns_not_occurrences(self):
+        # x twice in ONE pattern is still lonely.
+        bgp = BasicGraphPattern(
+            [
+                TriplePattern(Var("x"), "p", Var("x")),
+                TriplePattern(Var("y"), "q", Var("z")),
+            ]
+        )
+        assert Var("x") in bgp.lonely_variables()
+
+
+class TestParser:
+    def test_single_pattern(self):
+        bgp = parse_bgp("?x adv ?y")
+        assert len(bgp) == 1
+        assert bgp.patterns[0] == TriplePattern(Var("x"), "adv", Var("y"))
+
+    def test_figure4_query(self):
+        bgp = parse_bgp("Nobel win ?x . Nobel nom ?y . ?z adv ?y")
+        assert len(bgp) == 3
+        assert bgp.variables() == [Var("x"), Var("y"), Var("z")]
+
+    def test_trailing_dot_ok(self):
+        assert len(parse_bgp("?x p ?y .")) == 1
+
+    def test_wrong_arity(self):
+        with pytest.raises(ValueError):
+            parse_bgp("?x p")
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            parse_bgp("  .  ")
+
+    def test_bare_question_mark(self):
+        with pytest.raises(ValueError):
+            parse_bgp("? p ?y")

@@ -1,0 +1,119 @@
+"""Tests for the N-Triples subset loader."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.ntriples import (
+    NTriplesError,
+    iter_ntriples,
+    load_ntriples,
+    parse_ntriples_line,
+)
+
+
+class TestParseLine:
+    def test_iris(self):
+        line = "<http://ex/s> <http://ex/p> <http://ex/o> ."
+        assert parse_ntriples_line(line) == ("http://ex/s", "http://ex/p",
+                                             "http://ex/o")
+
+    def test_literal_object(self):
+        line = '<http://ex/s> <http://ex/p> "Niels Bohr" .'
+        assert parse_ntriples_line(line) == (
+            "http://ex/s", "http://ex/p", '"Niels Bohr"'
+        )
+
+    def test_literal_with_escapes(self):
+        line = '<s> <p> "a\\"b\\\\c\\nd" .'
+        assert parse_ntriples_line(line)[2] == '"a"b\\c\nd"'
+
+    def test_language_tag_kept(self):
+        line = '<s> <p> "Bohr"@da .'
+        assert parse_ntriples_line(line)[2] == '"Bohr"@da'
+
+    def test_datatype_kept(self):
+        line = '<s> <p> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .'
+        assert parse_ntriples_line(line)[2] == (
+            '"42"^^<http://www.w3.org/2001/XMLSchema#integer>'
+        )
+
+    def test_blank_nodes(self):
+        line = "_:b1 <p> _:b2 ."
+        assert parse_ntriples_line(line) == ("_:b1", "p", "_:b2")
+
+    def test_comment_and_blank_lines(self):
+        assert parse_ntriples_line("# comment") is None
+        assert parse_ntriples_line("   ") is None
+
+    @pytest.mark.parametrize("bad", [
+        "<s> <p> <o>",  # missing dot
+        "<s> <p> .",  # missing object
+        "<s <p> <o> .",  # unterminated IRI
+        '<s> <p> "unterminated .',
+        "<s> <p> <o> . extra",
+        "s p o .",  # bare words are not N-Triples
+    ])
+    def test_malformed(self, bad):
+        with pytest.raises(NTriplesError):
+            parse_ntriples_line(bad, line_no=7)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(NTriplesError, match="line 7"):
+            parse_ntriples_line("<s> <p> <o>", line_no=7)
+
+
+class TestLoading:
+    DOC = """\
+# The Nobel fragment
+<Bohr> <adv> <Thomson> .
+<Nobel> <win> <Bohr> .
+<Nobel> <label> "Nobel Prize"@en .
+
+<Nobel> <win> <Bohr> .
+"""
+
+    def test_iter_skips_noise_and_keeps_duplicates(self):
+        triples = list(iter_ntriples(self.DOC.splitlines()))
+        assert len(triples) == 4  # deduplication is the Graph's job
+
+    def test_load_file(self, tmp_path):
+        path = tmp_path / "g.nt"
+        path.write_text(self.DOC)
+        graph = load_ntriples(str(path))
+        assert graph.n_triples == 3  # duplicate removed
+        assert graph.dictionary.has_node('"Nobel Prize"@en')
+        index_labels = set(graph.labelled_triples())
+        assert ("Nobel", "win", "Bohr") in index_labels
+
+    def test_queryable_after_load(self, tmp_path):
+        from repro.core import RingIndex
+
+        path = tmp_path / "g.nt"
+        path.write_text(self.DOC)
+        index = RingIndex(load_ntriples(str(path)))
+        assert index.evaluate("?x win ?y", decode=True) == [
+            {"x": "Nobel", "y": "Bohr"}
+        ]
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.text(
+                alphabet=st.characters(
+                    blacklist_characters='<>"\\\n\r ', min_codepoint=33
+                ),
+                min_size=1,
+                max_size=12,
+            ),
+        ),
+        min_size=0,
+        max_size=10,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_property_iri_roundtrip(labels):
+    lines = [f"<{t[0]}> <p> <o{i}> ." for i, t in enumerate(labels)]
+    parsed = list(iter_ntriples(lines))
+    assert [p[0] for p in parsed] == [t[0] for t in labels]

@@ -1,0 +1,113 @@
+"""Empirical worst-case optimality (§2.2.2, Theorem 3.5).
+
+The paper's motivating argument: on the triangle query, any pairwise
+plan materialises Θ(k²) intermediate tuples on the adversarial "star"
+instance, while a wco algorithm does O(AGM) = O(k) work.  With the
+operation counters wired into both engines, that separation is testable
+rather than rhetorical.
+
+The instance (the standard AGM separator, cf. Figure 1's discussion):
+for each relation position, edges from a hub to k spokes and from k
+spokes to a hub, arranged so every pairwise join explodes while the
+triangle output stays tiny.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import JenaIndex
+from repro.core import RingIndex
+from repro.graph import BasicGraphPattern, TriplePattern, Var
+from repro.graph.dataset import Graph
+
+X, Y, Z = Var("x"), Var("y"), Var("z")
+
+TRIANGLE = BasicGraphPattern(
+    [TriplePattern(X, 0, Y), TriplePattern(Y, 0, Z), TriplePattern(Z, 0, X)]
+)
+
+
+def star_instance(k: int) -> Graph:
+    """Hub-and-spoke edges: R joins explode, the triangle count is 1.
+
+    Nodes: hub ``h = 0`` and spokes ``1..k``; edges ``h -> i`` and
+    ``i -> h`` for every spoke, plus the self-ish closure via the hub.
+    The pairwise join (x->y)(y->z) yields k² pairs through the hub,
+    while triangles all pass through ``h`` (output Θ(k), thanks to the
+    hub's self-loop).
+    """
+    edges = [(0, 0, 0)]
+    for i in range(1, k + 1):
+        edges.append((0, 0, i))
+        edges.append((i, 0, 0))
+    return Graph(np.array(edges), n_nodes=k + 1, n_predicates=1)
+
+
+def ltj_operations(graph: Graph) -> int:
+    index = RingIndex(graph)
+    stats: dict = {}
+    out = index.evaluate(TRIANGLE, stats=stats)
+    assert out  # triangles exist: h -> i -> h -> ... through the hub
+    return stats["leaps"] + stats["binds"]
+
+
+def pairwise_operations(graph: Graph) -> int:
+    index = JenaIndex(graph)
+    stats: dict = {}
+    index.evaluate(TRIANGLE, stats=stats)
+    return stats["operations"]
+
+
+class TestWorstCaseOptimality:
+    def test_counters_populated(self):
+        g = star_instance(8)
+        assert ltj_operations(g) > 0
+        assert pairwise_operations(g) > 0
+
+    def test_pairwise_blows_up_quadratically(self):
+        small, large = 20, 80  # 4x nodes
+        ratio = pairwise_operations(star_instance(large)) / pairwise_operations(
+            star_instance(small)
+        )
+        # Nested-loop through the hub scans Θ(k²): expect ~16x growth.
+        assert ratio > 8, f"pairwise grew only {ratio:.1f}x"
+
+    def test_ltj_stays_near_linear(self):
+        small, large = 20, 80
+        ratio = ltj_operations(star_instance(large)) / ltj_operations(
+            star_instance(small)
+        )
+        # Output (and AGM bound) grow linearly: expect ~4x, far below 16x.
+        assert ratio < 8, f"LTJ grew {ratio:.1f}x"
+
+    def test_separation_widens_with_k(self):
+        advantages = []
+        for k in (16, 64):
+            advantages.append(
+                pairwise_operations(star_instance(k)) / ltj_operations(
+                    star_instance(k)
+                )
+            )
+        assert advantages[1] > 2 * advantages[0]
+
+    def test_both_agree_on_answers(self):
+        from tests.util import as_solution_set
+
+        g = star_instance(12)
+        assert as_solution_set(RingIndex(g).evaluate(TRIANGLE)) == \
+            as_solution_set(JenaIndex(g).evaluate(TRIANGLE))
+
+
+class TestStatsAPI:
+    def test_ltj_stats_keys(self):
+        g = star_instance(5)
+        stats: dict = {}
+        RingIndex(g).evaluate(TRIANGLE, stats=stats)
+        assert set(stats) >= {"leaps", "binds"}
+        assert stats["leaps"] >= stats["binds"]
+
+    def test_pairwise_stats_on_early_stop(self):
+        g = star_instance(10)
+        stats: dict = {}
+        JenaIndex(g).evaluate(TRIANGLE, limit=1, stats=stats)
+        assert "operations" in stats  # finalised even when cut short

@@ -1,0 +1,214 @@
+"""Tests reproducing Table 3 (number of index orders per class)."""
+
+import pytest
+
+from repro.relational.orders import (
+    bidirectional_cyclic_orders,
+    closed_form_cw,
+    closed_form_tw,
+    closed_form_w,
+    covers_cbtw,
+    covers_cbw,
+    covers_ctw,
+    covers_cw,
+    covers_tw,
+    covers_w,
+    cyclic_orders,
+    elimination_orders,
+    find_cover,
+    flat_orders,
+    greedy_cover,
+    minimum_orders,
+    run_of,
+    switching_requirements,
+    table3,
+)
+
+
+class TestClosedForms:
+    """Theorem 6.2's exact formulas."""
+
+    @pytest.mark.parametrize(
+        "d,expected", [(2, 2), (3, 6), (4, 24), (5, 120), (6, 720), (7, 5040)]
+    )
+    def test_w(self, d, expected):
+        assert closed_form_w(d) == expected
+
+    @pytest.mark.parametrize(
+        "d,expected", [(2, 2), (3, 6), (4, 12), (5, 30), (6, 60), (7, 140), (8, 280)]
+    )
+    def test_tw(self, d, expected):
+        assert closed_form_tw(d) == expected
+
+    @pytest.mark.parametrize(
+        "d,expected", [(2, 1), (3, 2), (4, 6), (5, 24), (6, 120), (7, 720)]
+    )
+    def test_cw(self, d, expected):
+        assert closed_form_cw(d) == expected
+
+
+class TestCandidates:
+    def test_counts(self):
+        assert len(flat_orders(4)) == 24
+        assert len(cyclic_orders(4)) == 6
+        assert len(bidirectional_cyclic_orders(4)) == 3
+        assert len(bidirectional_cyclic_orders(5)) == 12
+
+    def test_bidirectional_deduplicates_mirrors(self):
+        cycles = bidirectional_cyclic_orders(4)
+        # (0,1,2,3) and its mirror (0,3,2,1) must not both appear.
+        assert ((0, 1, 2, 3) in cycles) != ((0, 3, 2, 1) in cycles)
+
+
+class TestCoveragePredicates:
+    def test_run_of(self):
+        cycle = (0, 2, 1, 3)
+        assert run_of(cycle, frozenset({2, 1})) == (2, 1)
+        assert run_of(cycle, frozenset({3, 0})) == (3, 0)
+        assert run_of(cycle, frozenset({0, 1})) is None
+
+    def test_covers_tw(self):
+        assert covers_tw((1, 0, 2), (frozenset({0, 1}), 2))
+        assert not covers_tw((1, 0, 2), (frozenset({0, 2}), 1))
+        assert covers_tw((1, 0, 2), (frozenset(), 1))
+
+    def test_covers_ctw_backward_only(self):
+        cycle = (0, 1, 2)
+        # Run {1}: its predecessor is 0.
+        assert covers_ctw(cycle, (frozenset({1}), 0))
+        assert not covers_ctw(cycle, (frozenset({1}), 2))
+        assert covers_ctw(cycle, (frozenset(), 2))
+
+    def test_covers_cbtw_both_ends(self):
+        cycle = (0, 1, 2)
+        assert covers_cbtw(cycle, (frozenset({1}), 0))
+        assert covers_cbtw(cycle, (frozenset({1}), 2))
+
+    def test_covers_cbw_single_ring_d3(self):
+        """The headline: one ring handles every elimination order at d=3."""
+        cycle = (0, 1, 2)
+        for pi in elimination_orders(3):
+            assert covers_cbw(cycle, pi), pi
+
+    def test_covers_cw_needs_two_at_d3(self):
+        cycle = (0, 1, 2)
+        covered = [pi for pi in elimination_orders(3) if covers_cw(cycle, pi)]
+        # Backwards traversals only: d starting points.
+        assert len(covered) == 3
+
+    def test_covers_w_is_identity(self):
+        assert covers_w((0, 1, 2), (0, 1, 2))
+        assert not covers_w((0, 1, 2), (0, 2, 1))
+
+
+class TestMinimumOrders:
+    """Table 3, exact section (d <= 5)."""
+
+    # Rows reconstructed from the paper's Table 3.
+    PAPER = {
+        2: {"w": 2, "tw": 2, "cw": 1, "ctw": 1, "cbw": 1, "cbtw": 1},
+        3: {"w": 6, "tw": 6, "cw": 2, "ctw": 2, "cbw": 1, "cbtw": 1},
+        4: {"w": 24, "tw": 12, "cw": 6, "ctw": 4, "cbw": 2, "cbtw": 2},
+        5: {"w": 120, "tw": 30, "cw": 24, "ctw": 8, "cbw": 5, "cbtw": 5},
+    }
+
+    @pytest.mark.parametrize("d", [2, 3, 4])
+    def test_exact_small(self, d):
+        for cls, expected in self.PAPER[d].items():
+            lo, hi = minimum_orders(cls, d)
+            assert lo == hi == expected, (d, cls)
+
+    def test_exact_d5(self):
+        for cls, expected in self.PAPER[5].items():
+            lo, hi = minimum_orders(cls, 5)
+            assert lo == hi == expected, cls
+
+    def test_one_ring_suffices_for_graphs(self):
+        """cbw(3) = cbtw(3) = 1: 'One ring to index them all'."""
+        assert minimum_orders("cbw", 3) == (1, 1)
+        assert minimum_orders("cbtw", 3) == (1, 1)
+
+    def test_d6_brackets_contain_paper_values(self):
+        # Paper: ctw(6) in [10, 12]; cbw(6) = 10; cbtw(6) = 7.
+        lo, hi = minimum_orders("ctw", 6, node_budget=200_000)
+        assert lo <= 12 and hi >= 10
+        lo, hi = minimum_orders("cbw", 6, node_budget=200_000)
+        assert lo <= 10 <= hi
+        lo, hi = minimum_orders("cbtw", 6, node_budget=200_000)
+        assert lo <= 7 <= hi
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            minimum_orders("nope", 3)
+        with pytest.raises(ValueError):
+            minimum_orders("w", 1)
+
+
+class TestTheorem62Inequalities:
+    """The bound chain of Theorem 6.2, checked on computed values."""
+
+    @pytest.mark.parametrize("d", [2, 3, 4, 5])
+    def test_ctw_bounds(self, d):
+        lo, hi = minimum_orders("ctw", d)
+        assert lo == hi
+        # ceil(tw(d)/d) <= ctw(d) <= tw(d-1)
+        assert -(-closed_form_tw(d) // d) <= lo
+        if d >= 3:
+            assert lo <= closed_form_tw(d - 1)
+
+    @pytest.mark.parametrize("d", [2, 3, 4, 5])
+    def test_cbw_bounds(self, d):
+        lo, hi = minimum_orders("cbw", d)
+        assert lo == hi
+        # ceil(cw(d)/2^(d-2)) <= cbw(d) <= cw(d)/2 for d > 2
+        assert -(-closed_form_cw(d) // (1 << max(d - 2, 0))) <= lo
+        if d > 2:
+            assert lo <= closed_form_cw(d) / 2
+
+    @pytest.mark.parametrize("d", [2, 3, 4, 5])
+    def test_cbtw_bounds(self, d):
+        ctw, _ = minimum_orders("ctw", d)
+        cbtw, _ = minimum_orders("cbtw", d)
+        # ceil(ctw/2) <= cbtw <= ctw
+        assert -(-ctw // 2) <= cbtw <= ctw
+
+    @pytest.mark.parametrize("d", [2, 3, 4, 5])
+    def test_monotone_across_classes(self, d):
+        """More index capabilities never require more orders."""
+        w, _ = minimum_orders("w", d)
+        tw, _ = minimum_orders("tw", d)
+        ctw, _ = minimum_orders("ctw", d)
+        cbtw, _ = minimum_orders("cbtw", d)
+        assert w >= tw >= ctw >= cbtw
+
+
+class TestCovers:
+    def test_greedy_cover_covers(self):
+        universe = list(range(6))
+        sets = [{0, 1, 2}, {2, 3}, {3, 4, 5}, {0, 5}]
+        chosen = greedy_cover(universe, sets)
+        covered = set().union(*(sets[i] for i in chosen))
+        assert covered == set(universe)
+
+    def test_greedy_cover_uncoverable(self):
+        with pytest.raises(ValueError):
+            greedy_cover(list(range(3)), [{0}, {1}])
+
+    @pytest.mark.parametrize("cls", ["tw", "ctw", "cbtw"])
+    @pytest.mark.parametrize("d", [3, 4, 5])
+    def test_find_cover_is_complete(self, cls, d):
+        from repro.relational.orders import (
+            covers_cbtw,
+            covers_ctw,
+            covers_tw,
+        )
+
+        predicate = {"tw": covers_tw, "ctw": covers_ctw, "cbtw": covers_cbtw}[cls]
+        cover = find_cover(cls, d)
+        for req in switching_requirements(d):
+            assert any(predicate(cand, req) for cand in cover), req
+
+    def test_table3_shape(self):
+        rows = table3(d_values=(2, 3), node_budget=100_000)
+        assert [r["d"] for r in rows] == [2, 3]
+        assert rows[1]["cbw"] == (1, 1)

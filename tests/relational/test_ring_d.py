@@ -1,0 +1,224 @@
+"""Tests for d-ary rings and the multi-ring relational system."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.model import Var
+from repro.relational import Relation, RelationalRingSystem, RelationPattern, RelationRing
+from repro.relational.ring_d import UnsupportedEliminationOrder
+
+X, Y, Z, W, V = Var("x"), Var("y"), Var("z"), Var("w"), Var("v")
+
+
+def naive_join(relations_patterns, limit=None):
+    """Brute-force evaluation of a list of (Relation, RelationPattern)."""
+    solutions = [{}]
+    for relation, pattern in relations_patterns:
+        extended = []
+        for binding in solutions:
+            concrete = pattern.substitute(binding)
+            for row in relation:
+                new = dict(binding)
+                ok = True
+                for term, value in zip(concrete.terms, row):
+                    if isinstance(term, Var):
+                        if new.get(term, value) != value:
+                            ok = False
+                            break
+                        new[term] = value
+                    elif term != value:
+                        ok = False
+                        break
+                if ok:
+                    extended.append(new)
+        seen, solutions = set(), []
+        for b in extended:
+            key = frozenset(b.items())
+            if key not in seen:
+                seen.add(key)
+                solutions.append(b)
+    return {frozenset(b.items()) for b in solutions}
+
+
+class TestRelation:
+    def test_dedup_and_sort(self):
+        r = Relation(np.array([[1, 0], [0, 1], [1, 0]]))
+        assert r.n == 2
+        assert r.arity == 2
+
+    def test_rejects_bad(self):
+        with pytest.raises(ValueError):
+            Relation(np.array([1, 2, 3]))
+        with pytest.raises(ValueError):
+            Relation(np.array([[1]]))
+        with pytest.raises(ValueError):
+            Relation(np.array([[-1, 0]]))
+        with pytest.raises(ValueError):
+            Relation(np.array([[5, 0]]), sigmas=[3, 2])
+
+    def test_contains(self):
+        r = Relation(np.array([[1, 2, 3]]))
+        assert (1, 2, 3) in r
+        assert (3, 2, 1) not in r
+
+
+class TestRelationPattern:
+    def test_construction_forms(self):
+        assert RelationPattern(X, 1, Y).arity == 3
+        assert RelationPattern((X, 1, Y, Z)).arity == 4
+
+    def test_rejects_arity_one(self):
+        with pytest.raises(ValueError):
+            RelationPattern(X)
+
+    def test_helpers(self):
+        p = RelationPattern(X, 3, Y, X)
+        assert p.variables() == [X, Y]
+        assert p.variable_positions(X) == [0, 3]
+        assert p.constants() == [(1, 3)]
+        assert p.has_repeated_variable()
+        assert not p.is_fully_bound()
+        assert p.substitute({X: 9}) == RelationPattern(9, 3, Y, 9)
+
+
+class TestRelationRing:
+    @pytest.mark.parametrize("d", [2, 3, 4, 5])
+    def test_tuple_recovery(self, d):
+        rng = np.random.default_rng(d)
+        tuples = rng.integers(0, 6, size=(40, d))
+        rel = Relation(tuples)
+        ring = RelationRing(rel, tuple(range(d)))
+        recovered = sorted(ring.tuple_at(i) for i in range(ring.n))
+        assert recovered == sorted(tuple(t) for t in rel)
+
+    def test_rejects_bad_order(self):
+        rel = Relation(np.array([[0, 1, 2]]))
+        with pytest.raises(ValueError):
+            RelationRing(rel, (0, 1))
+        with pytest.raises(ValueError):
+            RelationRing(rel, (0, 1, 1))
+
+    def test_run_for(self):
+        rel = Relation(np.zeros((1, 4), dtype=np.int64))
+        ring = RelationRing(rel, (0, 2, 1, 3))
+        assert ring.run_for(frozenset({2})) == (1, 1)
+        assert ring.run_for(frozenset({0, 3})) == (3, 2)
+        assert ring.run_for(frozenset({0, 1})) is None
+        assert ring.run_for(frozenset()) == (0, 0)
+        assert ring.run_for(frozenset({0, 1, 2, 3})) == (0, 4)
+
+    def test_range_counts_match(self):
+        rng = np.random.default_rng(0)
+        rel = Relation(rng.integers(0, 4, size=(60, 4)))
+        ring = RelationRing(rel, (0, 1, 2, 3))
+        rows = [tuple(t) for t in rel]
+        # Runs starting at position 1 of length 2: attributes 1, 2.
+        for v1 in range(4):
+            for v2 in range(4):
+                state = ring.range_for_run(1, [v1, v2])
+                expected = sum(1 for t in rows if t[1] == v1 and t[2] == v2)
+                got = 0 if state is None else state[2] - state[1]
+                assert got == expected
+
+    def test_forward_leap_with_verification(self):
+        rng = np.random.default_rng(3)
+        rel = Relation(rng.integers(0, 3, size=(50, 4)))
+        ring = RelationRing(rel, (0, 1, 2, 3))
+        rows = [tuple(t) for t in rel]
+        # Run = attributes (0, 1) bound; leap on attribute 2 (forward).
+        for v0 in range(3):
+            for v1 in range(3):
+                admissible = sorted(
+                    {t[2] for t in rows if t[0] == v0 and t[1] == v1}
+                )
+                for c in range(4):
+                    expected = next((v for v in admissible if v >= c), None)
+                    assert ring.forward_leap(0, [v0, v1], c) == expected
+
+
+class TestRelationalSystem:
+    def test_triangle_via_binary_relations(self):
+        rng = np.random.default_rng(1)
+        edges = Relation(rng.integers(0, 8, size=(60, 2)))
+        system = RelationalRingSystem(edges)
+        patterns = [
+            RelationPattern(X, Y),
+            RelationPattern(Y, Z),
+            RelationPattern(Z, X),
+        ]
+        got = {frozenset(s.items()) for s in system.evaluate(patterns)}
+        assert got == naive_join([(edges, p) for p in patterns])
+
+    @pytest.mark.parametrize("d", [3, 4, 5])
+    def test_single_pattern_with_constants(self, d):
+        rng = np.random.default_rng(d + 10)
+        rel = Relation(rng.integers(0, 4, size=(80, d)))
+        system = RelationalRingSystem(rel)
+        variables = [X, Y, Z, W, V][: d - 1]
+        pattern = RelationPattern(2, *variables)
+        got = {frozenset(s.items()) for s in system.evaluate([pattern])}
+        assert got == naive_join([(rel, pattern)])
+
+    def test_quad_join(self):
+        """Arity 4 needs cbtw(4) = 2 rings; exercise both."""
+        rng = np.random.default_rng(7)
+        quads = Relation(rng.integers(0, 5, size=(100, 4)))
+        system = RelationalRingSystem(quads)
+        assert len(system.orders) >= 2
+        patterns = [
+            RelationPattern(X, Y, Z, W),
+            RelationPattern(Y, X, W, Z),
+        ]
+        got = {frozenset(s.items()) for s in system.evaluate(patterns)}
+        assert got == naive_join([(quads, p) for p in patterns])
+
+    def test_mixed_arity_star(self):
+        rng = np.random.default_rng(9)
+        r4 = Relation(rng.integers(0, 4, size=(70, 4)))
+        system = RelationalRingSystem(r4)
+        patterns = [
+            RelationPattern(X, 1, Y, Z),
+            RelationPattern(Z, Y, 2, W),
+        ]
+        got = {frozenset(s.items()) for s in system.evaluate(patterns)}
+        assert got == naive_join([(r4, p) for p in patterns])
+
+    def test_limit(self):
+        rel = Relation(np.array([[i, i + 1] for i in range(20)]))
+        system = RelationalRingSystem(rel)
+        assert len(system.evaluate([RelationPattern(X, Y)], limit=5)) == 5
+
+    def test_repeated_variable_rejected(self):
+        rel = Relation(np.array([[0, 0]]))
+        system = RelationalRingSystem(rel)
+        with pytest.raises(UnsupportedEliminationOrder):
+            system.evaluate([RelationPattern(X, X)])
+
+    def test_space_scales_with_cover_size(self):
+        rng = np.random.default_rng(2)
+        tri = Relation(rng.integers(0, 8, size=(100, 3)))
+        quad = Relation(rng.integers(0, 8, size=(100, 4)))
+        s3 = RelationalRingSystem(tri)
+        s4 = RelationalRingSystem(quad)
+        assert len(s3.orders) == 1  # cbtw(3) = 1: one ring
+        assert len(s4.orders) >= 2
+
+
+@given(
+    st.sets(
+        st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 3),
+                  st.integers(0, 3)),
+        min_size=1,
+        max_size=25,
+    ),
+    st.permutations([X, Y, Z, W]),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_quad_ring_matches_naive(tuple_set, vars_perm):
+    rel = Relation(np.array(sorted(tuple_set)))
+    system = RelationalRingSystem(rel)
+    pattern = RelationPattern(*vars_perm)
+    got = {frozenset(s.items()) for s in system.evaluate([pattern])}
+    assert got == naive_join([(rel, pattern)])

@@ -1,0 +1,238 @@
+"""Tests for WaveletMatrix and WaveletTree, including cross-validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sequences import WaveletMatrix, WaveletTree
+
+# The worked example of the paper's Figure 5: T = "oorcc$o" over the
+# alphabet {$, c, o, r} mapped to integers {0: $, 1: c, 2: o, 3: r}.
+OORCCO = [2, 2, 3, 1, 1, 0, 2]
+
+
+def naive_rank(seq, symbol, i):
+    return sum(1 for v in seq[:i] if v == symbol)
+
+
+def naive_select(seq, symbol, k):
+    seen = 0
+    for pos, v in enumerate(seq):
+        if v == symbol:
+            seen += 1
+            if seen == k:
+                return pos
+    raise ValueError
+
+
+def naive_next_in_range(seq, lo, hi, c):
+    candidates = [v for v in seq[lo:hi] if v >= c]
+    return min(candidates) if candidates else None
+
+
+def naive_distinct(seq, lo, hi):
+    out = {}
+    for v in seq[lo:hi]:
+        out[v] = out.get(v, 0) + 1
+    return sorted(out.items())
+
+
+@pytest.fixture(params=["matrix", "matrix_rrr", "tree"])
+def make_structure(request):
+    def build(values, sigma=None):
+        if request.param == "matrix":
+            return WaveletMatrix(values, sigma)
+        if request.param == "matrix_rrr":
+            return WaveletMatrix(values, sigma, compressed=True)
+        return WaveletTree(values, sigma)
+
+    return build
+
+
+class TestPaperExample:
+    """Assertions lifted directly from §2.3.4 of the paper."""
+
+    def test_access_figure5(self, make_structure):
+        wt = make_structure(OORCCO)
+        assert [wt[i] for i in range(7)] == OORCCO
+
+    def test_access_bwt7_is_o(self, make_structure):
+        # "we can compute BWT[7] ... we know that BWT[7] = o and
+        #  rank_o(BWT, 7) = 3" (paper uses 1-based position 7).
+        wt = make_structure(OORCCO)
+        assert wt[6] == 2  # o
+        assert wt.rank(2, 7) == 3
+
+    def test_rank_c(self, make_structure):
+        wt = make_structure(OORCCO)
+        assert wt.rank(1, 5) == 2  # two c's among first five symbols
+
+    def test_select(self, make_structure):
+        wt = make_structure(OORCCO)
+        assert wt.select(2, 1) == 0
+        assert wt.select(2, 2) == 1
+        assert wt.select(2, 3) == 6
+        assert wt.select(0, 1) == 5
+
+
+class TestOperations:
+    def test_empty(self, make_structure):
+        wt = make_structure([])
+        assert len(wt) == 0
+        assert wt.rank(0, 0) == 0
+        assert wt.next_in_range(0, 0, 0) is None
+        assert list(wt.distinct_in_range(0, 0)) == []
+
+    def test_single_symbol_alphabet(self, make_structure):
+        wt = make_structure([0, 0, 0], sigma=1)
+        assert [wt[i] for i in range(3)] == [0, 0, 0]
+        assert wt.rank(0, 2) == 2
+        assert wt.select(0, 3) == 2
+
+    def test_symbol_outside_alphabet(self, make_structure):
+        wt = make_structure([0, 1, 2])
+        assert wt.rank(5, 3) == 0
+        with pytest.raises(ValueError):
+            wt.select(5, 1)
+
+    def test_rejects_negative(self, make_structure):
+        with pytest.raises(ValueError):
+            make_structure([-1, 0])
+
+    def test_rejects_too_large(self, make_structure):
+        with pytest.raises(ValueError):
+            make_structure([5], sigma=5)
+
+    def test_select_out_of_range(self, make_structure):
+        wt = make_structure([1, 1, 0])
+        with pytest.raises(ValueError):
+            wt.select(1, 3)
+        with pytest.raises(ValueError):
+            wt.select(1, 0)
+
+    def test_next_in_range(self, make_structure):
+        seq = [5, 3, 9, 3, 7, 1]
+        wt = make_structure(seq)
+        for lo in range(len(seq)):
+            for hi in range(lo, len(seq) + 1):
+                for c in range(11):
+                    assert wt.next_in_range(lo, hi, c) == naive_next_in_range(
+                        seq, lo, hi, c
+                    ), (lo, hi, c)
+
+    def test_distinct_in_range(self, make_structure):
+        seq = [4, 2, 2, 4, 0, 7, 2]
+        wt = make_structure(seq)
+        for lo in range(len(seq)):
+            for hi in range(lo, len(seq) + 1):
+                assert list(wt.distinct_in_range(lo, hi)) == naive_distinct(
+                    seq, lo, hi
+                )
+
+    def test_non_power_of_two_alphabet(self, make_structure):
+        # sigma = 6: the top-right part of the code space is unused.
+        seq = [5, 0, 3, 5, 1, 4, 2, 5]
+        wt = make_structure(seq, sigma=6)
+        assert [wt[i] for i in range(len(seq))] == seq
+        assert wt.next_in_range(0, len(seq), 5) == 5
+        assert wt.next_in_range(0, len(seq), 6) is None
+
+    @pytest.mark.parametrize("sigma", [2, 3, 17, 100, 1000])
+    def test_random_cross_check_with_naive(self, make_structure, sigma):
+        rng = np.random.default_rng(sigma)
+        seq = rng.integers(0, sigma, size=300).tolist()
+        wt = make_structure(seq, sigma=sigma)
+        for i in rng.integers(0, 300, size=30):
+            assert wt[int(i)] == seq[i]
+        for symbol in rng.integers(0, sigma, size=15):
+            symbol = int(symbol)
+            for i in [0, 13, 150, 300]:
+                assert wt.rank(symbol, i) == naive_rank(seq, symbol, i)
+            total = naive_rank(seq, symbol, 300)
+            for k in range(1, total + 1, max(1, total // 5)):
+                assert wt.select(symbol, k) == naive_select(seq, symbol, k)
+        for _ in range(20):
+            lo, hi = sorted(rng.integers(0, 301, size=2))
+            c = int(rng.integers(0, sigma + 2))
+            assert wt.next_in_range(int(lo), int(hi), c) == naive_next_in_range(
+                seq, int(lo), int(hi), c
+            )
+
+
+class TestMatrixSpecific:
+    def test_matrix_matches_tree_everywhere(self):
+        rng = np.random.default_rng(77)
+        seq = rng.integers(0, 50, size=500).tolist()
+        wm = WaveletMatrix(seq)
+        wt = WaveletTree(seq)
+        for i in range(500):
+            assert wm[i] == wt[i]
+        for s in range(50):
+            for i in range(0, 501, 37):
+                assert wm.rank(s, i) == wt.rank(s, i)
+        for lo, hi in [(0, 500), (13, 14), (100, 350)]:
+            assert list(wm.distinct_in_range(lo, hi)) == list(
+                wt.distinct_in_range(lo, hi)
+            )
+
+    def test_matrix_smaller_than_tree_for_large_alphabets(self):
+        rng = np.random.default_rng(3)
+        seq = rng.integers(0, 5000, size=2000)
+        wm = WaveletMatrix(seq)
+        wt = WaveletTree(seq)
+        # The pointer term O(sigma log n) makes the tree much bigger.
+        assert wm.size_in_bits() < wt.size_in_bits() / 2
+
+    def test_compressed_matches_plain(self):
+        rng = np.random.default_rng(13)
+        # Runny sequence to give RRR something to compress.
+        seq = np.repeat(rng.integers(0, 30, size=60), 20)
+        plain = WaveletMatrix(seq)
+        comp = WaveletMatrix(seq, compressed=True)
+        assert comp.size_in_bits() < plain.size_in_bits()
+        for i in range(0, len(seq), 17):
+            assert comp[i] == plain[i]
+        for s in range(30):
+            assert comp.rank(s, len(seq)) == plain.rank(s, len(seq))
+        assert comp.next_in_range(5, 900, 12) == plain.next_in_range(5, 900, 12)
+
+    def test_count_and_min(self):
+        wm = WaveletMatrix([3, 1, 4, 1, 5])
+        assert wm.count(1, 0, 5) == 2
+        assert wm.count(1, 2, 5) == 1
+        assert wm.min_in_range(0, 5) == 1
+        assert wm.min_in_range(2, 3) == 4
+        assert wm.count_distinct(0, 5) == 4
+
+    def test_to_numpy_roundtrip(self):
+        seq = [9, 0, 3, 9, 2]
+        assert WaveletMatrix(seq).to_numpy().tolist() == seq
+
+
+@given(
+    st.lists(st.integers(0, 40), min_size=0, max_size=120),
+    st.integers(0, 120),
+    st.integers(0, 120),
+    st.integers(0, 42),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_matrix_range_ops(seq, lo, hi, c):
+    wm = WaveletMatrix(seq, sigma=41)
+    lo, hi = min(lo, len(seq)), min(hi, len(seq))
+    if lo > hi:
+        lo, hi = hi, lo
+    assert wm.next_in_range(lo, hi, c) == naive_next_in_range(seq, lo, hi, c)
+    assert list(wm.distinct_in_range(lo, hi)) == naive_distinct(seq, lo, hi)
+
+
+@given(st.lists(st.integers(0, 15), min_size=1, max_size=100))
+@settings(max_examples=60, deadline=None)
+def test_property_rank_select_inverse(seq):
+    wm = WaveletMatrix(seq, sigma=16)
+    for symbol in set(seq):
+        total = wm.rank(symbol, len(seq))
+        for k in range(1, total + 1):
+            pos = wm.select(symbol, k)
+            assert seq[pos] == symbol
+            assert wm.rank(symbol, pos) == k - 1

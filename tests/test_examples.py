@@ -1,0 +1,55 @@
+"""Every example script must run to completion (small-scale smoke runs)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None):
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "bytes/triple" in out
+    assert "grace and alan both work on computing" in out
+
+
+def test_nobel_graph(capsys):
+    run_example("nobel_graph.py")
+    out = capsys.readouterr().out
+    assert "Figure 4 query" in out
+    assert "x=Nobel" in out
+    assert "|?x adv ?y| = 4" in out
+
+
+def test_wikidata_scale(capsys):
+    run_example("wikidata_scale.py", ["600"])
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "Ring" in out
+
+
+@pytest.mark.slow
+def test_relational_quads(capsys):
+    run_example("relational_quads.py")
+    out = capsys.readouterr().out
+    assert "cbtw(4)" in out.lower() or "rings indexed" in out
+    assert "co-tagging" in out
+
+
+def test_dynamic_and_paths(capsys):
+    run_example("dynamic_and_paths.py")
+    out = capsys.readouterr().out
+    assert "advisor chain" in out
+    assert "winners now" in out

@@ -1,0 +1,94 @@
+"""End-to-end tests for the ``python -m repro`` command line."""
+
+import pytest
+
+from repro.__main__ import main
+
+NT_DOC = """\
+<Bohr> <adv> <Thomson> .
+<Thomson> <adv> <Strutt> .
+<Nobel> <win> <Bohr> .
+<Nobel> <nom> <Thomson> .
+"""
+
+
+@pytest.fixture()
+def index_path(tmp_path, capsys):
+    data = tmp_path / "g.nt"
+    data.write_text(NT_DOC)
+    out = tmp_path / "index.npz"
+    main(["build", str(data), "-o", str(out)])
+    capsys.readouterr()
+    return str(out)
+
+
+class TestBuild:
+    def test_build_reports_stats(self, tmp_path, capsys):
+        data = tmp_path / "g.nt"
+        data.write_text(NT_DOC)
+        main(["build", str(data), "-o", str(tmp_path / "i.npz")])
+        out = capsys.readouterr().out
+        assert "indexed 4 triples" in out
+        assert "bytes/triple" in out
+
+    def test_build_compressed(self, tmp_path, capsys):
+        data = tmp_path / "g.nt"
+        data.write_text(NT_DOC)
+        path = tmp_path / "c.npz"
+        main(["build", str(data), "-o", str(path), "--compressed"])
+        capsys.readouterr()
+        main(["stats", str(path)])
+        assert "compressed ring    : True" in capsys.readouterr().out
+
+    def test_build_plain_text_format(self, tmp_path, capsys):
+        data = tmp_path / "g.txt"
+        data.write_text("a p b\nb p c\n")
+        main(["build", str(data), "-o", str(tmp_path / "i.npz")])
+        assert "indexed 2 triples" in capsys.readouterr().out
+
+
+class TestQuery:
+    def test_query_decoded(self, index_path, capsys):
+        main(["query", index_path, "?x adv ?y"])
+        out = capsys.readouterr().out
+        assert "x=Bohr  y=Thomson" in out
+        assert "2 solution(s)" in out
+
+    def test_query_json(self, index_path, capsys):
+        import json
+
+        main(["query", index_path, "Nobel win ?x", "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert data == [{"x": "Bohr"}]
+
+    def test_query_limit(self, index_path, capsys):
+        main(["query", index_path, "?x ?p ?y", "--limit", "2"])
+        assert "2 solution(s)" in capsys.readouterr().out
+
+
+class TestExplainPathStats:
+    def test_explain(self, index_path, capsys):
+        main(["explain", index_path, "?x adv ?y . Nobel win ?x"])
+        out = capsys.readouterr().out
+        assert "elimination order : x" in out
+        assert "lonely variables  : y" in out
+
+    def test_explain_unknown_constant(self, index_path, capsys):
+        main(["explain", index_path, "?x nope ?y"])
+        assert "0 solutions" in capsys.readouterr().out
+
+    def test_path(self, index_path, capsys):
+        main(["path", index_path, "adv+", "--source", "Bohr"])
+        out = capsys.readouterr().out
+        assert "Thomson" in out and "Strutt" in out
+        assert "2 node(s)" in out
+
+    def test_stats(self, index_path, capsys):
+        main(["stats", index_path])
+        out = capsys.readouterr().out
+        assert "triples            : 4" in out
+        assert "predicates         : 3" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,72 @@
+"""Suffix array tests, anchored on the paper's rococo$ example (§2.3.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.suffix_array import append_sentinel, inverse_suffix_array, suffix_array
+
+# rococo$ over {$:0, c:1, o:2, r:3}; $ must be largest so remap to
+# {c:0, o:1, r:2, $:3}.
+ROCOCO = [2, 1, 0, 1, 0, 1, 3]  # r o c o c o $
+
+
+def naive_suffix_array(text):
+    n = len(text)
+    return sorted(range(n), key=lambda i: list(text[i:]))
+
+
+class TestSuffixArray:
+    def test_paper_rococo(self):
+        # Paper (1-based): A = (3, 5, 2, 4, 6, 1, 7) -> 0-based below.
+        assert suffix_array(ROCOCO).tolist() == [2, 4, 1, 3, 5, 0, 6]
+
+    def test_empty(self):
+        assert suffix_array([]).tolist() == []
+
+    def test_single(self):
+        assert suffix_array([5]).tolist() == [0]
+
+    def test_all_equal_symbols(self):
+        # No sentinel: ties broken by suffix length (shorter = smaller here
+        # because shorter suffixes are prefixes).
+        assert suffix_array([1, 1, 1, 1]).tolist() == [3, 2, 1, 0]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            suffix_array([-1, 2])
+
+    def test_append_sentinel(self):
+        out = append_sentinel([4, 1, 4])
+        assert out.tolist() == [4, 1, 4, 5]
+        assert append_sentinel([]).tolist() == [0]
+
+    def test_matches_naive_random(self):
+        rng = np.random.default_rng(0)
+        for trial in range(20):
+            n = int(rng.integers(1, 60))
+            text = append_sentinel(rng.integers(0, 5, size=n))
+            assert suffix_array(text).tolist() == naive_suffix_array(text.tolist())
+
+    def test_long_periodic_text(self):
+        # Periodic inputs stress the doubling rounds.
+        text = append_sentinel([0, 1] * 200)
+        assert suffix_array(text).tolist() == naive_suffix_array(text.tolist())
+
+    def test_inverse(self):
+        text = append_sentinel([3, 1, 2, 3, 1])
+        sa = suffix_array(text)
+        isa = inverse_suffix_array(sa)
+        for i in range(len(text)):
+            assert sa[isa[i]] == i
+
+
+@given(st.lists(st.integers(0, 6), min_size=0, max_size=80))
+@settings(max_examples=80, deadline=None)
+def test_property_suffix_array_sorted(text):
+    text = append_sentinel(text).tolist()
+    sa = suffix_array(text).tolist()
+    assert sorted(sa) == list(range(len(text)))
+    for a, b in zip(sa, sa[1:]):
+        assert text[a:] < text[b:]

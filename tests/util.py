@@ -1,0 +1,58 @@
+"""Shared test helpers: a brute-force reference evaluator for BGPs.
+
+Every join engine in the library is cross-checked against
+:func:`naive_evaluate`, which implements the §2.1.2 semantics directly:
+``Q(G) = { mu | mu(Q) ⊆ G }`` by backtracking over the triple list.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.graph.dataset import Graph
+from repro.graph.model import BasicGraphPattern, TriplePattern, Var
+
+
+def match_triple(
+    pattern: TriplePattern, triple: tuple[int, int, int]
+) -> Optional[dict[Var, int]]:
+    """Extend the empty binding so that ``pattern`` matches ``triple``."""
+    binding: dict[Var, int] = {}
+    for term, value in zip(pattern.terms, triple):
+        if isinstance(term, Var):
+            if term in binding and binding[term] != value:
+                return None
+            binding[term] = value
+        elif term != value:
+            return None
+    return binding
+
+
+def naive_evaluate(graph: Graph, bgp: BasicGraphPattern) -> set[frozenset]:
+    """All solutions as a set of frozen ``(Var, value)`` item sets."""
+    solutions: list[dict[Var, int]] = [{}]
+    for pattern in bgp:
+        extended: list[dict[Var, int]] = []
+        for binding in solutions:
+            concrete = pattern.substitute(binding)
+            for triple in graph:
+                m = match_triple(concrete, triple)
+                if m is not None:
+                    extended.append({**binding, **m})
+        # Deduplicate (several triples can extend a binding identically
+        # only if patterns repeat, but be safe).
+        seen = set()
+        solutions = []
+        for b in extended:
+            key = frozenset(b.items())
+            if key not in seen:
+                seen.add(key)
+                solutions.append(b)
+        if not solutions:
+            return set()
+    return {frozenset(b.items()) for b in solutions}
+
+
+def as_solution_set(solutions) -> set[frozenset]:
+    """Normalise an engine's output for comparison."""
+    return {frozenset(s.items()) for s in solutions}
