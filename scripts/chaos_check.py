@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""Chaos check: queries under random injected faults, no silent lies.
+
+Runs a fixed workload of example queries against a ring index while a
+seeded mix of faults (latency, dropped probability, hard errors) is
+injected into the succinct hot paths.  Each run must end in exactly one
+of the allowed outcomes:
+
+- **correct** — results identical to the fault-free reference;
+- **typed failure** — ``QueryTimeout`` / ``QueryCancelled`` /
+  ``QueryExecutionError`` / ``IndexIntegrityError``;
+- **truncated** — with ``partial=True``, a flagged prefix of the
+  reference (never rows outside it).
+
+Anything else — a wrong answer, an extra row, an unexpected exception
+type — is a chaos failure and the script exits non-zero.  Run it as::
+
+    PYTHONPATH=src python scripts/chaos_check.py [--rounds 40] [--seed 0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro.core import (
+    QueryCancelled,
+    QueryExecutionError,
+    QueryTimeout,
+    RingIndex,
+)
+from repro.graph import BasicGraphPattern, TriplePattern, Var
+from repro.graph.generators import random_graph
+from repro.reliability.faults import Fault, InjectedFault, available_sites, inject_faults
+from repro.reliability.integrity import IndexIntegrityError
+
+X, Y, Z = Var("x"), Var("y"), Var("z")
+
+WORKLOAD = [
+    ("single", BasicGraphPattern([TriplePattern(X, 0, Y)])),
+    (
+        "two-hop",
+        BasicGraphPattern([TriplePattern(X, 0, Y), TriplePattern(Y, 0, Z)]),
+    ),
+    (
+        "triangle",
+        BasicGraphPattern(
+            [
+                TriplePattern(X, 0, Y),
+                TriplePattern(Y, 0, Z),
+                TriplePattern(Z, 0, X),
+            ]
+        ),
+    ),
+    (
+        "star",
+        BasicGraphPattern([TriplePattern(X, 0, Y), TriplePattern(X, 1, Z)]),
+    ),
+]
+
+# Sites worth randomly arming; I/O sites are exercised separately by the
+# integrity tests, and latency there would not be seen by a query.
+QUERY_SITES = [
+    "wavelet.rank",
+    "wavelet.select",
+    "wavelet.range_next_value",
+    "wavelet.access",
+    "bitvector.access",
+    "bitvector.rank",
+    "bitvector.select",
+]
+
+ALLOWED_ERRORS = (
+    QueryTimeout,
+    QueryCancelled,
+    QueryExecutionError,
+    IndexIntegrityError,
+)
+
+
+def random_faults(rng: random.Random) -> list[Fault]:
+    """A random (but reproducible) fault mix for one round."""
+    faults = []
+    for site in rng.sample(QUERY_SITES, k=rng.randint(1, 3)):
+        kind = rng.choice(["latency", "error", "flaky-error"])
+        if kind == "latency":
+            faults.append(
+                Fault(site, probability=rng.uniform(0.05, 1.0),
+                      latency=rng.uniform(0.0001, 0.002))
+            )
+        elif kind == "error":
+            faults.append(Fault(site, probability=1.0, error=InjectedFault))
+        else:
+            faults.append(
+                Fault(site, probability=rng.uniform(0.01, 0.3),
+                      error=InjectedFault)
+            )
+    return faults
+
+
+def run(rounds: int, seed: int) -> int:
+    rng = random.Random(seed)
+    graph = random_graph(600, n_nodes=30, n_predicates=2, seed=5)
+    index = RingIndex(graph)
+
+    print(f"chaos check: {rounds} rounds over {len(WORKLOAD)} queries, "
+          f"seed {seed}, sites: {', '.join(available_sites())}")
+
+    # Fault-free reference answers (and sanity that they are non-empty).
+    reference = {
+        name: {frozenset(mu.items()) for mu in index.evaluate(bgp)}
+        for name, bgp in WORKLOAD
+    }
+    assert all(reference.values()), "workload queries must have solutions"
+
+    outcomes = {"correct": 0, "typed-failure": 0, "truncated": 0}
+    failures: list[str] = []
+
+    for round_no in range(rounds):
+        name, bgp = WORKLOAD[round_no % len(WORKLOAD)]
+        faults = random_faults(rng)
+        partial = rng.random() < 0.5
+        timeout = rng.choice([None, 0.02, 0.1])
+        label = (
+            f"round {round_no:3d} {name:8s} "
+            f"[{', '.join(f.site for f in faults)}] "
+            f"timeout={timeout} partial={partial}"
+        )
+        try:
+            with inject_faults(*faults, seed=rng.randrange(2**31)):
+                result = index.evaluate(bgp, timeout=timeout, partial=partial)
+        except ALLOWED_ERRORS as exc:
+            outcomes["typed-failure"] += 1
+            print(f"  {label}: {type(exc).__name__}")
+            continue
+        except Exception as exc:  # noqa: BLE001 - the whole point
+            failures.append(f"{label}: unexpected {type(exc).__name__}: {exc}")
+            print(f"  {label}: UNEXPECTED {type(exc).__name__}")
+            continue
+
+        rows = {frozenset(mu.items()) for mu in result}
+        if not rows <= reference[name]:
+            bogus = len(rows - reference[name])
+            failures.append(f"{label}: {bogus} row(s) not in the reference")
+            print(f"  {label}: WRONG ANSWER ({bogus} bogus rows)")
+        elif getattr(result, "truncated", False):
+            outcomes["truncated"] += 1
+            print(f"  {label}: truncated prefix ({len(rows)} rows)")
+        elif rows == reference[name]:
+            outcomes["correct"] += 1
+            print(f"  {label}: correct ({len(rows)} rows)")
+        else:
+            # Complete (unflagged) but missing rows: a silent lie.
+            failures.append(
+                f"{label}: result not flagged truncated but misses "
+                f"{len(reference[name]) - len(rows)} row(s)"
+            )
+            print(f"  {label}: SILENTLY INCOMPLETE")
+
+    print(
+        f"\noutcomes: {outcomes['correct']} correct, "
+        f"{outcomes['typed-failure']} typed failures, "
+        f"{outcomes['truncated']} truncated prefixes, "
+        f"{len(failures)} chaos failures"
+    )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=40)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    raise SystemExit(run(args.rounds, args.seed))
+
+
+if __name__ == "__main__":
+    main()

@@ -18,7 +18,15 @@ LTJ), :mod:`repro.baselines` (the paper's competitor regimes),
 :mod:`repro.bench` (evaluation harness).
 """
 
-from repro.core import CompressedRingIndex, QueryTimeout, RingIndex
+from repro.core import (
+    CompressedRingIndex,
+    QueryCancelled,
+    QueryError,
+    QueryExecutionError,
+    QueryResult,
+    QueryTimeout,
+    RingIndex,
+)
 from repro.core.dynamic import DynamicRingIndex
 from repro.graph import (
     BasicGraphPattern,
@@ -29,16 +37,28 @@ from repro.graph import (
     Var,
     parse_bgp,
 )
+from repro.reliability import (
+    CancellationToken,
+    IndexIntegrityError,
+    ResourceBudget,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "BasicGraphPattern",
+    "CancellationToken",
     "CompressedRingIndex",
     "Dictionary",
     "DynamicRingIndex",
     "Graph",
+    "IndexIntegrityError",
+    "QueryCancelled",
+    "QueryError",
+    "QueryExecutionError",
+    "QueryResult",
     "QueryTimeout",
+    "ResourceBudget",
     "RingIndex",
     "Triple",
     "TriplePattern",

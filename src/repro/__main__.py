@@ -1,16 +1,24 @@
-"""The ``repro`` command line: build, query and inspect ring indexes.
+"""The ``repro`` command line: build, query, verify and inspect indexes.
 
 Examples::
 
     python -m repro build data.nt -o nobel.npz
     python -m repro query nobel.npz "?x adv ?y . Nobel win ?y"
+    python -m repro query nobel.npz "?x ?p ?y" --timeout 1 --partial
     python -m repro explain nobel.npz "?x nom ?y . ?x win ?z . ?z adv ?y"
     python -m repro path nobel.npz "adv+" --source Thorne
+    python -m repro verify nobel.npz
     python -m repro stats nobel.npz
 
 Input formats for ``build``: ``.nt`` files go through the N-Triples
 loader; anything else is parsed as whitespace-separated ``s p o`` lines.
 The benchmark entry points live under ``python -m repro.bench``.
+
+Failure conventions (the serving-layer contract): user mistakes —
+nonexistent files, unreadable or corrupted indexes, malformed queries —
+print a one-line ``error: …`` on stderr and exit 1; a query timeout
+exits 2 (unless ``--partial`` asked for graceful degradation).
+Tracebacks are reserved for actual bugs.
 """
 
 from __future__ import annotations
@@ -21,24 +29,34 @@ import sys
 import time
 
 from repro.core import CompressedRingIndex, QueryTimeout, RingIndex
+from repro.core.interface import QueryCancelled, QueryExecutionError
 from repro.graph.dataset import Graph
+from repro.graph.ntriples import NTriplesError, load_ntriples
+from repro.reliability.integrity import IndexIntegrityError, verify_index
 
-from repro.graph.ntriples import load_ntriples
+EXIT_ERROR = 1
+EXIT_TIMEOUT = 2
 
 
-def _load_graph_file(path: str) -> Graph:
+def _load_graph_file(path: str, strict: bool = True, stats=None) -> Graph:
     if path.endswith(".nt"):
-        return load_ntriples(path)
+        return load_ntriples(path, strict=strict, stats=stats)
     return Graph.from_file(path)
 
 
 def cmd_build(args) -> None:
     start = time.perf_counter()
-    graph = _load_graph_file(args.input)
+    stats: dict = {}
+    graph = _load_graph_file(args.input, strict=not args.lenient, stats=stats)
     cls = CompressedRingIndex if args.compressed else RingIndex
     index = cls(graph)
     index.save(args.output)
     elapsed = time.perf_counter() - start
+    if stats.get("bad_lines"):
+        print(
+            f"warning: skipped {stats['bad_lines']} malformed line(s)",
+            file=sys.stderr,
+        )
     print(
         f"indexed {graph.n_triples} triples "
         f"({graph.n_nodes} nodes, {graph.n_predicates} predicates) "
@@ -49,22 +67,24 @@ def cmd_build(args) -> None:
 
 def cmd_query(args) -> None:
     index = RingIndex.load(args.index)
-    try:
-        solutions = index.evaluate(
-            args.query,
-            limit=args.limit,
-            timeout=args.timeout,
-            decode=True,
-        )
-    except QueryTimeout:
-        print("error: query timed out", file=sys.stderr)
-        raise SystemExit(2)
+    solutions = index.evaluate(
+        args.query,
+        limit=args.limit,
+        timeout=args.timeout,
+        decode=True,
+        partial=args.partial,
+    )
     if args.json:
-        print(json.dumps(solutions, indent=2))
+        print(json.dumps(list(solutions), indent=2))
     else:
         for mu in solutions:
             print("  ".join(f"{k}={v}" for k, v in sorted(mu.items())))
-        print(f"-- {len(solutions)} solution(s)")
+        suffix = (
+            f" (truncated: {solutions.interrupted_by})"
+            if solutions.truncated
+            else ""
+        )
+        print(f"-- {len(solutions)} solution(s){suffix}")
 
 
 def cmd_explain(args) -> None:
@@ -90,6 +110,20 @@ def cmd_path(args) -> None:
     print(f"-- {len(nodes)} node(s)")
 
 
+def cmd_verify(args) -> None:
+    report = verify_index(args.index)
+    print(f"index    : {report['path']}")
+    print(f"manifest : {report['manifest']}")
+    print(
+        f"contents : {report['n_triples']} triples, "
+        f"{report['n_nodes']} nodes, {report['n_predicates']} predicates"
+        + (" (compressed)" if report["compressed"] else "")
+    )
+    for check in report["checks"]:
+        print(f"  ok: {check}")
+    print("index integrity: OK")
+
+
 def cmd_stats(args) -> None:
     index = RingIndex.load(args.index)
     graph = index.graph
@@ -113,6 +147,8 @@ def main(argv=None) -> None:
     p.add_argument("-o", "--output", required=True, help="index path (.npz)")
     p.add_argument("--compressed", action="store_true",
                    help="build the C-Ring (RRR bitvectors)")
+    p.add_argument("--lenient", action="store_true",
+                   help="skip (and count) malformed N-Triples lines")
     p.set_defaults(func=cmd_build)
 
     p = sub.add_parser("query", help="evaluate a basic graph pattern")
@@ -120,6 +156,9 @@ def main(argv=None) -> None:
     p.add_argument("query", help="e.g. \"?x adv ?y . Nobel win ?y\"")
     p.add_argument("--limit", type=int, default=1000)
     p.add_argument("--timeout", type=float, default=None)
+    p.add_argument("--partial", action="store_true",
+                   help="on timeout, return the solutions found so far "
+                        "instead of failing")
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_query)
 
@@ -134,12 +173,35 @@ def main(argv=None) -> None:
     p.add_argument("--source", required=True)
     p.set_defaults(func=cmd_path)
 
+    p = sub.add_parser("verify", help="check index integrity (checksum + "
+                                      "structural self-check)")
+    p.add_argument("index")
+    p.set_defaults(func=cmd_verify)
+
     p = sub.add_parser("stats", help="index statistics")
     p.add_argument("index")
     p.set_defaults(func=cmd_stats)
 
     args = parser.parse_args(argv)
-    args.func(args)
+    try:
+        args.func(args)
+    except QueryTimeout:
+        print("error: query timed out", file=sys.stderr)
+        raise SystemExit(EXIT_TIMEOUT) from None
+    except QueryCancelled:
+        print("error: query cancelled", file=sys.stderr)
+        raise SystemExit(EXIT_TIMEOUT) from None
+    except (
+        OSError,
+        NTriplesError,
+        IndexIntegrityError,
+        QueryExecutionError,
+        ValueError,
+        KeyError,
+    ) as exc:
+        message = str(exc) or type(exc).__name__
+        print(f"error: {message}", file=sys.stderr)
+        raise SystemExit(EXIT_ERROR) from None
 
 
 if __name__ == "__main__":

@@ -15,11 +15,10 @@ in for these systems' default BGP optimisers.
 
 from __future__ import annotations
 
-import time
-from typing import Iterable, Iterator, Optional, Protocol
+from typing import Iterable, Iterator, Optional, Protocol, Union
 
-from repro.core.interface import QueryTimeout
 from repro.graph.model import BasicGraphPattern, TriplePattern, Var
+from repro.reliability.budget import ResourceBudget
 
 
 class ScanProvider(Protocol):
@@ -81,14 +80,16 @@ class PairwiseJoinEngine:
     def evaluate(
         self,
         bgp: BasicGraphPattern,
-        timeout: Optional[float] = None,
+        timeout: Union[None, float, ResourceBudget] = None,
         stats: Optional[dict] = None,
     ) -> Iterator[dict[Var, int]]:
-        """Stream solutions.  When ``stats`` is given it receives an
-        ``"operations"`` counter (tuples scanned / probed) once the
-        stream is consumed or closed — the empirical handle on the
-        non-wco intermediate-result blow-up of §2.2.2."""
-        deadline = time.monotonic() + timeout if timeout else None
+        """Stream solutions.  ``timeout`` is seconds or a shared
+        :class:`~repro.reliability.budget.ResourceBudget`.  When
+        ``stats`` is given it receives an ``"operations"`` counter
+        (tuples scanned / probed) once the stream is consumed or closed
+        — the empirical handle on the non-wco intermediate-result
+        blow-up of §2.2.2."""
+        deadline = ResourceBudget.coerce(timeout)
         plan = self.plan(bgp)
         counter = [0]
         try:
@@ -100,11 +101,9 @@ class PairwiseJoinEngine:
             if stats is not None:
                 stats["operations"] = counter[0]
 
-    def _tick(self, deadline: Optional[float], counter: list[int]) -> None:
+    def _tick(self, deadline: ResourceBudget, counter: list[int]) -> None:
         counter[0] += 1
-        if deadline is not None and not counter[0] & 0xFF:
-            if time.monotonic() > deadline:
-                raise QueryTimeout
+        deadline.tick()
 
     # nested-loop index join: substitute current bindings, probe the index.
     def _nested(
@@ -112,7 +111,7 @@ class PairwiseJoinEngine:
         plan: list[TriplePattern],
         depth: int,
         binding: dict[Var, int],
-        deadline: Optional[float],
+        deadline: ResourceBudget,
         counter: list[int],
     ) -> Iterator[dict[Var, int]]:
         if depth == len(plan):
@@ -135,7 +134,7 @@ class PairwiseJoinEngine:
     def _hash_join(
         self,
         plan: list[TriplePattern],
-        deadline: Optional[float],
+        deadline: ResourceBudget,
         counter: list[int],
     ) -> Iterator[dict[Var, int]]:
         results: list[dict[Var, int]] = [{}]

@@ -19,20 +19,18 @@ is how the harness reproduces Qdag's exclusion from Table 2.
 
 from __future__ import annotations
 
-import time
 from typing import Iterable, Iterator, Optional
 
 import numpy as np
 
 from repro.bits.bitvector import BitVector
-from repro.core.interface import QueryTimeout
+from repro.core.interface import UnsupportedQueryError
 from repro.core.system import BaseQuerySystem
 from repro.graph.dataset import Graph
 from repro.graph.model import BasicGraphPattern, P, Var
+from repro.reliability.budget import ResourceBudget
 
-
-class UnsupportedQueryError(Exception):
-    """The index cannot evaluate this query shape (by design)."""
+__all__ = ["K2Tree", "QdagIndex", "UnsupportedQueryError"]
 
 
 class K2Tree:
@@ -126,7 +124,7 @@ class QdagIndex(BaseQuerySystem):
         timeout: Optional[float],
         **options,
     ) -> Iterable[dict[Var, int]]:
-        deadline = time.monotonic() + timeout if timeout else None
+        deadline = ResourceBudget.coerce(timeout)
         variables: list[Var] = []
         tasks: list[tuple[K2Tree, int, int]] = []  # (tree, dim_s, dim_o)
         for pattern in bgp:
@@ -165,7 +163,7 @@ class QdagIndex(BaseQuerySystem):
         values: list[int],
         depth: int,
         variables: list[Var],
-        deadline: Optional[float],
+        deadline: ResourceBudget,
         counter: list[int],
     ) -> Iterator[dict[Var, int]]:
         if depth == self._height:
@@ -176,9 +174,7 @@ class QdagIndex(BaseQuerySystem):
         v = len(values)
         for combo in range(1 << v):
             counter[0] += 1
-            if deadline is not None and not counter[0] & 0x3F:
-                if time.monotonic() > deadline:
-                    raise QueryTimeout
+            deadline.tick()
             bits = [(combo >> (v - 1 - i)) & 1 for i in range(v)]
             children = []
             alive = True

@@ -22,13 +22,13 @@ repeating it:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Optional
+from typing import Iterable, Iterator, Optional, Union
 
 from repro.baselines.pairwise import match_binding
 from repro.baselines.sorted_orders import ALL_ORDERS, OrderSet, OrderSetIterator
-from repro.core.interface import QueryTimeout, pattern_constants
+from repro.core.interface import pattern_constants
+from repro.reliability.budget import ResourceBudget
 from repro.core.ltj import LeapfrogTrieJoin
 from repro.core.system import BaseQuerySystem
 from repro.graph.dataset import Graph
@@ -94,25 +94,21 @@ class YannakakisEvaluator:
         self,
         bgp: BasicGraphPattern,
         forest: list[JoinTreeNode],
-        timeout: Optional[float] = None,
+        timeout: Union[None, float, ResourceBudget] = None,
     ) -> Iterator[dict[Var, int]]:
-        deadline = time.monotonic() + timeout if timeout else None
+        budget = ResourceBudget.coerce(timeout)
         patterns = bgp.patterns
-
-        def tick() -> None:
-            if deadline is not None and time.monotonic() > deadline:
-                raise QueryTimeout
+        tick = budget.tick
 
         # 1. Materialise each pattern's bindings.
         relations: dict[int, list[dict[Var, int]]] = {}
         for i, pattern in enumerate(patterns):
             rows = []
             for triple in self._provider.scan_pattern(pattern):
+                tick()
                 binding = match_binding(pattern, triple)
                 if binding is not None:
                     rows.append(binding)
-                if not len(rows) % 4096:
-                    tick()
             if not rows:
                 return
             relations[i] = rows

@@ -13,15 +13,26 @@
   patterns, measure space).
 """
 
-from repro.core.interface import QueryTimeout
+from repro.core.interface import (
+    QueryCancelled,
+    QueryError,
+    QueryExecutionError,
+    QueryTimeout,
+    UnsupportedQueryError,
+)
 from repro.core.ltj import LeapfrogTrieJoin
 from repro.core.ring import Ring
-from repro.core.system import CompressedRingIndex, RingIndex
+from repro.core.system import CompressedRingIndex, QueryResult, RingIndex
 
 __all__ = [
     "CompressedRingIndex",
     "LeapfrogTrieJoin",
+    "QueryCancelled",
+    "QueryError",
+    "QueryExecutionError",
+    "QueryResult",
     "QueryTimeout",
     "Ring",
     "RingIndex",
+    "UnsupportedQueryError",
 ]

@@ -14,8 +14,39 @@ from typing import Iterable, Iterator, Optional, Protocol, runtime_checkable
 from repro.graph.model import TriplePattern, Var
 
 
-class QueryTimeout(Exception):
-    """Raised by engines when a query exceeds its time budget."""
+class QueryError(Exception):
+    """Base class for every typed query-evaluation failure.
+
+    The serving layer (:class:`~repro.core.system.BaseQuerySystem`)
+    guarantees that evaluation only ever raises subclasses of this (or
+    returns correct results) — the contract the fault-injection suite in
+    ``tests/reliability`` enforces.
+    """
+
+
+class QueryTimeout(QueryError):
+    """Raised by engines when a query exceeds its time or op budget."""
+
+
+class QueryCancelled(QueryError):
+    """Raised when an external CancellationToken is triggered."""
+
+
+class UnsupportedQueryError(QueryError):
+    """The index cannot evaluate this query shape (by design)."""
+
+
+class QueryExecutionError(QueryError):
+    """An engine failed mid-evaluation; carries the failing BGP.
+
+    Wraps unexpected internal errors (e.g. a corrupted structure read or
+    an injected fault) so callers never see raw engine internals.  The
+    original exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, message: str, bgp=None) -> None:
+        super().__init__(message)
+        self.bgp = bgp
 
 
 @runtime_checkable

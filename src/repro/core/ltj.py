@@ -23,32 +23,13 @@ the ablation benchmarks.
 
 from __future__ import annotations
 
-import time
-from typing import Callable, Iterator, Optional, Sequence
+from typing import Callable, Iterator, Optional, Sequence, Union
 
-from repro.core.interface import PatternIterator, QueryTimeout
+from repro.core.interface import PatternIterator
 from repro.graph.model import BasicGraphPattern, TriplePattern, Var
+from repro.reliability.budget import ResourceBudget
 
 IteratorFactory = Callable[[TriplePattern], PatternIterator]
-
-_TIME_CHECK_MASK = 0xFF  # check the clock every 256 operations
-
-
-class _Deadline:
-    """Cheap cooperative deadline checks."""
-
-    __slots__ = ("_deadline", "_ops")
-
-    def __init__(self, timeout: Optional[float]) -> None:
-        self._deadline = time.monotonic() + timeout if timeout else None
-        self._ops = 0
-
-    def tick(self) -> None:
-        if self._deadline is None:
-            return
-        self._ops += 1
-        if not self._ops & _TIME_CHECK_MASK and time.monotonic() > self._deadline:
-            raise QueryTimeout
 
 
 class LeapfrogTrieJoin:
@@ -82,13 +63,16 @@ class LeapfrogTrieJoin:
     def evaluate(
         self,
         bgp: BasicGraphPattern,
-        timeout: Optional[float] = None,
+        timeout: Union[None, float, ResourceBudget] = None,
         var_order: Optional[Sequence[Var]] = None,
         stats: Optional[dict] = None,
     ) -> Iterator[dict[Var, int]]:
         """Stream the solutions ``Q(G)`` as ``{Var: id}`` mappings.
 
-        Raises :class:`QueryTimeout` when ``timeout`` (seconds) elapses.
+        ``timeout`` is seconds or a full
+        :class:`~repro.reliability.budget.ResourceBudget`; exhaustion
+        raises :class:`~repro.core.interface.QueryTimeout` (deadline/op
+        cap) or :class:`~repro.core.interface.QueryCancelled` (token).
         When ``stats`` (a dict) is given, the engine fills it with
         operation counters (``"leaps"``, ``"binds"``) — the empirical
         handle on the O(Q* · m log U) bound of Theorem 3.5.
@@ -97,7 +81,7 @@ class LeapfrogTrieJoin:
         if stats is not None:
             stats.setdefault("leaps", 0)
             stats.setdefault("binds", 0)
-        deadline = _Deadline(timeout)
+        deadline = ResourceBudget.coerce(timeout)
         iters = [self._factory(t) for t in bgp]
 
         # Fully bound patterns act as existence filters.
@@ -204,7 +188,7 @@ class LeapfrogTrieJoin:
         by_var: dict[Var, list[PatternIterator]],
         lonely_by_iter: Sequence[tuple[PatternIterator, list[Var]]],
         binding: dict[Var, int],
-        deadline: _Deadline,
+        deadline: ResourceBudget,
     ) -> Iterator[dict[Var, int]]:
         if depth == len(order):
             yield from self._emit_lonely(lonely_by_iter, 0, binding, deadline)
@@ -231,7 +215,7 @@ class LeapfrogTrieJoin:
         iters: Sequence[PatternIterator],
         var: Var,
         c: int,
-        deadline: _Deadline,
+        deadline: ResourceBudget,
     ) -> Optional[int]:
         """The ``seek`` of Algorithm 1: smallest agreed eliminator >= c."""
         cur = c
@@ -258,7 +242,7 @@ class LeapfrogTrieJoin:
         lonely_by_iter: Sequence[tuple[PatternIterator, list[Var]]],
         idx: int,
         binding: dict[Var, int],
-        deadline: _Deadline,
+        deadline: ResourceBudget,
     ) -> Iterator[dict[Var, int]]:
         """§4.2: read the remaining bindings straight off the ranges.
 
@@ -282,7 +266,7 @@ class LeapfrogTrieJoin:
         lonely_by_iter: Sequence[tuple[PatternIterator, list[Var]]],
         idx: int,
         binding: dict[Var, int],
-        deadline: _Deadline,
+        deadline: ResourceBudget,
     ) -> Iterator[dict[Var, int]]:
         if not remaining:
             yield from self._emit_lonely(lonely_by_iter, idx + 1, binding, deadline)

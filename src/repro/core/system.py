@@ -9,19 +9,51 @@ wco baselines.
 
 from __future__ import annotations
 
-import json
-import os
 from typing import Iterable, Optional, Sequence, Union  # noqa: F401
 
-from repro.core.interface import PatternIterator, QueryTimeout
+from repro.core.interface import (
+    PatternIterator,
+    QueryCancelled,
+    QueryError,
+    QueryExecutionError,
+    QueryTimeout,
+)
 from repro.core.iterators import RingIterator
 from repro.core.ltj import LeapfrogTrieJoin
 from repro.core.ring import Ring
 from repro.graph.dataset import Graph
 from repro.graph.model import BasicGraphPattern, TriplePattern, Var
 from repro.graph.parser import parse_bgp
+from repro.reliability.budget import CancellationToken, ResourceBudget
 
 Query = Union[str, BasicGraphPattern]
+
+#: Engine exceptions forwarded verbatim by :meth:`BaseQuerySystem.evaluate`
+#: (typed query errors, plus caller-side argument mistakes); anything else
+#: is wrapped into :class:`~repro.core.interface.QueryExecutionError`.
+_PASSTHROUGH_ERRORS = (QueryError, ValueError, TypeError)
+
+
+class QueryResult(list):
+    """A plain list of solutions plus graceful-degradation metadata.
+
+    ``truncated`` is True when evaluation stopped early (deadline hit
+    with ``partial=True``); ``interrupted_by`` then names the cause
+    (``"timeout"`` or ``"cancelled"``).  Being a ``list`` subclass, it
+    is drop-in compatible with every existing caller.
+    """
+
+    __slots__ = ("truncated", "interrupted_by")
+
+    def __init__(self, iterable=()) -> None:
+        super().__init__(iterable)
+        self.truncated = False
+        self.interrupted_by: Optional[str] = None
+
+    def _copy_flags(self, other: "QueryResult") -> "QueryResult":
+        self.truncated = other.truncated
+        self.interrupted_by = other.interrupted_by
+        return self
 
 
 class BaseQuerySystem:
@@ -58,14 +90,39 @@ class BaseQuerySystem:
         timeout: Optional[float] = None,
         decode: bool = False,
         project: Optional[Sequence[Var]] = None,
+        partial: bool = False,
+        cancellation: Optional[CancellationToken] = None,
+        budget: Optional[ResourceBudget] = None,
         **options,
-    ) -> list:
+    ) -> QueryResult:
         """Evaluate a basic graph pattern.
 
         Parameters mirror the paper's experimental protocol: ``limit``
         (1000 in the paper) caps the number of solutions, ``timeout`` (in
         seconds) aborts long evaluations by raising
         :class:`~repro.core.interface.QueryTimeout`.
+
+        Reliability controls (all optional):
+
+        - ``partial=True`` degrades gracefully: instead of discarding
+          the work done when the deadline (or a cancellation) fires, the
+          solutions found so far are returned with
+          ``result.truncated == True``;
+        - ``cancellation`` is an external
+          :class:`~repro.reliability.budget.CancellationToken` that
+          aborts evaluation with
+          :class:`~repro.core.interface.QueryCancelled`;
+        - ``budget`` supplies a pre-built
+          :class:`~repro.reliability.budget.ResourceBudget` (overriding
+          ``timeout``/``limit``/``cancellation``), e.g. one shared
+          across the queries of a batch.
+
+        Unexpected engine failures (corrupted reads, injected faults)
+        are wrapped into
+        :class:`~repro.core.interface.QueryExecutionError` with the
+        failing BGP attached — callers only ever see
+        :class:`~repro.core.interface.QueryError` subclasses or correct
+        results.
 
         ``project`` restricts solutions to the given variables with
         duplicate elimination (SPARQL ``SELECT DISTINCT`` semantics — one
@@ -77,22 +134,46 @@ class BaseQuerySystem:
         bgp = parse_bgp(query) if isinstance(query, str) else query
         encoded = self._graph.encode_bgp(bgp)
         if encoded is None:  # a constant is absent from the graph
-            return []
-        out = []
+            return QueryResult()
+        if budget is None:
+            budget = ResourceBudget(
+                timeout=timeout, max_solutions=limit, token=cancellation
+            )
+        out = QueryResult()
         seen: set[frozenset] = set()
-        for solution in self._solutions(encoded, timeout, **options):
-            if project is not None:
-                solution = {v: solution[v] for v in project if v in solution}
-                key = frozenset(solution.items())
-                if key in seen:
-                    continue
-                seen.add(key)
-            out.append(solution)
-            if limit is not None and len(out) >= limit:
-                break
+        try:
+            for solution in self._solutions(encoded, budget, **options):
+                if project is not None:
+                    solution = {v: solution[v] for v in project if v in solution}
+                    key = frozenset(solution.items())
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                out.append(solution)
+                if not budget.admit_solution() or (
+                    limit is not None and len(out) >= limit
+                ):
+                    break
+        except (QueryTimeout, QueryCancelled) as exc:
+            if not partial:
+                raise
+            out.truncated = True
+            out.interrupted_by = (
+                "cancelled" if isinstance(exc, QueryCancelled) else "timeout"
+            )
+        except _PASSTHROUGH_ERRORS:
+            raise
+        except Exception as exc:
+            raise QueryExecutionError(
+                f"{self.name} engine failed on {bgp!r}: "
+                f"{type(exc).__name__}: {exc}",
+                bgp=bgp,
+            ) from exc
         if decode:
             roles = self._graph.variable_roles(bgp)
-            out = [self._graph.decode_solution(s, roles) for s in out]
+            out = QueryResult(
+                self._graph.decode_solution(s, roles) for s in out
+            )._copy_flags(out)
         return out
 
     def count(
@@ -241,26 +322,48 @@ class RingIndex(BaseLTJSystem):
 
         Loading rebuilds the succinct structures — construction is fast
         (§4.4) and the on-disk format stays a plain ``.npz`` plus a JSON
-        sidecar for the configuration.
+        sidecar manifest carrying the configuration and the payload's
+        SHA-256 (see :mod:`repro.reliability.integrity`).
         """
-        from repro.graph.io import save_graph
+        from repro.graph import io as graph_io
+        from repro.reliability.integrity import write_manifest
 
-        save_graph(self._graph, path)
-        with open(str(path) + ".config.json", "w") as f:
-            json.dump({"compressed": self._ring.compressed}, f)
+        graph_io.save_graph(self._graph, path)
+        write_manifest(path, compressed=self._ring.compressed, graph=self._graph)
 
     @classmethod
-    def load(cls, path) -> "RingIndex":
-        """Inverse of :meth:`save`."""
-        from repro.graph.io import load_graph
+    def load(cls, path, verify: bool = True) -> "RingIndex":
+        """Inverse of :meth:`save`, with integrity checks.
 
-        graph = load_graph(path)
-        config_path = str(path) + ".config.json"
-        compressed = False
-        if os.path.exists(config_path):
-            with open(config_path) as f:
-                compressed = json.load(f).get("compressed", False)
-        return cls(graph, compressed=compressed)
+        With ``verify=True`` (default) the payload checksum is compared
+        against the manifest, deserialization failures become typed
+        :class:`~repro.reliability.integrity.IndexIntegrityError`\\ s,
+        and the rebuilt ring runs its structural self-check — a
+        corrupted or truncated index is *never* silently served.
+        Legacy sidecars without a checksum skip the hash comparison.
+        """
+        from repro.reliability.integrity import (
+            checked_load_graph,
+            read_manifest,
+            verify_file,
+            verify_ring_structure,
+        )
+
+        manifest = read_manifest(path)
+        if verify:
+            verify_file(path, manifest)
+        graph = checked_load_graph(path)
+        compressed = bool((manifest or {}).get("compressed", False))
+        index = cls(graph, compressed=compressed)
+        if verify:
+            expected_n = (manifest or {}).get("n_triples", graph.n_triples)
+            verify_ring_structure(
+                index.ring,
+                graph=graph,
+                expected_n=expected_n,
+                path=path,
+            )
+        return index
 
 
 class CompressedRingIndex(RingIndex):
@@ -288,6 +391,7 @@ __all__ = [
     "BaseLTJSystem",
     "BaseQuerySystem",
     "CompressedRingIndex",
+    "QueryResult",
     "QueryTimeout",
     "RingIndex",
 ]

@@ -24,7 +24,24 @@ from repro.graph.dataset import Graph
 
 
 class NTriplesError(ValueError):
-    """Malformed N-Triples input (with line number context)."""
+    """Malformed N-Triples input.
+
+    Carries structured context for diagnostics: ``source`` (file name),
+    ``line_no`` and ``text`` (the offending line) when known — all
+    folded into the message as ``file: line N: reason: 'text'``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        source: str | None = None,
+        line_no: int | None = None,
+        text: str | None = None,
+    ) -> None:
+        self.source = source
+        self.line_no = line_no
+        self.text = text
+        super().__init__(message)
 
 
 def _parse_term(text: str, pos: int, line_no: int) -> tuple[str, int]:
@@ -101,15 +118,57 @@ def parse_ntriples_line(
     return s, p, o
 
 
-def iter_ntriples(lines: Iterable[str]) -> Iterator[tuple[str, str, str]]:
-    """Stream parsed triples from an iterable of lines."""
+def iter_ntriples(
+    lines: Iterable[str],
+    source: str | None = None,
+    strict: bool = True,
+    stats: dict | None = None,
+) -> Iterator[tuple[str, str, str]]:
+    """Stream parsed triples from an iterable of lines.
+
+    Errors are enriched with the ``source`` name and the offending
+    text.  With ``strict=False`` malformed lines are skipped instead of
+    raising; when ``stats`` (a dict) is given it receives the counters
+    ``"triples"``/``"bad_lines"`` and an ``"errors"`` list with the
+    first few diagnostics — so lenient loads still report what they
+    dropped rather than hiding it.
+    """
+    if stats is not None:
+        stats.setdefault("triples", 0)
+        stats.setdefault("bad_lines", 0)
+        stats.setdefault("errors", [])
     for line_no, line in enumerate(lines, start=1):
-        parsed = parse_ntriples_line(line, line_no)
+        try:
+            parsed = parse_ntriples_line(line, line_no)
+        except NTriplesError as exc:
+            enriched = NTriplesError(
+                f"{source or '<ntriples>'}: {exc}: {line.rstrip()!r}",
+                source=source,
+                line_no=line_no,
+                text=line.rstrip("\n"),
+            )
+            if strict:
+                raise enriched from None
+            if stats is not None:
+                stats["bad_lines"] += 1
+                if len(stats["errors"]) < 20:
+                    stats["errors"].append(str(enriched))
+            continue
         if parsed is not None:
+            if stats is not None:
+                stats["triples"] += 1
             yield parsed
 
 
-def load_ntriples(path: str) -> Graph:
-    """Load an N-Triples file into a dictionary-encoded :class:`Graph`."""
+def load_ntriples(
+    path: str, strict: bool = True, stats: dict | None = None
+) -> Graph:
+    """Load an N-Triples file into a dictionary-encoded :class:`Graph`.
+
+    ``strict=False`` skips (and, via ``stats``, counts) malformed lines
+    instead of aborting the whole load.
+    """
     with open(path, encoding="utf-8") as f:
-        return Graph.from_string_triples(iter_ntriples(f))
+        return Graph.from_string_triples(
+            iter_ntriples(f, source=path, strict=strict, stats=stats)
+        )

@@ -35,6 +35,9 @@ from itertools import permutations
 from math import comb, factorial
 from typing import Iterable, Optional, Sequence
 
+from repro.core.interface import QueryTimeout
+from repro.reliability.budget import ResourceBudget
+
 Cycle = tuple[int, ...]
 Requirement = tuple[frozenset[int], int]  # (bound set B, next attribute x)
 
@@ -208,7 +211,12 @@ def exact_cover_size(
     """Branch-and-bound minimum cover size; ``None`` if the budget blows.
 
     Branches on the lowest-index uncovered element (standard set-cover
-    exact search); prunes with ``ceil(remaining / max_set)``.
+    exact search); prunes with ``ceil(remaining / max_set)``.  The node
+    budget is a :class:`~repro.reliability.budget.ResourceBudget` op
+    cap, so exhaustion raises the shared
+    :class:`~repro.core.interface.QueryTimeout` (not the builtin
+    ``TimeoutError`` it used to leak) — here it is absorbed into the
+    ``None`` return.
     """
     element_to_sets: list[list[int]] = [[] for _ in range(universe_size)]
     for idx, s in enumerate(cover_sets):
@@ -216,13 +224,11 @@ def exact_cover_size(
             element_to_sets[e].append(idx)
     max_size = max((len(s) for s in cover_sets), default=1)
     best = upper
-    nodes = 0
+    budget = ResourceBudget(max_ops=node_budget, tick_mask=0)
 
     def bnb(uncovered: frozenset[int], used: int) -> None:
-        nonlocal best, nodes
-        nodes += 1
-        if nodes > node_budget:
-            raise TimeoutError
+        nonlocal best
+        budget.tick()
         if not uncovered:
             best = min(best, used)
             return
@@ -235,7 +241,7 @@ def exact_cover_size(
     try:
         bnb(frozenset(range(universe_size)), 0)
         return best
-    except TimeoutError:
+    except QueryTimeout:
         return None
 
 

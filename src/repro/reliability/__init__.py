@@ -1,0 +1,41 @@
+"""Reliability subsystem: budgets, integrity checks, fault injection.
+
+The ROADMAP's north star is a serving layer, and serving layers must
+enforce budgets, cancel cleanly, detect corruption and degrade
+gracefully — the paper's own WGPB protocol runs every query under a
+60 s timeout precisely because worst-case-optimal joins still have huge
+worst cases.  Three modules:
+
+- :mod:`repro.reliability.budget` — :class:`ResourceBudget`, the single
+  resource governor (wall-clock deadline, cooperative op ticks, a
+  max-solutions cap and an external :class:`CancellationToken`) every
+  engine now acquires its deadline from;
+- :mod:`repro.reliability.integrity` — checksummed index persistence
+  and structural self-checks, raising :class:`IndexIntegrityError`
+  instead of silently serving a corrupted ring;
+- :mod:`repro.reliability.faults` — a deterministic, seeded
+  fault-injection registry used by the test suite and
+  ``scripts/chaos_check.py`` to prove the above actually fires.
+"""
+
+from repro.reliability.budget import CancellationToken, ResourceBudget
+from repro.reliability.faults import (
+    Fault,
+    FaultInjector,
+    InjectedFault,
+    available_sites,
+    inject_faults,
+)
+from repro.reliability.integrity import IndexIntegrityError, verify_index
+
+__all__ = [
+    "CancellationToken",
+    "Fault",
+    "FaultInjector",
+    "IndexIntegrityError",
+    "InjectedFault",
+    "ResourceBudget",
+    "available_sites",
+    "inject_faults",
+    "verify_index",
+]

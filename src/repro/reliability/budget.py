@@ -1,0 +1,201 @@
+"""The unified resource governor every engine acquires its budget from.
+
+Before this module each engine hand-rolled its own failure handling:
+``core/ltj.py`` had a private ``_Deadline``, each pairwise baseline
+duplicated a ``time.monotonic()`` loop, and ``relational/orders.py``
+raised the builtin ``TimeoutError``.  :class:`ResourceBudget` replaces
+all of them with one cooperative governor:
+
+- **wall-clock deadline** — ``timeout`` seconds from construction;
+- **op-count cap** — ``max_ops`` cooperative ticks (the branch-and-bound
+  node budget of :func:`repro.relational.orders.exact_cover_size`);
+- **max-solutions cap** — ``max_solutions``, consulted by the serving
+  layer through :meth:`admit_solution`;
+- **external cancellation** — a :class:`CancellationToken` another
+  thread (or request handler) may trip at any time.
+
+Engines call :meth:`tick` once per elementary operation; the clock and
+the token are only consulted every ``tick_mask + 1`` operations, keeping
+the hot path at one increment and one mask test.  Exhaustion raises the
+shared typed exceptions: :class:`~repro.core.interface.QueryTimeout`
+for deadline/op-budget, :class:`~repro.core.interface.QueryCancelled`
+for token trips — so every engine fails identically and callers catch
+one exception family.
+
+A budget is also accepted anywhere a plain ``timeout`` float used to be:
+:meth:`ResourceBudget.coerce` turns ``None``/seconds/budget into a
+budget, which lets :class:`~repro.core.system.BaseQuerySystem` thread
+one shared governor (with one shared op counter) through an engine
+without changing any call signature.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional, Union
+
+from repro.core.interface import QueryCancelled, QueryTimeout
+
+DEFAULT_TICK_MASK = 0xFF  # consult the clock every 256 operations
+
+
+class CancellationToken:
+    """Thread-safe external cancellation signal.
+
+    Hand the token to ``evaluate(..., cancellation=token)`` and call
+    :meth:`cancel` from any thread; the engine raises
+    :class:`~repro.core.interface.QueryCancelled` at its next
+    cooperative check.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "live"
+        return f"CancellationToken({state})"
+
+
+class ResourceBudget:
+    """Cooperative budget shared by an entire query evaluation.
+
+    Parameters
+    ----------
+    timeout:
+        Wall-clock budget in seconds (``None`` = unlimited).
+    max_ops:
+        Cap on cooperative ticks (``None`` = unlimited).
+    max_solutions:
+        Cap consulted via :meth:`admit_solution` (``None`` = unlimited).
+    token:
+        Optional :class:`CancellationToken` checked alongside the clock.
+    tick_mask:
+        The clock/token are consulted when ``ops & tick_mask == 0``;
+        pass ``0`` to check on every tick (exact op budgets).
+    """
+
+    __slots__ = (
+        "timeout",
+        "deadline",
+        "max_ops",
+        "max_solutions",
+        "token",
+        "tick_mask",
+        "ops",
+        "solutions",
+    )
+
+    def __init__(
+        self,
+        timeout: Optional[float] = None,
+        max_ops: Optional[int] = None,
+        max_solutions: Optional[int] = None,
+        token: Optional[CancellationToken] = None,
+        tick_mask: int = DEFAULT_TICK_MASK,
+    ) -> None:
+        self.timeout = timeout
+        # `timeout=0` means "already expired", not "unlimited".
+        self.deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        self.max_ops = max_ops
+        self.max_solutions = max_solutions
+        self.token = token
+        self.tick_mask = tick_mask
+        self.ops = 0
+        self.solutions = 0
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def coerce(
+        cls, value: Union[None, int, float, "ResourceBudget"]
+    ) -> "ResourceBudget":
+        """Accept what engines historically took as ``timeout``.
+
+        ``None`` → unlimited budget; a number → fresh deadline budget;
+        an existing budget → itself (sharing its op counter).
+        """
+        if value is None:
+            return cls()
+        if isinstance(value, ResourceBudget):
+            return value
+        return cls(timeout=float(value))
+
+    @property
+    def unlimited(self) -> bool:
+        """True when no constraint can ever fire."""
+        return (
+            self.deadline is None
+            and self.max_ops is None
+            and self.token is None
+        )
+
+    # -- the cooperative hot path ----------------------------------------------
+
+    def tick(self) -> None:
+        """Account one elementary operation; cheap unless due a check."""
+        self.ops += 1
+        if self.ops & self.tick_mask:
+            return
+        self.check()
+
+    def check(self) -> None:
+        """Consult every constraint now (raises on exhaustion)."""
+        if self.token is not None and self.token.cancelled:
+            raise QueryCancelled("query cancelled by caller")
+        if self.max_ops is not None and self.ops > self.max_ops:
+            raise QueryTimeout(
+                f"operation budget exhausted ({self.ops} > {self.max_ops} ops)"
+            )
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise QueryTimeout(f"deadline exceeded ({self.timeout:g}s)")
+
+    def expired(self) -> bool:
+        """Non-raising probe: would :meth:`check` raise right now?"""
+        try:
+            self.check()
+        except (QueryTimeout, QueryCancelled):
+            return True
+        return False
+
+    # -- solution accounting -----------------------------------------------------
+
+    def admit_solution(self) -> bool:
+        """Account one emitted solution.
+
+        Returns whether *further* solutions may still be emitted —
+        ``False`` as soon as this one reaches the cap, so the caller's
+        ``if not budget.admit_solution(): break`` stops with exactly
+        ``max_solutions`` rows collected.
+        """
+        self.solutions += 1
+        return self.max_solutions is None or self.solutions < self.max_solutions
+
+    def remaining_time(self) -> Optional[float]:
+        """Seconds left on the wall clock (``None`` = unlimited)."""
+        if self.deadline is None:
+            return None
+        return max(self.deadline - time.monotonic(), 0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [f"ops={self.ops}"]
+        if self.timeout is not None:
+            parts.append(f"timeout={self.timeout:g}s")
+        if self.max_ops is not None:
+            parts.append(f"max_ops={self.max_ops}")
+        if self.max_solutions is not None:
+            parts.append(f"max_solutions={self.max_solutions}")
+        if self.token is not None:
+            parts.append(repr(self.token))
+        return f"ResourceBudget({', '.join(parts)})"

@@ -1,0 +1,296 @@
+"""Checksummed index persistence and structural self-checks.
+
+``Ring.save``/``load`` used to deserialize a truncated or bit-flipped
+``.npz`` into an index that silently returned wrong answers.  This
+module makes corruption a *typed, loud* failure instead:
+
+- **manifest** — ``save`` writes a JSON sidecar (``<path>.config.json``)
+  carrying a format version, the ring configuration, the graph's shape
+  (``n_triples``/``n_nodes``/``n_predicates``) and the SHA-256 of the
+  ``.npz`` payload;
+- **file check** — ``load`` re-hashes the payload and compares; any
+  flipped or missing byte raises :class:`IndexIntegrityError` before a
+  single query runs;
+- **structural self-check** — after rebuild, the ring itself is
+  validated: ``C``-array monotonicity and endpoints, wavelet-matrix
+  level lengths and alphabets, ``n_triples`` cross-consistency with the
+  manifest, and deterministic spot-check triple round-trips
+  (``ring.triple(i)`` must equal the source row and ``contains`` it);
+- **CLI** — ``python -m repro verify <index>`` runs the full battery
+  and reports each check.
+
+Legacy sidecars (``{"compressed": ...}`` only) still load; they simply
+skip the checksum comparison and rely on the structural checks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Optional
+
+import numpy as np
+
+from repro.graph import io as graph_io
+from repro.graph.dataset import Graph
+
+MANIFEST_VERSION = 1
+_SPOT_CHECK_SAMPLES = 32
+
+
+class IndexIntegrityError(Exception):
+    """A persisted index failed a checksum or structural self-check."""
+
+    def __init__(self, path, reason: str) -> None:
+        self.path = str(path)
+        self.reason = reason
+        super().__init__(f"{self.path}: {reason}")
+
+
+# -- on-disk plumbing ------------------------------------------------------------
+
+
+def resolve_payload(path) -> str:
+    """The actual ``.npz`` file behind ``path``.
+
+    ``np.savez`` appends ``.npz`` when the name lacks it; mirror that so
+    checksums and loads agree on the same file.
+    """
+    path = str(path)
+    if os.path.exists(path):
+        return path
+    if not path.endswith(".npz") and os.path.exists(path + ".npz"):
+        return path + ".npz"
+    return path
+
+
+def manifest_path(path) -> str:
+    return str(path) + ".config.json"
+
+
+def file_checksum(path) -> str:
+    """SHA-256 of a file, streamed in 1 MiB chunks."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as f:
+        for chunk in iter(lambda: f.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def write_manifest(path, *, compressed: bool, graph: Graph) -> None:
+    """Write the sidecar manifest next to a freshly saved index."""
+    payload = resolve_payload(path)
+    meta = {
+        "format_version": MANIFEST_VERSION,
+        "compressed": bool(compressed),
+        "sha256": file_checksum(payload),
+        "n_triples": int(graph.n_triples),
+        "n_nodes": int(graph.n_nodes),
+        "n_predicates": int(graph.n_predicates),
+    }
+    with open(manifest_path(path), "w") as f:
+        json.dump(meta, f)
+
+
+def read_manifest(path) -> Optional[dict]:
+    """The sidecar's contents, or ``None`` when no sidecar exists.
+
+    An unreadable/corrupt sidecar is itself an integrity failure.
+    """
+    mpath = manifest_path(path)
+    if not os.path.exists(mpath):
+        return None
+    try:
+        with open(mpath) as f:
+            meta = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise IndexIntegrityError(path, f"unreadable manifest: {exc}") from exc
+    if not isinstance(meta, dict):
+        raise IndexIntegrityError(path, "manifest is not a JSON object")
+    return meta
+
+
+def verify_file(path, manifest: Optional[dict] = None) -> None:
+    """Existence + checksum check of the ``.npz`` payload."""
+    payload = resolve_payload(path)
+    if not os.path.exists(payload):
+        raise IndexIntegrityError(path, "index file does not exist")
+    if manifest is None:
+        manifest = read_manifest(path)
+    expected = (manifest or {}).get("sha256")
+    if expected is not None:
+        actual = file_checksum(payload)
+        if actual != expected:
+            raise IndexIntegrityError(
+                path,
+                f"checksum mismatch (expected {expected[:12]}…, "
+                f"got {actual[:12]}…): file corrupted or truncated",
+            )
+
+
+def checked_load_graph(path) -> Graph:
+    """``load_graph`` with every failure surfaced as an integrity error.
+
+    Looked up through the module (not a bound import) so the fault
+    registry's ``io.load`` hook applies here too.
+    """
+    payload = resolve_payload(path)
+    try:
+        return graph_io.load_graph(payload)
+    except IndexIntegrityError:
+        raise
+    except Exception as exc:
+        raise IndexIntegrityError(
+            path, f"cannot deserialize index: {exc}"
+        ) from exc
+
+
+# -- structural self-checks ---------------------------------------------------------
+
+
+def verify_ring_structure(
+    ring,
+    *,
+    graph: Optional[Graph] = None,
+    expected_n: Optional[int] = None,
+    samples: int = _SPOT_CHECK_SAMPLES,
+    path="<in-memory ring>",
+) -> list[str]:
+    """Validate a ring's internal invariants; returns the checks run.
+
+    Raises :class:`IndexIntegrityError` on the first violation.  The
+    checks mirror the construction invariants of
+    :class:`~repro.core.ring.Ring` (§4.1): three equal-length zone
+    wavelet matrices over the right alphabets, three monotone ``C``
+    arrays ending at ``n``, and spot-checked triple round-trips.
+    """
+    from repro.core.ring import prev_attr
+    from repro.graph.model import O, P, S
+
+    checks: list[str] = []
+    n = ring.n
+
+    def fail(reason: str) -> None:
+        raise IndexIntegrityError(path, reason)
+
+    if expected_n is not None and n != expected_n:
+        fail(f"n_triples mismatch: ring has {n}, expected {expected_n}")
+    checks.append("n_triples cross-consistency")
+
+    for zone in (S, P, O):
+        wm = ring.zone_sequence(zone)
+        symbol_attr = prev_attr(zone)
+        if len(wm) != n:
+            fail(f"zone {zone} wavelet matrix has {len(wm)} symbols, not {n}")
+        if wm.sigma != ring.sigma(symbol_attr):
+            fail(
+                f"zone {zone} alphabet is {wm.sigma}, expected "
+                f"{ring.sigma(symbol_attr)}"
+            )
+        expected_levels = max(1, (wm.sigma - 1).bit_length())
+        if wm.levels != expected_levels:
+            fail(
+                f"zone {zone} has {wm.levels} wavelet levels, expected "
+                f"{expected_levels}"
+            )
+        for level, bv in enumerate(wm._bits):
+            if len(bv) != n:
+                fail(
+                    f"zone {zone} level {level} bitvector has {len(bv)} "
+                    f"bits, not {n}"
+                )
+    checks.append("wavelet-matrix level lengths and alphabets")
+
+    for attr in (S, P, O):
+        c = np.asarray(ring.c_array(attr), dtype=np.int64)
+        if len(c) != ring.sigma(attr) + 1:
+            fail(
+                f"C[{attr}] has {len(c)} entries, expected "
+                f"{ring.sigma(attr) + 1}"
+            )
+        if len(c) and (c[0] != 0 or c[-1] != n):
+            fail(
+                f"C[{attr}] endpoints are ({int(c[0])}, {int(c[-1])}), "
+                f"expected (0, {n})"
+            )
+        if len(c) > 1 and np.any(np.diff(c) < 0):
+            fail(f"C[{attr}] is not monotonically non-decreasing")
+    checks.append("C-array monotonicity and endpoints")
+
+    if n and samples:
+        step = max(1, n // samples)
+        source = graph.triples if graph is not None else None
+        for i in range(0, n, step):
+            try:
+                s, p, o = ring.triple(i)
+            except Exception as exc:
+                fail(f"triple({i}) raised {type(exc).__name__}: {exc}")
+            if not (
+                0 <= s < ring.sigma(S)
+                and 0 <= p < ring.sigma(P)
+                and 0 <= o < ring.sigma(O)
+            ):
+                fail(f"triple({i}) = {(s, p, o)} outside the universes")
+            if not ring.contains(s, p, o):
+                fail(f"triple({i}) = {(s, p, o)} fails its own membership test")
+            if source is not None and tuple(source[i]) != (s, p, o):
+                fail(
+                    f"triple({i}) = {(s, p, o)} disagrees with the stored "
+                    f"graph row {tuple(int(x) for x in source[i])}"
+                )
+        checks.append(f"spot-check triple round-trips ({min(samples, n)} samples)")
+    return checks
+
+
+def verify_index(path, samples: int = _SPOT_CHECK_SAMPLES) -> dict:
+    """Full battery over a persisted index; the ``repro verify`` engine.
+
+    Returns a report dict (``checks`` run, graph shape, configuration).
+    Raises :class:`IndexIntegrityError` on any failure.
+    """
+    from repro.core.system import RingIndex
+
+    report: dict = {"path": str(path), "checks": []}
+    manifest = read_manifest(path)
+    report["manifest"] = "present" if manifest else "absent (legacy index)"
+    verify_file(path, manifest)
+    report["checks"].append("payload exists")
+    if manifest and manifest.get("sha256"):
+        report["checks"].append("sha256 checksum")
+
+    graph = checked_load_graph(path)
+    report["checks"].append("deserialization")
+    if manifest is not None:
+        for key, actual in (
+            ("n_triples", graph.n_triples),
+            ("n_nodes", graph.n_nodes),
+            ("n_predicates", graph.n_predicates),
+        ):
+            expected = manifest.get(key)
+            if expected is not None and expected != actual:
+                raise IndexIntegrityError(
+                    path,
+                    f"{key} mismatch: manifest says {expected}, "
+                    f"payload has {actual}",
+                )
+        report["checks"].append("manifest cross-consistency")
+
+    compressed = bool((manifest or {}).get("compressed", False))
+    index = RingIndex(graph, compressed=compressed)
+    report["checks"].extend(
+        verify_ring_structure(
+            index.ring,
+            graph=graph,
+            expected_n=graph.n_triples,
+            samples=samples,
+            path=path,
+        )
+    )
+    report.update(
+        n_triples=graph.n_triples,
+        n_nodes=graph.n_nodes,
+        n_predicates=graph.n_predicates,
+        compressed=compressed,
+    )
+    return report

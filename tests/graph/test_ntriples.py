@@ -97,6 +97,53 @@ class TestLoading:
         ]
 
 
+class TestDiagnostics:
+    BAD_DOC = """\
+<a> <p> <b> .
+GARBAGE HERE
+<b> <p> <c> .
+<c> <p>
+<c> <p> <d> .
+"""
+
+    def test_error_names_file_line_and_text(self, tmp_path):
+        path = tmp_path / "bad.nt"
+        path.write_text(self.BAD_DOC)
+        with pytest.raises(NTriplesError) as info:
+            load_ntriples(str(path))
+        err = info.value
+        assert err.source == str(path)
+        assert err.line_no == 2
+        assert err.text == "GARBAGE HERE"
+        assert str(path) in str(err)
+        assert "GARBAGE HERE" in str(err)
+
+    def test_lenient_skips_and_counts(self, tmp_path):
+        path = tmp_path / "bad.nt"
+        path.write_text(self.BAD_DOC)
+        stats: dict = {}
+        graph = load_ntriples(str(path), strict=False, stats=stats)
+        assert graph.n_triples == 3
+        assert stats["bad_lines"] == 2
+        assert stats["triples"] == 3
+        assert len(stats["errors"]) == 2
+        assert "line 2" in stats["errors"][0]
+        assert "line 4" in stats["errors"][1]
+
+    def test_lenient_without_stats(self):
+        triples = list(
+            iter_ntriples(self.BAD_DOC.splitlines(), strict=False)
+        )
+        assert len(triples) == 3
+
+    def test_error_list_is_capped(self):
+        lines = ["junk"] * 50
+        stats: dict = {}
+        assert list(iter_ntriples(lines, strict=False, stats=stats)) == []
+        assert stats["bad_lines"] == 50
+        assert len(stats["errors"]) == 20
+
+
 @given(
     st.lists(
         st.tuples(

@@ -1,0 +1,114 @@
+"""Unit tests for the shared resource governor."""
+
+import time
+
+import pytest
+
+from repro.core.interface import QueryCancelled, QueryTimeout
+from repro.reliability.budget import CancellationToken, ResourceBudget
+
+pytestmark = pytest.mark.reliability
+
+
+class TestCoerce:
+    def test_none_is_unlimited(self):
+        budget = ResourceBudget.coerce(None)
+        assert budget.unlimited
+        for _ in range(10_000):
+            budget.tick()  # never raises
+
+    def test_number_becomes_timeout(self):
+        budget = ResourceBudget.coerce(5.0)
+        assert budget.timeout == 5.0
+        assert not budget.unlimited
+
+    def test_budget_passes_through(self):
+        original = ResourceBudget(timeout=1.0)
+        assert ResourceBudget.coerce(original) is original
+
+    def test_shared_budget_accumulates_ops(self):
+        # The same governor handed to two consumers counts both:
+        # that is the point of coerce() over per-engine deadlines.
+        budget = ResourceBudget(max_ops=100, tick_mask=0)
+        for _ in range(60):
+            budget.tick()
+        with pytest.raises(QueryTimeout):
+            for _ in range(60):
+                budget.tick()
+
+
+class TestDeadline:
+    def test_expired_deadline_raises_query_timeout(self):
+        budget = ResourceBudget(timeout=0.0, tick_mask=0)
+        with pytest.raises(QueryTimeout):
+            budget.tick()
+
+    def test_masked_ticks_skip_clock_reads(self):
+        budget = ResourceBudget(timeout=0.0)  # default mask 0xFF
+        # The first 255 ticks are mask hits and never touch the clock.
+        for _ in range(255):
+            budget.tick()
+        with pytest.raises(QueryTimeout):
+            for _ in range(256):
+                budget.tick()
+
+    def test_remaining_time(self):
+        budget = ResourceBudget(timeout=60.0)
+        assert 0 < budget.remaining_time() <= 60.0
+        assert ResourceBudget().remaining_time() is None
+
+    def test_expired_probe_does_not_raise(self):
+        budget = ResourceBudget(timeout=0.0)
+        assert budget.expired()
+        assert not ResourceBudget(timeout=60.0).expired()
+
+
+class TestOpsBudget:
+    def test_op_budget_exhaustion(self):
+        budget = ResourceBudget(max_ops=10, tick_mask=0)
+        with pytest.raises(QueryTimeout, match="operation budget"):
+            for _ in range(11):
+                budget.tick()
+
+    def test_ops_counted_even_when_masked(self):
+        budget = ResourceBudget()
+        for _ in range(5):
+            budget.tick()
+        assert budget.ops == 5
+
+
+class TestCancellation:
+    def test_token_cancels(self):
+        token = CancellationToken()
+        budget = ResourceBudget(token=token, tick_mask=0)
+        budget.tick()
+        token.cancel()
+        with pytest.raises(QueryCancelled):
+            budget.tick()
+
+    def test_cancelled_property(self):
+        token = CancellationToken()
+        assert not token.cancelled
+        token.cancel()
+        assert token.cancelled
+
+
+class TestSolutions:
+    def test_admit_solution_cap(self):
+        # The return value answers "may MORE solutions follow?": with a
+        # cap of 2, the second admission is the last.
+        budget = ResourceBudget(max_solutions=2)
+        assert budget.admit_solution()
+        assert not budget.admit_solution()
+        assert budget.solutions == 2
+
+    def test_unlimited_solutions(self):
+        budget = ResourceBudget()
+        assert all(budget.admit_solution() for _ in range(100))
+
+
+class TestValidation:
+    def test_deadline_is_monotonic_offset(self):
+        before = time.monotonic()
+        budget = ResourceBudget(timeout=10.0)
+        assert budget.deadline >= before + 9.0

@@ -1,0 +1,125 @@
+"""Graceful degradation: ``partial=True`` and cooperative cancellation."""
+
+import threading
+
+import pytest
+
+from repro.core import (
+    QueryCancelled,
+    QueryResult,
+    QueryTimeout,
+    RingIndex,
+)
+from repro.graph import BasicGraphPattern, TriplePattern, Var
+from repro.graph.generators import nobel_graph, random_graph
+from repro.reliability.budget import CancellationToken, ResourceBudget
+
+pytestmark = pytest.mark.reliability
+
+A, B, C = Var("a"), Var("b"), Var("c")
+
+TRIANGLE = BasicGraphPattern(
+    [TriplePattern(A, 0, B), TriplePattern(B, 0, C), TriplePattern(C, 0, A)]
+)
+
+
+@pytest.fixture(scope="module")
+def dense_graph():
+    return random_graph(3000, n_nodes=60, n_predicates=1, seed=1)
+
+
+@pytest.fixture(scope="module")
+def dense_index(dense_graph):
+    return RingIndex(dense_graph)
+
+
+def assert_triangles(result, graph) -> None:
+    """Every returned binding must be a genuine triangle in ``graph``."""
+    edges = {(int(s), int(o)) for s, p, o in graph.triples}
+    for mu in result:
+        a, b, c = mu[A], mu[B], mu[C]
+        assert (a, b) in edges and (b, c) in edges and (c, a) in edges, mu
+
+
+class TestPartialResults:
+    def test_partial_returns_truncated_flag(self, dense_index):
+        result = dense_index.evaluate(TRIANGLE, timeout=0.005, partial=True)
+        assert isinstance(result, QueryResult)
+        assert result.truncated
+        assert result.interrupted_by == "timeout"
+
+    def test_partial_rows_are_correct(self, dense_index, dense_graph):
+        # Degraded, not corrupted: every row in the truncated prefix is
+        # a genuine triangle.
+        result = dense_index.evaluate(TRIANGLE, timeout=0.005, partial=True)
+        assert result.truncated
+        assert_triangles(result, dense_graph)
+
+    def test_default_is_raise_not_truncate(self, dense_index):
+        with pytest.raises(QueryTimeout):
+            dense_index.evaluate(TRIANGLE, timeout=0.005)
+
+    def test_untruncated_result_flags(self):
+        index = RingIndex(nobel_graph())
+        result = index.evaluate("?x adv ?y")
+        assert isinstance(result, QueryResult)
+        assert not result.truncated
+        assert result.interrupted_by is None
+
+    def test_decoded_result_keeps_flags(self):
+        # decode=True needs a dictionary, so run on the labelled Nobel
+        # graph and force truncation with a tiny op budget.
+        index = RingIndex(nobel_graph())
+        budget = ResourceBudget(max_ops=3, tick_mask=0)
+        result = index.evaluate(
+            "?x ?p ?y . ?y ?q ?z", budget=budget, partial=True, decode=True
+        )
+        assert result.truncated
+        assert result.interrupted_by == "timeout"
+        assert all(isinstance(k, str) for mu in result for k in mu)
+
+    def test_partial_with_op_budget(self, dense_index):
+        budget = ResourceBudget(max_ops=500, tick_mask=0)
+        result = dense_index.evaluate(TRIANGLE, budget=budget, partial=True)
+        assert result.truncated
+        assert result.interrupted_by == "timeout"
+
+
+class TestCancellation:
+    def test_precancelled_token_raises(self, dense_index):
+        token = CancellationToken()
+        token.cancel()
+        with pytest.raises(QueryCancelled):
+            dense_index.evaluate(TRIANGLE, cancellation=token)
+
+    def test_cancel_from_another_thread(self, dense_index):
+        token = CancellationToken()
+        timer = threading.Timer(0.02, token.cancel)
+        timer.start()
+        try:
+            with pytest.raises(QueryCancelled):
+                # No timeout: only the token can stop this enumeration.
+                dense_index.evaluate(TRIANGLE, cancellation=token)
+        finally:
+            timer.cancel()
+
+    def test_cancelled_partial_is_labelled(self, dense_index):
+        token = CancellationToken()
+        token.cancel()
+        result = dense_index.evaluate(
+            TRIANGLE, cancellation=token, partial=True
+        )
+        assert result.truncated
+        assert result.interrupted_by == "cancelled"
+
+
+class TestLimits:
+    def test_limit_is_not_truncation(self, dense_index):
+        # Stopping at `limit` is the caller's request, not degradation.
+        result = dense_index.evaluate(TRIANGLE, limit=5)
+        assert len(result) == 5
+        assert not result.truncated
+
+    def test_limit_rows_are_correct(self, dense_index, dense_graph):
+        limited = dense_index.evaluate(TRIANGLE, limit=7)
+        assert_triangles(limited, dense_graph)

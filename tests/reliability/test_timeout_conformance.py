@@ -1,0 +1,109 @@
+"""Cross-engine timeout conformance.
+
+Every query system in the library — the ring variants, the dynamic
+ring, and all baseline regimes — must raise the *same*
+:class:`~repro.core.interface.QueryTimeout` when handed the same
+adversarial query with a tiny budget.  Before the shared
+:class:`~repro.reliability.budget.ResourceBudget`, four divergent
+deadline implementations made this untestable.
+"""
+
+import pytest
+
+from repro.baselines import (
+    BlazegraphIndex,
+    CyclicUnidirectionalIndex,
+    EmptyHeadedIndex,
+    FlatTrieIndex,
+    JenaIndex,
+    JenaLTJIndex,
+    QdagIndex,
+    RDF3XIndex,
+    VirtuosoIndex,
+)
+from repro.core import CompressedRingIndex, QueryTimeout, RingIndex
+from repro.core.dynamic import DynamicRingIndex
+from repro.graph import BasicGraphPattern, TriplePattern, Var
+from repro.graph.generators import random_graph
+from repro.reliability.budget import CancellationToken, ResourceBudget
+
+pytestmark = pytest.mark.reliability
+
+A, B, C, D = Var("a"), Var("b"), Var("c"), Var("d")
+
+# A dense single-predicate graph (83% of all possible edges): the
+# triangle query below has ~10^5 solutions, far more work than any
+# engine finishes inside the budgets used here.
+ALL_SYSTEMS = [
+    RingIndex,
+    CompressedRingIndex,
+    DynamicRingIndex,
+    FlatTrieIndex,
+    JenaIndex,
+    JenaLTJIndex,
+    BlazegraphIndex,
+    RDF3XIndex,
+    VirtuosoIndex,
+    QdagIndex,
+    EmptyHeadedIndex,
+    CyclicUnidirectionalIndex,
+]
+
+# Constant predicate + pairwise-distinct variables so Qdag accepts it.
+TRIANGLE = BasicGraphPattern(
+    [TriplePattern(A, 0, B), TriplePattern(B, 0, C), TriplePattern(C, 0, A)]
+)
+# Acyclic: exercises the Yannakakis path in EmptyHeadedIndex.
+PATH = BasicGraphPattern(
+    [TriplePattern(A, 0, B), TriplePattern(B, 0, C), TriplePattern(C, 0, D)]
+)
+
+
+@pytest.fixture(scope="module")
+def dense_graph():
+    return random_graph(3000, n_nodes=60, n_predicates=1, seed=1)
+
+
+@pytest.mark.parametrize("cls", ALL_SYSTEMS, ids=lambda c: c.name)
+def test_triangle_times_out_everywhere(cls, dense_graph):
+    index = cls(dense_graph)
+    with pytest.raises(QueryTimeout):
+        index.evaluate(TRIANGLE, timeout=0.001)
+
+
+@pytest.mark.parametrize("cls", ALL_SYSTEMS, ids=lambda c: c.name)
+def test_acyclic_path_times_out_everywhere(cls, dense_graph):
+    # EmptyHeaded routes acyclic queries through Yannakakis; the rest
+    # must behave identically regardless of plan shape.
+    index = cls(dense_graph)
+    with pytest.raises(QueryTimeout):
+        index.evaluate(PATH, timeout=0.001)
+
+
+@pytest.mark.parametrize("cls", ALL_SYSTEMS, ids=lambda c: c.name)
+def test_op_budget_times_out_everywhere(cls, dense_graph):
+    # Deterministic variant: no clock involved, so this cannot flake on
+    # a fast machine.  Every engine must exhaust a 50-op budget.
+    index = cls(dense_graph)
+    budget = ResourceBudget(max_ops=50, tick_mask=0)
+    with pytest.raises(QueryTimeout, match="operation budget"):
+        index.evaluate(TRIANGLE, budget=budget)
+
+
+@pytest.mark.parametrize("cls", ALL_SYSTEMS, ids=lambda c: c.name)
+def test_cancellation_token_everywhere(cls, dense_graph):
+    from repro.core.interface import QueryCancelled
+
+    index = cls(dense_graph)
+    token = CancellationToken()
+    token.cancel()  # pre-cancelled: first budget check must notice
+    with pytest.raises(QueryCancelled):
+        index.evaluate(TRIANGLE, cancellation=token)
+
+
+def test_timeout_preserved_after_partial_results(dense_graph):
+    # A generous limit with a tiny timeout: the engine produces some
+    # rows, then the governor fires mid-enumeration.
+    index = RingIndex(dense_graph)
+    with pytest.raises(QueryTimeout):
+        index.evaluate(TRIANGLE, timeout=0.001, limit=10**9)
