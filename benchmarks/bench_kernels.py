@@ -1,0 +1,100 @@
+"""Batch-kernel microbenchmarks: the vectorised succinct layer vs scalar.
+
+Regenerates the ``BENCH_kernels.json`` perf artifact and *gates* the
+batch kernels: each batch primitive must beat a Python loop over its
+scalar counterpart by at least ``MIN_KERNEL_SPEEDUP`` (a deliberately
+loose floor — measured speedups are 40-100x — so the gate only trips on
+a real regression, not on machine noise), and the end-to-end batch-leap
+LTJ path must not be slower than the scalar walk.
+
+Scale knobs: ``REPRO_BENCH_N`` / ``REPRO_BENCH_QUERIES`` (conftest) for
+the LTJ half; ``REPRO_BENCH_KERNEL_N`` / ``REPRO_BENCH_KERNEL_BATCH``
+for the structure/batch sizes of the kernel half.  ``scripts/
+perf_smoke.py`` runs this file in quick mode on CI.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.perf.kernelbench import bench_kernels, bench_ltj
+
+KERNEL_N = int(os.environ.get("REPRO_BENCH_KERNEL_N", str(1 << 17)))
+KERNEL_BATCH = int(os.environ.get("REPRO_BENCH_KERNEL_BATCH", str(1 << 13)))
+
+#: Required batch-over-scalar factor per kernel (acceptance floor).
+MIN_KERNEL_SPEEDUP = 5.0
+
+pytestmark = pytest.mark.perf
+
+
+@pytest.fixture(scope="module")
+def kernel_rows():
+    return bench_kernels(n=KERNEL_N, batch=KERNEL_BATCH, seed=0)
+
+
+@pytest.fixture(scope="module")
+def ltj_report(bench_graph):
+    n_queries = int(os.environ.get("REPRO_BENCH_QUERIES", "2"))
+    return bench_ltj(
+        n=bench_graph.n_triples, queries_per_shape=n_queries, seed=0
+    )
+
+
+@pytest.mark.parametrize(
+    "kernel",
+    [
+        "bits.rank1_many",
+        "bits.select1_many",
+        "bits.access_many",
+        "wavelet.rank_many",
+        "wavelet.extract_at",
+    ],
+)
+def test_kernel_speedup(kernel_rows, kernel, benchmark):
+    """Every batch kernel beats its scalar loop by the acceptance floor."""
+    row = next(r for r in kernel_rows if r["kernel"] == kernel)
+
+    def noop():
+        return row
+
+    benchmark.pedantic(noop, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        speedup=round(row["speedup"], 1),
+        batch_mops_per_s=round(row["batch_mops_per_s"], 1),
+    )
+    assert row["speedup"] >= MIN_KERNEL_SPEEDUP, (
+        f"{kernel}: batch only {row['speedup']:.1f}x over scalar "
+        f"(floor {MIN_KERNEL_SPEEDUP}x)"
+    )
+
+
+def test_ltj_batch_not_slower(ltj_report):
+    """Batch-leap LTJ returns the same rows, at least as fast (±20%)."""
+    assert ltj_report["batch"]["results"] == ltj_report["scalar"]["results"]
+    assert ltj_report["batch"]["timeouts"] == 0
+    # Same workload both ways; allow 20% noise headroom on small graphs.
+    assert ltj_report["speedup"] >= 0.8, (
+        f"batch-leap path slower than scalar: {ltj_report['speedup']:.2f}x"
+    )
+
+
+def test_write_bench_artifact(kernel_rows, ltj_report):
+    """Emit the machine-readable perf artifact for trajectory tracking."""
+    from repro.perf.kernelbench import SCHEMA_VERSION
+
+    path = os.environ.get("REPRO_BENCH_KERNELS_OUT", "BENCH_kernels.json")
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "config": {
+            "kernel_n": KERNEL_N,
+            "kernel_batch": KERNEL_BATCH,
+            "source": "benchmarks/bench_kernels.py",
+        },
+        "kernels": kernel_rows,
+        "ltj": ltj_report,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")

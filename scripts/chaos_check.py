@@ -69,6 +69,14 @@ QUERY_SITES = [
     "bitvector.access",
     "bitvector.rank",
     "bitvector.select",
+    # Batch kernels: the default engine routes lonely-variable ranges
+    # and single-iterator sweeps through these, so chaos must arm them
+    # too or the fast path would run fault-free.
+    "bitvector.rank_many",
+    "bitvector.select_many",
+    "bitvector.access_many",
+    "wavelet.rank_many",
+    "wavelet.extract_at",
 ]
 
 ALLOWED_ERRORS = (

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""CI perf smoke: run the kernel + Table-1 benchmarks at quick scale.
+
+Runs ``benchmarks/bench_kernels.py`` and ``benchmarks/
+bench_table1_space_time.py`` under pytest with small sizes, failing the
+build if either crashes or a speedup gate trips, and leaves the
+machine-readable ``BENCH_kernels.json`` artifact behind.  Usage::
+
+    PYTHONPATH=src python scripts/perf_smoke.py [-o BENCH_kernels.json]
+
+Exit status is pytest's, so any collection error, assertion failure or
+crash fails CI.  This is a *smoke* — timings at these sizes are noisy;
+the artifact's speedup columns are the signal, not the absolute times.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+import pytest
+
+QUICK_ENV = {
+    # Small graph / few queries for the LTJ half and table1.
+    "REPRO_BENCH_N": "1500",
+    "REPRO_BENCH_QUERIES": "1",
+    # Small structures for the kernel half (still >> one superblock).
+    "REPRO_BENCH_KERNEL_N": str(1 << 15),
+    "REPRO_BENCH_KERNEL_BATCH": str(1 << 12),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-o",
+        "--output",
+        default="BENCH_kernels.json",
+        help="where bench_kernels.py writes its JSON artifact",
+    )
+    args = parser.parse_args(argv)
+
+    for key, value in QUICK_ENV.items():
+        os.environ.setdefault(key, value)
+    os.environ["REPRO_BENCH_KERNELS_OUT"] = args.output
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    code = pytest.main(
+        [
+            os.path.join(root, "benchmarks", "bench_kernels.py"),
+            os.path.join(root, "benchmarks", "bench_table1_space_time.py"),
+            "-q",
+            "--benchmark-disable-gc",
+        ]
+    )
+    if code == 0 and os.path.exists(args.output):
+        print(f"perf smoke OK; wrote {args.output}")
+    return int(code)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

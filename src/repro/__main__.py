@@ -9,6 +9,7 @@ Examples::
     python -m repro path nobel.npz "adv+" --source Thorne
     python -m repro verify nobel.npz
     python -m repro stats nobel.npz
+    python -m repro bench --quick -o BENCH_kernels.json
 
 Input formats for ``build``: ``.nt`` files go through the N-Triples
 loader; anything else is parsed as whitespace-separated ``s p o`` lines.
@@ -124,6 +125,18 @@ def cmd_verify(args) -> None:
     print("index integrity: OK")
 
 
+def cmd_bench(args) -> None:
+    # Imported lazily: pulls in the graph generators and bench runner,
+    # which the serving commands never need.
+    from repro.perf.kernelbench import format_report, full_report, write_report
+
+    report = full_report(quick=args.quick, seed=args.seed)
+    print(format_report(report))
+    if args.output:
+        write_report(report, args.output)
+        print(f"\nwrote {args.output}")
+
+
 def cmd_stats(args) -> None:
     index = RingIndex.load(args.index)
     graph = index.graph
@@ -181,6 +194,17 @@ def main(argv=None) -> None:
     p = sub.add_parser("stats", help="index statistics")
     p.add_argument("index")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "bench",
+        help="scalar-vs-batch kernel microbenchmarks + end-to-end LTJ",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="smaller sizes (CI smoke mode)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", default=None,
+                   help="also write the report as JSON (BENCH_kernels.json)")
+    p.set_defaults(func=cmd_bench)
 
     args = parser.parse_args(argv)
     try:

@@ -13,6 +13,12 @@ the paper cites for its ``o(n)``-bit rank/select support:
 one popcount.  ``select`` binary-searches the superblock counters and then
 scans at most ``WORDS_PER_SUPERBLOCK`` words.
 
+Besides the scalar operations the class exposes the **batch kernels**
+``rank1_many`` / ``rank0_many`` / ``select1_many`` / ``access_many``,
+which answer a whole numpy array of queries in O(1) Python calls — the
+foundation of the vectorised wavelet-matrix and LTJ fast paths (see
+``docs/INTERNALS.md``, "The kernel layer").
+
 Indexing conventions (used consistently across the library):
 
 - positions are 0-based;
@@ -22,22 +28,62 @@ Indexing conventions (used consistently across the library):
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, Optional
 
 import numpy as np
 
+from repro.perf.counters import KERNEL_COUNTERS as _perf
+
 WORDS_PER_SUPERBLOCK = 8
 _LOW6 = 63
+_ONE = np.uint64(1)
 
 
-def _popcount_words(words: np.ndarray) -> np.ndarray:
-    """Vectorised popcount of an array of uint64 words."""
-    if len(words) == 0:
-        return np.zeros(0, dtype=np.uint64)
-    as_bytes = words.view(np.uint8).reshape(len(words), 8)
-    # unpackbits is per-byte so endianness within the word does not matter
-    # for counting.
-    return np.unpackbits(as_bytes, axis=1).sum(axis=1).astype(np.uint64)
+if hasattr(np, "bitwise_count"):  # numpy >= 2: hardware popcount
+
+    def _popcount_words(words: np.ndarray) -> np.ndarray:
+        """Vectorised popcount of an array of uint64 words."""
+        return np.bitwise_count(words).astype(np.uint64)
+
+    def _popcount_bytes(bytes_: np.ndarray) -> np.ndarray:
+        """Vectorised popcount of a uint8 array (any shape)."""
+        return np.bitwise_count(bytes_)
+
+else:  # 16-bit-chunk lookup table fallback (numpy 1.x)
+
+    _POPCOUNT16 = (
+        np.unpackbits(np.arange(1 << 16, dtype=np.uint16).view(np.uint8))
+        .reshape(-1, 16)
+        .sum(axis=1)
+        .astype(np.uint8)
+    )
+
+    def _popcount_words(words: np.ndarray) -> np.ndarray:
+        """Vectorised popcount of an array of uint64 words."""
+        if words.size == 0:
+            return np.zeros(0, dtype=np.uint64)
+        halves = np.ascontiguousarray(words).view(np.uint16).reshape(-1, 4)
+        return _POPCOUNT16[halves].sum(axis=1, dtype=np.uint64)
+
+    def _popcount_bytes(bytes_: np.ndarray) -> np.ndarray:
+        """Vectorised popcount of a uint8 array (any shape)."""
+        return _POPCOUNT16[:256][bytes_]
+
+
+def _build_select_in_byte() -> np.ndarray:
+    """``table[b, k-1]`` = position of the k-th set bit of byte ``b``."""
+    table = np.zeros((256, 8), dtype=np.uint8)
+    for byte in range(256):
+        k = 0
+        for bit in range(8):
+            if (byte >> bit) & 1:
+                table[byte, k] = bit
+                k += 1
+    return table
+
+
+_SELECT_IN_BYTE = _build_select_in_byte()
 
 
 class BitVector:
@@ -46,17 +92,23 @@ class BitVector:
     Parameters
     ----------
     bits:
-        Anything convertible to a 1-D boolean ``numpy`` array (an iterable
-        of 0/1, a boolean array, ...).  Use :meth:`from_positions` or
-        :meth:`from_words` for the other common construction paths.
+        Anything convertible to a 1-D boolean ``numpy`` array: a numpy
+        array, a sized sequence/buffer (consumed without an intermediate
+        Python list), or a plain iterable/generator.  Use
+        :meth:`from_positions` or :meth:`from_bool_array` for the other
+        common construction paths.
     """
 
-    __slots__ = ("_n", "_words", "_super", "_rel", "_ones")
+    __slots__ = ("_n", "_words", "_super", "_rel", "_ones", "_word_prefix")
 
     def __init__(self, bits: Iterable[int]) -> None:
-        arr = np.asarray(list(bits) if not isinstance(bits, np.ndarray) else bits)
-        arr = arr.astype(bool)
-        self._init_from_bool_array(arr)
+        if isinstance(bits, np.ndarray):
+            arr = bits
+        elif hasattr(bits, "__len__"):  # sequence or buffer: no list() copy
+            arr = np.asarray(bits)
+        else:  # lazy iterable / generator
+            arr = np.fromiter(bits, dtype=np.uint8)
+        self._init_from_bool_array(arr.astype(bool, copy=False))
 
     # -- constructors ------------------------------------------------------
 
@@ -88,6 +140,7 @@ class BitVector:
         # Pack into little-endian words: bit i of word w is position 64*w+i.
         bytes_ = np.packbits(padded.reshape(-1, 8), axis=1, bitorder="little")
         self._words = bytes_.reshape(-1, 8).copy().view(np.uint64).reshape(-1)
+        self._word_prefix: Optional[np.ndarray] = None
         self._build_counters()
 
     def _build_counters(self) -> None:
@@ -105,6 +158,21 @@ class BitVector:
         rel_shifted[:, 1:] = rel[:, :-1]
         self._rel = rel_shifted.reshape(-1)[:nwords].astype(np.uint16)
         self._ones = int(self._super[-1])
+
+    def _word_prefix_counts(self) -> np.ndarray:
+        """``out[w]`` = ones strictly before word ``w`` (lazy, cached).
+
+        A reconstructible acceleration mirror for the batch select kernel
+        (one int64 per word), analogous to the query mirror of
+        :class:`~repro.core.counts.PackedCounts` — it is not part of the
+        accounted index size.
+        """
+        if self._word_prefix is None:
+            sb = np.arange(len(self._words)) // WORDS_PER_SUPERBLOCK
+            self._word_prefix = (
+                self._super[sb] + self._rel.astype(np.uint64)
+            ).astype(np.int64)
+        return self._word_prefix
 
     # -- basic queries -----------------------------------------------------
 
@@ -149,19 +217,19 @@ class BitVector:
         """Position of the k-th one (``1 <= k <= ones``)."""
         if not 1 <= k <= self._ones:
             raise ValueError(f"select1({k}) out of range [1, {self._ones}]")
-        # Superblock whose prefix count is still < k.
+        # Superblock whose prefix count is still < k, then one vectorised
+        # popcount over its <= WORDS_PER_SUPERBLOCK words.
         sb = int(np.searchsorted(self._super, k, side="left")) - 1
         count = int(self._super[sb])
-        w = sb * WORDS_PER_SUPERBLOCK
-        last = min(w + WORDS_PER_SUPERBLOCK, len(self._words))
-        while w < last:
-            word = int(self._words[w])
-            c = word.bit_count()
-            if count + c >= k:
-                return (w << 6) + _select_in_word(word, k - count)
-            count += c
-            w += 1
-        raise AssertionError("select1 internal inconsistency")
+        w0 = sb * WORDS_PER_SUPERBLOCK
+        last = min(w0 + WORDS_PER_SUPERBLOCK, len(self._words))
+        cum = count + np.cumsum(_popcount_words(self._words[w0:last]))
+        wi = int(np.searchsorted(cum, k, side="left"))
+        if wi >= len(cum):
+            raise AssertionError("select1 internal inconsistency")
+        prev = count if wi == 0 else int(cum[wi - 1])
+        word = int(self._words[w0 + wi])
+        return ((w0 + wi) << 6) + _select_in_word(word, k - prev)
 
     def select0(self, k: int) -> int:
         """Position of the k-th zero (``1 <= k <= zeros``)."""
@@ -186,6 +254,93 @@ class BitVector:
         if r >= self._ones:
             return None
         return self.select1(r + 1)
+
+    # -- batch kernels -----------------------------------------------------
+
+    def rank1_many(self, positions) -> np.ndarray:
+        """``rank1`` over a whole array of positions in O(1) Python calls.
+
+        Out-of-range positions clamp exactly like the scalar version
+        (``<= 0`` → 0, ``>= n`` → :attr:`ones`).  Returns ``int64``.
+        """
+        started = time.perf_counter() if _perf.enabled else 0.0
+        pos = np.asarray(positions, dtype=np.int64)
+        out = np.empty(pos.shape, dtype=np.int64)
+        if pos.size:
+            below = pos <= 0
+            above = pos >= self._n
+            out[below] = 0
+            out[above] = self._ones
+            mid = ~(below | above)
+            if mid.any():
+                p = pos[mid]
+                w = p >> 6
+                base = self._super[w // WORDS_PER_SUPERBLOCK] + self._rel[
+                    w
+                ].astype(np.uint64)
+                rem = (p & _LOW6).astype(np.uint64)
+                masked = self._words[w] & ((_ONE << rem) - _ONE)
+                out[mid] = (base + _popcount_words(masked)).astype(np.int64)
+        if _perf.enabled:
+            _perf.record(
+                "bits.rank1_many", pos.size, time.perf_counter() - started
+            )
+        return out
+
+    def rank0_many(self, positions) -> np.ndarray:
+        """``rank0`` over a whole array of positions (``int64``)."""
+        pos = np.asarray(positions, dtype=np.int64)
+        return np.clip(pos, 0, self._n) - self.rank1_many(pos)
+
+    def select1_many(self, ks) -> np.ndarray:
+        """``select1`` over a whole array of ranks in O(1) Python calls.
+
+        Every ``k`` must satisfy ``1 <= k <= ones`` (as in the scalar
+        version).  Returns ``int64`` positions.
+        """
+        started = time.perf_counter() if _perf.enabled else 0.0
+        k = np.asarray(ks, dtype=np.int64)
+        if k.size == 0:
+            return np.empty(k.shape, dtype=np.int64)
+        if int(k.min()) < 1 or int(k.max()) > self._ones:
+            raise ValueError(
+                f"select1_many: ranks must lie in [1, {self._ones}]"
+            )
+        prefix = self._word_prefix_counts()
+        w = np.searchsorted(prefix, k, side="left") - 1
+        words = self._words[w]
+        k_in_word = k - prefix[w]
+        bytes_ = words.view(np.uint8).reshape(-1, 8)
+        byte_pop = _popcount_bytes(bytes_)
+        cum = np.cumsum(byte_pop, axis=1, dtype=np.int64)
+        byte_idx = (cum < k_in_word[:, None]).sum(axis=1)
+        rows = np.arange(len(k_in_word))
+        prev = cum[rows, byte_idx] - byte_pop[rows, byte_idx]
+        k_in_byte = k_in_word - prev
+        pos_in_byte = _SELECT_IN_BYTE[bytes_[rows, byte_idx], k_in_byte - 1]
+        out = (w << 6) + (byte_idx << 3) + pos_in_byte
+        if _perf.enabled:
+            _perf.record(
+                "bits.select1_many", k.size, time.perf_counter() - started
+            )
+        return out
+
+    def access_many(self, positions) -> np.ndarray:
+        """Bit values at an array of positions (``uint8`` zeros/ones)."""
+        started = time.perf_counter() if _perf.enabled else 0.0
+        pos = np.asarray(positions, dtype=np.int64)
+        if pos.size and (int(pos.min()) < 0 or int(pos.max()) >= self._n):
+            raise IndexError(
+                f"bit index out of range [0, {self._n}) in access_many"
+            )
+        words = self._words[pos >> 6]
+        rem = (pos & _LOW6).astype(np.uint64)
+        out = ((words >> rem) & _ONE).astype(np.uint8)
+        if _perf.enabled:
+            _perf.record(
+                "bits.access_many", pos.size, time.perf_counter() - started
+            )
+        return out
 
     # -- bulk access -------------------------------------------------------
 

@@ -278,6 +278,39 @@ class RRRBitVector:
                 hi = mid
         return lo
 
+    # -- batch kernels (scalar-loop fallbacks) ------------------------------
+    #
+    # The compressed layout decodes blocks one at a time, so these exist
+    # for interface parity with :class:`~repro.bits.bitvector.BitVector`:
+    # the wavelet matrix and LTJ batch paths stay correct over the C-Ring,
+    # they just do not get the plain-bitvector vectorisation win.
+
+    def rank1_many(self, positions) -> np.ndarray:
+        """``rank1`` over an array of positions (scalar loop inside)."""
+        pos = np.asarray(positions, dtype=np.int64)
+        return np.fromiter(
+            (self.rank1(int(i)) for i in pos), dtype=np.int64, count=pos.size
+        ).reshape(pos.shape)
+
+    def rank0_many(self, positions) -> np.ndarray:
+        """``rank0`` over an array of positions (scalar loop inside)."""
+        pos = np.asarray(positions, dtype=np.int64)
+        return np.clip(pos, 0, self._n) - self.rank1_many(pos)
+
+    def select1_many(self, ks) -> np.ndarray:
+        """``select1`` over an array of ranks (scalar loop inside)."""
+        k = np.asarray(ks, dtype=np.int64)
+        return np.fromiter(
+            (self.select1(int(x)) for x in k), dtype=np.int64, count=k.size
+        ).reshape(k.shape)
+
+    def access_many(self, positions) -> np.ndarray:
+        """Bit values at an array of positions (scalar loop inside)."""
+        pos = np.asarray(positions, dtype=np.int64)
+        return np.fromiter(
+            (self[int(i)] for i in pos), dtype=np.uint8, count=pos.size
+        ).reshape(pos.shape)
+
     def to_bool_array(self) -> np.ndarray:
         out = np.zeros(self._n, dtype=bool)
         for b in range(len(self._classes)):

@@ -34,6 +34,8 @@ class CumulativeCounts(Protocol):
 
     def access(self, v: int) -> int: ...
 
+    def access_many(self, vs) -> np.ndarray: ...
+
     def bucket_of(self, q: int) -> int: ...
 
     def next_nonempty(self, c: int) -> int | None: ...
@@ -75,6 +77,10 @@ class PackedCounts:
     def access(self, v: int) -> int:
         return int(self._c[v])
 
+    def access_many(self, vs) -> np.ndarray:
+        """``C[v]`` over an array of values (one fancy-index call)."""
+        return self._c[np.asarray(vs, dtype=np.int64)]
+
     def bucket_of(self, q: int) -> int:
         """Largest ``v`` with ``C[v] <= q`` (the row's value bucket)."""
         return int(np.searchsorted(self._c, q, side="right")) - 1
@@ -112,6 +118,13 @@ class EliasFanoCounts:
 
     def access(self, v: int) -> int:
         return self._ef[v]
+
+    def access_many(self, vs) -> np.ndarray:
+        """``C[v]`` over an array of values (scalar-loop fallback)."""
+        v = np.asarray(vs, dtype=np.int64)
+        return np.fromiter(
+            (self._ef[int(x)] for x in v), dtype=np.int64, count=v.size
+        ).reshape(v.shape)
 
     def bucket_of(self, q: int) -> int:
         return self._ef.rank_lt(q + 1) - 1

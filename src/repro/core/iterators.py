@@ -23,9 +23,15 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Optional
 
+import numpy as np
+
 from repro.core.interface import first_candidate, pattern_constants
 from repro.core.ring import Ring, ZoneState, next_attr, prev_attr
-from repro.graph.model import O, TriplePattern, Var
+from repro.graph.model import O, S, TriplePattern, Var
+
+#: Rows decoded per chunk by :meth:`RingIterator.solutions_bulk` — bounds
+#: peak memory and keeps budget/timeout checks responsive on huge ranges.
+BULK_CHUNK_ROWS = 8192
 
 
 class RingIterator:
@@ -224,6 +230,56 @@ class RingIterator:
                 return
             yield value
             c = value + 1
+
+    def solutions_bulk(
+        self, vars_: Iterable[Var], chunk: int = BULK_CHUNK_ROWS
+    ) -> Optional[Iterator[tuple[dict[Var, np.ndarray], int]]]:
+        """Batch enumeration of this pattern's remaining lonely bindings.
+
+        Once the shared variables are bound, the pattern's Lemma 3.6
+        range points at its matching triples, whose *unbound* attributes
+        are exactly the cyclic predecessors of the range's zone; bulk-
+        decoding the range (:meth:`~repro.core.ring.Ring.decode_range`)
+        therefore yields one solution row per triple — all rows distinct,
+        because the bound attributes are fixed and triples are unique.
+
+        Returns ``None`` when the fast path does not apply (a repeated
+        variable, or ``vars_`` not matching the unbound positions) —
+        callers then fall back to the scalar enumeration.  Otherwise
+        yields ``({var: column}, n_rows)`` chunks of at most ``chunk``
+        rows, columns row-aligned.
+        """
+        vars_ = list(vars_)
+        positions: dict[Var, int] = {}
+        for var in vars_:
+            var_pos = self._var_positions[var]
+            if len(var_pos) != 1:
+                return None  # repeated variable: verify-per-value instead
+            positions[var] = var_pos[0]
+        if self._state is None:
+            zone, lo, hi = S, 0, self._ring.n
+        else:
+            zone, lo, hi = self._state
+        unbound = []
+        attr = zone
+        for _ in vars_:
+            attr = prev_attr(attr)
+            unbound.append(attr)
+        if set(unbound) != set(positions.values()):
+            return None
+        if self._empty:
+            lo = hi  # no rows; still answer through the fast path
+
+        def chunks() -> Iterator[tuple[dict[Var, np.ndarray], int]]:
+            for start in range(lo, hi, chunk):
+                stop = min(start + chunk, hi)
+                decoded = self._ring.decode_range(zone, start, stop, len(vars_))
+                yield (
+                    {var: decoded[positions[var]] for var in vars_},
+                    stop - start,
+                )
+
+        return chunks()
 
     def preferred_lonely(self, candidates: Iterable[Var]) -> Var:
         """Pick the candidate enumerable backwards from the current run."""

@@ -25,6 +25,8 @@ The ring *replaces* the graph: :meth:`Ring.triple` recovers any triple in
 
 from __future__ import annotations
 
+import time
+from collections import OrderedDict
 from typing import Optional
 
 import numpy as np
@@ -32,9 +34,12 @@ import numpy as np
 from repro.core.counts import make_counts
 from repro.graph.dataset import Graph
 from repro.graph.model import O, P, S
+from repro.perf.counters import KERNEL_COUNTERS as _perf
 from repro.sequences.wavelet_matrix import WaveletMatrix
 
 ZoneState = tuple[int, int, int]  # (zone attribute, lo, hi) with [lo, hi)
+
+_MEMO_MISS = object()  # sentinel: None is a cacheable leap answer
 
 
 def prev_attr(attr: int) -> int:
@@ -67,9 +72,20 @@ class Ring:
         compressed: bool = False,
         block_size: int = 15,
         succinct_counts: bool = False,
+        leap_memo_size: int = 1 << 16,
     ) -> None:
         triples = graph.triples
         self._n = len(triples)
+        # LRU memo for backward leaps, keyed (zone, lo, hi, c).  The ring
+        # is immutable, so memoisation is unconditionally sound; repeated
+        # seeks inside one query (leapfrog revisits the same ranges as it
+        # cycles through the iterators) hit instead of re-descending the
+        # wavelet matrix.  ``leap_memo_size=0`` disables it.
+        self._leap_memo: OrderedDict[tuple[int, int, int, int], Optional[int]]
+        self._leap_memo = OrderedDict()
+        self._leap_memo_size = leap_memo_size
+        self._leap_memo_hits = 0
+        self._leap_memo_misses = 0
         self._sigma = (graph.n_nodes, graph.n_predicates, graph.n_nodes)
         self._compressed = compressed
 
@@ -197,8 +213,40 @@ class Ring:
         self, zone: int, lo: int, hi: int, c: int
     ) -> Optional[int]:
         """Smallest value ``>= c`` of ``prev_attr(zone)`` co-occurring with
-        the bound run: range-next-value on the zone's wavelet matrix."""
-        return self._seq[zone].next_in_range(lo, hi, c)
+        the bound run: range-next-value on the zone's wavelet matrix,
+        behind the LRU leap memo."""
+        if self._leap_memo_size <= 0:
+            return self._seq[zone].next_in_range(lo, hi, c)
+        memo = self._leap_memo
+        key = (zone, lo, hi, c)
+        value = memo.get(key, _MEMO_MISS)
+        if value is not _MEMO_MISS:
+            memo.move_to_end(key)
+            self._leap_memo_hits += 1
+            if _perf.enabled:
+                _perf.record("ring.leap_memo_hit", 1)
+            return value
+        self._leap_memo_misses += 1
+        value = self._seq[zone].next_in_range(lo, hi, c)
+        memo[key] = value
+        if len(memo) > self._leap_memo_size:
+            memo.popitem(last=False)
+        return value
+
+    def leap_memo_stats(self) -> dict[str, int]:
+        """Hit/miss/size counters of the backward-leap memo."""
+        return {
+            "hits": self._leap_memo_hits,
+            "misses": self._leap_memo_misses,
+            "entries": len(self._leap_memo),
+            "capacity": self._leap_memo_size,
+        }
+
+    def clear_leap_memo(self) -> None:
+        """Drop every memoised leap (counters reset too)."""
+        self._leap_memo.clear()
+        self._leap_memo_hits = 0
+        self._leap_memo_misses = 0
 
     def forward_leap(self, attr: int, d: int, c: int) -> Optional[int]:
         """Smallest value ``>= c`` of ``next_attr(attr)`` among triples
@@ -243,6 +291,65 @@ class Ring:
     def contains(self, s: int, p: int, o: int) -> bool:
         """Membership test via Lemma 3.6."""
         return self.pattern_range({S: s, P: p, O: o}) is not None
+
+    # -- bulk decoding (the batch-leap substrate) ------------------------------
+
+    def lf_many(
+        self, zone: int, positions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batch LF step: decode + map an array of zone positions at once.
+
+        Returns ``(values, mapped)`` where ``values[i]`` is the symbol of
+        ``prev_attr(zone)`` at ``positions[i]`` and ``mapped[i]`` its LF
+        image in zone ``prev_attr(zone)`` — the vectorised form of the
+        two-line body of :meth:`triple`.  The per-position rank is free:
+        the wavelet matrix's access descent already ends at
+        ``bucket_start(value) + rank(value, position)`` (see
+        :meth:`~repro.sequences.wavelet_matrix.WaveletMatrix.extract_at`),
+        so only one batched descent per *distinct* value remains.
+        """
+        wm = self._seq[zone]
+        target = prev_attr(zone)
+        values, bottoms = wm.extract_at(positions, return_bottom=True)
+        uniques, inverse = np.unique(values, return_inverse=True)
+        ranks = bottoms - wm.bucket_starts(uniques)[inverse]
+        mapped = self._c[target].access_many(uniques)[inverse] + ranks
+        return values, mapped
+
+    def decode_range(
+        self, zone: int, lo: int, hi: int, n_attrs: int
+    ) -> dict[int, np.ndarray]:
+        """Decode ``n_attrs`` attributes of every triple in ``[lo, hi)``.
+
+        Walks backwards from ``zone`` (the direction LF steps go:
+        ``prev_attr(zone)`` first), so with the range of Lemma 3.6 in
+        hand the result holds exactly the *unbound* attributes of every
+        matching triple, aligned by row — the bulk engine behind the
+        lonely-variables batch path.  O(levels) Python calls per
+        attribute instead of O(rows · levels).
+        """
+        started = time.perf_counter() if _perf.enabled else 0.0
+        if not 1 <= n_attrs <= 3:
+            raise ValueError("n_attrs must be in [1, 3]")
+        positions = np.arange(max(lo, 0), min(hi, self._n), dtype=np.int64)
+        out: dict[int, np.ndarray] = {}
+        current = zone
+        for step in range(n_attrs):
+            if step == n_attrs - 1:  # last attribute: no LF map needed
+                out[prev_attr(current)] = self._seq[current].extract_at(
+                    positions
+                )
+            else:
+                values, positions = self.lf_many(current, positions)
+                out[prev_attr(current)] = values
+                current = prev_attr(current)
+        if _perf.enabled:
+            _perf.record(
+                "ring.decode_range",
+                (min(hi, self._n) - max(lo, 0)) * n_attrs,
+                time.perf_counter() - started,
+            )
+        return out
 
     def count_pattern(self, constants: dict[int, int]) -> int:
         """Number of triples matching the bound positions (on-the-fly

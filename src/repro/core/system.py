@@ -202,6 +202,7 @@ class BaseLTJSystem(BaseQuerySystem):
         graph: Graph,
         use_lonely: bool = True,
         use_ordering: bool = True,
+        use_batch: bool = True,
     ) -> None:
         super().__init__(graph)
         self._engine = LeapfrogTrieJoin(
@@ -209,6 +210,7 @@ class BaseLTJSystem(BaseQuerySystem):
             graph.n_triples,
             use_lonely=use_lonely,
             use_ordering=use_ordering,
+            use_batch=use_batch,
         )
 
     def iterator(self, pattern: TriplePattern) -> PatternIterator:
@@ -253,13 +255,21 @@ class RingIndex(BaseLTJSystem):
         succinct_counts: bool = False,
         use_lonely: bool = True,
         use_ordering: bool = True,
+        use_batch: bool = True,
+        leap_memo_size: int = 1 << 16,
     ) -> None:
-        super().__init__(graph, use_lonely=use_lonely, use_ordering=use_ordering)
+        super().__init__(
+            graph,
+            use_lonely=use_lonely,
+            use_ordering=use_ordering,
+            use_batch=use_batch,
+        )
         self._ring = Ring(
             graph,
             compressed=compressed,
             block_size=block_size,
             succinct_counts=succinct_counts,
+            leap_memo_size=leap_memo_size,
         )
 
     @property
@@ -377,6 +387,7 @@ class CompressedRingIndex(RingIndex):
         block_size: int = 15,
         use_lonely: bool = True,
         use_ordering: bool = True,
+        use_batch: bool = True,
     ) -> None:
         super().__init__(
             graph,
@@ -384,6 +395,7 @@ class CompressedRingIndex(RingIndex):
             block_size=block_size,
             use_lonely=use_lonely,
             use_ordering=use_ordering,
+            use_batch=use_batch,
         )
 
 

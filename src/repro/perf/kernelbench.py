@@ -1,0 +1,236 @@
+"""Scalar-vs-batch microbenchmarks for the succinct kernel layer.
+
+One function per kernel family times the *same* logical workload twice —
+a Python loop over the scalar primitive, then one batch-kernel call —
+and reports both throughputs plus the speedup.  ``full_report`` bundles
+the kernel rows with an end-to-end LTJ comparison (the Table-1 quick
+workload evaluated with ``use_batch`` on and off) into one
+JSON-serialisable dict, the payload of ``BENCH_kernels.json``:
+
+- ``python -m repro bench`` — interactive table + optional JSON;
+- ``benchmarks/bench_kernels.py`` — the pytest (marker ``perf``) gate
+  asserting the batch kernels actually beat the scalar loops;
+- ``scripts/perf_smoke.py`` — CI quick mode, fails on crash.
+
+Keeping the emitter in the library (rather than in the scripts) gives
+every future PR the same schema, so ``BENCH_kernels.json`` files form a
+comparable perf trajectory over time.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.bench.runner import run_benchmark, summarize
+from repro.bench.wgpb import generate_wgpb_queries
+from repro.core import RingIndex
+from repro.graph.generators import wikidata_like
+from repro.sequences.wavelet_matrix import WaveletMatrix
+
+#: Bump when the JSON layout changes, so trajectory tooling can dispatch.
+SCHEMA_VERSION = 1
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    """Best wall-clock of ``repeats`` runs (min filters scheduler noise)."""
+    best = float("inf")
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _row(name: str, ops: int, scalar_s: float, batch_s: float) -> dict:
+    return {
+        "kernel": name,
+        "ops": ops,
+        "scalar_seconds": scalar_s,
+        "batch_seconds": batch_s,
+        "speedup": scalar_s / batch_s if batch_s > 0 else float("inf"),
+        "batch_mops_per_s": ops / batch_s / 1e6 if batch_s > 0 else 0.0,
+    }
+
+
+def bench_kernels(
+    n: int = 1 << 18,
+    batch: int = 1 << 14,
+    sigma: int = 1024,
+    seed: int = 0,
+    repeats: int = 3,
+) -> list[dict]:
+    """Time every batch kernel against its scalar loop.
+
+    ``n`` is the structure size, ``batch`` the number of queries per
+    measured call.  Returns one row dict per kernel (see :func:`_row`).
+    """
+    from repro.bits.bitvector import BitVector
+
+    rng = np.random.default_rng(seed)
+    bv = BitVector.from_bool_array(rng.random(n) < 0.5)
+    positions = rng.integers(0, n + 1, size=batch)
+    ks = rng.integers(1, bv.ones + 1, size=batch)
+    in_range = rng.integers(0, n, size=batch)
+
+    seq = rng.integers(0, sigma, size=n)
+    wm = WaveletMatrix(seq, sigma)
+    wm_pos = rng.integers(0, n + 1, size=batch)
+    wm_idx = rng.integers(0, n, size=batch)
+    symbol = int(seq[0])
+
+    rows = [
+        _row(
+            "bits.rank1_many",
+            batch,
+            _best_of(lambda: [bv.rank1(int(i)) for i in positions], repeats),
+            _best_of(lambda: bv.rank1_many(positions), repeats),
+        ),
+        _row(
+            "bits.select1_many",
+            batch,
+            _best_of(lambda: [bv.select1(int(k)) for k in ks], repeats),
+            _best_of(lambda: bv.select1_many(ks), repeats),
+        ),
+        _row(
+            "bits.access_many",
+            batch,
+            _best_of(lambda: [bv[int(i)] for i in in_range], repeats),
+            _best_of(lambda: bv.access_many(in_range), repeats),
+        ),
+        _row(
+            "wavelet.rank_many",
+            batch,
+            _best_of(
+                lambda: [wm.rank(symbol, int(i)) for i in wm_pos], repeats
+            ),
+            _best_of(lambda: wm.rank_many(symbol, wm_pos), repeats),
+        ),
+        _row(
+            "wavelet.extract_at",
+            batch,
+            _best_of(lambda: [wm[int(i)] for i in wm_idx], repeats),
+            _best_of(lambda: wm.extract_at(wm_idx), repeats),
+        ),
+    ]
+    return rows
+
+
+def bench_ltj(
+    n: int = 4000,
+    queries_per_shape: int = 2,
+    limit: int = 1000,
+    timeout: float = 10.0,
+    seed: int = 0,
+) -> dict:
+    """End-to-end LTJ on the Table-1 quick workload, batch vs scalar.
+
+    Builds one graph, evaluates the WGPB-style query set with the
+    batch-leap path on and off (``use_batch``), and reports both mean
+    query times — the end-to-end counterpart of the kernel rows.
+    """
+    graph = wikidata_like(n, seed=seed)
+    queries = generate_wgpb_queries(
+        graph, queries_per_shape=queries_per_shape, seed=seed
+    )
+    out: dict[str, dict] = {}
+    for label, use_batch in (("batch", True), ("scalar", False)):
+        system = RingIndex(graph, use_batch=use_batch)
+        result = run_benchmark([system], queries, limit=limit, timeout=timeout)
+        stats = summarize(result.timings)
+        out[label] = {
+            "n_queries": stats.get("n", 0),
+            "mean_seconds": stats.get("mean", 0.0),
+            "total_seconds": sum(t.seconds for t in result.timings),
+            "timeouts": stats.get("timeouts", 0),
+            "results": stats.get("results", 0),
+        }
+    batch_t = out["batch"]["total_seconds"]
+    scalar_t = out["scalar"]["total_seconds"]
+    return {
+        "graph_triples": graph.n_triples,
+        "queries_per_shape": queries_per_shape,
+        "limit": limit,
+        **out,
+        "speedup": scalar_t / batch_t if batch_t > 0 else float("inf"),
+    }
+
+
+def full_report(
+    quick: bool = False,
+    seed: int = 0,
+    kernel_n: Optional[int] = None,
+    kernel_batch: Optional[int] = None,
+    ltj_n: Optional[int] = None,
+    ltj_queries: Optional[int] = None,
+) -> dict:
+    """The complete ``BENCH_kernels.json`` payload."""
+    if quick:
+        kernel_n = kernel_n or (1 << 15)
+        kernel_batch = kernel_batch or (1 << 12)
+        ltj_n = ltj_n or 1500
+        ltj_queries = ltj_queries or 1
+    else:
+        kernel_n = kernel_n or (1 << 18)
+        kernel_batch = kernel_batch or (1 << 14)
+        ltj_n = ltj_n or 4000
+        ltj_queries = ltj_queries or 2
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "config": {
+            "quick": quick,
+            "kernel_n": kernel_n,
+            "kernel_batch": kernel_batch,
+            "ltj_n": ltj_n,
+            "ltj_queries_per_shape": ltj_queries,
+            "seed": seed,
+        },
+        "kernels": bench_kernels(n=kernel_n, batch=kernel_batch, seed=seed),
+        "ltj": bench_ltj(n=ltj_n, queries_per_shape=ltj_queries, seed=seed),
+    }
+
+
+def write_report(report: dict, path: str) -> None:
+    """Write the payload as indented JSON (newline-terminated)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+
+def format_report(report: dict) -> str:
+    """Human-readable table of a :func:`full_report` payload."""
+    lines = [
+        "Kernel microbenchmarks "
+        f"(n={report['config']['kernel_n']}, "
+        f"batch={report['config']['kernel_batch']})",
+        f"{'kernel':<22} {'scalar':>10} {'batch':>10} "
+        f"{'speedup':>9} {'Mops/s':>8}",
+    ]
+    for row in report["kernels"]:
+        lines.append(
+            f"{row['kernel']:<22} "
+            f"{1000 * row['scalar_seconds']:>8.2f}ms "
+            f"{1000 * row['batch_seconds']:>8.2f}ms "
+            f"{row['speedup']:>8.1f}x "
+            f"{row['batch_mops_per_s']:>8.1f}"
+        )
+    ltj = report["ltj"]
+    lines += [
+        "",
+        f"End-to-end LTJ (Table-1 quick workload, "
+        f"{ltj['graph_triples']} triples, {ltj['batch']['n_queries']} "
+        "queries):",
+        f"  batch-leap on : {1000 * ltj['batch']['total_seconds']:>8.1f}ms "
+        f"({ltj['batch']['results']} rows)",
+        f"  batch-leap off: {1000 * ltj['scalar']['total_seconds']:>8.1f}ms "
+        f"({ltj['scalar']['results']} rows)",
+        f"  speedup       : {ltj['speedup']:.2f}x",
+    ]
+    return "\n".join(lines)

@@ -150,6 +150,21 @@ class ResourceBudget:
             return
         self.check()
 
+    def tick_many(self, n: int) -> None:
+        """Account ``n`` elementary operations served by one batch call.
+
+        The batch kernels charge the budget exactly as ``n`` scalar
+        :meth:`tick` calls would: the op counter advances by ``n`` and
+        the clock/token are consulted whenever a check boundary (every
+        ``tick_mask + 1`` ops) was crossed.
+        """
+        if n <= 0:
+            return
+        before = self.ops
+        self.ops = before + n
+        if (self.ops & ~self.tick_mask) != (before & ~self.tick_mask):
+            self.check()
+
     def check(self) -> None:
         """Consult every constraint now (raises on exhaustion)."""
         if self.token is not None and self.token.cancelled:

@@ -4,7 +4,9 @@ A serving layer's failure handling is only trustworthy once it has been
 exercised: this module installs **monkeypatchable hooks** on the hot
 primitives every engine bottoms out in — wavelet-matrix ``rank`` /
 ``select`` / ``range_next_value`` (``next_in_range``), bitvector reads,
-and the save/load I/O path — and injects latency or exceptions into
+their batch counterparts (``rank1_many`` / ``select1_many`` /
+``rank_many`` / ``extract_at`` — the vectorised fast path), and the
+save/load I/O path — and injects latency or exceptions into
 them under a seeded RNG, so tests can *prove* that
 
 - injected latency makes budgets fire (``QueryTimeout``) or, with
@@ -54,6 +56,13 @@ SITES: dict[str, tuple[object, str]] = {
     "bitvector.access": (BitVector, "__getitem__"),
     "bitvector.rank": (BitVector, "rank1"),
     "bitvector.select": (BitVector, "select1"),
+    # Batch kernels (the vectorised fast path must degrade like the
+    # scalar one under faults — see scripts/chaos_check.py).
+    "bitvector.rank_many": (BitVector, "rank1_many"),
+    "bitvector.select_many": (BitVector, "select1_many"),
+    "bitvector.access_many": (BitVector, "access_many"),
+    "wavelet.rank_many": (WaveletMatrix, "rank_many"),
+    "wavelet.extract_at": (WaveletMatrix, "extract_at"),
     "rrr.rank": (RRRBitVector, "rank1"),
     "io.save": (graph_io, "save_graph"),
     "io.load": (graph_io, "load_graph"),

@@ -19,18 +19,28 @@ Supported operations (all ``O(levels)`` bitvector operations):
   optimisation (§4.2), in ``O(k log(σ/k))`` node visits;
 - ``count`` — number of occurrences of a symbol in a range.
 
+On top of the scalar operations the matrix exposes **batch kernels**
+(``rank_many`` / ``count_many`` / ``extract_at`` / ``bucket_starts``)
+that run one query per element of a numpy array with O(levels) Python
+calls total, by delegating to the bitvector batch kernels level by
+level; ``next_in_range`` and ``distinct_in_range`` are iterative
+(explicit stack), so deep alphabets neither recurse nor pay Python
+frame setup per node.  See ``docs/INTERNALS.md``, "The kernel layer".
+
 The bitvector backend is pluggable: plain (:class:`BitVector`) for the
 Ring, RRR-compressed for the C-Ring.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Iterator, Optional
 
 import numpy as np
 
 from repro.bits.bitvector import BitVector
 from repro.bits.rrr import RRRBitVector
+from repro.perf.counters import KERNEL_COUNTERS as _perf
 
 
 class WaveletMatrix:
@@ -58,10 +68,12 @@ class WaveletMatrix:
         compressed: bool = False,
         block_size: int = 15,
     ) -> None:
-        seq = np.asarray(
-            list(values) if not isinstance(values, np.ndarray) else values,
-            dtype=np.int64,
-        )
+        if isinstance(values, np.ndarray):
+            seq = values.astype(np.int64, copy=False)
+        elif hasattr(values, "__len__"):  # sequence/buffer: no list() copy
+            seq = np.asarray(values, dtype=np.int64)
+        else:  # lazy iterable / generator
+            seq = np.fromiter(values, dtype=np.int64)
         if len(seq) and seq.min() < 0:
             raise ValueError("symbols must be non-negative")
         if sigma is None:
@@ -143,6 +155,53 @@ class WaveletMatrix:
         """Occurrences of ``symbol`` in ``[lo, hi)``."""
         return self.rank(symbol, hi) - self.rank(symbol, lo)
 
+    def rank_many(self, symbol: int, positions) -> np.ndarray:
+        """``rank(symbol, ·)`` over a whole array of prefix ends.
+
+        One descent serves every position: the single-coordinate ``lo``
+        boundary (which starts at 0, hence follows the symbol's path
+        deterministically) stays scalar while the array of ends is mapped
+        with the bitvector batch kernels — O(levels) Python calls total.
+        """
+        started = time.perf_counter() if _perf.enabled else 0.0
+        pos = np.asarray(positions, dtype=np.int64)
+        ends = np.clip(pos, 0, self._n)
+        if symbol < 0 or symbol >= self._sigma:
+            return np.zeros(pos.shape, dtype=np.int64)
+        lo = 0
+        for level in range(self._levels):
+            bv = self._bits[level]
+            if (symbol >> (self._levels - 1 - level)) & 1:
+                z = self._zeros[level]
+                lo = z + bv.rank1(lo)
+                ends = z + bv.rank1_many(ends)
+            else:
+                lo = bv.rank0(lo)
+                ends = ends - bv.rank1_many(ends)
+        out = ends - lo
+        if _perf.enabled:
+            _perf.record(
+                "wavelet.rank_many", pos.size, time.perf_counter() - started
+            )
+        return out
+
+    def count_many(self, symbol: int, los, his) -> np.ndarray:
+        """``count(symbol, ·, ·)`` over arrays of range bounds.
+
+        Both bound arrays ride the same single descent (they are stacked
+        into one position array), so the cost matches one
+        :meth:`rank_many` call.
+        """
+        lo_arr = np.asarray(los, dtype=np.int64)
+        hi_arr = np.asarray(his, dtype=np.int64)
+        if lo_arr.shape != hi_arr.shape:
+            raise ValueError("count_many bounds must have matching shapes")
+        ranks = self.rank_many(
+            symbol, np.concatenate([lo_arr.ravel(), hi_arr.ravel()])
+        )
+        half = lo_arr.size
+        return (ranks[half:] - ranks[:half]).reshape(lo_arr.shape)
+
     def select(self, symbol: int, k: int) -> int:
         """Position of the k-th occurrence of ``symbol`` (``k >= 1``)."""
         if not 0 <= symbol < self._sigma:
@@ -175,31 +234,34 @@ class WaveletMatrix:
 
         This is the *range-next-value* operation used by the backward leap
         (§2.3.4 / Lemma 3.7).  Returns ``None`` if no such symbol exists.
+        Iterative (explicit DFS stack): no recursion depth bound, no per-
+        node Python frame setup on the query hot path.
         """
         lo = max(lo, 0)
         hi = min(hi, self._n)
         if lo >= hi or c >= self._sigma:
             return None
         c = max(c, 0)
-        return self._next_in_node(0, lo, hi, 0, (1 << self._levels) - 1, c)
-
-    def _next_in_node(
-        self, level: int, lo: int, hi: int, a: int, b: int, c: int
-    ) -> Optional[int]:
-        if lo >= hi or b < c:
-            return None
-        if level == self._levels:
-            return a if a < self._sigma else None
-        mid = (a + b) >> 1
-        bv = self._bits[level]
-        z = self._zeros[level]
-        lo0, hi0 = bv.rank0(lo), bv.rank0(hi)
-        lo1, hi1 = z + (lo - lo0), z + (hi - hi0)
-        if c <= mid:
-            res = self._next_in_node(level + 1, lo0, hi0, a, mid, c)
-            if res is not None:
-                return res
-        return self._next_in_node(level + 1, lo1, hi1, mid + 1, b, c)
+        levels = self._levels
+        # Entries are (level, lo, hi, a, b): the node covers symbols [a, b].
+        stack = [(0, lo, hi, 0, (1 << levels) - 1)]
+        while stack:
+            level, lo, hi, a, b = stack.pop()
+            if lo >= hi or b < c:
+                continue
+            if level == levels:
+                if a < self._sigma:
+                    return a
+                continue
+            mid = (a + b) >> 1
+            bv = self._bits[level]
+            z = self._zeros[level]
+            lo0, hi0 = bv.rank0(lo), bv.rank0(hi)
+            # Right child below the left one so the left pops first.
+            stack.append((level + 1, z + (lo - lo0), z + (hi - hi0), mid + 1, b))
+            if c <= mid:
+                stack.append((level + 1, lo0, hi0, a, mid))
+        return None
 
     def distinct_in_range(self, lo: int, hi: int) -> Iterator[tuple[int, int]]:
         """Yield ``(symbol, multiplicity)`` for each distinct symbol in
@@ -207,29 +269,30 @@ class WaveletMatrix:
 
         Cost is ``O(k log(σ/k))`` node visits for ``k`` distinct symbols —
         the §2.3.4 bound that makes the lonely-variables optimisation pay.
+        Iterative (explicit DFS stack), like :meth:`next_in_range`.
         """
         lo = max(lo, 0)
         hi = min(hi, self._n)
         if lo >= hi:
             return
-        yield from self._distinct_in_node(0, lo, hi, 0)
-
-    def _distinct_in_node(
-        self, level: int, lo: int, hi: int, prefix: int
-    ) -> Iterator[tuple[int, int]]:
-        if lo >= hi:
-            return
-        if level == self._levels:
-            if prefix < self._sigma:
-                yield prefix, hi - lo
-            return
-        bv = self._bits[level]
-        z = self._zeros[level]
-        lo0, hi0 = bv.rank0(lo), bv.rank0(hi)
-        yield from self._distinct_in_node(level + 1, lo0, hi0, prefix << 1)
-        yield from self._distinct_in_node(
-            level + 1, z + (lo - lo0), z + (hi - hi0), (prefix << 1) | 1
-        )
+        levels = self._levels
+        stack = [(0, lo, hi, 0)]
+        while stack:
+            level, lo, hi, prefix = stack.pop()
+            if lo >= hi:
+                continue
+            if level == levels:
+                if prefix < self._sigma:
+                    yield prefix, hi - lo
+                continue
+            bv = self._bits[level]
+            z = self._zeros[level]
+            lo0, hi0 = bv.rank0(lo), bv.rank0(hi)
+            # Right child below the left one so symbols come out increasing.
+            stack.append(
+                (level + 1, z + (lo - lo0), z + (hi - hi0), (prefix << 1) | 1)
+            )
+            stack.append((level + 1, lo0, hi0, prefix << 1))
 
     def count_distinct(self, lo: int, hi: int) -> int:
         """Number of distinct symbols in ``[lo, hi)``."""
@@ -239,11 +302,70 @@ class WaveletMatrix:
         """Smallest symbol in ``[lo, hi)``."""
         return self.next_in_range(lo, hi, 0)
 
+    # -- bulk decoding ----------------------------------------------------------
+
+    def extract_at(
+        self, positions, return_bottom: bool = False
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        """Decode the symbols at an array of positions, level by level.
+
+        With ``return_bottom=True`` additionally returns each position's
+        final index at the (virtual) bottom level.  That index equals
+        ``bucket_start(symbol) + rank(symbol, position)`` — the access
+        descent *is* an LF step — which is what lets
+        :meth:`~repro.core.ring.Ring.lf_many` decode whole ranges of
+        triples without any per-position rank calls.
+        """
+        started = time.perf_counter() if _perf.enabled else 0.0
+        pos = np.asarray(positions, dtype=np.int64)
+        if pos.size and (int(pos.min()) < 0 or int(pos.max()) >= self._n):
+            raise IndexError(f"position out of range [0, {self._n})")
+        values = np.zeros(pos.shape, dtype=np.int64)
+        cur = pos.copy()
+        for level in range(self._levels):
+            bv = self._bits[level]
+            bits = bv.access_many(cur).astype(bool)
+            values = (values << 1) | bits
+            ones = bv.rank1_many(cur)
+            cur = np.where(bits, self._zeros[level] + ones, cur - ones)
+        if _perf.enabled:
+            _perf.record(
+                "wavelet.extract_at", pos.size, time.perf_counter() - started
+            )
+        if return_bottom:
+            return values, cur
+        return values
+
+    def bucket_starts(self, symbols) -> np.ndarray:
+        """Bottom-level bucket start of each symbol (batched descent).
+
+        The start of symbol ``s``'s bucket is obtained by descending
+        position 0 along ``s``'s bit path — exactly the first phase of
+        :meth:`select` — batched over an array of symbols in O(levels)
+        Python calls.
+        """
+        syms = np.asarray(symbols, dtype=np.int64)
+        starts = np.zeros(syms.shape, dtype=np.int64)
+        for level in range(self._levels):
+            bv = self._bits[level]
+            bit = (syms >> (self._levels - 1 - level)) & 1
+            ones = bv.rank1_many(starts)
+            starts = np.where(bit == 1, self._zeros[level] + ones, starts - ones)
+        return starts
+
+    def extract(self, lo: int = 0, hi: Optional[int] = None) -> np.ndarray:
+        """Decode the contiguous slice ``[lo, hi)`` with the batch kernels."""
+        hi = self._n if hi is None else min(hi, self._n)
+        lo = max(lo, 0)
+        if lo >= hi:
+            return np.empty(0, dtype=np.int64)
+        return self.extract_at(np.arange(lo, hi, dtype=np.int64))
+
     # -- accounting -------------------------------------------------------------
 
     def to_numpy(self) -> np.ndarray:
-        """Decode the whole sequence (testing/debug)."""
-        return np.fromiter(self, dtype=np.int64, count=self._n)
+        """Decode the whole sequence (vectorised level-by-level)."""
+        return self.extract(0, self._n)
 
     def size_in_bits(self) -> int:
         """Bits retained by all level bitvectors plus the header."""

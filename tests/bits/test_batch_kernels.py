@@ -1,0 +1,113 @@
+"""Property tests: every BitVector batch kernel agrees with its scalar.
+
+The batch kernels (``rank1_many`` / ``rank0_many`` / ``select1_many`` /
+``access_many``) are independent vectorised implementations, not loops
+over the scalars — so agreement is a real invariant, checked here over
+random bit patterns including the structural edge cases (empty vector,
+word boundaries at 64/512, all-zeros, all-ones, out-of-range clamps,
+empty query arrays).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits.bitvector import BitVector
+
+
+def _vector(bits):
+    return BitVector(bits), len(bits)
+
+
+@given(st.lists(st.booleans(), max_size=600))
+@settings(max_examples=60, deadline=None)
+def test_rank1_many_matches_scalar(bits):
+    bv, n = _vector(bits)
+    # Every boundary plus out-of-range positions (clamped by contract).
+    positions = np.arange(-2, n + 3)
+    expected = [bv.rank1(max(0, min(int(i), n))) for i in positions]
+    assert bv.rank1_many(positions).tolist() == expected
+    assert bv.rank0_many(positions).tolist() == [
+        max(0, min(int(i), n)) - e for i, e in zip(positions, expected)
+    ]
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=600))
+@settings(max_examples=60, deadline=None)
+def test_select1_many_matches_scalar(bits):
+    bv, _ = _vector(bits)
+    if bv.ones == 0:
+        return
+    ks = np.arange(1, bv.ones + 1)
+    expected = [bv.select1(int(k)) for k in ks]
+    assert bv.select1_many(ks).tolist() == expected
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=600))
+@settings(max_examples=60, deadline=None)
+def test_access_many_matches_getitem(bits):
+    bv, n = _vector(bits)
+    positions = np.arange(n)
+    assert bv.access_many(positions).tolist() == [bv[i] for i in range(n)]
+
+
+@given(st.integers(0, 2**32))
+@settings(max_examples=30, deadline=None)
+def test_batch_kernels_on_word_boundaries(seed):
+    """Sizes straddling word (64) and superblock (512) boundaries."""
+    rng = np.random.default_rng(seed)
+    for n in (63, 64, 65, 511, 512, 513):
+        bv = BitVector.from_bool_array(rng.random(n) < 0.3)
+        positions = rng.integers(0, n + 1, size=50)
+        assert bv.rank1_many(positions).tolist() == [
+            bv.rank1(int(i)) for i in positions
+        ]
+        if bv.ones:
+            ks = rng.integers(1, bv.ones + 1, size=50)
+            assert bv.select1_many(ks).tolist() == [
+                bv.select1(int(k)) for k in ks
+            ]
+
+
+@pytest.mark.parametrize("n", [0, 1, 64, 200])
+def test_batch_kernels_empty_queries(n):
+    bv = BitVector([1] * n)
+    empty = np.array([], dtype=np.int64)
+    assert bv.rank1_many(empty).size == 0
+    assert bv.rank0_many(empty).size == 0
+    assert bv.select1_many(empty).size == 0
+    assert bv.access_many(empty).size == 0
+
+
+def test_batch_kernels_degenerate_vectors():
+    zeros = BitVector([0] * 130)
+    ones = BitVector([1] * 130)
+    positions = np.array([0, 1, 64, 129, 130])
+    assert zeros.rank1_many(positions).tolist() == [0] * 5
+    assert ones.rank1_many(positions).tolist() == positions.tolist()
+    assert ones.select1_many(np.arange(1, 131)).tolist() == list(range(130))
+    assert zeros.access_many(np.arange(130)).sum() == 0
+    assert ones.access_many(np.arange(130)).sum() == 130
+
+
+def test_empty_vector_batch_kernels():
+    bv = BitVector([])
+    assert bv.rank1_many(np.array([0, 1, -1])).tolist() == [0, 0, 0]
+
+
+def test_construction_accepts_arrays_and_buffers():
+    """No Python-list round-trip required (satellite b)."""
+    rng = np.random.default_rng(3)
+    arr = rng.random(777) < 0.5
+    reference = BitVector(list(map(int, arr)))
+    for source in (
+        arr,                       # bool ndarray
+        arr.astype(np.uint8),      # integer ndarray
+        memoryview(arr.astype(np.uint8).tobytes()),  # raw buffer
+        (int(b) for b in arr),     # generator (no __len__)
+    ):
+        bv = BitVector(source)
+        assert len(bv) == len(reference)
+        assert bv.ones == reference.ones
+        assert bv.to_bool_array().tolist() == reference.to_bool_array().tolist()

@@ -1,0 +1,125 @@
+"""Property tests: wavelet-matrix batch kernels agree with the scalars.
+
+Covers ``rank_many`` / ``count_many`` / ``extract_at`` /
+``bucket_starts`` / ``extract`` / ``to_numpy`` and the iterative
+(explicit-stack) ``next_in_range`` / ``distinct_in_range`` rewrites,
+against scalar counterparts and brute force, including empty ranges and
+both alphabet edges (symbol 0 and sigma-1, sigma=1 single-symbol
+alphabets).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sequences.wavelet_matrix import WaveletMatrix
+
+sequences = st.lists(st.integers(0, 15), min_size=1, max_size=150)
+
+
+@given(sequences, st.integers(0, 16))
+@settings(max_examples=60, deadline=None)
+def test_rank_many_matches_scalar(seq, symbol):
+    wm = WaveletMatrix(seq, 17)
+    positions = np.arange(0, len(seq) + 1)
+    assert wm.rank_many(symbol, positions).tolist() == [
+        wm.rank(symbol, int(i)) for i in positions
+    ]
+
+
+@given(sequences, st.integers(0, 16), st.integers(0, 2**32))
+@settings(max_examples=60, deadline=None)
+def test_count_many_matches_scalar(seq, symbol, seed):
+    wm = WaveletMatrix(seq, 17)
+    rng = np.random.default_rng(seed)
+    los = rng.integers(0, len(seq) + 1, size=20)
+    his = rng.integers(0, len(seq) + 1, size=20)
+    his = np.maximum(los, his)  # include lo == hi empty ranges
+    assert wm.count_many(symbol, los, his).tolist() == [
+        wm.count(symbol, int(lo), int(hi)) for lo, hi in zip(los, his)
+    ]
+
+
+@given(sequences)
+@settings(max_examples=60, deadline=None)
+def test_extract_matches_sequence(seq):
+    wm = WaveletMatrix(seq, 16)
+    assert wm.to_numpy().tolist() == seq
+    assert wm.extract_at(np.arange(len(seq))).tolist() == seq
+    mid = len(seq) // 2
+    assert wm.extract(mid, len(seq)).tolist() == seq[mid:]
+    assert wm.extract(0, 0).size == 0
+
+
+@given(sequences)
+@settings(max_examples=40, deadline=None)
+def test_extract_at_bottom_is_bucketed_rank(seq):
+    """The LF identity: bottom index == bucket_start(v) + rank(v, i)."""
+    wm = WaveletMatrix(seq, 16)
+    positions = np.arange(len(seq))
+    values, bottoms = wm.extract_at(positions, return_bottom=True)
+    starts = wm.bucket_starts(np.arange(16))
+    for i, (v, b) in enumerate(zip(values, bottoms)):
+        assert b == starts[v] + wm.rank(int(v), i)
+
+
+@given(sequences, st.integers(0, 2**32))
+@settings(max_examples=60, deadline=None)
+def test_next_in_range_matches_brute_force(seq, seed):
+    wm = WaveletMatrix(seq, 16)
+    rng = np.random.default_rng(seed)
+    for _ in range(15):
+        lo = int(rng.integers(0, len(seq) + 1))
+        hi = int(rng.integers(lo, len(seq) + 1))
+        c = int(rng.integers(0, 17))
+        window = [v for v in seq[lo:hi] if v >= c]
+        assert wm.next_in_range(lo, hi, c) == (min(window) if window else None)
+
+
+@given(sequences, st.integers(0, 2**32))
+@settings(max_examples=60, deadline=None)
+def test_distinct_in_range_matches_brute_force(seq, seed):
+    wm = WaveletMatrix(seq, 16)
+    rng = np.random.default_rng(seed)
+    for _ in range(10):
+        lo = int(rng.integers(0, len(seq) + 1))
+        hi = int(rng.integers(lo, len(seq) + 1))
+        got = list(wm.distinct_in_range(lo, hi))
+        window = seq[lo:hi]
+        expected = [(v, window.count(v)) for v in sorted(set(window))]
+        assert got == expected  # increasing symbols with exact counts
+
+
+def test_alphabet_edges():
+    """sigma=1 and the top symbol of a power-of-two alphabet."""
+    wm1 = WaveletMatrix([0, 0, 0], 1)
+    assert wm1.rank_many(0, np.array([0, 1, 2, 3])).tolist() == [0, 1, 2, 3]
+    assert wm1.to_numpy().tolist() == [0, 0, 0]
+    assert wm1.extract_at(np.array([1])).tolist() == [0]
+    assert list(wm1.distinct_in_range(0, 3)) == [(0, 3)]
+    assert wm1.next_in_range(0, 3, 1) is None
+
+    top = 7
+    wm = WaveletMatrix([top, 0, top], 8)
+    assert wm.rank_many(top, np.array([0, 1, 2, 3])).tolist() == [0, 1, 1, 2]
+    assert wm.bucket_starts(np.array([0, top])).tolist() == [0, 1]
+    assert wm.next_in_range(0, 3, top) == top
+    assert list(wm.distinct_in_range(0, 3)) == [(0, 1), (top, 2)]
+
+
+def test_empty_query_arrays():
+    wm = WaveletMatrix([3, 1, 2], 4)
+    empty = np.array([], dtype=np.int64)
+    assert wm.rank_many(2, empty).size == 0
+    assert wm.count_many(2, empty, empty).size == 0
+    assert wm.extract_at(empty).size == 0
+    assert wm.bucket_starts(empty).size == 0
+
+
+def test_construction_from_ndarray_no_copy_roundtrip():
+    """Constructor accepts numpy arrays directly (satellite b)."""
+    arr = np.array([5, 3, 5, 0, 7], dtype=np.uint32)
+    wm = WaveletMatrix(arr, 8)
+    assert wm.to_numpy().tolist() == arr.tolist()
+    gen = WaveletMatrix((int(v) for v in arr), 8)
+    assert gen.to_numpy().tolist() == arr.tolist()
