@@ -13,7 +13,22 @@ of the allowed outcomes:
   reference (never rows outside it).
 
 Anything else — a wrong answer, an extra row, an unexpected exception
-type — is a chaos failure and the script exits non-zero.  Run it as::
+type — is a chaos failure and the script exits non-zero.
+
+Two **durability drills** then attack the crash-safe dynamic ring
+(:mod:`repro.reliability.wal`):
+
+- **crash-at-site** — arm ``wal.append`` / ``wal.fsync`` /
+  ``checkpoint.write`` / ``dynamic.compact`` mid-workload, copy the
+  directory as a crash image, recover it, and assert the recovered
+  state is *exactly* the acknowledged state before or after the faulted
+  operation (never a third, partial state), with the LTJ answer
+  matching an independent component scan;
+- **kill-at-offset** — truncate the WAL at random byte offsets and
+  assert recovery lands on the exact acknowledged prefix (or fails
+  loudly with a typed error when the header itself is gone).
+
+Run it as::
 
     PYTHONPATH=src python scripts/chaos_check.py [--rounds 40] [--seed 0]
 """
@@ -21,8 +36,13 @@ type — is a chaos failure and the script exits non-zero.  Run it as::
 from __future__ import annotations
 
 import argparse
+import os
 import random
+import shutil
 import sys
+import tempfile
+
+import numpy as np
 
 from repro.core import (
     QueryCancelled,
@@ -31,9 +51,11 @@ from repro.core import (
     RingIndex,
 )
 from repro.graph import BasicGraphPattern, TriplePattern, Var
+from repro.graph.dataset import Graph
 from repro.graph.generators import random_graph
 from repro.reliability.faults import Fault, InjectedFault, available_sites, inject_faults
 from repro.reliability.integrity import IndexIntegrityError
+from repro.reliability.wal import HEADER_SIZE, WAL_FILE, DurableDynamicRing
 
 X, Y, Z = Var("x"), Var("y"), Var("z")
 
@@ -177,12 +199,224 @@ def run(rounds: int, seed: int) -> int:
     return 1 if failures else 0
 
 
+# -- durability drills (crash-safe dynamic ring) ------------------------------
+
+#: Fault sites in the WAL/checkpoint/compaction protocol; each is killed
+#: mid-operation and the crash image must recover to before-or-after.
+DYNAMIC_SITES = ["wal.append", "wal.fsync", "checkpoint.write", "dynamic.compact"]
+
+_N_NODES, _N_PREDICATES = 40, 3
+
+
+def _fresh_store(directory: str) -> DurableDynamicRing:
+    universe = Graph(
+        np.empty((0, 3), dtype=np.int64),
+        n_nodes=_N_NODES,
+        n_predicates=_N_PREDICATES,
+    )
+    return DurableDynamicRing.create(directory, universe, buffer_threshold=16)
+
+
+def _random_op(rng: random.Random, acked: set) -> tuple:
+    if acked and rng.random() < 0.3:
+        return ("delete", rng.choice(sorted(acked)))
+    return (
+        "insert",
+        (
+            rng.randrange(_N_NODES),
+            rng.randrange(_N_PREDICATES),
+            rng.randrange(_N_NODES),
+        ),
+    )
+
+
+def _next_state(acked: set, op: tuple) -> set:
+    verb, triple = op
+    state = set(acked)
+    (state.add if verb == "insert" else state.discard)(triple)
+    return state
+
+
+def _crash_image(workdir: str, dest: str) -> str:
+    """What a crash would leave on disk: copy, ignoring in-memory state."""
+    shutil.copytree(workdir, dest)
+    return dest
+
+
+def _recover_and_scan(directory: str) -> set:
+    """Recover a crash image; cross-check LTJ against a component scan.
+
+    Returns the recovered live-triple set.  Raises ``AssertionError``
+    if the LTJ engine's full-scan answer disagrees with the snapshot's
+    independent component walk — the silent-partial-state detector.
+    """
+    store, _report = DurableDynamicRing.recover(directory)
+    try:
+        live = set(store.index.snapshot().live_triples())
+        pv = Var("p")
+        rows = store.evaluate(BasicGraphPattern([TriplePattern(X, pv, Y)]))
+        ltj = {(mu[X], mu[pv], mu[Y]) for mu in rows}
+        assert ltj == live, (
+            f"LTJ scan ({len(ltj)} rows) disagrees with component scan "
+            f"({len(live)} rows) after recovery"
+        )
+        return live
+    finally:
+        store.close()
+
+
+def drill_crash_sites(rounds: int, seed: int) -> list[str]:
+    """Kill the durability protocol at each site; recovery must land on
+    the acknowledged state just before or just after the faulted op."""
+    rng = random.Random(seed)
+    failures: list[str] = []
+    print(f"\ndurability drill A: crash at {', '.join(DYNAMIC_SITES)}")
+    for round_no in range(rounds):
+        site = DYNAMIC_SITES[round_no % len(DYNAMIC_SITES)]
+        base = tempfile.mkdtemp(prefix="chaos-dyn-")
+        workdir = os.path.join(base, "store")
+        label = f"  drill {round_no:3d} {site:18s}"
+        try:
+            store = _fresh_store(workdir)
+            acked: set = set()
+            for _ in range(rng.randint(5, 40)):
+                op = _random_op(rng, acked)
+                getattr(store, op[0])(*op[1])
+                acked = _next_state(acked, op)
+            if rng.random() < 0.5:
+                store.checkpoint()
+
+            before = set(acked)
+            after = set(acked)  # site-only faults leave the state alone
+            op = _random_op(rng, acked) if site.startswith("wal.") else None
+            fault = Fault(site, probability=1.0, error=InjectedFault,
+                          max_fires=1)
+            fired = False
+            try:
+                with inject_faults(fault, seed=rng.randrange(2**31)):
+                    if op is not None:
+                        getattr(store, op[0])(*op[1])
+                    elif site == "checkpoint.write":
+                        store.checkpoint()
+                    else:  # dynamic.compact
+                        store.index.compact(full=True)
+            except InjectedFault:
+                fired = True
+                if op is not None:
+                    # The op was cut down mid-protocol: the crash image
+                    # may or may not hold its (unacknowledged) record.
+                    after = _next_state(acked, op)
+            if not fired:
+                failures.append(f"{label}: fault never fired")
+                print(f"{label}: FAULT DID NOT FIRE")
+                continue
+
+            crash = _crash_image(workdir, os.path.join(base, "crash"))
+            recovered = _recover_and_scan(crash)
+            if recovered == before or recovered == after:
+                print(f"{label}: recovered cleanly "
+                      f"({len(recovered)} triples)")
+            else:
+                failures.append(
+                    f"{label}: recovered {len(recovered)} triples, "
+                    f"expected before ({len(before)}) or after "
+                    f"({len(after)}) the faulted op — partial state"
+                )
+                print(f"{label}: PARTIAL STATE AFTER RECOVERY")
+            store.close()
+        except AssertionError as exc:
+            failures.append(f"{label}: {exc}")
+            print(f"{label}: {exc}")
+        finally:
+            shutil.rmtree(base, ignore_errors=True)
+    return failures
+
+
+def drill_wal_truncation(points: int, seed: int) -> list[str]:
+    """Kill the process at arbitrary WAL byte offsets (simulated by
+    truncation).  Recovery must land on the exact acknowledged prefix —
+    or fail loudly when even the header is gone."""
+    rng = random.Random(seed)
+    failures: list[str] = []
+    base = tempfile.mkdtemp(prefix="chaos-wal-")
+    workdir = os.path.join(base, "store")
+    try:
+        store = _fresh_store(workdir)
+        acked: set = set()
+        states: list[tuple[int, set]] = [(HEADER_SIZE, set())]
+        for _ in range(30):
+            op = _random_op(rng, acked)
+            getattr(store, op[0])(*op[1])
+            acked = _next_state(acked, op)
+            states.append((store.wal_bytes, set(acked)))
+        store.close()
+
+        wal_path = os.path.join(workdir, WAL_FILE)
+        total = os.path.getsize(wal_path)
+        # Always include headerless kills; they must fail loudly.
+        offsets = sorted(
+            set(rng.sample(range(total), k=min(points, total)))
+            | {0, HEADER_SIZE - 1}
+        )
+        print(f"\ndurability drill B: kill at {len(offsets)} random WAL "
+              f"offsets of {total} bytes ({len(states) - 1} ops)")
+        for off in offsets:
+            crash = _crash_image(workdir, os.path.join(base, f"crash-{off}"))
+            with open(os.path.join(crash, WAL_FILE), "r+b") as f:
+                f.truncate(off)
+            label = f"  offset {off:5d}"
+            if off < HEADER_SIZE:
+                try:
+                    DurableDynamicRing.recover(crash)
+                    failures.append(
+                        f"{label}: headerless WAL recovered silently"
+                    )
+                    print(f"{label}: SILENT RECOVERY WITHOUT HEADER")
+                except IndexIntegrityError as exc:
+                    print(f"{label}: typed failure ({type(exc).__name__})")
+                continue
+            expected: set = set()
+            for end, state in states:
+                if end <= off:
+                    expected = state
+                else:
+                    break
+            try:
+                recovered = _recover_and_scan(crash)
+            except AssertionError as exc:
+                failures.append(f"{label}: {exc}")
+                print(f"{label}: {exc}")
+                continue
+            if recovered == expected:
+                print(f"{label}: exact acknowledged prefix "
+                      f"({len(recovered)} triples)")
+            else:
+                failures.append(
+                    f"{label}: recovered {len(recovered)} triples, the "
+                    f"acknowledged prefix holds {len(expected)}"
+                )
+                print(f"{label}: NOT THE ACKNOWLEDGED PREFIX")
+    finally:
+        shutil.rmtree(base, ignore_errors=True)
+    return failures
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--rounds", type=int, default=40)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--dyn-rounds", type=int, default=16,
+                        help="crash-at-site drill rounds")
+    parser.add_argument("--truncate-points", type=int, default=24,
+                        help="random WAL kill offsets to test")
     args = parser.parse_args()
-    raise SystemExit(run(args.rounds, args.seed))
+    status = run(args.rounds, args.seed)
+    failures = drill_crash_sites(args.dyn_rounds, args.seed + 1)
+    failures += drill_wal_truncation(args.truncate_points, args.seed + 2)
+    print(f"\ndurability drills: {len(failures)} failure(s)")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    raise SystemExit(status or (1 if failures else 0))
 
 
 if __name__ == "__main__":

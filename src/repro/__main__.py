@@ -10,10 +10,19 @@ Examples::
     python -m repro verify nobel.npz
     python -m repro stats nobel.npz
     python -m repro bench --quick -o BENCH_kernels.json
+    python -m repro serve store/ --create --n-nodes 1000 --n-predicates 16
+    python -m repro recover store/
 
 Input formats for ``build``: ``.nt`` files go through the N-Triples
 loader; anything else is parsed as whitespace-separated ``s p o`` lines.
 The benchmark entry points live under ``python -m repro.bench``.
+
+``serve`` runs a durable dynamic ring (WAL + checkpoints, see
+:mod:`repro.reliability.wal`) behind a :class:`QueryBroker` and speaks a
+line protocol on stdin — ``INSERT s p o`` / ``DELETE s p o`` /
+``QUERY <bgp>`` / ``CHECKPOINT`` / ``STATS``; EOF shuts down cleanly.
+``recover`` replays the WAL against the latest checkpoint and reports
+what it did; ``verify`` accepts those directories too.
 
 Failure conventions (the serving-layer contract): user mistakes —
 nonexistent files, unreadable or corrupted indexes, malformed queries —
@@ -119,9 +128,12 @@ def cmd_verify(args) -> None:
         f"contents : {report['n_triples']} triples, "
         f"{report['n_nodes']} nodes, {report['n_predicates']} predicates"
         + (" (compressed)" if report["compressed"] else "")
+        + (" (dynamic)" if report.get("kind") == "dynamic" else "")
     )
     for check in report["checks"]:
         print(f"  ok: {check}")
+    if report.get("wal_tail"):
+        print(f"  note: {report['wal_tail']}")
     print("index integrity: OK")
 
 
@@ -135,6 +147,154 @@ def cmd_bench(args) -> None:
     if args.output:
         write_report(report, args.output)
         print(f"\nwrote {args.output}")
+
+
+def _coerce_query(text: str, graph: Graph):
+    """Parse a BGP; on id-only graphs, digit constants become ids."""
+    from repro.graph.model import BasicGraphPattern, TriplePattern, Var
+    from repro.graph.parser import parse_bgp
+
+    bgp = parse_bgp(text)
+    if graph.dictionary is not None:
+        return bgp
+    patterns = []
+    for pattern in bgp.patterns:
+        terms = []
+        for term in pattern.terms:
+            if isinstance(term, str) and term.lstrip("-").isdigit():
+                term = int(term)
+            elif isinstance(term, str):
+                raise ValueError(
+                    f"constant {term!r} needs a dictionary-backed graph; "
+                    f"this store is id-only — use integer ids"
+                )
+            terms.append(term)
+        patterns.append(TriplePattern(*terms))
+    return BasicGraphPattern(patterns)
+
+
+def _serve_line(line: str, store, broker, decode: bool) -> bool:
+    """Handle one protocol line; returns ``False`` on QUIT."""
+    from repro.reliability.broker import QueryRejected
+
+    tokens = line.split(None, 1)
+    verb = tokens[0].upper()
+    rest = tokens[1] if len(tokens) > 1 else ""
+    if verb == "QUIT":
+        return False
+    if verb in ("INSERT", "DELETE"):
+        parts = rest.split()
+        if len(parts) != 3:
+            raise ValueError(f"{verb} needs exactly 3 terms")
+        if store.graph.dictionary is not None and not all(
+            t.lstrip("-").isdigit() for t in parts
+        ):
+            method = getattr(store, f"{verb.lower()}_labelled")
+            changed = method(*parts)
+        else:
+            method = getattr(store, verb.lower())
+            changed = method(*(int(t) for t in parts))
+        if verb == "INSERT":
+            print("ok inserted" if changed else "ok duplicate")
+        else:
+            print("ok deleted" if changed else "ok absent")
+    elif verb == "QUERY":
+        bgp = _coerce_query(rest, store.graph)
+        try:
+            result = broker.evaluate(bgp, decode=decode)
+        except QueryRejected as exc:
+            print(f"error: rejected: {exc}")
+            return True
+        for mu in result:
+            items = sorted(mu.items(), key=lambda kv: str(kv[0]))
+            print("  ".join(f"{k}={v}" for k, v in items))
+        suffix = (
+            f" (truncated: {result.interrupted_by})" if result.truncated else ""
+        )
+        print(f"-- {len(result)} solution(s) @epoch {store.epoch}{suffix}")
+    elif verb == "CHECKPOINT":
+        print(f"ok checkpoint {store.checkpoint()}")
+    elif verb == "STATS":
+        stats = broker.stats()
+        stats.update(
+            epoch=store.epoch,
+            triples=store.n_triples,
+            components=store.n_components,
+            wal_bytes=store.wal_bytes,
+        )
+        for key in sorted(stats):
+            print(f"{key:<22}: {stats[key]}")
+    else:
+        print(f"error: unknown command {verb!r} "
+              f"(INSERT/DELETE/QUERY/CHECKPOINT/STATS/QUIT)")
+    return True
+
+
+def cmd_serve(args) -> None:
+    # Lazy: pulls in the WAL + broker machinery only this command needs.
+    import numpy as np
+
+    from repro.reliability.broker import QueryBroker
+    from repro.reliability.wal import DurableDynamicRing
+
+    if args.create:
+        universe = Graph(
+            np.empty((0, 3), dtype=np.int64),
+            n_nodes=args.n_nodes,
+            n_predicates=args.n_predicates,
+        )
+        store = DurableDynamicRing.create(
+            args.directory, universe, buffer_threshold=args.threshold
+        )
+        print(f"created {args.directory} "
+              f"({args.n_nodes} nodes, {args.n_predicates} predicates)")
+    else:
+        store, report = DurableDynamicRing.recover(
+            args.directory, buffer_threshold=args.threshold
+        )
+        print(f"recovered: {report.summary()}")
+    decode = store.graph.dictionary is not None
+    broker = QueryBroker(
+        store,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        default_timeout=args.timeout,
+        maintenance_interval=args.maintenance_interval,
+    )
+    try:
+        with broker:
+            print("ready")
+            sys.stdout.flush()
+            for line in sys.stdin:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                try:
+                    if not _serve_line(line, store, broker, decode):
+                        break
+                except QueryTimeout:
+                    print("error: timeout")
+                except (QueryExecutionError, ValueError, KeyError) as exc:
+                    print(f"error: {str(exc) or type(exc).__name__}")
+                sys.stdout.flush()
+    finally:
+        store.close(checkpoint=not args.no_final_checkpoint)
+        print("bye")
+
+
+def cmd_recover(args) -> None:
+    from repro.reliability.wal import DurableDynamicRing
+
+    store, report = DurableDynamicRing.recover(args.directory)
+    try:
+        print(f"store     : {args.directory}")
+        print(f"recovered : {report.summary()}")
+        for check in report.checks:
+            print(f"  ok: {check}")
+        if args.checkpoint:
+            print(f"checkpoint: {store.checkpoint()}")
+    finally:
+        store.close()
 
 
 def cmd_stats(args) -> None:
@@ -194,6 +354,40 @@ def main(argv=None) -> None:
     p = sub.add_parser("stats", help="index statistics")
     p.add_argument("index")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "serve",
+        help="run a crash-safe dynamic store (WAL + broker) on stdin",
+    )
+    p.add_argument("directory", help="durable index directory")
+    p.add_argument("--create", action="store_true",
+                   help="initialise a fresh store instead of recovering")
+    p.add_argument("--n-nodes", type=int, default=1024,
+                   help="node universe size for --create")
+    p.add_argument("--n-predicates", type=int, default=32,
+                   help="predicate universe size for --create")
+    p.add_argument("--threshold", type=int, default=64,
+                   help="buffer size that triggers a freeze into a ring")
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--queue-depth", type=int, default=64,
+                   help="admission queue bound; beyond it queries are shed")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="default per-query deadline in seconds")
+    p.add_argument("--maintenance-interval", type=float, default=0.05,
+                   help="seconds between background compaction/checkpoint "
+                        "steps")
+    p.add_argument("--no-final-checkpoint", action="store_true",
+                   help="skip the checkpoint normally taken on shutdown")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "recover",
+        help="replay the WAL over the latest checkpoint and report",
+    )
+    p.add_argument("directory", help="durable index directory")
+    p.add_argument("--checkpoint", action="store_true",
+                   help="fold the replayed tail into a fresh checkpoint")
+    p.set_defaults(func=cmd_recover)
 
     p = sub.add_parser(
         "bench",

@@ -24,10 +24,31 @@ Concretely (an LSM shape):
 Queries therefore stay worst-case optimal up to the (logarithmic)
 component count and the tombstone volume — the amortised trade the
 paper describes.
+
+Concurrency model (the serving-layer contract):
+
+- every mutation (``insert``/``delete``/``compact``) runs under one
+  writer lock and bumps a monotonically increasing **epoch**;
+- every query captures an immutable :class:`DynamicSnapshot` — the
+  component rings, a frozen copy of the buffer and tombstones, and the
+  epoch — under the same lock, then evaluates entirely against that
+  snapshot.  A merge or freeze racing with the query swaps the
+  component list *behind* it; the snapshot keeps the old (immutable)
+  rings alive, so in-flight queries always see exactly the state of
+  one epoch, never a torn mix;
+- the union iterator charges the query's
+  :class:`~repro.reliability.budget.ResourceBudget` one tick per
+  component leap, per liveness probe, and per tombstone scanned, so op
+  caps, deadlines and cancellation fire on the dynamic engine exactly
+  as they do on the static ones.
+
+Durability (WAL + checkpoints) and admission control live one layer up
+in :mod:`repro.reliability.wal` and :mod:`repro.reliability.broker`.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Iterator, Optional
 
 import numpy as np
@@ -39,11 +60,14 @@ from repro.core.ring import Ring
 from repro.core.system import BaseLTJSystem
 from repro.graph.dataset import Graph
 from repro.graph.model import TriplePattern, Var
+from repro.reliability.budget import ResourceBudget
 
 DEFAULT_BUFFER_THRESHOLD = 1024
 
+Triple = tuple[int, int, int]
 
-def _matches(pattern: TriplePattern, triple: tuple[int, int, int]) -> bool:
+
+def _matches(pattern: TriplePattern, triple: Triple) -> bool:
     binding: dict[Var, int] = {}
     for term, value in zip(pattern.terms, triple):
         if isinstance(term, Var):
@@ -56,17 +80,25 @@ def _matches(pattern: TriplePattern, triple: tuple[int, int, int]) -> bool:
 
 
 class _UnionIterator:
-    """LTJ iterator over several components minus tombstones."""
+    """LTJ iterator over several components minus tombstones.
+
+    All work that the engine cannot see — the fan-out over component
+    leaps, liveness probes, and tombstone scans — is charged to the
+    query's :class:`ResourceBudget` here, one tick per elementary
+    operation, matching how the static engines account theirs.
+    """
 
     def __init__(
         self,
         components: list,
-        tombstones: set[tuple[int, int, int]],
+        tombstones: frozenset[Triple],
         pattern: TriplePattern,
+        budget: Optional[ResourceBudget] = None,
     ) -> None:
         self._components = components
         self._tombstones = tombstones
         self._pattern = pattern
+        self._budget = budget if budget is not None else ResourceBudget()
         self._binding: dict[Var, int] = {}
         self._stack: list[Var] = []
 
@@ -80,16 +112,20 @@ class _UnionIterator:
     def _tomb_count(self, pattern: TriplePattern) -> int:
         if not self._tombstones:
             return 0
+        self._budget.tick_many(len(self._tombstones))
         return sum(1 for t in self._tombstones if _matches(pattern, t))
 
     def count(self) -> int:
+        self._budget.tick_many(len(self._components))
         total = sum(c.count() for c in self._components)
         return max(total - self._tomb_count(self._current_pattern()), 0)
 
     def leap(self, var: Var, c: int) -> Optional[int]:
+        budget = self._budget
         while True:
             candidate: Optional[int] = None
             for comp in self._components:
+                budget.tick()
                 value = comp.leap(var, c)
                 if value is not None and (candidate is None or value < candidate):
                     candidate = value
@@ -101,6 +137,7 @@ class _UnionIterator:
             trial = self._current_pattern().substitute({var: candidate})
             support = 0
             for comp in self._components:
+                budget.tick()
                 comp.bind(var, candidate)
                 support += comp.count()
                 comp.unbind(var)
@@ -160,6 +197,62 @@ class _EmptyIterator:
         return first_candidate(candidates)
 
 
+class DynamicSnapshot:
+    """An immutable view of the index at one epoch.
+
+    Rings are immutable objects shared with the live index; the buffer
+    and tombstone sets are frozen copies.  Queries built from a
+    snapshot are unaffected by concurrent inserts, deletes, freezes and
+    merges — they answer exactly as the index did at ``epoch``.
+    """
+
+    __slots__ = ("epoch", "rings", "buffer", "orders", "tombstones")
+
+    def __init__(
+        self,
+        epoch: int,
+        rings: tuple[Ring, ...],
+        buffer: frozenset[Triple],
+        orders: Optional[OrderSet],
+        tombstones: frozenset[Triple],
+    ) -> None:
+        self.epoch = epoch
+        self.rings = rings
+        self.buffer = buffer
+        self.orders = orders
+        self.tombstones = tombstones
+
+    @property
+    def n_triples(self) -> int:
+        return sum(r.n for r in self.rings) + len(self.buffer) - len(self.tombstones)
+
+    def iterator(
+        self,
+        pattern: TriplePattern,
+        budget: Optional[ResourceBudget] = None,
+    ) -> _UnionIterator:
+        components: list = [RingIterator(r, pattern) for r in self.rings]
+        if self.buffer:
+            components.append(OrderSetIterator(self.orders, pattern))
+        if not components:
+            components.append(_EmptyIterator(pattern))
+        return _UnionIterator(components, self.tombstones, pattern, budget)
+
+    def live_triples(self) -> set[Triple]:
+        """Materialise the snapshot's triples as plain tuples."""
+        live: set[Triple] = set(self.buffer)
+        for ring in self.rings:
+            live.update(ring.triple(i) for i in range(ring.n))
+        live -= self.tombstones
+        return live
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DynamicSnapshot(epoch={self.epoch}, rings={len(self.rings)}, "
+            f"buffer={len(self.buffer)}, tombstones={len(self.tombstones)})"
+        )
+
+
 class DynamicRingIndex(BaseLTJSystem):
     """A ring index supporting ``insert`` and ``delete``.
 
@@ -169,6 +262,11 @@ class DynamicRingIndex(BaseLTJSystem):
         Initial contents (may be empty).
     buffer_threshold:
         Buffered inserts before the buffer freezes into a ring.
+    auto_compact:
+        Freeze/merge automatically when thresholds are crossed (the
+        default).  ``False`` defers all compaction to explicit
+        :meth:`compact` / :meth:`maintenance` calls — the mode the
+        query broker uses to run merges on a background thread.
     """
 
     name = "DynamicRing"
@@ -179,44 +277,118 @@ class DynamicRingIndex(BaseLTJSystem):
         buffer_threshold: int = DEFAULT_BUFFER_THRESHOLD,
         use_lonely: bool = True,
         use_ordering: bool = True,
+        auto_compact: bool = True,
     ) -> None:
         super().__init__(graph, use_lonely=use_lonely, use_ordering=use_ordering)
         self._n_nodes = graph.n_nodes
         self._n_predicates = graph.n_predicates
         self._threshold = max(buffer_threshold, 8)
+        self._auto_compact = auto_compact
         self._rings: list[Ring] = []
         if graph.n_triples:
             self._rings.append(Ring(graph))
-        self._buffer: set[tuple[int, int, int]] = set()
+        self._buffer: set[Triple] = set()
         self._buffer_orders: Optional[OrderSet] = None
-        self._tombstones: set[tuple[int, int, int]] = set()
+        self._tombstones: set[Triple] = set()
+        self._lock = threading.RLock()
+        self._epoch = 0
+        self._tls = threading.local()
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_components(
+        cls,
+        universe: Graph,
+        rings: Iterable[Ring],
+        buffer: Iterable[Triple],
+        tombstones: Iterable[Triple],
+        buffer_threshold: int = DEFAULT_BUFFER_THRESHOLD,
+        epoch: int = 0,
+        **kwargs,
+    ) -> "DynamicRingIndex":
+        """Reassemble an index from persisted components (recovery path).
+
+        ``universe`` fixes the id universes (and carries the dictionary,
+        if any) but contributes no triples of its own; the contents come
+        from ``rings``, ``buffer`` and ``tombstones`` exactly as a
+        checkpoint captured them.  ``epoch`` seeds the epoch counter so
+        it stays monotone across restarts (checkpoint directories are
+        named by epoch).
+        """
+        if universe.n_triples:
+            raise ValueError(
+                "from_components wants an empty universe graph; initial "
+                "triples belong in the ring components"
+            )
+        index = cls(universe, buffer_threshold=buffer_threshold, **kwargs)
+        index._rings = list(rings)
+        index._buffer = {tuple(int(v) for v in t) for t in buffer}
+        index._tombstones = {tuple(int(v) for v in t) for t in tombstones}
+        index._buffer_orders = None
+        index._epoch = int(epoch)
+        return index
 
     # -- sizes -----------------------------------------------------------------
 
     @property
     def n_triples(self) -> int:
-        return (
-            sum(r.n for r in self._rings)
-            + len(self._buffer)
-            - len(self._tombstones)
-        )
+        with self._lock:
+            return (
+                sum(r.n for r in self._rings)
+                + len(self._buffer)
+                - len(self._tombstones)
+            )
 
     @property
     def n_components(self) -> int:
-        return len(self._rings) + (1 if self._buffer else 0)
+        with self._lock:
+            return len(self._rings) + (1 if self._buffer else 0)
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic version counter; bumped by every mutation."""
+        return self._epoch
+
+    # -- snapshots ---------------------------------------------------------------
+
+    def snapshot(self) -> DynamicSnapshot:
+        """Capture an immutable view of the current epoch.
+
+        O(|buffer| + |tombstones|) set copies plus (amortised) the
+        buffer's :class:`OrderSet`, which is cached until the next
+        buffer mutation and shared by every snapshot of the epoch.
+        """
+        with self._lock:
+            orders = self._orders() if self._buffer else None
+            return DynamicSnapshot(
+                self._epoch,
+                tuple(self._rings),
+                frozenset(self._buffer),
+                orders,
+                frozenset(self._tombstones),
+            )
+
+    def _orders(self) -> OrderSet:
+        if self._buffer_orders is None:
+            self._buffer_orders = OrderSet(
+                self._graph_of(sorted(self._buffer)), ALL_ORDERS
+            )
+        return self._buffer_orders
 
     # -- updates ----------------------------------------------------------------
 
-    def _contains_static(self, triple: tuple[int, int, int]) -> bool:
+    def _contains_static(self, triple: Triple) -> bool:
         return any(r.contains(*triple) for r in self._rings)
 
     def contains(self, s: int, p: int, o: int) -> bool:
-        triple = (s, p, o)
-        if triple in self._buffer:
-            return True
-        if triple in self._tombstones:
-            return False
-        return self._contains_static(triple)
+        triple = (int(s), int(p), int(o))
+        with self._lock:
+            if triple in self._buffer:
+                return True
+            if triple in self._tombstones:
+                return False
+            return self._contains_static(triple)
 
     def insert(self, s: int, p: int, o: int) -> bool:
         """Add a triple; returns ``False`` when it was already present.
@@ -228,32 +400,38 @@ class DynamicRingIndex(BaseLTJSystem):
         """
         triple = (int(s), int(p), int(o))
         self._check_ids(triple)
-        if triple in self._tombstones:
-            self._tombstones.discard(triple)
+        with self._lock:
+            if triple in self._tombstones:
+                self._tombstones.discard(triple)
+                self._epoch += 1
+                return True
+            if triple in self._buffer or self._contains_static(triple):
+                return False
+            self._buffer.add(triple)
+            self._buffer_orders = None
+            self._epoch += 1
+            if self._auto_compact and len(self._buffer) >= self._threshold:
+                self._compact()
             return True
-        if triple in self._buffer or self._contains_static(triple):
-            return False
-        self._buffer.add(triple)
-        self._buffer_orders = None
-        if len(self._buffer) >= self._threshold:
-            self._compact()
-        return True
 
     def delete(self, s: int, p: int, o: int) -> bool:
         """Remove a triple; returns ``False`` when it was absent."""
         triple = (int(s), int(p), int(o))
-        if triple in self._buffer:
-            self._buffer.discard(triple)
-            self._buffer_orders = None
-            return True
-        if triple in self._tombstones:
+        with self._lock:
+            if triple in self._buffer:
+                self._buffer.discard(triple)
+                self._buffer_orders = None
+                self._epoch += 1
+                return True
+            if triple in self._tombstones:
+                return False
+            if self._contains_static(triple):
+                self._tombstones.add(triple)
+                self._epoch += 1
+                if self._auto_compact and len(self._tombstones) >= self._threshold:
+                    self._compact(full=True)
+                return True
             return False
-        if self._contains_static(triple):
-            self._tombstones.add(triple)
-            if len(self._tombstones) >= self._threshold:
-                self._compact(full=True)
-            return True
-        return False
 
     def insert_labelled(self, s: str, p: str, o: str) -> bool:
         """Label-level insert (requires a dictionary-backed graph).
@@ -272,23 +450,54 @@ class DynamicRingIndex(BaseLTJSystem):
             return False  # unknown label: nothing to delete
         return self.delete(*triple)
 
-    def _encode_labels(self, s: str, p: str, o: str) -> tuple[int, int, int]:
+    def _encode_labels(self, s: str, p: str, o: str) -> Triple:
         d = self.graph.dictionary
         if d is None:
             raise ValueError("label-level updates require a dictionary")
         return (d.node_id(s), d.predicate_id(p), d.node_id(o))
 
-    def _check_ids(self, triple: tuple[int, int, int]) -> None:
+    def _check_ids(self, triple: Triple) -> None:
         s, p, o = triple
         if not (0 <= s < self._n_nodes and 0 <= o < self._n_nodes):
             raise ValueError("node id outside the graph's universe")
         if not 0 <= p < self._n_predicates:
             raise ValueError("predicate id outside the graph's universe")
 
+    # -- compaction --------------------------------------------------------------
+
+    def compact(self, full: bool = False) -> None:
+        """Freeze the buffer and run geometric merges, under the lock.
+
+        Safe to call from a background thread: in-flight queries hold
+        snapshots of the pre-merge components and finish against those;
+        only queries admitted after the swap see the merged layout.
+        """
+        with self._lock:
+            self._compact(full=full)
+
+    @property
+    def needs_compaction(self) -> bool:
+        """Whether a maintenance pass would do any work right now."""
+        with self._lock:
+            return (
+                len(self._buffer) >= self._threshold
+                or len(self._tombstones) >= self._threshold
+                or len(self._rings) > 8
+            )
+
+    def maintenance(self) -> bool:
+        """One background maintenance step; returns whether it compacted."""
+        with self._lock:
+            if not self.needs_compaction:
+                return False
+            self._compact(full=len(self._tombstones) >= self._threshold)
+            return True
+
     def _compact(self, full: bool = False) -> None:
         """Freeze the buffer into a ring; merge similar-sized rings.
 
         ``full=True`` merges *everything* (used to fold tombstones away).
+        Caller holds the writer lock (public entry points acquire it).
         """
         if self._buffer:
             self._rings.append(Ring(self._graph_of(sorted(self._buffer))))
@@ -303,6 +512,7 @@ class DynamicRingIndex(BaseLTJSystem):
             self._rings = (
                 [Ring(self._graph_of(sorted(merged)))] if merged else []
             )
+            self._epoch += 1
             return
         # Geometric merging: keep sizes growing by at least 2x.
         self._rings.sort(key=lambda r: r.n)
@@ -318,6 +528,7 @@ class DynamicRingIndex(BaseLTJSystem):
             if survivors:
                 self._rings.append(Ring(self._graph_of(sorted(survivors))))
             self._rings.sort(key=lambda r: r.n)
+        self._epoch += 1
 
     def _graph_of(self, triples) -> Graph:
         arr = np.array(triples, dtype=np.int64).reshape(-1, 3)
@@ -327,30 +538,40 @@ class DynamicRingIndex(BaseLTJSystem):
 
     # -- queries ----------------------------------------------------------------
 
-    def iterator(self, pattern: TriplePattern):
-        components: list = [RingIterator(r, pattern) for r in self._rings]
-        if self._buffer:
-            if self._buffer_orders is None:
-                self._buffer_orders = OrderSet(
-                    self._graph_of(sorted(self._buffer)), ALL_ORDERS
-                )
-            components.append(OrderSetIterator(self._buffer_orders, pattern))
-        if not components:
-            components.append(_EmptyIterator(pattern))
-        return _UnionIterator(components, self._tombstones, pattern)
+    def _solutions(self, bgp, timeout, **options):
+        # Pin one snapshot (and the query's budget) for the whole
+        # evaluation: the engine's iterator-factory calls below land on
+        # it via the thread-local stack, so every pattern iterator of
+        # this query sees the same epoch even while writers and the
+        # background compactor run.
+        budget = ResourceBudget.coerce(timeout)
+        snap = self.snapshot()
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        stack.append((snap, budget))
+        try:
+            yield from self._engine.evaluate(bgp, timeout=budget, **options)
+        finally:
+            stack.pop()
+
+    def iterator(self, pattern: TriplePattern) -> _UnionIterator:
+        stack = getattr(self._tls, "stack", None)
+        if stack:
+            snap, budget = stack[-1]
+        else:  # direct engine use outside evaluate(): fresh snapshot
+            snap, budget = self.snapshot(), None
+        return snap.iterator(pattern, budget)
 
     def to_graph(self) -> Graph:
         """Materialise the current live triples."""
-        live: set[tuple[int, int, int]] = set(self._buffer)
-        for ring in self._rings:
-            live.update(ring.triple(i) for i in range(ring.n))
-        live -= self._tombstones
-        return self._graph_of(sorted(live))
+        return self._graph_of(sorted(self.snapshot().live_triples()))
 
     def size_in_bits(self) -> int:
-        ring_bits = sum(r.size_in_bits() for r in self._rings)
-        buffer_bits = 3 * 64 * len(self._buffer)
-        tomb_bits = 3 * 64 * len(self._tombstones)
-        if self._buffer_orders is not None:
-            buffer_bits += self._buffer_orders.size_in_bits()
-        return ring_bits + buffer_bits + tomb_bits + 256
+        with self._lock:
+            ring_bits = sum(r.size_in_bits() for r in self._rings)
+            buffer_bits = 3 * 64 * len(self._buffer)
+            tomb_bits = 3 * 64 * len(self._tombstones)
+            if self._buffer_orders is not None:
+                buffer_bits += self._buffer_orders.size_in_bits()
+            return ring_bits + buffer_bits + tomb_bits + 256

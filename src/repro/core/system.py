@@ -43,16 +43,21 @@ class QueryResult(list):
     is drop-in compatible with every existing caller.
     """
 
-    __slots__ = ("truncated", "interrupted_by")
+    __slots__ = ("truncated", "interrupted_by", "budget")
 
     def __init__(self, iterable=()) -> None:
         super().__init__(iterable)
         self.truncated = False
         self.interrupted_by: Optional[str] = None
+        #: The ResourceBudget the query ran under (None for decode-only
+        #: copies before flags are copied); lets serving layers read
+        #: ops_used/deadline telemetry off the result.
+        self.budget: Optional[ResourceBudget] = None
 
     def _copy_flags(self, other: "QueryResult") -> "QueryResult":
         self.truncated = other.truncated
         self.interrupted_by = other.interrupted_by
+        self.budget = other.budget
         return self
 
 
@@ -140,6 +145,7 @@ class BaseQuerySystem:
                 timeout=timeout, max_solutions=limit, token=cancellation
             )
         out = QueryResult()
+        out.budget = budget
         seen: set[frozenset] = set()
         try:
             for solution in self._solutions(encoded, budget, **options):

@@ -1,10 +1,10 @@
-"""Reliability subsystem: budgets, integrity checks, fault injection.
+"""Reliability subsystem: budgets, integrity, durability, serving.
 
 The ROADMAP's north star is a serving layer, and serving layers must
-enforce budgets, cancel cleanly, detect corruption and degrade
-gracefully — the paper's own WGPB protocol runs every query under a
-60 s timeout precisely because worst-case-optimal joins still have huge
-worst cases.  Three modules:
+enforce budgets, cancel cleanly, detect corruption, survive crashes and
+degrade gracefully — the paper's own WGPB protocol runs every query
+under a 60 s timeout precisely because worst-case-optimal joins still
+have huge worst cases.  Five modules:
 
 - :mod:`repro.reliability.budget` — :class:`ResourceBudget`, the single
   resource governor (wall-clock deadline, cooperative op ticks, a
@@ -15,7 +15,19 @@ worst cases.  Three modules:
   instead of silently serving a corrupted ring;
 - :mod:`repro.reliability.faults` — a deterministic, seeded
   fault-injection registry used by the test suite and
-  ``scripts/chaos_check.py`` to prove the above actually fires.
+  ``scripts/chaos_check.py`` to prove the above actually fires;
+- :mod:`repro.reliability.wal` — crash safety for the dynamic ring:
+  a CRC-framed write-ahead log, checkpoints built on the integrity
+  manifests, and :class:`DurableDynamicRing` tying them together with
+  prefix-consistent recovery;
+- :mod:`repro.reliability.broker` — :class:`QueryBroker`, bounded
+  admission + per-query watchdog deadlines + background maintenance
+  over the dynamic ring's epoch snapshots.
+
+``wal`` and ``broker`` re-exports are lazy (PEP 562): they import
+:mod:`repro.core.dynamic`, which itself imports this package through
+``core.system`` → ``reliability.budget``, so binding them eagerly here
+would cycle during ``repro.core`` initialisation.
 """
 
 from repro.reliability.budget import CancellationToken, ResourceBudget
@@ -28,14 +40,48 @@ from repro.reliability.faults import (
 )
 from repro.reliability.integrity import IndexIntegrityError, verify_index
 
+_LAZY = {
+    "DurableDynamicRing": "repro.reliability.wal",
+    "RecoveryReport": "repro.reliability.wal",
+    "WALError": "repro.reliability.wal",
+    "WriteAheadLog": "repro.reliability.wal",
+    "replay": "repro.reliability.wal",
+    "verify_dynamic_dir": "repro.reliability.wal",
+    "QueryBroker": "repro.reliability.broker",
+    "QueryRejected": "repro.reliability.broker",
+}
+
+
+def __getattr__(name: str):
+    module_path = _LAZY.get(name)
+    if module_path is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_path), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY))
+
+
 __all__ = [
     "CancellationToken",
+    "DurableDynamicRing",
     "Fault",
     "FaultInjector",
     "IndexIntegrityError",
     "InjectedFault",
+    "QueryBroker",
+    "QueryRejected",
+    "RecoveryReport",
     "ResourceBudget",
+    "WALError",
+    "WriteAheadLog",
     "available_sites",
     "inject_faults",
-    "verify_index",
+    "replay",
+    "verify_dynamic_dir",
 ]

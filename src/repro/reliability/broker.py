@@ -1,0 +1,288 @@
+"""Concurrent query broker: admission control over a snapshot index.
+
+The dynamic ring's epoch snapshots (see
+:mod:`repro.core.dynamic`) make reads and writes safe to interleave;
+this module adds the serving discipline around them:
+
+- **bounded admission** — queries enter a fixed-depth queue served by a
+  small worker pool.  When the queue is full, :meth:`QueryBroker.submit`
+  sheds the query immediately with a typed :class:`QueryRejected`
+  instead of queueing without bound — the caller gets a fast, explicit
+  "try later", and the workers never fall arbitrarily far behind;
+- **per-query watchdog** — every admitted query runs under its own
+  :class:`~repro.reliability.budget.ResourceBudget` (deadline, op cap,
+  solution cap) wired to a :class:`CancellationToken`.  The engines
+  honour the budget cooperatively; a watchdog thread additionally trips
+  the token of any query that overstays its deadline (including time
+  spent queued), so even a stall inside a single engine call cannot
+  wedge a worker forever without at least being flagged;
+- **background maintenance** — an optional thread periodically calls
+  the index's ``maintenance()`` (buffer freeze, geometric merges, WAL
+  checkpointing for :class:`~repro.reliability.wal.DurableDynamicRing`)
+  so compaction cost stays off the query path.  In-flight queries hold
+  pre-merge snapshots and are unaffected.
+
+The broker works with any object exposing ``evaluate`` (the static
+ring included); snapshot isolation guarantees only hold for indexes
+that provide them (the dynamic ring family).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Optional
+
+from concurrent.futures import Future
+
+from repro.core.interface import QueryError
+from repro.reliability.budget import CancellationToken, ResourceBudget
+
+DEFAULT_WORKERS = 4
+DEFAULT_QUEUE_DEPTH = 64
+
+
+class QueryRejected(QueryError):
+    """Admission control shed this query (the bounded queue was full)."""
+
+
+class _Job:
+    __slots__ = (
+        "query", "options", "future", "budget", "token", "deadline_at",
+    )
+
+    def __init__(self, query, options, budget, token, deadline_at):
+        self.query = query
+        self.options = options
+        self.future: Future = Future()
+        self.budget = budget
+        self.token = token
+        self.deadline_at = deadline_at
+
+
+class QueryBroker:
+    """Bounded, watched, concurrent query intake for one index.
+
+    Parameters
+    ----------
+    index:
+        Anything with ``evaluate(query, budget=..., **options)``.
+    workers:
+        Worker threads evaluating admitted queries.
+    queue_depth:
+        Maximum queries waiting beyond the ones being executed; a full
+        queue rejects with :class:`QueryRejected`.
+    default_timeout:
+        Deadline (seconds) applied to queries submitted without one.
+    maintenance_interval:
+        Seconds between background ``index.maintenance()`` calls;
+        ``None`` disables the maintenance thread.
+    watchdog_interval:
+        Poll period of the deadline watchdog.
+    """
+
+    def __init__(
+        self,
+        index,
+        *,
+        workers: int = DEFAULT_WORKERS,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        default_timeout: Optional[float] = None,
+        maintenance_interval: Optional[float] = 0.05,
+        watchdog_interval: float = 0.02,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self._index = index
+        self._queue: "queue.Queue[_Job]" = queue.Queue(maxsize=queue_depth)
+        self._workers_n = workers
+        self._default_timeout = default_timeout
+        self._maintenance_interval = maintenance_interval
+        self._watchdog_interval = watchdog_interval
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self._started = False
+        self._inflight: set[_Job] = set()
+        self._inflight_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._stats = {
+            "submitted": 0,
+            "rejected": 0,
+            "completed": 0,
+            "failed": 0,
+            "cancelled_by_watchdog": 0,
+            "maintenance_runs": 0,
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "QueryBroker":
+        if self._started:
+            raise RuntimeError("broker already started")
+        self._started = True
+        self._stop.clear()
+        for i in range(self._workers_n):
+            t = threading.Thread(
+                target=self._worker_loop, name=f"broker-worker-{i}", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+        t = threading.Thread(
+            target=self._watchdog_loop, name="broker-watchdog", daemon=True
+        )
+        t.start()
+        self._threads.append(t)
+        if self._maintenance_interval is not None and hasattr(
+            self._index, "maintenance"
+        ):
+            t = threading.Thread(
+                target=self._maintenance_loop,
+                name="broker-maintenance",
+                daemon=True,
+            )
+            t.start()
+            self._threads.append(t)
+        return self
+
+    def stop(self, timeout: Optional[float] = 5.0) -> None:
+        """Drain: reject queued work, cancel nothing in flight, join."""
+        if not self._started:
+            return
+        self._stop.set()
+        # Fail queued-but-unstarted futures so callers don't hang.
+        while True:
+            try:
+                job = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            job.future.set_exception(QueryRejected("broker shut down"))
+        for t in self._threads:
+            t.join(timeout=timeout)
+        self._threads.clear()
+        self._started = False
+
+    def __enter__(self) -> "QueryBroker":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- intake --------------------------------------------------------------
+
+    def submit(
+        self,
+        query,
+        *,
+        timeout: Optional[float] = None,
+        limit: Optional[int] = None,
+        max_ops: Optional[int] = None,
+        **options,
+    ) -> Future:
+        """Admit a query; returns a :class:`Future` of its QueryResult.
+
+        Raises :class:`QueryRejected` *synchronously* when the queue is
+        full — load shedding is an admission-time decision, not a
+        deferred failure.
+        """
+        if not self._started or self._stop.is_set():
+            raise QueryRejected("broker is not running")
+        effective_timeout = timeout if timeout is not None else self._default_timeout
+        token = CancellationToken()
+        budget = ResourceBudget(
+            timeout=effective_timeout,
+            max_ops=max_ops,
+            max_solutions=limit,
+            token=token,
+        )
+        deadline_at = (
+            time.monotonic() + effective_timeout
+            if effective_timeout is not None
+            else None
+        )
+        options = dict(options)
+        options.setdefault("limit", limit)
+        job = _Job(query, options, budget, token, deadline_at)
+        with self._stats_lock:
+            self._stats["submitted"] += 1
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            with self._stats_lock:
+                self._stats["rejected"] += 1
+            raise QueryRejected(
+                f"admission queue full "
+                f"({self._queue.maxsize} waiting, {self._workers_n} workers)"
+            ) from None
+        return job.future
+
+    def evaluate(self, query, **kwargs):
+        """Blocking convenience: ``submit(...).result()``."""
+        return self.submit(query, **kwargs).result()
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._stats_lock:
+            out = dict(self._stats)
+        out["queued"] = self._queue.qsize()
+        with self._inflight_lock:
+            out["in_flight"] = len(self._inflight)
+        return out
+
+    # -- threads -------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                job = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                continue
+            if not job.future.set_running_or_notify_cancel():
+                continue
+            with self._inflight_lock:
+                self._inflight.add(job)
+            try:
+                result = self._index.evaluate(
+                    job.query, budget=job.budget, **job.options
+                )
+            except BaseException as exc:  # typed QueryErrors included
+                with self._stats_lock:
+                    self._stats["failed"] += 1
+                job.future.set_exception(exc)
+            else:
+                with self._stats_lock:
+                    self._stats["completed"] += 1
+                job.future.set_result(result)
+            finally:
+                with self._inflight_lock:
+                    self._inflight.discard(job)
+
+    def _watchdog_loop(self) -> None:
+        while not self._stop.is_set():
+            now = time.monotonic()
+            with self._inflight_lock:
+                overdue = [
+                    job
+                    for job in self._inflight
+                    if job.deadline_at is not None
+                    and now > job.deadline_at
+                    and not job.token.cancelled
+                ]
+            for job in overdue:
+                job.token.cancel()
+                with self._stats_lock:
+                    self._stats["cancelled_by_watchdog"] += 1
+            self._stop.wait(self._watchdog_interval)
+
+    def _maintenance_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                if self._index.maintenance():
+                    with self._stats_lock:
+                        self._stats["maintenance_runs"] += 1
+            except Exception:  # pragma: no cover - keep the thread alive
+                pass
+            self._stop.wait(self._maintenance_interval)

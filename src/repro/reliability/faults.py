@@ -5,8 +5,11 @@ exercised: this module installs **monkeypatchable hooks** on the hot
 primitives every engine bottoms out in — wavelet-matrix ``rank`` /
 ``select`` / ``range_next_value`` (``next_in_range``), bitvector reads,
 their batch counterparts (``rank1_many`` / ``select1_many`` /
-``rank_many`` / ``extract_at`` — the vectorised fast path), and the
-save/load I/O path — and injects latency or exceptions into
+``rank_many`` / ``extract_at`` — the vectorised fast path), the
+save/load I/O path, and the durability protocol of the dynamic ring
+(``dynamic.compact``, ``wal.append``, ``wal.fsync``,
+``checkpoint.write`` — lazily resolved, see :data:`LAZY_SITES`) — and
+injects latency or exceptions into
 them under a seeded RNG, so tests can *prove* that
 
 - injected latency makes budgets fire (``QueryTimeout``) or, with
@@ -32,6 +35,7 @@ patch targets; :func:`available_sites` lists them.
 
 from __future__ import annotations
 
+import importlib
 import random
 import time
 from dataclasses import dataclass, field
@@ -68,10 +72,31 @@ SITES: dict[str, tuple[object, str]] = {
     "io.load": (graph_io, "load_graph"),
 }
 
+#: Durability/concurrency sites, resolved lazily at install time —
+#: ``(module path, owner class or None for the module itself, attr)``.
+#: Importing them eagerly here would cycle through ``core.system`` →
+#: ``reliability`` → this module while ``core`` is still initialising.
+LAZY_SITES: dict[str, tuple[str, Optional[str], str]] = {
+    "dynamic.compact": ("repro.core.dynamic", "DynamicRingIndex", "_compact"),
+    "wal.append": ("repro.reliability.wal", "WriteAheadLog", "append"),
+    "wal.fsync": ("repro.reliability.wal", None, "_fsync"),
+    "checkpoint.write": ("repro.reliability.wal", None, "write_checkpoint"),
+}
+
+
+def _resolve_site(site: str) -> tuple[object, str]:
+    """The ``(owner, attribute)`` patch target of a registered site."""
+    if site in SITES:
+        return SITES[site]
+    module_path, owner_name, attr = LAZY_SITES[site]
+    module = importlib.import_module(module_path)
+    owner = getattr(module, owner_name) if owner_name else module
+    return owner, attr
+
 
 def available_sites() -> list[str]:
     """The hookable site names, sorted."""
-    return sorted(SITES)
+    return sorted(set(SITES) | set(LAZY_SITES))
 
 
 @dataclass
@@ -101,7 +126,7 @@ class Fault:
     fired: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
-        if self.site not in SITES:
+        if self.site not in SITES and self.site not in LAZY_SITES:
             raise ValueError(
                 f"unknown fault site {self.site!r}; "
                 f"available: {', '.join(available_sites())}"
@@ -135,7 +160,7 @@ class FaultInjector:
             fault.fired = 0
             by_site.setdefault(fault.site, []).append(fault)
         for site, site_faults in by_site.items():
-            owner, attr = SITES[site]
+            owner, attr = _resolve_site(site)
             original = getattr(owner, attr)
             self._originals.append((owner, attr, original))
             setattr(owner, attr, self._wrap(site, site_faults, original))

@@ -247,8 +247,15 @@ def verify_index(path, samples: int = _SPOT_CHECK_SAMPLES) -> dict:
     """Full battery over a persisted index; the ``repro verify`` engine.
 
     Returns a report dict (``checks`` run, graph shape, configuration).
-    Raises :class:`IndexIntegrityError` on any failure.
+    Raises :class:`IndexIntegrityError` on any failure.  A *directory*
+    is treated as a durable dynamic index (WAL + checkpoints) and
+    dispatched to :func:`repro.reliability.wal.verify_dynamic_dir`.
     """
+    if os.path.isdir(str(path)):
+        from repro.reliability.wal import verify_dynamic_dir
+
+        return verify_dynamic_dir(path, samples=samples)
+
     from repro.core.system import RingIndex
 
     report: dict = {"path": str(path), "checks": []}
