@@ -1,0 +1,94 @@
+"""Parallel-vs-serial LTJ benchmark: the shared-memory worker pool.
+
+Regenerates the ``BENCH_parallel.json`` perf artifact and gates the
+pool on two axes:
+
+- **identity, always** — every parallel answer must be the byte-
+  identical *ordered* serial answer, on any host;
+- **speedup, where it can exist** — the >= ``MIN_PARALLEL_SPEEDUP``
+  end-to-end floor at 4 workers only runs on hosts with at least 4
+  CPUs; a 1-core container cannot speed anything up and the artifact
+  records its ``cpus`` honestly instead of faking a pass.
+
+Scale knobs: ``REPRO_BENCH_N`` / ``REPRO_BENCH_QUERIES`` (conftest
+defaults), ``REPRO_BENCH_PARALLEL_OUT`` for the artifact path.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.perf.parallelbench import SCHEMA_VERSION, bench_parallel
+
+BENCH_N = int(os.environ.get("REPRO_BENCH_N", "4000"))
+BENCH_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "2"))
+
+#: Required end-to-end factor at 4 workers (only gated on >= 4 cores).
+MIN_PARALLEL_SPEEDUP = 2.0
+
+pytestmark = pytest.mark.perf
+
+_CPUS = os.cpu_count() or 1
+
+
+@pytest.fixture(scope="module")
+def parallel_report():
+    workers = (2, 4) if _CPUS >= 4 else (2,)
+    return bench_parallel(
+        n=BENCH_N, workers=workers, queries_per_shape=BENCH_QUERIES, seed=0
+    )
+
+
+def test_parallel_identical(parallel_report):
+    """Every worker count returns the exact ordered serial answer."""
+    assert parallel_report["serial"]["rows"] > 0
+    for row in parallel_report["parallel"]:
+        assert row["identical"], (
+            f"{row['workers']} workers: parallel result diverged from "
+            f"the serial enumeration"
+        )
+        assert row["rows"] == parallel_report["serial"]["rows"]
+
+
+def test_parallel_pool_healthy(parallel_report):
+    """The pool actually fanned out (no silent serial fallbacks only)."""
+    for row in parallel_report["parallel"]:
+        pool = row["pool"]
+        assert pool.get("dispatched", 0) > 0, (
+            f"{row['workers']} workers: nothing was ever dispatched"
+        )
+        assert pool.get("spawn_failures", 0) == 0
+
+
+@pytest.mark.skipif(
+    _CPUS < 4,
+    reason=f"end-to-end speedup needs >= 4 CPUs (host has {_CPUS})",
+)
+def test_parallel_speedup(parallel_report):
+    """>= 2x end-to-end at 4 workers, where the cores exist."""
+    row = next(
+        r for r in parallel_report["parallel"] if r["workers"] == 4
+    )
+    assert row["speedup"] >= MIN_PARALLEL_SPEEDUP, (
+        f"4 workers only {row['speedup']:.2f}x over serial "
+        f"(floor {MIN_PARALLEL_SPEEDUP}x)"
+    )
+
+
+def test_write_bench_artifact(parallel_report):
+    """Emit the machine-readable perf artifact for trajectory tracking."""
+    path = os.environ.get("REPRO_BENCH_PARALLEL_OUT", "BENCH_parallel.json")
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "cpus": _CPUS,
+        "config": {
+            "n": BENCH_N,
+            "queries_per_shape": BENCH_QUERIES,
+            "source": "benchmarks/bench_parallel.py",
+        },
+        "parallel_ltj": parallel_report,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")

@@ -6,10 +6,12 @@ Examples::
     python -m repro query nobel.npz "?x adv ?y . Nobel win ?y"
     python -m repro query nobel.npz "?x ?p ?y" --timeout 1 --partial
     python -m repro explain nobel.npz "?x nom ?y . ?x win ?z . ?z adv ?y"
+    python -m repro plan nobel.npz "?x adv ?y . ?y win ?z" --slices 4
     python -m repro path nobel.npz "adv+" --source Thorne
     python -m repro verify nobel.npz
     python -m repro stats nobel.npz
     python -m repro bench --quick -o BENCH_kernels.json
+    python -m repro bench --parallel --quick -o BENCH_parallel.json
     python -m repro serve store/ --create --n-nodes 1000 --n-predicates 16
     python -m repro recover store/
 
@@ -112,6 +114,46 @@ def cmd_explain(args) -> None:
         print(f"  {pattern:<40} {count}")
 
 
+def cmd_plan(args) -> None:
+    """The cardinality-guided plan plus the parallel slice preview."""
+    from repro.parallel.slices import plan_slices
+
+    index = RingIndex.load(args.index)
+    bgp = _coerce_query(args.query, index.graph)
+    plan = index.explain(bgp)
+    if plan.get("empty"):
+        print("query references constants absent from the graph: 0 solutions")
+        return
+    scores = plan.get("variable_scores", {})
+    order = plan["variable_order"]
+    print("elimination order (cheapest distinct-count first):")
+    for var in order:
+        print(f"  {var.name:<8} ~{scores.get(var.name, '?')} distinct values")
+    lonely = ", ".join(v.name for v in plan["lonely_variables"]) or "(none)"
+    print(f"lonely variables  : {lonely}")
+    print("pattern cardinalities (exact, via Lemma 3.6 ranges):")
+    for pattern, count in plan["pattern_cardinalities"].items():
+        print(f"  {pattern:<40} {count}")
+    if not order:
+        print("parallel plan     : (no shared variable; runs serially)")
+        return
+    encoded = index.graph.encode_bgp(bgp)
+    iters = [index.iterator(t) for t in encoded]
+    if any(it.count() == 0 for it in iters):
+        print("parallel plan     : (an empty pattern; 0 solutions)")
+        return
+    live = [it for it in iters if not it.pattern.is_fully_bound()]
+    slice_plan = plan_slices(live, encoded, order, args.slices)
+    if slice_plan is None or not slice_plan.viable:
+        print("parallel plan     : (domain too small to partition; "
+              "runs serially)")
+        return
+    print(f"parallel plan     : split ?{slice_plan.var.name} into "
+          f"{len(slice_plan.slices)} slices")
+    for (lo, hi), weight in zip(slice_plan.slices, slice_plan.weights):
+        print(f"  [{lo:>8}, {hi:>8})  ~{weight} guiding-pattern rows")
+
+
 def cmd_path(args) -> None:
     index = RingIndex.load(args.index)
     nodes = index.evaluate_path(args.expression, args.source, decode=True)
@@ -140,9 +182,20 @@ def cmd_verify(args) -> None:
 def cmd_bench(args) -> None:
     # Imported lazily: pulls in the graph generators and bench runner,
     # which the serving commands never need.
-    from repro.perf.kernelbench import format_report, full_report, write_report
+    if args.parallel:
+        from repro.perf.parallelbench import (
+            format_report, full_report, write_report,
+        )
 
-    report = full_report(quick=args.quick, seed=args.seed)
+        report = full_report(
+            quick=args.quick, seed=args.seed, workers=args.workers or None
+        )
+    else:
+        from repro.perf.kernelbench import (
+            format_report, full_report, write_report,
+        )
+
+        report = full_report(quick=args.quick, seed=args.seed)
     print(format_report(report))
     if args.output:
         write_report(report, args.output)
@@ -340,6 +393,16 @@ def main(argv=None) -> None:
     p.add_argument("query")
     p.set_defaults(func=cmd_explain)
 
+    p = sub.add_parser(
+        "plan",
+        help="cardinality-guided order + parallel slice partition preview",
+    )
+    p.add_argument("index")
+    p.add_argument("query")
+    p.add_argument("--slices", type=int, default=4,
+                   help="target number of range slices to preview")
+    p.set_defaults(func=cmd_plan)
+
     p = sub.add_parser("path", help="regular path query from a node")
     p.add_argument("index")
     p.add_argument("expression", help="e.g. 'adv+' or '^win/nom'")
@@ -396,6 +459,12 @@ def main(argv=None) -> None:
     p.add_argument("--quick", action="store_true",
                    help="smaller sizes (CI smoke mode)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--parallel", action="store_true",
+                   help="benchmark the shared-memory worker pool against "
+                        "the serial engine (BENCH_parallel.json)")
+    p.add_argument("--workers", type=int, nargs="*", default=None,
+                   help="worker counts to measure with --parallel "
+                        "(default: 2 in quick mode, 2 and 4 otherwise)")
     p.add_argument("-o", "--output", default=None,
                    help="also write the report as JSON (BENCH_kernels.json)")
     p.set_defaults(func=cmd_bench)

@@ -74,6 +74,38 @@ class RingIterator:
         """The paper's ``c(t) = (e - s + 1) / n`` statistic."""
         return self.count() / max(self._ring.n, 1)
 
+    def zone_state(self) -> Optional[ZoneState]:
+        """The maintained Lemma 3.6 range, or ``None`` when nothing is
+        bound (exposed for the parallel slice planner)."""
+        return None if self._empty else self._state
+
+    def distinct_estimate(self, var: Var, max_nodes: int = 64) -> int:
+        """Lower bound on the distinct admissible values of ``var``.
+
+        The branching factor this pattern would contribute if ``var``
+        were eliminated next — the statistic the cardinality-guided
+        variable ordering ranks by.  Answered from the wavelet matrix
+        in O(``max_nodes`` · levels) when ``var`` sits just behind the
+        bound run (:meth:`WaveletMatrix.distinct_estimate`), from the
+        ``C`` array when nothing is bound, and by the range size (a
+        safe upper bound used as a tie-breaking proxy) otherwise.
+        """
+        if self._empty:
+            return 0
+        positions = self._var_positions[var]
+        if len(positions) != 1:
+            return self.count()
+        pos = positions[0]
+        ring = self._ring
+        if self._state is None:
+            c = ring.c_array(pos)
+            return int(np.count_nonzero(np.diff(c)))
+        zone, lo, hi = self._state
+        if pos == prev_attr(zone):
+            wm = ring.zone_sequence(zone)
+            return wm.distinct_estimate(lo, hi, max_nodes=max_nodes)
+        return hi - lo
+
     def leap_direction(self, var: Var) -> str:
         """How a leap on ``var`` would be answered from the current state:
         ``"backward"`` (range-next-value), ``"forward"`` (rank/select on

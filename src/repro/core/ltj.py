@@ -89,6 +89,7 @@ class LeapfrogTrieJoin:
         timeout: Union[None, float, ResourceBudget] = None,
         var_order: Optional[Sequence[Var]] = None,
         stats: Optional[dict] = None,
+        first_range: Optional[tuple[int, int]] = None,
     ) -> Iterator[dict[Var, int]]:
         """Stream the solutions ``Q(G)`` as ``{Var: id}`` mappings.
 
@@ -101,6 +102,14 @@ class LeapfrogTrieJoin:
         ``"bulk_rows"`` — solutions emitted through the batch decode
         path) — the empirical handle on the O(Q* · m log U) bound of
         Theorem 3.5.
+
+        ``first_range`` restricts the *first* eliminated variable to
+        values in ``[a, b)``.  Because LTJ emits the first variable in
+        increasing order, running disjoint ranges produces disjoint
+        solution sets whose ascending-``a`` concatenation equals the
+        unrestricted enumeration — the contract the range-partitioned
+        parallel driver builds on.  Requires at least one shared
+        variable (callers pass ``var_order`` to pin which one).
         """
         self._stats = stats if stats is not None else None
         if stats is not None:
@@ -148,7 +157,12 @@ class LeapfrogTrieJoin:
             if mine:
                 lonely_by_iter.append((it, mine))
 
-        yield from self._search(order, 0, by_var, lonely_by_iter, {}, deadline)
+        if first_range is not None and not order:
+            raise ValueError("first_range requires a shared join variable")
+
+        yield from self._search(
+            order, 0, by_var, lonely_by_iter, {}, deadline, first_range
+        )
 
     def plan(self, bgp: BasicGraphPattern) -> dict:
         """Describe how the engine would evaluate ``bgp`` (no execution).
@@ -170,24 +184,52 @@ class LeapfrogTrieJoin:
         )
         shared = [v for v in by_var if v not in lonely]
         order = self._variable_order(shared, by_var)
+        scores, _cmin = self._variable_scores(shared, by_var)
         return {
             "variable_order": order,
             "lonely_variables": sorted(lonely, key=lambda v: v.name),
             "pattern_cardinalities": cardinalities,
+            "variable_scores": {v.name: scores[v] for v in shared},
             "uses_lonely_optimisation": self._use_lonely,
             "uses_cardinality_ordering": self._use_ordering,
         }
 
     # -- §4.3 variable ordering -------------------------------------------------
 
+    def _variable_scores(
+        self, shared: Sequence[Var], by_var: dict[Var, list[PatternIterator]]
+    ) -> tuple[dict[Var, int], dict[Var, float]]:
+        """Cardinality statistics that drive the greedy elimination order.
+
+        For each shared variable: ``score`` — the minimum over its
+        patterns of the *distinct admissible values* estimate (a cheap
+        wavelet-matrix range count, :meth:`RingIterator.distinct_estimate`;
+        falls back to the pattern's triple count for iterators without
+        the estimator) — and the paper's ``cmin`` selectivity used as a
+        tie-breaker.  The distinct count is the variable's actual
+        branching factor at the root of the search tree, which ``cmin``
+        only proxies: a pattern with a huge range but few distinct
+        subjects is cheap to eliminate on the subject.
+        """
+        cmin = {
+            v: min(it.count() for it in by_var[v]) / self._n for v in shared
+        }
+        scores: dict[Var, int] = {}
+        for v in shared:
+            best: Optional[int] = None
+            for it in by_var[v]:
+                estimator = getattr(it, "distinct_estimate", None)
+                value = estimator(v) if estimator is not None else it.count()
+                best = value if best is None else min(best, value)
+            scores[v] = best if best is not None else 0
+        return scores, cmin
+
     def _variable_order(
         self, shared: Sequence[Var], by_var: dict[Var, list[PatternIterator]]
     ) -> list[Var]:
         if not self._use_ordering:
             return list(shared)
-        cmin = {
-            v: min(it.count() for it in by_var[v]) / self._n for v in shared
-        }
+        scores, cmin = self._variable_scores(shared, by_var)
         remaining = list(shared)
         order: list[Var] = []
         chosen_iters: set[int] = set()
@@ -198,7 +240,7 @@ class LeapfrogTrieJoin:
                 if any(id(it) in chosen_iters for it in by_var[v])
             ]
             pool = connected if connected else remaining
-            best = min(pool, key=lambda v: (cmin[v], v.name))
+            best = min(pool, key=lambda v: (scores[v], cmin[v], v.name))
             order.append(best)
             remaining.remove(best)
             for it in by_var[best]:
@@ -215,12 +257,58 @@ class LeapfrogTrieJoin:
         lonely_by_iter: Sequence[tuple[PatternIterator, list[Var]]],
         binding: dict[Var, int],
         deadline: ResourceBudget,
+        first_range: Optional[tuple[int, int]] = None,
     ) -> Iterator[dict[Var, int]]:
         if depth == len(order):
             yield from self._emit_lonely(lonely_by_iter, 0, binding, deadline)
             return
         var = order[depth]
         iters = by_var[var]
+        if first_range is not None:
+            # Slice mode (parallel driver): enumerate only values in
+            # [a, b).  The seek path lands on the first admissible value
+            # >= a with one leap instead of sweeping from 0, so a K-way
+            # partition costs K extra leaps total, not K extra scans.
+            a, b = first_range
+            if self._use_batch and len(iters) == 1:
+                # Same single-iterator batch sweep as below, clipped to
+                # the slice: one distinct_in_range DFS serves the whole
+                # ordered enumeration, and values outside [a, b) are
+                # skipped/stopped without paying a wavelet descent each.
+                it = iters[0]
+                for value in it.values(var):
+                    if value >= b:
+                        break
+                    deadline.tick()
+                    if value < a:
+                        continue
+                    if self._stats is not None:
+                        self._stats["leaps"] += 1
+                        self._stats["binds"] += 1
+                    it.bind(var, value)
+                    binding[var] = value
+                    yield from self._search(
+                        order, depth + 1, by_var, lonely_by_iter, binding,
+                        deadline,
+                    )
+                    del binding[var]
+                    it.unbind(var)
+                return
+            value = self._seek(iters, var, a, deadline)
+            while value is not None and value < b:
+                if self._stats is not None:
+                    self._stats["binds"] += 1
+                for it in iters:
+                    it.bind(var, value)
+                binding[var] = value
+                yield from self._search(
+                    order, depth + 1, by_var, lonely_by_iter, binding, deadline
+                )
+                del binding[var]
+                for it in iters:
+                    it.unbind(var)
+                value = self._seek(iters, var, value + 1, deadline)
+            return
         if self._use_batch and len(iters) == 1:
             # Batch sweep: with one iterator the seek sequence seek(0),
             # seek(v+1), … is exactly the iterator's ordered value

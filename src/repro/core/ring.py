@@ -76,13 +76,21 @@ class Ring:
     ) -> None:
         triples = graph.triples
         self._n = len(triples)
-        # LRU memo for backward leaps, keyed (zone, lo, hi, c).  The ring
-        # is immutable, so memoisation is unconditionally sound; repeated
-        # seeks inside one query (leapfrog revisits the same ranges as it
-        # cycles through the iterators) hit instead of re-descending the
-        # wavelet matrix.  ``leap_memo_size=0`` disables it.
-        self._leap_memo: OrderedDict[tuple[int, int, int, int], Optional[int]]
+        # LRU memo for backward leaps, keyed (generation, zone, lo, hi, c).
+        # The ring is immutable, so memoisation is sound for any one
+        # generation; repeated seeks inside one query (leapfrog revisits
+        # the same ranges as it cycles through the iterators) hit instead
+        # of re-descending the wavelet matrix.  The generation counter
+        # scopes the cache: owners that swap or mutate the backing state
+        # (the dynamic ring's compaction, a re-attached shared-memory
+        # segment) call :meth:`invalidate_leap_memo`, after which no key
+        # of an earlier generation can ever be served again.
+        # ``leap_memo_size=0`` disables memoisation.
+        self._leap_memo: OrderedDict[
+            tuple[int, int, int, int, int], Optional[int]
+        ]
         self._leap_memo = OrderedDict()
+        self._leap_generation = 0
         self._leap_memo_size = leap_memo_size
         self._leap_memo_hits = 0
         self._leap_memo_misses = 0
@@ -218,7 +226,7 @@ class Ring:
         if self._leap_memo_size <= 0:
             return self._seq[zone].next_in_range(lo, hi, c)
         memo = self._leap_memo
-        key = (zone, lo, hi, c)
+        key = (self._leap_generation, zone, lo, hi, c)
         value = memo.get(key, _MEMO_MISS)
         if value is not _MEMO_MISS:
             memo.move_to_end(key)
@@ -240,6 +248,7 @@ class Ring:
             "misses": self._leap_memo_misses,
             "entries": len(self._leap_memo),
             "capacity": self._leap_memo_size,
+            "generation": self._leap_generation,
         }
 
     def clear_leap_memo(self) -> None:
@@ -247,6 +256,23 @@ class Ring:
         self._leap_memo.clear()
         self._leap_memo_hits = 0
         self._leap_memo_misses = 0
+
+    @property
+    def leap_generation(self) -> int:
+        """Generation scoping the leap memo (see :meth:`backward_leap`)."""
+        return self._leap_generation
+
+    def invalidate_leap_memo(self) -> None:
+        """Retire every memoised leap by bumping the generation.
+
+        Called by owners whose mutation paths could otherwise leave the
+        memo answering for a state the index no longer has (the dynamic
+        ring's update/compaction paths, shared-memory re-attachment).
+        Entries of older generations become unreachable immediately —
+        the memo is also cleared so they don't occupy LRU capacity.
+        """
+        self._leap_generation += 1
+        self._leap_memo.clear()
 
     def forward_leap(self, attr: int, d: int, c: int) -> Optional[int]:
         """Smallest value ``>= c`` of ``next_attr(attr)`` among triples

@@ -146,6 +146,14 @@ class BaseQuerySystem:
             )
         out = QueryResult()
         out.budget = budget
+        if project is None:
+            # Without projection dedup every raw row is admitted, so the
+            # consumption loop below pulls at most this many rows — a
+            # bound parallel drivers use to cap per-slice enumeration.
+            demands = [x for x in (limit, budget.max_solutions) if x is not None]
+            budget.row_demand = min(demands) if demands else None
+        else:
+            budget.row_demand = None  # dedup may skip arbitrarily many rows
         seen: set[frozenset] = set()
         try:
             for solution in self._solutions(encoded, budget, **options):

@@ -1,0 +1,42 @@
+"""Shared-memory parallel query execution.
+
+The ring is a frozen read-only structure (three wavelet matrices plus
+three cumulative-count arrays), so a pool of worker *processes* can map
+one copy of it and run disjoint pieces of the same LTJ search — the
+parallelisation the paper's single-index-order design invites.
+
+- :mod:`repro.parallel.shm` — export the ring's numpy backing arrays
+  into one ``multiprocessing.shared_memory`` segment; zero-copy
+  re-attach on the worker side.
+- :mod:`repro.parallel.slices` — split the first join variable's value
+  domain into balanced, boundary-snapped ``[a, b)`` slices.
+- :mod:`repro.parallel.pool` — the worker pool: per-worker task queues,
+  budget propagation, shared cancellation, dead-worker degradation.
+- :mod:`repro.parallel.system` — :class:`ParallelRingIndex`, the
+  drop-in :class:`~repro.core.system.RingIndex` that fans each query
+  out over the pool and merges slice results deterministically.
+"""
+
+from repro.parallel.shm import (
+    RingHandle,
+    SharedRing,
+    ShmExportError,
+    attach_ring,
+    export_ring,
+)
+from repro.parallel.slices import SlicePlan, plan_slices
+from repro.parallel.pool import WorkerPool, merge_blocks
+from repro.parallel.system import ParallelRingIndex
+
+__all__ = [
+    "ParallelRingIndex",
+    "RingHandle",
+    "SharedRing",
+    "ShmExportError",
+    "SlicePlan",
+    "WorkerPool",
+    "attach_ring",
+    "export_ring",
+    "merge_blocks",
+    "plan_slices",
+]

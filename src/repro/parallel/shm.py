@@ -1,0 +1,277 @@
+"""Zero-copy ring sharing via ``multiprocessing.shared_memory``.
+
+A frozen :class:`~repro.core.ring.Ring` bottoms out in a handful of
+numpy arrays: per wavelet-matrix level a plain bitvector (``_words``
+uint64 payload, ``_super`` uint64 superblock counters, ``_rel`` uint16
+in-superblock counters) and per attribute one int64 cumulative-count
+array.  :func:`export_ring` copies those arrays once into a single
+shared-memory segment (64-byte aligned, so every view is at its natural
+alignment) and records their offsets in a small picklable
+:class:`RingHandle`; :func:`attach_ring` rebuilds a fully functional
+``Ring`` in another process whose arrays are *views into the segment* —
+no pickling of index data, no per-worker copy, RSS grows by pages
+touched, not by index size.
+
+Only the plain-bitvector, plain-counts ring is exportable: RRR
+bitvectors and Elias–Fano counts keep Python-object state that a flat
+segment cannot carry; exporting one raises :class:`ShmExportError`
+(callers fall back to serial execution).
+
+Lifetime: the exporting process owns the segment and unlinks it in
+:meth:`SharedRing.close`.  Attached processes only close their mapping;
+they also *unregister* the segment from their ``resource_tracker`` —
+without that, the tracker of the first worker to exit would unlink the
+segment while the parent (and sibling workers) still use it (Python
+3.11 has no ``track=False``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+from typing import Optional
+
+import numpy as np
+
+from repro.bits.bitvector import BitVector
+from repro.core.counts import PackedCounts
+from repro.core.ring import Ring
+from repro.graph.model import O, P, S
+from repro.sequences.wavelet_matrix import WaveletMatrix
+
+_ALIGN = 64
+
+#: ``path -> (offset, dtype, length)``; paths are ``wm{zone}.l{lvl}.words``
+#: / ``.super`` / ``.rel`` and ``c{attr}``.
+ArrayTable = dict[str, tuple[int, str, int]]
+
+
+class ShmExportError(ValueError):
+    """The ring's layout cannot be exported to a flat shared segment."""
+
+
+@dataclass(frozen=True)
+class RingHandle:
+    """Everything a worker needs to re-attach the ring (picklable)."""
+
+    name: str  #: shared-memory segment name
+    size: int  #: segment size in bytes
+    meta: dict = field(repr=False)  #: ring scalars (n, sigma, wm shapes…)
+    arrays: ArrayTable = field(repr=False)
+
+
+class SharedRing:
+    """Owner-side wrapper: the segment plus its :class:`RingHandle`.
+
+    The exporting process keeps this alive for as long as any worker may
+    attach; :meth:`close` unmaps and unlinks the segment.  Usable as a
+    context manager.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, handle: RingHandle) -> None:
+        self._shm: Optional[shared_memory.SharedMemory] = shm
+        self.handle = handle
+
+    @property
+    def size(self) -> int:
+        return self.handle.size
+
+    def close(self) -> None:
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+    def __enter__(self) -> "SharedRing":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def _collect_arrays(ring: Ring) -> tuple[dict, dict[str, np.ndarray]]:
+    """Walk the ring; return (meta scalars, path -> source array).
+
+    Raises :class:`ShmExportError` on any component whose state is not
+    a set of flat numpy arrays (RRR bitvectors, Elias–Fano counts).
+    """
+    if ring.compressed:
+        raise ShmExportError(
+            "compressed (C-Ring) bitvectors cannot be exported to shared "
+            "memory; build the parallel index over a plain ring"
+        )
+    arrays: dict[str, np.ndarray] = {}
+    wm_meta: dict[int, dict] = {}
+    for zone in (S, P, O):
+        wm = ring.zone_sequence(zone)
+        levels_meta = []
+        for level, bv in enumerate(wm._bits):
+            if type(bv) is not BitVector:
+                raise ShmExportError(
+                    f"zone {zone} level {level} uses {type(bv).__name__}; "
+                    "only plain BitVector levels are exportable"
+                )
+            prefix = f"wm{zone}.l{level}"
+            arrays[f"{prefix}.words"] = bv._words
+            arrays[f"{prefix}.super"] = bv._super
+            arrays[f"{prefix}.rel"] = bv._rel
+            levels_meta.append({"n": bv._n, "ones": bv._ones})
+        wm_meta[zone] = {
+            "n": wm._n,
+            "sigma": wm._sigma,
+            "levels": wm._levels,
+            "zeros": list(wm._zeros),
+            "level_meta": levels_meta,
+        }
+    for attr in (S, P, O):
+        counts = ring.counts(attr)
+        if type(counts) is not PackedCounts:
+            raise ShmExportError(
+                f"attribute {attr} uses {type(counts).__name__}; only "
+                "PackedCounts (plain cumulative arrays) are exportable"
+            )
+        arrays[f"c{attr}"] = counts.raw()
+    meta = {
+        "n": ring.n,
+        "sigma": tuple(ring.sigma(a) for a in (S, P, O)),
+        "leap_memo_size": ring._leap_memo_size,
+        "wm": wm_meta,
+    }
+    return meta, arrays
+
+
+def export_ring(ring: Ring, name: Optional[str] = None) -> SharedRing:
+    """Copy the ring's backing arrays into one shared segment.
+
+    One-time O(index size) copy in the exporting process; every
+    subsequent :func:`attach_ring` is zero-copy.
+    """
+    meta, sources = _collect_arrays(ring)
+    table: ArrayTable = {}
+    offset = 0
+    for path, arr in sources.items():
+        offset = (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+        table[path] = (offset, arr.dtype.str, int(arr.size))
+        offset += arr.nbytes
+    size = max(offset, 1)
+    shm = shared_memory.SharedMemory(create=True, size=size, name=name)
+    for path, arr in sources.items():
+        off, dtype, length = table[path]
+        view = np.ndarray((length,), dtype=np.dtype(dtype), buffer=shm.buf, offset=off)
+        view[:] = arr
+    handle = RingHandle(name=shm.name, size=size, meta=meta, arrays=table)
+    return SharedRing(shm, handle)
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Stop this process's resource tracker from unlinking the segment.
+
+    Attaching registers the segment with the local tracker; on worker
+    exit the tracker would *destroy* it even though the owner still uses
+    it.  Python 3.11 lacks ``SharedMemory(..., track=False)``, so we
+    unregister by hand (best-effort: tracker internals are private).
+    """
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals shifted
+        pass
+
+
+def _attach_bitvector(
+    shm: shared_memory.SharedMemory,
+    table: ArrayTable,
+    prefix: str,
+    level_meta: dict,
+) -> BitVector:
+    bv = BitVector.__new__(BitVector)
+    bv._n = int(level_meta["n"])
+    bv._ones = int(level_meta["ones"])
+    bv._words = _view(shm, table, f"{prefix}.words")
+    bv._super = _view(shm, table, f"{prefix}.super")
+    bv._rel = _view(shm, table, f"{prefix}.rel")
+    bv._word_prefix = None  # lazy, rebuilt per process on first use
+    return bv
+
+
+def _view(
+    shm: shared_memory.SharedMemory, table: ArrayTable, path: str
+) -> np.ndarray:
+    off, dtype, length = table[path]
+    arr = np.ndarray((length,), dtype=np.dtype(dtype), buffer=shm.buf, offset=off)
+    arr.flags.writeable = False
+    return arr
+
+
+def attach_ring(handle: RingHandle, untrack: bool = False) -> Ring:
+    """Rebuild a fully functional ring over the shared segment.
+
+    Every array of the result is a read-only view into the segment —
+    attaching allocates only Python object shells (a few KB).  The
+    returned ring keeps the mapping alive through a ``_shm`` attribute;
+    it is independent of the exporting ring (own leap memo, generation
+    0) and read-only by construction.
+
+    ``untrack=True`` removes the segment from this process's resource
+    tracker.  Pass it when the attaching process has its *own* tracker
+    (``spawn``/``forkserver`` workers) — otherwise that tracker would
+    unlink the segment when the worker exits.  Leave it False when the
+    tracker is shared with the exporting process (``fork`` workers, or
+    attaching within the exporter itself): the registration being
+    removed would then be the *owner's*, breaking its cleanup.
+    """
+    shm = shared_memory.SharedMemory(name=handle.name)
+    if untrack:
+        _untrack(shm)
+    meta, table = handle.meta, handle.arrays
+    seq = {}
+    for zone in (S, P, O):
+        wmm = meta["wm"][zone]
+        wm = WaveletMatrix.__new__(WaveletMatrix)
+        wm._n = int(wmm["n"])
+        wm._sigma = int(wmm["sigma"])
+        wm._levels = int(wmm["levels"])
+        wm._zeros = [int(z) for z in wmm["zeros"]]
+        wm._bits = [
+            _attach_bitvector(shm, table, f"wm{zone}.l{level}", lm)
+            for level, lm in enumerate(wmm["level_meta"])
+        ]
+        seq[zone] = wm
+    counts = {}
+    for attr in (S, P, O):
+        pc = PackedCounts.__new__(PackedCounts)
+        pc._c = _view(shm, table, f"c{attr}")
+        pc._n = int(pc._c[-1]) if len(pc._c) else 0
+        counts[attr] = pc
+    ring = Ring.__new__(Ring)
+    ring._n = int(meta["n"])
+    ring._sigma = tuple(int(s) for s in meta["sigma"])
+    ring._compressed = False
+    ring._seq = seq
+    ring._c = counts
+    ring._leap_memo = OrderedDict()
+    ring._leap_generation = 0
+    ring._leap_memo_size = int(meta["leap_memo_size"])
+    ring._leap_memo_hits = 0
+    ring._leap_memo_misses = 0
+    ring._shm = shm  # keeps the mapping alive for the ring's lifetime
+    return ring
+
+
+def detach_ring(ring: Ring) -> None:
+    """Close an attached ring's mapping (the owner still holds the
+    segment; this only unmaps the local view)."""
+    shm = getattr(ring, "_shm", None)
+    if shm is not None:
+        ring._shm = None
+        shm.close()

@@ -1,0 +1,165 @@
+"""Range partitioning of the first join variable (the slice planner).
+
+LTJ eliminates the first variable in increasing value order, so
+restricting it to ``[a, b)`` (``first_range`` in
+:meth:`~repro.core.ltj.LeapfrogTrieJoin.evaluate`) yields a *contiguous
+run* of the serial enumeration: disjoint ranges give disjoint solution
+sets whose ascending concatenation is exactly the serial output.  The
+planner's job is to pick K such ranges with balanced work.
+
+Boundary snapping: cuts are always placed on *distinct-value starts* of
+the guiding pattern — read off its cumulative-count array
+(``np.searchsorted`` on the C array when the variable is unbound) or
+off a ``distinct_in_range`` enumeration of its wavelet-matrix range —
+so no value's subtree straddles two slices and slice weights measure
+actual triples, not alphabet span.  When the guiding pattern offers no
+cheap histogram (a forward-leap position, or more distinct values than
+``MAX_ENUMERATED``) the planner falls back to equal-width value cuts,
+which are still correct (any partition of the value space is), just
+less balanced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.interface import PatternIterator
+from repro.core.iterators import RingIterator
+from repro.core.ring import prev_attr
+from repro.graph.model import BasicGraphPattern, Var
+
+#: Hard cap on distinct values materialised by the histogram probe; a
+#: first variable with more candidates than this is partitioned by
+#: equal-width value cuts instead (planning stays O(K + cap)).
+MAX_ENUMERATED = 1 << 16
+
+
+@dataclass(frozen=True)
+class SlicePlan:
+    """The partition handed to the pool: one task per slice."""
+
+    var: Optional[Var]  #: the sliced (first) variable; None = unsliceable
+    slices: list[tuple[int, int]] = field(default_factory=list)
+    weights: list[int] = field(default_factory=list)  #: estimated rows/slice
+
+    @property
+    def viable(self) -> bool:
+        """Whether fanning out is worth it (>= 2 non-empty slices)."""
+        return self.var is not None and len(self.slices) >= 2
+
+
+def _histogram(it: PatternIterator, var: Var) -> Optional[tuple[np.ndarray, np.ndarray]]:
+    """(values, counts) of ``var`` in ``it``, or None when not cheap.
+
+    Ring iterators answer from the C array (unbound) or the zone's
+    wavelet matrix (backward position); anything else — including
+    non-ring iterators — reports no histogram.
+    """
+    if not isinstance(it, RingIterator):
+        return None
+    positions = it._var_positions.get(var, ())
+    if len(positions) != 1:
+        return None
+    pos = positions[0]
+    ring = it._ring
+    state = it.zone_state()
+    if state is None:
+        c = ring.c_array(pos)
+        counts = np.diff(c)
+        values = np.nonzero(counts)[0]
+        return values.astype(np.int64), counts[values].astype(np.int64)
+    zone, lo, hi = state
+    if pos != prev_attr(zone):
+        return None
+    wm = ring.zone_sequence(zone)
+    if wm.distinct_estimate(lo, hi, max_nodes=MAX_ENUMERATED) > MAX_ENUMERATED:
+        return None
+    pairs = list(wm.distinct_in_range(lo, hi))
+    if not pairs:
+        return np.array([], dtype=np.int64), np.array([], dtype=np.int64)
+    values = np.array([v for v, _ in pairs], dtype=np.int64)
+    counts = np.array([c for _, c in pairs], dtype=np.int64)
+    return values, counts
+
+
+def _cut_weighted(
+    values: np.ndarray, counts: np.ndarray, ceiling: int, k: int
+) -> tuple[list[tuple[int, int]], list[int]]:
+    """Partition distinct values into <= k runs of roughly equal weight.
+
+    Cuts land exactly on value starts (the snapping invariant); each
+    slice's bounds are ``[values[cut_i], values[cut_{i+1}])`` with the
+    final bound at ``ceiling``, so the slices tile ``[first, ceiling)``.
+    """
+    total = int(counts.sum())
+    if total == 0 or len(values) == 0:
+        return [], []
+    prefix = np.cumsum(counts)
+    targets = np.arange(1, k) * (total / k)
+    cut_idx = np.searchsorted(prefix, targets, side="left") + 1
+    cut_idx = np.unique(np.clip(cut_idx, 1, len(values)))
+    starts = [int(values[0])]
+    for idx in cut_idx:
+        if idx < len(values):
+            starts.append(int(values[idx]))
+    bounds = starts + [int(ceiling)]
+    slices, weights = [], []
+    for a, b in zip(bounds, bounds[1:]):
+        if a >= b:
+            continue
+        mask = (values >= a) & (values < b)
+        w = int(counts[mask].sum())
+        if w > 0:
+            slices.append((a, b))
+            weights.append(w)
+    return slices, weights
+
+
+def _cut_equal_width(ceiling: int, k: int) -> tuple[list[tuple[int, int]], list[int]]:
+    if ceiling <= 0:
+        return [], []
+    k = min(k, ceiling)
+    bounds = [round(i * ceiling / k) for i in range(k + 1)]
+    slices = [(a, b) for a, b in zip(bounds, bounds[1:]) if a < b]
+    return slices, [b - a for a, b in slices]
+
+
+def plan_slices(
+    iterators: Sequence[PatternIterator],
+    bgp: BasicGraphPattern,
+    order: Sequence[Var],
+    num_slices: int,
+) -> SlicePlan:
+    """Plan the fan-out for ``bgp`` under elimination order ``order``.
+
+    ``iterators`` are fresh pattern iterators for the BGP (one per
+    pattern, positions aligned); the guiding pattern is the one with the
+    fewest matching triples among those containing the first variable —
+    the same statistic the §4.3 ordering minimises, so its histogram is
+    the tightest cheap bound on the first variable's branching.
+    """
+    if not order or num_slices < 2:
+        return SlicePlan(var=None)
+    v0 = order[0]
+    guides = [it for it in iterators if v0 in it.pattern.variables()]
+    if not guides:
+        return SlicePlan(var=None)
+    guide = min(guides, key=lambda it: it.count())
+    if not isinstance(guide, RingIterator):
+        return SlicePlan(var=None)
+    # The slices only need to cover values admissible in *one* pattern:
+    # any solution value must satisfy the guide too, so the guide's
+    # attribute universe bounds the domain.
+    ceiling = min(
+        guide._ring.sigma(p)
+        for p in guide.pattern.variable_positions(v0)
+    )
+    hist = _histogram(guide, v0)
+    if hist is not None:
+        slices, weights = _cut_weighted(hist[0], hist[1], ceiling, num_slices)
+    else:
+        slices, weights = _cut_equal_width(ceiling, num_slices)
+    return SlicePlan(var=v0, slices=slices, weights=weights)

@@ -1,0 +1,250 @@
+""":class:`ParallelRingIndex` — the pool-backed drop-in ring system.
+
+Construction builds the ordinary serial :class:`RingIndex`, exports its
+ring into shared memory once, and spawns the worker pool.  At query
+time the driver:
+
+1. computes the elimination order (the same cardinality-guided §4.3
+   order the serial engine would use — workers receive it explicitly so
+   every process runs the identical plan);
+2. asks the slice planner for a balanced, boundary-snapped partition of
+   the first variable's domain;
+3. fans the slices out over the pool, folding worker op counts and
+   engine stats back into the parent budget, and merges the blocks in
+   slice order — the output is byte-identical to the serial
+   enumeration, including the *prefix* semantics of ``partial=True``
+   under timeout/cancellation.
+
+Whenever fanning out is impossible or pointless — no shared join
+variable, fewer than two non-empty slices, an unexportable ring, a
+fully dead pool — the query silently runs on the inherited serial
+engine instead: parallelism is an optimisation, never a requirement.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.core.interface import (
+    PatternIterator,
+    QueryCancelled,
+    QueryTimeout,
+)
+from repro.core.system import RingIndex
+from repro.graph.dataset import Graph
+from repro.graph.model import BasicGraphPattern, Var
+from repro.parallel import pool as pool_mod
+from repro.parallel.pool import PoolUnavailable, WorkerPool
+from repro.parallel.shm import ShmExportError, export_ring
+from repro.parallel.slices import plan_slices
+from repro.reliability.budget import ResourceBudget
+
+
+class ParallelRingIndex(RingIndex):
+    """LTJ over the ring, range-partitioned across worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes to spawn (each attaches the shared ring
+        zero-copy).
+    num_slices:
+        Slices per query; defaults to ``2 * workers`` so the fastest
+        worker picks up slack from skewed slices.
+    start_method:
+        ``multiprocessing`` start method (default ``fork``, overridable
+        via ``REPRO_PARALLEL_START_METHOD``).
+
+    Only the plain (uncompressed, plain-counts) ring is shareable;
+    requesting a compressed one raises
+    :class:`~repro.parallel.shm.ShmExportError` at construction.
+    """
+
+    name = "ParallelRing"
+
+    def __init__(
+        self,
+        graph: Graph,
+        workers: int = 2,
+        num_slices: Optional[int] = None,
+        start_method: Optional[str] = None,
+        use_lonely: bool = True,
+        use_ordering: bool = True,
+        use_batch: bool = True,
+        leap_memo_size: int = 1 << 16,
+    ) -> None:
+        super().__init__(
+            graph,
+            compressed=False,
+            use_lonely=use_lonely,
+            use_ordering=use_ordering,
+            use_batch=use_batch,
+            leap_memo_size=leap_memo_size,
+        )
+        self._use_lonely = use_lonely
+        self._workers = max(1, int(workers))
+        self._num_slices = int(num_slices) if num_slices else 2 * self._workers
+        self._shared = export_ring(self._ring)
+        try:
+            self._pool: Optional[WorkerPool] = WorkerPool(
+                self._shared.handle,
+                workers=self._workers,
+                engine_opts={
+                    "use_lonely": use_lonely,
+                    "use_ordering": use_ordering,
+                    "use_batch": use_batch,
+                },
+                start_method=start_method,
+            )
+        except PoolUnavailable:
+            self._pool = None  # degraded: every query runs serially
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def pool(self) -> Optional[WorkerPool]:
+        return self._pool
+
+    def pool_stats(self) -> dict:
+        """Worker-pool telemetry (empty when degraded to serial)."""
+        return self._pool.stats() if self._pool is not None else {}
+
+    def close(self) -> None:
+        """Stop the workers and release the shared segment."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self._shared.close()
+
+    def __enter__(self) -> "ParallelRingIndex":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- the parallel driver -------------------------------------------------
+
+    def _solutions(
+        self,
+        bgp: BasicGraphPattern,
+        timeout,
+        var_order: Optional[Sequence[Var]] = None,
+        stats: Optional[dict] = None,
+    ) -> Iterable[dict[Var, int]]:
+        budget = ResourceBudget.coerce(timeout)
+        pool = self._pool
+        if pool is None or not pool.alive:
+            yield from self._engine.evaluate(
+                bgp, timeout=budget, var_order=var_order, stats=stats
+            )
+            return
+
+        # Replicate the engine's preamble so the parent, the planner and
+        # every worker agree on the same live iterators and order.
+        iters = [self.iterator(t) for t in bgp]
+        live: list[PatternIterator] = []
+        for it in iters:
+            if it.count() == 0:
+                return  # some pattern is unsatisfiable
+            if not it.pattern.is_fully_bound():
+                live.append(it)
+        by_var: dict[Var, list[PatternIterator]] = {}
+        for it in live:
+            for var in it.pattern.variables():
+                by_var.setdefault(var, []).append(it)
+        lonely = (
+            {v for v, its in by_var.items() if len(its) == 1}
+            if self._use_lonely
+            else set()
+        )
+        shared = [v for v in by_var if v not in lonely]
+        if var_order is not None:
+            order = [v for v in var_order if v in by_var and v not in lonely]
+            if set(order) != set(shared):
+                raise ValueError("var_order must cover every non-lonely variable")
+        else:
+            order = self._engine._variable_order(shared, by_var)
+
+        plan = plan_slices(live, bgp, order, self._num_slices) if order else None
+        if plan is None or not plan.viable:
+            yield from self._engine.evaluate(
+                bgp, timeout=budget, var_order=var_order, stats=stats
+            )
+            return
+
+        def serial_fallback(first_range):
+            # Dead-worker rescue: re-run the slice in this process,
+            # charging the parent budget directly (its ticks are already
+            # accounted, hence ops=0 in the returned block).
+            rows: list = []
+            slice_stats: dict = {}
+            status = "ok"
+            row_demand = getattr(budget, "row_demand", None)
+            if row_demand is not None:
+                # Same cap the pool hands its workers: the consumer never
+                # needs more than the remaining row allowance from any
+                # single slice, so a rescue may stop there too.
+                max_rows = max(row_demand - budget.solutions, 0)
+            else:
+                max_rows = None
+            try:
+                if max_rows is None or max_rows > 0:
+                    for solution in self._engine.evaluate(
+                        bgp,
+                        timeout=budget,
+                        var_order=order,
+                        stats=slice_stats,
+                        first_range=first_range,
+                    ):
+                        rows.append(solution)
+                        if max_rows is not None and len(rows) >= max_rows:
+                            break
+            except QueryTimeout:
+                status = "timeout"
+            except QueryCancelled:
+                status = "cancelled"
+            except Exception as exc:
+                status = "error"
+                slice_stats["error"] = f"{type(exc).__name__}: {exc}"
+            return (status, rows, slice_stats, 0)
+
+        try:
+            blocks = pool.run_slices(
+                bgp, order, plan.slices, budget, serial_fallback
+            )
+        except PoolUnavailable:
+            yield from self._engine.evaluate(
+                bgp, timeout=budget, var_order=var_order, stats=stats
+            )
+            return
+
+        # Called through the module so the ``parallel.slice_merge``
+        # chaos site (which patches the module attribute) intercepts it.
+        rows, bad, merged_stats, worker_ops = pool_mod.merge_blocks(blocks)
+        budget.ops += worker_ops  # fold the fan-out into the governor
+        if stats is not None:
+            for key, value in merged_stats.items():
+                if isinstance(value, (int, float)):
+                    stats[key] = stats.get(key, 0) + value
+            stats["slices"] = len(plan.slices)
+        yield from rows
+        if bad == "error":
+            raise RuntimeError(
+                "parallel worker failed: "
+                + str(merged_stats.get("error", "unknown error"))
+            )
+        if bad is not None:
+            # Prefer the parent's own verdict (it distinguishes a true
+            # deadline from an external cancellation); fall back to the
+            # slice's status when the parent governor is still fine
+            # (e.g. a per-slice op sub-budget fired first).
+            budget.check()
+            if bad == "cancelled":
+                raise QueryCancelled("query cancelled during parallel execution")
+            raise QueryTimeout("resource budget exhausted during parallel execution")

@@ -1,0 +1,188 @@
+"""End-to-end parallel-vs-serial LTJ benchmark (``BENCH_parallel.json``).
+
+Times the WGPB-style quick workload on the serial :class:`RingIndex`
+and on :class:`~repro.parallel.ParallelRingIndex` at one or more worker
+counts, asserting along the way that every parallel answer is the
+*byte-identical ordered* serial answer — a speedup over wrong rows is
+worthless.  ``full_report`` bundles the measurements with the host's
+CPU count (speedups on a 1-core container are expected to be < 1 and
+the artifact records that honestly) into one JSON-serialisable payload:
+
+- ``python -m repro bench --parallel`` — interactive table + JSON;
+- ``benchmarks/bench_parallel.py`` — the pytest (marker ``perf``) gate:
+  identity always, the >= 2x speedup floor only on hosts with >= 4
+  cores;
+- the CI quick-mode smoke (2 workers, small graph).
+
+Same schema philosophy as :mod:`repro.perf.kernelbench`: the emitter
+lives in the library so every ``BENCH_parallel.json`` in the repo
+history is comparable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.bench.wgpb import generate_wgpb_queries
+from repro.core import RingIndex
+from repro.graph.generators import wikidata_like
+from repro.parallel import ParallelRingIndex
+
+#: Bump when the JSON layout changes, so trajectory tooling can dispatch.
+SCHEMA_VERSION = 1
+
+
+def _rows_key(result) -> list:
+    """An order-preserving, comparable encoding of a query result."""
+    return [tuple(sorted((v.name, c) for v, c in mu.items())) for mu in result]
+
+
+def _run_workload(index, queries, limit, timeout) -> tuple[float, list, int]:
+    """Evaluate every query; returns (total seconds, per-query keys, rows)."""
+    total = 0.0
+    keys = []
+    rows = 0
+    for bgp in queries:
+        start = time.perf_counter()
+        result = index.evaluate(bgp, limit=limit, timeout=timeout)
+        total += time.perf_counter() - start
+        key = _rows_key(result)
+        keys.append(key)
+        rows += len(key)
+    return total, keys, rows
+
+
+def bench_parallel(
+    n: int = 4000,
+    workers: Sequence[int] = (2, 4),
+    queries_per_shape: int = 2,
+    limit: int = 2000,
+    timeout: float = 30.0,
+    seed: int = 0,
+    num_slices: Optional[int] = None,
+) -> dict:
+    """Serial vs pool-backed LTJ over the WGPB quick workload.
+
+    One graph, one query set, evaluated once serially (the reference
+    both for time *and* for row-level identity) and once per entry of
+    ``workers``.  Each parallel row reports its speedup, whether every
+    answer matched the serial one exactly (ordered), and the pool's
+    own telemetry (dispatch/rescue counters, per-worker busy seconds).
+    """
+    graph = wikidata_like(n, seed=seed)
+    by_shape = generate_wgpb_queries(
+        graph, queries_per_shape=queries_per_shape, seed=seed
+    )
+    queries = [bgp for instances in by_shape.values() for bgp in instances]
+
+    serial = RingIndex(graph)
+    serial_s, serial_keys, serial_rows = _run_workload(
+        serial, queries, limit, timeout
+    )
+
+    parallel_rows = []
+    for w in workers:
+        index = ParallelRingIndex(
+            graph, workers=w, num_slices=num_slices
+        )
+        try:
+            par_s, par_keys, par_rows = _run_workload(
+                index, queries, limit, timeout
+            )
+            pool_stats = index.pool_stats()
+        finally:
+            index.close()
+        parallel_rows.append(
+            {
+                "workers": w,
+                "num_slices": num_slices if num_slices else 2 * w,
+                "total_seconds": par_s,
+                "rows": par_rows,
+                "speedup": serial_s / par_s if par_s > 0 else float("inf"),
+                "identical": par_keys == serial_keys,
+                "pool": pool_stats,
+            }
+        )
+    return {
+        "graph_triples": graph.n_triples,
+        "n_queries": len(queries),
+        "queries_per_shape": queries_per_shape,
+        "limit": limit,
+        "serial": {"total_seconds": serial_s, "rows": serial_rows},
+        "parallel": parallel_rows,
+    }
+
+
+def full_report(
+    quick: bool = False,
+    seed: int = 0,
+    n: Optional[int] = None,
+    queries_per_shape: Optional[int] = None,
+    workers: Optional[Sequence[int]] = None,
+) -> dict:
+    """The complete ``BENCH_parallel.json`` payload."""
+    if quick:
+        n = n or 1500
+        queries_per_shape = queries_per_shape or 1
+        workers = workers or (2,)
+    else:
+        n = n or 4000
+        queries_per_shape = queries_per_shape or 2
+        workers = workers or (2, 4)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "cpus": os.cpu_count(),
+        "config": {
+            "quick": quick,
+            "n": n,
+            "queries_per_shape": queries_per_shape,
+            "workers": list(workers),
+            "seed": seed,
+        },
+        "parallel_ltj": bench_parallel(
+            n=n, workers=workers, queries_per_shape=queries_per_shape,
+            seed=seed,
+        ),
+    }
+
+
+def write_report(report: dict, path: str) -> None:
+    """Write the payload as indented JSON (newline-terminated)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+
+def format_report(report: dict) -> str:
+    """Human-readable table of a :func:`full_report` payload."""
+    bench = report["parallel_ltj"]
+    lines = [
+        f"Parallel LTJ ({bench['graph_triples']} triples, "
+        f"{bench['n_queries']} WGPB queries, limit {bench['limit']}, "
+        f"{report['cpus']} CPU(s)):",
+        f"  serial        : {1000 * bench['serial']['total_seconds']:>8.1f}ms "
+        f"({bench['serial']['rows']} rows)",
+    ]
+    for row in bench["parallel"]:
+        verdict = "identical" if row["identical"] else "MISMATCH"
+        lines.append(
+            f"  {row['workers']} workers     : "
+            f"{1000 * row['total_seconds']:>8.1f}ms "
+            f"({row['rows']} rows, {row['speedup']:.2f}x, {verdict}, "
+            f"{row['num_slices']} slices)"
+        )
+    if report["cpus"] and report["cpus"] < 4:
+        lines.append(
+            "  note: fewer than 4 CPUs — speedups on this host are "
+            "bounded by cores, not by the implementation"
+        )
+    return "\n".join(lines)

@@ -116,6 +116,9 @@ class QueryBroker:
             "cancelled_by_watchdog": 0,
             "maintenance_runs": 0,
         }
+        # Wall-clock seconds each worker thread spent inside evaluate()
+        # (indexed like the ``broker-worker-{i}`` thread names).
+        self._busy_seconds = [0.0] * workers
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -126,7 +129,10 @@ class QueryBroker:
         self._stop.clear()
         for i in range(self._workers_n):
             t = threading.Thread(
-                target=self._worker_loop, name=f"broker-worker-{i}", daemon=True
+                target=self._worker_loop,
+                args=(i,),
+                name=f"broker-worker-{i}",
+                daemon=True,
             )
             t.start()
             self._threads.append(t)
@@ -225,16 +231,33 @@ class QueryBroker:
     # -- introspection -------------------------------------------------------
 
     def stats(self) -> dict:
+        """Serving telemetry, consistent across thread and pool modes.
+
+        Always present: the lifecycle counters, ``queued`` (current
+        queue occupancy), ``queue_depth`` (its bound), ``in_flight``,
+        ``workers`` and per-thread ``busy_seconds``.  When the index is
+        pool-backed (a :class:`~repro.parallel.ParallelRingIndex` or
+        anything exposing ``pool_stats()``), the process-pool telemetry
+        — worker liveness, dispatch/rescue/respawn counters, per-process
+        busy seconds — is nested under ``"pool"`` so one ``stats()``
+        call describes the whole execution stack.
+        """
         with self._stats_lock:
             out = dict(self._stats)
+            out["busy_seconds"] = list(self._busy_seconds)
         out["queued"] = self._queue.qsize()
+        out["queue_depth"] = self._queue.maxsize
+        out["workers"] = self._workers_n
         with self._inflight_lock:
             out["in_flight"] = len(self._inflight)
+        pool_stats = getattr(self._index, "pool_stats", None)
+        if callable(pool_stats):
+            out["pool"] = pool_stats()
         return out
 
     # -- threads -------------------------------------------------------------
 
-    def _worker_loop(self) -> None:
+    def _worker_loop(self, worker_id: int) -> None:
         while not self._stop.is_set():
             try:
                 job = self._queue.get(timeout=0.05)
@@ -244,6 +267,7 @@ class QueryBroker:
                 continue
             with self._inflight_lock:
                 self._inflight.add(job)
+            started = time.monotonic()
             try:
                 result = self._index.evaluate(
                     job.query, budget=job.budget, **job.options
@@ -257,6 +281,9 @@ class QueryBroker:
                     self._stats["completed"] += 1
                 job.future.set_result(result)
             finally:
+                elapsed = time.monotonic() - started
+                with self._stats_lock:
+                    self._busy_seconds[worker_id] += elapsed
                 with self._inflight_lock:
                     self._inflight.discard(job)
 

@@ -93,6 +93,7 @@ class ResourceBudget:
         "tick_mask",
         "ops",
         "solutions",
+        "row_demand",
     )
 
     def __init__(
@@ -114,6 +115,12 @@ class ResourceBudget:
         self.tick_mask = tick_mask
         self.ops = 0
         self.solutions = 0
+        # Upper bound on *raw* rows the consumer will ever pull from the
+        # solution stream, or None when unbounded/unknown.  Set by the
+        # serving layer only when raw rows equal admitted rows (no
+        # projection dedup in between), so parallel drivers may cap each
+        # slice block at the remaining demand without losing rows.
+        self.row_demand: Optional[int] = None
 
     # -- construction helpers ------------------------------------------------
 

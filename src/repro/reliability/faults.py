@@ -81,6 +81,11 @@ LAZY_SITES: dict[str, tuple[str, Optional[str], str]] = {
     "wal.append": ("repro.reliability.wal", "WriteAheadLog", "append"),
     "wal.fsync": ("repro.reliability.wal", None, "_fsync"),
     "checkpoint.write": ("repro.reliability.wal", None, "write_checkpoint"),
+    # Parallel execution layer: failing spawns exercise pool-unavailable
+    # degradation (queries fall back to serial), failing merges must
+    # surface as typed errors, never truncated-but-ok answers.
+    "parallel.spawn": ("repro.parallel.pool", None, "_spawn_worker"),
+    "parallel.slice_merge": ("repro.parallel.pool", None, "merge_blocks"),
 }
 
 

@@ -298,6 +298,48 @@ class WaveletMatrix:
         """Number of distinct symbols in ``[lo, hi)``."""
         return sum(1 for _ in self.distinct_in_range(lo, hi))
 
+    def distinct_estimate(self, lo: int, hi: int, max_nodes: int = 64) -> int:
+        """Cheap lower bound on the distinct symbols in ``[lo, hi)``.
+
+        Descends level by level keeping the whole frontier of non-empty
+        nodes in numpy arrays (one batched rank per level — the same
+        machinery as :meth:`count_many`), and stops as soon as the
+        frontier exceeds ``max_nodes``.  The frontier size at any level
+        is a lower bound on the number of distinct symbols below it, and
+        the bound is *exact* whenever the walk reaches the bottom — so
+        small ranges get an exact distinct count while large ones cost
+        O(``max_nodes`` · levels) regardless of the range size.
+
+        This is the statistic behind the cardinality-guided variable
+        ordering: the branching factor a variable would contribute to
+        the LTJ search tree, without enumerating any values.
+        """
+        lo = max(lo, 0)
+        hi = min(hi, self._n)
+        if lo >= hi:
+            return 0
+        los = np.array([lo], dtype=np.int64)
+        his = np.array([hi], dtype=np.int64)
+        prefixes = np.array([0], dtype=np.int64)
+        for level in range(self._levels):
+            bv = self._bits[level]
+            bounds = np.concatenate([los, his])
+            ones = bv.rank1_many(bounds)
+            lo1, hi1 = ones[: los.size], ones[los.size:]
+            lo0, hi0 = los - lo1, his - hi1
+            z = self._zeros[level]
+            child_lo = np.concatenate([lo0, z + lo1])
+            child_hi = np.concatenate([hi0, z + hi1])
+            child_prefix = np.concatenate(
+                [prefixes << 1, (prefixes << 1) | 1]
+            )
+            live = child_lo < child_hi
+            los, his = child_lo[live], child_hi[live]
+            prefixes = child_prefix[live]
+            if los.size > max_nodes:
+                return int(los.size)
+        return int(np.count_nonzero(prefixes < self._sigma))
+
     def min_in_range(self, lo: int, hi: int) -> Optional[int]:
         """Smallest symbol in ``[lo, hi)``."""
         return self.next_in_range(lo, hi, 0)

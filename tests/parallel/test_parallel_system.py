@@ -1,0 +1,214 @@
+"""The pool-backed index: identity, budgets, rescue, degradation.
+
+``ParallelRingIndex`` promises the *ordered* serial answer — not just
+the same set — under every outcome the serial engine can have: clean
+completion, op-budget exhaustion, wall-clock timeout, external
+cancellation (all with correct ``partial=True`` prefixes), a worker
+SIGKILLed mid-query, and a pool that never came up at all.
+"""
+
+import os
+
+import pytest
+
+from repro.core import QueryTimeout, RingIndex
+from repro.core.interface import QueryCancelled, QueryExecutionError
+from repro.graph import BasicGraphPattern, TriplePattern, Var
+from repro.graph.generators import random_graph
+from repro.parallel import ParallelRingIndex
+from repro.reliability.budget import CancellationToken, ResourceBudget
+from repro.reliability.faults import Fault, InjectedFault, inject_faults
+
+X, Y, Z = Var("x"), Var("y"), Var("z")
+
+PATH = BasicGraphPattern([TriplePattern(X, 0, Y), TriplePattern(Y, 1, Z)])
+TRIANGLE = BasicGraphPattern(
+    [TriplePattern(X, 0, Y), TriplePattern(Y, 0, Z), TriplePattern(Z, 0, X)]
+)
+STAR = BasicGraphPattern([TriplePattern(X, 0, Y), TriplePattern(X, 1, Z)])
+LONELY_ONLY = BasicGraphPattern([TriplePattern(X, 0, Y)])
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_graph(2000, n_nodes=50, n_predicates=3, seed=7)
+
+
+@pytest.fixture(scope="module")
+def serial(graph):
+    return RingIndex(graph)
+
+
+@pytest.fixture(scope="module")
+def parallel(graph):
+    index = ParallelRingIndex(graph, workers=2, num_slices=4)
+    yield index
+    index.close()
+
+
+@pytest.mark.parametrize(
+    "bgp", [PATH, TRIANGLE, STAR, LONELY_ONLY],
+    ids=["path", "triangle", "star", "lonely-only"],
+)
+def test_ordered_identity_with_serial(serial, parallel, bgp):
+    """Byte-identical *ordered* rows, not merely the same multiset."""
+    assert list(parallel.evaluate(bgp)) == list(serial.evaluate(bgp))
+
+
+def test_lonely_only_query_bypasses_the_pool(parallel):
+    before = parallel.pool_stats()["queries"]
+    parallel.evaluate(LONELY_ONLY)
+    assert parallel.pool_stats()["queries"] == before, (
+        "a no-shared-variable query should run serially, not fan out"
+    )
+
+
+def test_fanout_actually_happens(parallel):
+    before = parallel.pool_stats()["dispatched"]
+    parallel.evaluate(PATH)
+    assert parallel.pool_stats()["dispatched"] >= before + 2
+
+
+def test_op_budget_exhaustion_is_a_timeout(parallel):
+    with pytest.raises(QueryTimeout):
+        parallel.evaluate(PATH, budget=ResourceBudget(max_ops=40, tick_mask=0))
+
+
+def test_op_budget_partial_prefix(serial, parallel):
+    reference = list(serial.evaluate(PATH))
+    result = parallel.evaluate(
+        PATH, budget=ResourceBudget(max_ops=3000, tick_mask=0), partial=True
+    )
+    assert result.truncated
+    assert result.interrupted_by == "timeout"
+    assert list(result) == reference[: len(result)]
+    assert len(result) < len(reference)
+
+
+def test_zero_timeout_fires(parallel):
+    with pytest.raises(QueryTimeout):
+        parallel.evaluate(PATH, timeout=0.0)
+
+
+def test_precancelled_token_is_cancellation(parallel):
+    token = CancellationToken()
+    token.cancel()
+    with pytest.raises(QueryCancelled):
+        parallel.evaluate(PATH, budget=ResourceBudget(token=token))
+    result = parallel.evaluate(
+        PATH, budget=ResourceBudget(token=token), partial=True
+    )
+    assert result.truncated
+    assert result.interrupted_by == "cancelled"
+
+
+def test_worker_ops_fold_into_parent_budget(parallel):
+    budget = ResourceBudget(tick_mask=0)
+    parallel.evaluate(PATH, budget=budget)
+    assert budget.ops > 0, "worker op counts must reach the parent governor"
+
+
+def test_var_order_must_cover_shared_variables(parallel):
+    with pytest.raises(ValueError):
+        parallel.evaluate(PATH, var_order=[X])
+
+
+def test_explicit_var_order_matches_serial(serial, parallel):
+    order = [Y, X, Z]
+    assert list(parallel.evaluate(PATH, var_order=order)) == list(
+        serial.evaluate(PATH, var_order=order)
+    )
+
+
+def test_stats_report_slices(parallel):
+    stats: dict = {}
+    parallel.evaluate(PATH, stats=stats)
+    assert stats.get("slices", 0) >= 2
+
+
+def test_killed_worker_is_rescued_exactly(graph, serial):
+    index = ParallelRingIndex(graph, workers=2, num_slices=4)
+    try:
+        reference = list(serial.evaluate(TRIANGLE))
+        index.pool._kill_after_dispatch = 0
+        assert list(index.evaluate(TRIANGLE)) == reference
+        stats = index.pool_stats()
+        assert stats["serial_rescues"] >= 1
+        assert stats["respawns"] >= 1
+        # The healed pool keeps serving exactly.
+        assert list(index.evaluate(TRIANGLE)) == reference
+        assert index.pool.alive_workers == 2
+    finally:
+        index.close()
+
+
+def test_spawn_fault_degrades_to_serial(graph, serial):
+    with inject_faults(
+        Fault("parallel.spawn", probability=1.0, error=InjectedFault)
+    ):
+        index = ParallelRingIndex(graph, workers=2)
+    try:
+        assert index.pool is None
+        assert index.pool_stats() == {}
+        assert list(index.evaluate(PATH)) == list(serial.evaluate(PATH))
+    finally:
+        index.close()
+
+
+def test_merge_fault_is_a_typed_error(graph):
+    index = ParallelRingIndex(graph, workers=2, num_slices=4)
+    try:
+        with inject_faults(
+            Fault("parallel.slice_merge", probability=1.0, error=InjectedFault)
+        ):
+            with pytest.raises(QueryExecutionError):
+                index.evaluate(PATH)
+    finally:
+        index.close()
+
+
+def test_pool_stats_shape(parallel):
+    stats = parallel.pool_stats()
+    for key in (
+        "workers", "alive_workers", "busy_seconds", "queries",
+        "dispatched", "completed", "respawns", "serial_rescues",
+        "spawn_failures",
+    ):
+        assert key in stats
+    assert stats["workers"] == 2
+    assert len(stats["busy_seconds"]) == 2
+    assert sum(stats["busy_seconds"]) > 0
+
+
+def test_close_is_idempotent_and_degrades(graph, serial):
+    index = ParallelRingIndex(graph, workers=2)
+    index.close()
+    index.close()
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_PARALLEL_START_METHOD", "fork") != "fork",
+    reason="worker attach counting relies on the default start method",
+)
+def test_attach_is_zero_copy_shells_only():
+    """The handle a worker attaches from is tiny and *constant-size* —
+    index data never rides through pickling (the segment carries it)."""
+    import pickle
+
+    sizes = {}
+    for n in (2000, 16000):
+        big = random_graph(n, n_nodes=n // 10, n_predicates=8, seed=7)
+        index = ParallelRingIndex(big, workers=1)
+        try:
+            sizes[n] = (
+                len(pickle.dumps(index._shared.handle)),
+                index._shared.size,
+            )
+        finally:
+            index.close()
+    (small_handle, small_seg), (big_handle, big_seg) = sizes[2000], sizes[16000]
+    assert big_seg > 4 * small_seg, "segment must scale with the index"
+    assert big_handle < 2 * small_handle, (
+        "handle must stay metadata-sized while the index grows"
+    )
+    assert big_seg > 10 * big_handle

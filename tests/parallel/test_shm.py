@@ -1,0 +1,128 @@
+"""Shared-memory ring export/attach: zero-copy, fidelity, lifetime.
+
+The attach path must hand back a *fully functional* ring whose arrays
+are literal views into the shared segment (zero-copy is checked at the
+pointer level, not inferred from RSS), answering every query exactly
+like the exporting ring — and the unexportable layouts (C-Ring, RRR,
+Elias–Fano) must refuse loudly at export time, never mis-attach.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import CompressedRingIndex, RingIndex
+from repro.core.iterators import RingIterator
+from repro.core.ltj import LeapfrogTrieJoin
+from repro.graph import BasicGraphPattern, TriplePattern, Var
+from repro.graph.generators import random_graph
+from repro.graph.model import O, P, S
+from repro.parallel.shm import (
+    ShmExportError,
+    attach_ring,
+    detach_ring,
+    export_ring,
+)
+
+X, Y, Z = Var("x"), Var("y"), Var("z")
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_graph(500, n_nodes=30, n_predicates=3, seed=3)
+
+
+@pytest.fixture(scope="module")
+def index(graph):
+    return RingIndex(graph)
+
+
+@pytest.fixture()
+def shared(index):
+    shared = export_ring(index.ring)
+    yield shared
+    shared.close()
+
+
+def _segment_span(shm) -> tuple[int, int]:
+    address = np.frombuffer(shm.buf, dtype=np.uint8).__array_interface__[
+        "data"
+    ][0]
+    return address, address + shm.size
+
+
+def test_handle_is_picklable(shared):
+    handle = pickle.loads(pickle.dumps(shared.handle))
+    assert handle.name == shared.handle.name
+    assert handle.arrays == shared.handle.arrays
+
+
+def test_attached_arrays_are_views_into_the_segment(index, shared):
+    ring = attach_ring(shared.handle)
+    try:
+        lo, hi = _segment_span(ring._shm)
+        seen = 0
+        for zone in (S, P, O):
+            for bv in ring.zone_sequence(zone)._bits:
+                for arr in (bv._words, bv._super, bv._rel):
+                    address = arr.__array_interface__["data"][0]
+                    assert lo <= address and address + arr.nbytes <= hi, (
+                        "attached array was copied out of the segment"
+                    )
+                    assert not arr.flags.writeable
+                    seen += 1
+        for attr in (S, P, O):
+            arr = ring.counts(attr).raw()
+            address = arr.__array_interface__["data"][0]
+            assert lo <= address and address + arr.nbytes <= hi
+            seen += 1
+        assert seen >= 12  # 3 zones x levels x 3 arrays + 3 C arrays
+    finally:
+        detach_ring(ring)
+
+
+def test_attached_ring_answers_identically(graph, index, shared):
+    ring = attach_ring(shared.handle)
+    try:
+        assert ring.n == index.ring.n
+        for i in (0, 1, graph.n_triples - 1):
+            assert ring.triple(i) == index.ring.triple(i)
+        engine = LeapfrogTrieJoin(
+            lambda t: RingIterator(ring, t), ring.n
+        )
+        bgp = BasicGraphPattern(
+            [TriplePattern(X, 0, Y), TriplePattern(Y, 1, Z)]
+        )
+        reference = list(index.evaluate(bgp))
+        got = list(engine.evaluate(bgp))
+        assert got == reference
+    finally:
+        detach_ring(ring)
+
+
+def test_attached_ring_has_its_own_memo(index, shared):
+    ring = attach_ring(shared.handle)
+    try:
+        assert ring.leap_generation == 0
+        assert ring.leap_memo_stats()["entries"] == 0
+        assert ring._leap_memo is not index.ring._leap_memo
+    finally:
+        detach_ring(ring)
+
+
+def test_compressed_ring_refuses_export(graph):
+    compressed = CompressedRingIndex(graph)
+    with pytest.raises(ShmExportError):
+        export_ring(compressed.ring)
+
+
+def test_close_unlinks_the_segment(index):
+    from multiprocessing import shared_memory
+
+    shared = export_ring(index.ring)
+    name = shared.handle.name
+    shared.close()
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=name)
+    shared.close()  # idempotent

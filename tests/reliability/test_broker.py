@@ -195,6 +195,40 @@ class TestConsistentEpochs:
         assert (39, 1, 39) in set(index.snapshot().live_triples())
 
 
+class TestStats:
+    def test_stats_shape_and_busy_time(self):
+        index = DynamicRingIndex(universe(), buffer_threshold=1000)
+        for i in range(10):
+            index.insert(i, 0, (i + 1) % N_NODES)
+        with QueryBroker(index, workers=2) as broker:
+            rows = broker.evaluate(SCAN, timeout=5.0)
+            assert len(rows) == 10
+            stats = broker.stats()
+        for key in ("queued", "queue_depth", "workers", "in_flight",
+                    "busy_seconds"):
+            assert key in stats, f"missing {key!r}"
+        assert stats["workers"] == 2
+        assert len(stats["busy_seconds"]) == 2
+        assert sum(stats["busy_seconds"]) > 0, (
+            "serving a query must accrue per-worker busy time"
+        )
+        assert stats["queued"] == 0 and stats["in_flight"] == 0
+        assert stats["queue_depth"] >= stats["workers"]
+        assert "pool" not in stats, (
+            "a plain index must not fabricate process-pool telemetry"
+        )
+
+    def test_stats_nest_pool_telemetry_when_index_is_pool_backed(self):
+        class PoolBacked(DynamicRingIndex):
+            def pool_stats(self):
+                return {"alive_workers": 3, "dispatched": 7}
+
+        index = PoolBacked(universe(), buffer_threshold=1000)
+        with QueryBroker(index, workers=1) as broker:
+            stats = broker.stats()
+        assert stats["pool"] == {"alive_workers": 3, "dispatched": 7}
+
+
 class TestEndToEnd:
     def test_broker_over_durable_ring(self, tmp_path):
         from repro.reliability.wal import DurableDynamicRing
