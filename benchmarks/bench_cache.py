@@ -1,0 +1,98 @@
+"""Serving-cache benchmark: repeated-workload speedup and safety gates.
+
+Regenerates the ``BENCH_cache.json`` perf artifact and gates the cache
+layer on all four promises at once:
+
+- **identity, always** — cold and warm cached passes are byte-identical
+  (ordered) to the uncached reference on any host;
+- **speedup** — the warm pass over the same query mix is at least
+  ``MIN_WARM_SPEEDUP`` x faster than the second uncached pass (this is
+  single-process dict rebuilding vs join evaluation, so unlike the
+  parallel gate it needs no minimum core count);
+- **invalidation** — a write between identical queries always flips the
+  repeat back to the uncached path, and the post-write rows match a
+  fresh evaluation;
+- **coalescing** — a burst of identical concurrent submissions reaches
+  the engine exactly once.
+
+Scale knobs: ``REPRO_BENCH_N`` / ``REPRO_BENCH_QUERIES`` (conftest
+defaults), ``REPRO_BENCH_CACHE_OUT`` for the artifact path.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.perf.cachebench import SCHEMA_VERSION, bench_cache
+
+BENCH_N = int(os.environ.get("REPRO_BENCH_N", "4000"))
+BENCH_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "2"))
+
+#: Required warm-pass factor over the second uncached pass.
+MIN_WARM_SPEEDUP = 5.0
+
+pytestmark = [pytest.mark.perf, pytest.mark.cache]
+
+_CPUS = os.cpu_count() or 1
+
+
+@pytest.fixture(scope="module")
+def cache_report():
+    return bench_cache(n=BENCH_N, queries_per_shape=BENCH_QUERIES, seed=0)
+
+
+def test_cached_results_identical(cache_report):
+    """Cold and warm cached answers match the uncached bytes exactly."""
+    cached = cache_report["cached"]
+    assert cache_report["uncached"]["deterministic"]
+    assert cached["cold_identical"], "cold (populating) pass diverged"
+    assert cached["warm_identical"], "warm (serving) pass diverged"
+    assert cached["rows"] == cache_report["uncached"]["rows"]
+
+
+def test_warm_pass_speedup(cache_report):
+    """The repeated workload is served >= 5x faster from the cache."""
+    cached = cache_report["cached"]
+    assert cached["speedup_warm"] >= MIN_WARM_SPEEDUP, (
+        f"warm pass only {cached['speedup_warm']:.2f}x over the uncached "
+        f"repeat (floor {MIN_WARM_SPEEDUP}x)"
+    )
+
+
+def test_hit_and_coalesce_counters_reported(cache_report):
+    """The artifact carries the serving telemetry, and it is coherent."""
+    stats = cache_report["cached"]["cache"]["results"]
+    assert stats["hits"] > 0 and stats["stores"] > 0
+    assert 0.0 < stats["hit_rate"] <= 1.0
+    co = cache_report["coalescing"]
+    assert co["inner_evaluations"] == 1
+    assert co["coalesced"] + co["admission_cache_hits"] == co["submissions"] - 1
+    assert co["identical"]
+
+
+def test_write_always_invalidates(cache_report):
+    """A dynamic update between identical queries never serves stale."""
+    inval = cache_report["invalidation"]
+    assert inval["repeats_served_from_cache"]
+    assert inval["always_invalidated"]
+    assert inval["always_identical"]
+
+
+def test_write_bench_artifact(cache_report):
+    """Emit the machine-readable perf artifact for trajectory tracking."""
+    path = os.environ.get("REPRO_BENCH_CACHE_OUT", "BENCH_cache.json")
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "cpus": _CPUS,
+        "config": {
+            "n": BENCH_N,
+            "queries_per_shape": BENCH_QUERIES,
+            "min_warm_speedup": MIN_WARM_SPEEDUP,
+            "source": "benchmarks/bench_cache.py",
+        },
+        "cache_serving": cache_report,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")

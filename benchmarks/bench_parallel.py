@@ -19,13 +19,15 @@ import os
 
 import pytest
 
-from repro.perf.parallelbench import SCHEMA_VERSION, bench_parallel
+from repro.perf.parallelbench import (
+    MIN_GATE_CPUS,
+    MIN_PARALLEL_SPEEDUP,
+    SCHEMA_VERSION,
+    bench_parallel,
+)
 
 BENCH_N = int(os.environ.get("REPRO_BENCH_N", "4000"))
 BENCH_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "2"))
-
-#: Required end-to-end factor at 4 workers (only gated on >= 4 cores).
-MIN_PARALLEL_SPEEDUP = 2.0
 
 pytestmark = pytest.mark.perf
 
@@ -34,7 +36,7 @@ _CPUS = os.cpu_count() or 1
 
 @pytest.fixture(scope="module")
 def parallel_report():
-    workers = (2, 4) if _CPUS >= 4 else (2,)
+    workers = (2, 4) if _CPUS >= MIN_GATE_CPUS else (2,)
     return bench_parallel(
         n=BENCH_N, workers=workers, queries_per_shape=BENCH_QUERIES, seed=0
     )
@@ -61,9 +63,20 @@ def test_parallel_pool_healthy(parallel_report):
         assert pool.get("spawn_failures", 0) == 0
 
 
+def test_speedup_gate_recorded(parallel_report):
+    """The artifact says whether the speedup gate applied on this host."""
+    gate = parallel_report["speedup_gate"]
+    assert gate["cpus"] == _CPUS
+    assert gate["applicable"] == (_CPUS >= MIN_GATE_CPUS)
+    assert gate["min_speedup"] == MIN_PARALLEL_SPEEDUP
+    if not gate["applicable"]:
+        assert "skipped" in gate["status"]
+
+
 @pytest.mark.skipif(
-    _CPUS < 4,
-    reason=f"end-to-end speedup needs >= 4 CPUs (host has {_CPUS})",
+    _CPUS < MIN_GATE_CPUS,
+    reason=f"end-to-end speedup needs >= {MIN_GATE_CPUS} CPUs "
+           f"(host has {_CPUS})",
 )
 def test_parallel_speedup(parallel_report):
     """>= 2x end-to-end at 4 workers, where the cores exist."""

@@ -40,6 +40,12 @@ A **parallel drill** then attacks the shared-memory worker pool
   ``parallel.slice_merge`` failing mid-query must surface as a typed
   ``QueryExecutionError``, never a silent partial answer.
 
+A **cache drill** finally attacks the serving cache
+(:mod:`repro.cache`): armed ``cache.lookup``/``cache.store`` faults,
+in-place entry corruption, and random entry drops must all degrade to
+normal evaluation — answers stay exactly right, only the hit-rate may
+suffer.
+
 Run it as::
 
     PYTHONPATH=src python scripts/chaos_check.py [--rounds 40] [--seed 0]
@@ -542,6 +548,99 @@ def drill_parallel_faults(seed: int) -> list[str]:
     return failures
 
 
+# -- cache drill (serving-cache layer) ----------------------------------------
+
+
+def drill_cache(rounds: int, seed: int) -> list[str]:
+    """Attack the serving cache; it must degrade, never lie.
+
+    Each round repeats the workload through a :class:`CachedQuerySystem`
+    while one of three attacks runs:
+
+    - ``cache.lookup`` / ``cache.store`` armed with errors or latency —
+      every query must fall through to a normal evaluation;
+    - direct entry corruption (stored rows mutated in place) — the
+      fingerprint must drop the entry on the next touch;
+    - random entry drops mid-workload — only hit-rate may suffer.
+
+    Every answer is compared against the fault-free reference; any
+    mismatch is a chaos failure.
+    """
+    from repro.cache import CachedQuerySystem
+
+    rng = random.Random(seed)
+    failures: list[str] = []
+    graph = random_graph(600, n_nodes=30, n_predicates=2, seed=5)
+    reference = {
+        name: [dict(mu) for mu in RingIndex(graph).evaluate(bgp)]
+        for name, bgp in WORKLOAD
+    }
+    print(f"\ncache drill: {rounds} rounds — faulted lookup/store, "
+          f"corrupted entries, dropped entries")
+    for round_no in range(rounds):
+        attack = ("faults", "corrupt", "drop")[round_no % 3]
+        system = CachedQuerySystem(RingIndex(graph))
+        label = f"  cache {round_no:3d} {attack:8s}"
+        try:
+            if attack == "faults":
+                site = rng.choice(["cache.lookup", "cache.store"])
+                kind = rng.choice(["error", "flaky-error", "latency"])
+                if kind == "latency":
+                    fault = Fault(site, probability=1.0,
+                                  latency=rng.uniform(0.0001, 0.001))
+                else:
+                    fault = Fault(
+                        site,
+                        probability=1.0 if kind == "error"
+                        else rng.uniform(0.1, 0.9),
+                        error=InjectedFault,
+                    )
+                with inject_faults(fault, seed=rng.randrange(2**31)):
+                    for _ in range(2):  # second pass would hit if stored
+                        for name, bgp in WORKLOAD:
+                            rows = [dict(mu) for mu in system.evaluate(bgp)]
+                            assert rows == reference[name], name
+                detail = f"{site} {kind}, fired={fault.fired}"
+            else:
+                for name, bgp in WORKLOAD:  # populate
+                    system.evaluate(bgp)
+                entries = system.result_cache._entries
+                victims = rng.sample(
+                    sorted(entries, key=repr), k=max(1, len(entries) // 2)
+                )
+                for key in victims:
+                    if attack == "corrupt":
+                        entry = entries[key]
+                        entry.rows = entry.rows[:-1] if entry.rows else ((),)
+                    else:
+                        system.result_cache.discard(key)
+                for name, bgp in WORKLOAD:  # repeat against damage
+                    rows = [dict(mu) for mu in system.evaluate(bgp)]
+                    assert rows == reference[name], name
+                stats = system.result_cache.stats()
+                detail = (
+                    f"{len(victims)} entries attacked, "
+                    f"corrupt_dropped={stats['corrupt_dropped']}"
+                )
+                if attack == "corrupt" and stats["corrupt_dropped"] < 1:
+                    failures.append(
+                        f"{label}: fingerprint never caught the corruption"
+                    )
+                    print(f"{label}: CORRUPTION NOT DETECTED")
+                    continue
+            print(f"{label}: exact answers ({detail})")
+        except AssertionError as exc:
+            failures.append(f"{label}: wrong answer on {exc}")
+            print(f"{label}: WRONG ANSWER on {exc}")
+        except ALLOWED_ERRORS as exc:
+            failures.append(
+                f"{label}: cache faults must degrade, not raise "
+                f"({type(exc).__name__})"
+            )
+            print(f"{label}: UNEXPECTED {type(exc).__name__}")
+    return failures
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--rounds", type=int, default=40)
@@ -552,12 +651,15 @@ def main() -> None:
                         help="random WAL kill offsets to test")
     parser.add_argument("--kill-rounds", type=int, default=6,
                         help="killed-worker parallel drill rounds")
+    parser.add_argument("--cache-rounds", type=int, default=9,
+                        help="serving-cache drill rounds")
     args = parser.parse_args()
     status = run(args.rounds, args.seed)
     failures = drill_crash_sites(args.dyn_rounds, args.seed + 1)
     failures += drill_wal_truncation(args.truncate_points, args.seed + 2)
     failures += drill_parallel_kill(args.kill_rounds, args.seed + 3)
     failures += drill_parallel_faults(args.seed + 4)
+    failures += drill_cache(args.cache_rounds, args.seed + 5)
     print(f"\ndurability drills: {len(failures)} failure(s)")
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

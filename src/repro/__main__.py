@@ -119,8 +119,26 @@ def cmd_plan(args) -> None:
     from repro.parallel.slices import plan_slices
 
     index = RingIndex.load(args.index)
+    stats_cache = None
+    if getattr(args, "stats_cache", None):
+        from repro.cache import PlanStatsCache
+
+        # A content token scopes the memo to this exact index: a file
+        # captured against different contents loads as empty.
+        graph = index.graph
+        token = ("static", graph.n_triples, graph.n_nodes,
+                 graph.n_predicates)
+        stats_cache = PlanStatsCache.load(
+            args.stats_cache, generation_source=lambda: token
+        )
+        index._engine.stats_cache = stats_cache
     bgp = _coerce_query(args.query, index.graph)
     plan = index.explain(bgp)
+    if stats_cache is not None:
+        stats_cache.save(args.stats_cache)
+        memo = stats_cache.stats()
+        print(f"stats cache       : {args.stats_cache} "
+              f"({memo['entries']} entries, {memo['hits']} hits this run)")
     if plan.get("empty"):
         print("query references constants absent from the graph: 0 solutions")
         return
@@ -182,7 +200,13 @@ def cmd_verify(args) -> None:
 def cmd_bench(args) -> None:
     # Imported lazily: pulls in the graph generators and bench runner,
     # which the serving commands never need.
-    if args.parallel:
+    if args.cache:
+        from repro.perf.cachebench import (
+            format_report, full_report, write_report,
+        )
+
+        report = full_report(quick=args.quick, seed=args.seed)
+    elif args.parallel:
         from repro.perf.parallelbench import (
             format_report, full_report, write_report,
         )
@@ -264,6 +288,8 @@ def _serve_line(line: str, store, broker, decode: bool) -> bool:
         suffix = (
             f" (truncated: {result.interrupted_by})" if result.truncated else ""
         )
+        if getattr(result, "cached", False):
+            suffix += " (cached)"
         print(f"-- {len(result)} solution(s) @epoch {store.epoch}{suffix}")
     elif verb == "CHECKPOINT":
         print(f"ok checkpoint {store.checkpoint()}")
@@ -307,8 +333,16 @@ def cmd_serve(args) -> None:
         )
         print(f"recovered: {report.summary()}")
     decode = store.graph.dictionary is not None
+    served_index = store
+    if args.cache:
+        from repro.cache import CachedQuerySystem
+
+        served_index = CachedQuerySystem(
+            store, capacity_bytes=args.cache_mb << 20
+        )
+        print(f"cache enabled ({args.cache_mb} MiB)")
     broker = QueryBroker(
-        store,
+        served_index,
         workers=args.workers,
         queue_depth=args.queue_depth,
         default_timeout=args.timeout,
@@ -399,6 +433,9 @@ def main(argv=None) -> None:
     )
     p.add_argument("index")
     p.add_argument("query")
+    p.add_argument("--stats-cache", default=None,
+                   help="persistent planner-statistics memo (JSON); "
+                        "loaded before planning, saved after")
     p.add_argument("--slices", type=int, default=4,
                    help="target number of range slices to preview")
     p.set_defaults(func=cmd_plan)
@@ -441,6 +478,12 @@ def main(argv=None) -> None:
                         "steps")
     p.add_argument("--no-final-checkpoint", action="store_true",
                    help="skip the checkpoint normally taken on shutdown")
+    p.add_argument("--cache", action="store_true",
+                   help="serve repeated queries from the canonical result "
+                        "cache (invalidated on every write/checkpoint) and "
+                        "coalesce concurrent identical submissions")
+    p.add_argument("--cache-mb", type=int, default=64,
+                   help="result-cache byte budget in MiB (with --cache)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -462,6 +505,9 @@ def main(argv=None) -> None:
     p.add_argument("--parallel", action="store_true",
                    help="benchmark the shared-memory worker pool against "
                         "the serial engine (BENCH_parallel.json)")
+    p.add_argument("--cache", action="store_true",
+                   help="benchmark the serving cache on a repeated "
+                        "workload (BENCH_cache.json)")
     p.add_argument("--workers", type=int, nargs="*", default=None,
                    help="worker counts to measure with --parallel "
                         "(default: 2 in quick mode, 2 and 4 otherwise)")

@@ -1,0 +1,36 @@
+"""Query-serving caches: canonical BGP result cache, in-flight
+coalescing support, and the generation-scoped planner-stats memo.
+
+See INTERNALS §10 for the architecture and invalidation protocol.
+"""
+
+from repro.cache.canonical import (
+    DEFAULT_SEARCH_BUDGET,
+    CanonicalBGP,
+    canonical_pattern,
+    canonicalize,
+    pattern_descriptor,
+)
+from repro.cache.result_cache import (
+    DEFAULT_CAPACITY_BYTES,
+    CacheEntry,
+    ResultCache,
+    estimate_entry_bytes,
+)
+from repro.cache.stats_cache import PlanStatsCache
+from repro.cache.system import CachedQuerySystem, generation_of
+
+__all__ = [
+    "DEFAULT_SEARCH_BUDGET",
+    "DEFAULT_CAPACITY_BYTES",
+    "CanonicalBGP",
+    "CacheEntry",
+    "CachedQuerySystem",
+    "PlanStatsCache",
+    "ResultCache",
+    "canonical_pattern",
+    "canonicalize",
+    "estimate_entry_bytes",
+    "generation_of",
+    "pattern_descriptor",
+]

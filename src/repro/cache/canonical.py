@@ -1,0 +1,252 @@
+"""BGP canonicalisation: cache keys invariant under variable renaming.
+
+Two basic graph patterns that differ only by a bijective renaming of
+their variables and/or a permutation of their triple patterns denote the
+same conjunctive query (§2.1.2), so a result cache keyed on the raw
+query text would miss almost every real-world repeat: SPARQL workloads
+are dominated by machine-generated pattern *templates* whose variable
+names vary per request.  :func:`canonicalize` maps a BGP to a canonical
+form — a sorted tuple of patterns with variables replaced by dense
+canonical ids — such that
+
+- **soundness**: equal canonical forms imply the queries are isomorphic
+  (the form reconstructs the query up to renaming, so a collision
+  between non-isomorphic queries is impossible);
+- **completeness** (up to a work cap): isomorphic queries produce equal
+  canonical forms, so renamed/permuted repeats share one cache entry.
+
+The algorithm is the standard colour-refinement + individualization-
+refinement scheme specialised to the tiny hypergraphs BGPs are:
+
+1. each variable starts with a colour derived from its *occurrence
+   structure* (the multiset of ``(pattern descriptor, positions)`` pairs
+   it participates in, constants included);
+2. colours are refined until stable: a variable's new colour folds in
+   the colours (and positions) of its co-occurring variables;
+3. remaining colour ties are broken by individualizing each candidate
+   of the first non-singleton class in turn, recursing, and keeping the
+   lexicographically least certificate.  The branching is capped by a
+   work budget; real BGPs (≤ ~10 patterns) resolve in a handful of
+   refinements, and on budget exhaustion the tie is broken by variable
+   *name* instead — still deterministic and sound, merely blind to
+   renamings (a lost cache hit, never a wrong one).
+
+Heterogeneous sort keys (tuples mixing ints, strings and constants) are
+ordered by ``repr``: arbitrary but total and deterministic, and — the
+property canonicality needs — identical for isomorphic inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.graph.model import BasicGraphPattern, TriplePattern, Var
+
+#: Individualization branches explored before falling back to name order.
+DEFAULT_SEARCH_BUDGET = 512
+
+Descriptor = tuple
+CanonicalKey = tuple
+
+
+def pattern_descriptor(pattern: TriplePattern) -> Descriptor:
+    """One pattern's structure with variables anonymised to slots.
+
+    Variables become ``("v", first_position)`` — so ``(?a, p, ?a)`` and
+    ``(?z, p, ?z)`` share a descriptor while ``(?a, p, ?b)`` does not —
+    and constants stay as ``("k", value)``.  This is the
+    renaming-invariant unit both the canonicalizer and the planner-stats
+    cache key on.
+    """
+    first: dict[Var, int] = {}
+    out = []
+    for pos, term in enumerate(pattern.terms):
+        if isinstance(term, Var):
+            out.append(("v", first.setdefault(term, pos)))
+        else:
+            out.append(("k", term))
+    return tuple(out)
+
+
+def canonical_pattern(
+    pattern: TriplePattern, mapping: dict[Var, int]
+) -> CanonicalKey:
+    """``pattern`` with variables replaced by their canonical ids."""
+    return tuple(
+        ("v", mapping[t]) if isinstance(t, Var) else ("k", t)
+        for t in pattern.terms
+    )
+
+
+class CanonicalBGP:
+    """The canonical form of a BGP plus the renaming that produced it.
+
+    ``key`` is hashable and equal across isomorphic BGPs (within the
+    search budget); ``mapping`` sends each original :class:`Var` to its
+    dense canonical id — the id space cached result rows are stored in,
+    so a renamed repeat can translate them back to *its* variables.
+    ``exhausted`` records that the work cap forced the name-order
+    fallback (keys remain sound but renamed repeats may not collide).
+    """
+
+    __slots__ = ("key", "mapping", "exhausted")
+
+    def __init__(
+        self, key: CanonicalKey, mapping: dict[Var, int], exhausted: bool
+    ) -> None:
+        self.key = key
+        self.mapping = mapping
+        self.exhausted = exhausted
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CanonicalBGP(key={self.key!r}, mapping={self.mapping!r})"
+
+
+def canonicalize(
+    bgp: Union[BasicGraphPattern, list, tuple],
+    budget: int = DEFAULT_SEARCH_BUDGET,
+) -> CanonicalBGP:
+    """Canonical form of ``bgp`` (see the module docstring)."""
+    patterns = list(bgp)
+    descriptors = [pattern_descriptor(p) for p in patterns]
+    variables: list[Var] = []
+    for p in patterns:
+        for v in p.variables():
+            if v not in variables:
+                variables.append(v)
+    if not variables:
+        key = tuple(sorted(descriptors, key=repr))
+        return CanonicalBGP(key, {}, False)
+
+    colors = _dense(
+        {
+            v: tuple(
+                sorted(
+                    (
+                        (d, tuple(p.variable_positions(v)))
+                        for p, d in zip(patterns, descriptors)
+                        if v in p.variables()
+                    ),
+                    key=repr,
+                )
+            )
+            for v in variables
+        }
+    )
+    colors = _refine(colors, patterns, descriptors)
+    remaining = [int(budget)]
+    mapping, exhausted = _individualize(colors, patterns, descriptors, remaining)
+    key = _certificate(patterns, mapping)
+    return CanonicalBGP(key, mapping, exhausted)
+
+
+# -- internals ---------------------------------------------------------------
+
+
+def _dense(signatures: dict[Var, object]) -> dict[Var, int]:
+    """Relabel arbitrary signature values as dense ints (repr order)."""
+    ranks = {
+        s: i
+        for i, s in enumerate(sorted(set(signatures.values()), key=repr))
+    }
+    return {v: ranks[s] for v, s in signatures.items()}
+
+
+def _refine(
+    colors: dict[Var, int],
+    patterns: list[TriplePattern],
+    descriptors: list[Descriptor],
+) -> dict[Var, int]:
+    """1-WL colour refinement to a stable partition.
+
+    A variable's signature folds in, per pattern it occurs in: the
+    pattern descriptor, its own positions, and the (colour, positions)
+    multiset of its co-variables.  The old colour is part of the
+    signature, so classes only ever split; we stop when the class count
+    stops growing.
+    """
+    n_classes = len(set(colors.values()))
+    while True:
+        signatures: dict[Var, object] = {}
+        for v in colors:
+            neigh = []
+            for p, d in zip(patterns, descriptors):
+                p_vars = p.variables()
+                if v not in p_vars:
+                    continue
+                others = tuple(
+                    sorted(
+                        (colors[u], tuple(p.variable_positions(u)))
+                        for u in p_vars
+                        if u != v
+                    )
+                )
+                neigh.append((d, tuple(p.variable_positions(v)), others))
+            signatures[v] = (colors[v], tuple(sorted(neigh, key=repr)))
+        colors = _dense(signatures)
+        new_n = len(set(colors.values()))
+        if new_n == n_classes:
+            return colors
+        n_classes = new_n
+
+
+def _individualize(
+    colors: dict[Var, int],
+    patterns: list[TriplePattern],
+    descriptors: list[Descriptor],
+    budget: list[int],
+) -> tuple[dict[Var, int], bool]:
+    """Break residual colour ties; returns ``(mapping, exhausted)``."""
+    classes: dict[int, list[Var]] = {}
+    for v, c in colors.items():
+        classes.setdefault(c, []).append(v)
+    multi = sorted(c for c, members in classes.items() if len(members) > 1)
+    if not multi:
+        return _singleton_mapping(colors), False
+    if budget[0] <= 0:
+        return _name_fallback(colors), True
+
+    target = sorted(classes[multi[0]], key=lambda v: v.name)
+    best_key: Optional[str] = None
+    best_mapping: Optional[dict[Var, int]] = None
+    exhausted = False
+    fresh = max(colors.values()) + 1
+    for v in target:
+        if budget[0] <= 0:
+            exhausted = True
+            break
+        budget[0] -= 1
+        forced = dict(colors)
+        forced[v] = fresh
+        refined = _refine(forced, patterns, descriptors)
+        mapping, sub_exhausted = _individualize(
+            refined, patterns, descriptors, budget
+        )
+        exhausted = exhausted or sub_exhausted
+        key = repr(_certificate(patterns, mapping))
+        if best_key is None or key < best_key:
+            best_key, best_mapping = key, mapping
+    if best_mapping is None:  # budget died before the first branch
+        return _name_fallback(colors), True
+    return best_mapping, exhausted
+
+
+def _singleton_mapping(colors: dict[Var, int]) -> dict[Var, int]:
+    """Dense ids from an all-singleton colouring."""
+    rank = {c: i for i, c in enumerate(sorted(colors.values()))}
+    return {v: rank[c] for v, c in colors.items()}
+
+
+def _name_fallback(colors: dict[Var, int]) -> dict[Var, int]:
+    """Deterministic (but renaming-sensitive) completion by name."""
+    ordered = sorted(colors.items(), key=lambda vc: (vc[1], vc[0].name))
+    return {v: i for i, (v, _) in enumerate(ordered)}
+
+
+def _certificate(
+    patterns: list[TriplePattern], mapping: dict[Var, int]
+) -> CanonicalKey:
+    """Sorted tuple of canonical patterns — the hashable cache key core."""
+    return tuple(
+        sorted((canonical_pattern(p, mapping) for p in patterns), key=repr)
+    )

@@ -1,0 +1,199 @@
+"""Byte-budgeted LRU result cache with generation-tagged invalidation.
+
+Entries map a canonical cache key (see :mod:`repro.cache.canonical` and
+:meth:`repro.cache.system.CachedQuerySystem._key_info`) to the complete
+materialised rows of one evaluation, stored in canonical-id space so a
+renamed repeat can translate them back to its own variables.
+
+Three properties the serving stack depends on:
+
+- **generation tags** — every entry records the index generation
+  (:func:`repro.cache.system.generation_of`) it was computed at and is
+  served only on an exact match; any insert/delete/compaction/checkpoint
+  bumps the generation, so a stale entry can never outlive a write.
+  Mismatched entries are evicted on touch (no sweeper thread needed —
+  stale entries age out through the LRU like any cold entry);
+- **byte budget** — capacity is accounted in estimated bytes of the
+  materialised rows (:func:`estimate_entry_bytes`), not entry counts,
+  so one huge result cannot silently pin the memory of thousands of
+  small ones; least-recently-used entries are evicted until the budget
+  holds, and results larger than the whole budget are refused outright;
+- **self-verification** — each entry carries a fingerprint
+  (``hash`` of its row tuple) checked on every lookup; a corrupted
+  entry is dropped and the query falls through to normal evaluation —
+  the ``cache.lookup`` / ``cache.store`` fault sites in
+  :mod:`repro.reliability.faults` drill exactly this degradation.
+
+All methods are thread-safe (one re-entrant lock; the broker's workers
+share a single instance).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+from repro.perf import counters
+
+#: Default byte budget (64 MiB) — a few thousand limit-1000 results.
+DEFAULT_CAPACITY_BYTES = 64 << 20
+
+
+def estimate_entry_bytes(rows: tuple) -> int:
+    """Deterministic size model of one entry's materialised rows.
+
+    Approximates CPython's cost of a tuple of ``(canonical_id, value)``
+    pair tuples; exactness does not matter, monotonicity in rows x
+    columns does — the budget is a lever, not an audit.
+    """
+    total = 120  # entry object + key + bookkeeping
+    for row in rows:
+        total += 72 + 48 * len(row)
+    return total
+
+
+class CacheEntry:
+    """One cached complete result, in canonical-id space."""
+
+    __slots__ = ("key", "generation", "rows", "fingerprint", "nbytes", "hits")
+
+    def __init__(self, key, generation, rows: tuple) -> None:
+        self.key = key
+        self.generation = generation
+        self.rows = rows
+        self.fingerprint = hash(rows)
+        self.nbytes = estimate_entry_bytes(rows)
+        self.hits = 0
+
+
+class ResultCache:
+    """The byte-budgeted LRU store (see the module docstring)."""
+
+    def __init__(self, capacity_bytes: int = DEFAULT_CAPACITY_BYTES) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self.capacity_bytes = int(capacity_bytes)
+        self._entries: "OrderedDict[object, CacheEntry]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.RLock()
+        self._counts = {
+            "hits": 0,
+            "misses": 0,
+            "stores": 0,
+            "evictions": 0,
+            "invalidated": 0,
+            "corrupt_dropped": 0,
+            "oversize_rejected": 0,
+        }
+
+    # -- the two fault-site entry points -------------------------------------
+
+    def lookup(self, key, generation) -> Optional[CacheEntry]:
+        """The entry for ``key`` at exactly ``generation``, else ``None``.
+
+        A generation mismatch or a fingerprint failure evicts the entry
+        and reports a miss — the caller falls through to evaluation.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._counts["misses"] += 1
+                counters.event("cache.miss")
+                return None
+            if entry.generation != generation:
+                self._drop(key, entry)
+                self._counts["invalidated"] += 1
+                self._counts["misses"] += 1
+                counters.event("cache.invalidated")
+                counters.event("cache.miss")
+                return None
+            if hash(entry.rows) != entry.fingerprint:
+                self._drop(key, entry)
+                self._counts["corrupt_dropped"] += 1
+                self._counts["misses"] += 1
+                counters.event("cache.corrupt")
+                counters.event("cache.miss")
+                return None
+            self._entries.move_to_end(key)
+            entry.hits += 1
+            self._counts["hits"] += 1
+            counters.event("cache.hit")
+            return entry
+
+    def store(self, key, generation, rows: tuple) -> bool:
+        """Insert (or replace) the complete result for ``key``.
+
+        Returns ``False`` when the result alone exceeds the whole byte
+        budget (refused rather than evicting everything else).
+        """
+        rows = tuple(rows)
+        entry = CacheEntry(key, generation, rows)
+        if entry.nbytes > self.capacity_bytes:
+            with self._lock:
+                self._counts["oversize_rejected"] += 1
+            return False
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old.nbytes
+            self._entries[key] = entry
+            self._bytes += entry.nbytes
+            self._counts["stores"] += 1
+            counters.event("cache.store")
+            while self._bytes > self.capacity_bytes:
+                victim_key, victim = self._entries.popitem(last=False)
+                self._bytes -= victim.nbytes
+                self._counts["evictions"] += 1
+                counters.event("cache.evict")
+        return True
+
+    # -- maintenance ---------------------------------------------------------
+
+    def discard(self, key) -> None:
+        """Remove ``key`` if present (served-corrupt cleanup path)."""
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is not None:
+                self._bytes -= entry.nbytes
+
+    def invalidate_all(self) -> int:
+        """Drop every entry; returns how many were dropped."""
+        with self._lock:
+            n = len(self._entries)
+            self._entries.clear()
+            self._bytes = 0
+            self._counts["invalidated"] += n
+            return n
+
+    def _drop(self, key, entry: CacheEntry) -> None:
+        # Caller holds the lock.
+        self._entries.pop(key, None)
+        self._bytes -= entry.nbytes
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def bytes_used(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def stats(self) -> dict:
+        with self._lock:
+            out = dict(self._counts)
+            out["entries"] = len(self._entries)
+            out["bytes"] = self._bytes
+            out["capacity_bytes"] = self.capacity_bytes
+        looked = out["hits"] + out["misses"]
+        out["hit_rate"] = out["hits"] / looked if looked else 0.0
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResultCache(entries={len(self)}, bytes={self.bytes_used}/"
+            f"{self.capacity_bytes})"
+        )

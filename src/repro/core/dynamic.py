@@ -350,6 +350,18 @@ class DynamicRingIndex(BaseLTJSystem):
         """Monotonic version counter; bumped by every mutation."""
         return self._epoch
 
+    def cache_generation(self) -> int:
+        """Serving-cache invalidation token: the epoch.
+
+        Every ``insert``/``delete`` *and* every compaction bumps the
+        epoch, so generation-tagged cache entries (see
+        :mod:`repro.cache`) go stale on any visible write — compaction
+        included, which is logically content-preserving but swaps the
+        component set cached plans and statistics were measured
+        against.
+        """
+        return self._epoch
+
     # -- snapshots ---------------------------------------------------------------
 
     def snapshot(self) -> DynamicSnapshot:

@@ -80,6 +80,11 @@ class LeapfrogTrieJoin:
         self._use_lonely = use_lonely
         self._use_ordering = use_ordering
         self._use_batch = use_batch
+        #: Optional :class:`~repro.cache.stats_cache.PlanStatsCache`
+        #: (duck-typed: anything with ``count(it)`` / ``distinct(it,
+        #: var, estimator)``) memoizing the §4.3 statistics across
+        #: queries.  ``None`` (the default) recomputes them per query.
+        self.stats_cache = None
 
     # -- public API ----------------------------------------------------------
 
@@ -117,21 +122,42 @@ class LeapfrogTrieJoin:
             stats.setdefault("binds", 0)
             stats.setdefault("bulk_rows", 0)
         deadline = ResourceBudget.coerce(timeout)
+        analysed = self._analyse(bgp, var_order)
+        if analysed is None:  # some pattern is unsatisfiable
+            return
+        live, by_var, order, lonely_by_iter = analysed
+        if not live:
+            yield {}
+            return
+
+        if first_range is not None and not order:
+            raise ValueError("first_range requires a shared join variable")
+
+        yield from self._search(
+            order, 0, by_var, lonely_by_iter, {}, deadline, first_range
+        )
+
+    def _analyse(
+        self,
+        bgp: BasicGraphPattern,
+        var_order: Optional[Sequence[Var]] = None,
+    ) -> Optional[tuple]:
+        """The evaluation preamble shared by :meth:`evaluate` and
+        :meth:`plan_signature`: build the iterators, drop satisfied
+        fully-bound filters, compute the elimination order and the §4.2
+        lonely-pattern list.  Returns ``None`` when some pattern is
+        empty (zero solutions), otherwise ``(live, by_var, order,
+        lonely_by_iter)``.
+        """
         iters = [self._factory(t) for t in bgp]
 
         # Fully bound patterns act as existence filters.
         live: list[PatternIterator] = []
         for it in iters:
-            if it.pattern.is_fully_bound():
-                if it.count() == 0:
-                    return
-            else:
-                if it.count() == 0:
-                    return
+            if it.count() == 0:
+                return None
+            if not it.pattern.is_fully_bound():
                 live.append(it)
-        if not live:
-            yield {}
-            return
 
         by_var: dict[Var, list[PatternIterator]] = {}
         for it in live:
@@ -157,12 +183,30 @@ class LeapfrogTrieJoin:
             if mine:
                 lonely_by_iter.append((it, mine))
 
-        if first_range is not None and not order:
-            raise ValueError("first_range requires a shared join variable")
+        return live, by_var, order, lonely_by_iter
 
-        yield from self._search(
-            order, 0, by_var, lonely_by_iter, {}, deadline, first_range
-        )
+    def plan_signature(
+        self,
+        bgp: BasicGraphPattern,
+        var_order: Optional[Sequence[Var]] = None,
+    ) -> Optional[tuple[tuple[Var, ...], tuple[TriplePattern, ...]]]:
+        """The facts that determine this evaluation's *row order*.
+
+        Returns ``(elimination order, lonely-bearing patterns in their
+        emission order)`` — everything beyond the BGP's structure that
+        the enumeration order depends on (the §4.3 order tie-breaks on
+        variable *names*, and the §4.2 cross product nests in original
+        pattern order, so two isomorphic queries may legitimately emit
+        rows differently).  The result cache folds this signature into
+        its keys so a shared entry is guaranteed byte-identical to what
+        a fresh evaluation would stream.  ``None`` means some pattern is
+        empty (zero solutions) at the current index state.
+        """
+        analysed = self._analyse(bgp, var_order)
+        if analysed is None:
+            return None
+        _live, _by_var, order, lonely_by_iter = analysed
+        return tuple(order), tuple(it.pattern for it, _ in lonely_by_iter)
 
     def plan(self, bgp: BasicGraphPattern) -> dict:
         """Describe how the engine would evaluate ``bgp`` (no execution).
@@ -211,6 +255,24 @@ class LeapfrogTrieJoin:
         only proxies: a pattern with a huge range but few distinct
         subjects is cheap to eliminate on the subject.
         """
+        cache = self.stats_cache
+        if cache is not None:
+            # Generation-scoped memo (repro.cache.stats_cache): the same
+            # numbers, looked up by renaming-invariant pattern shape
+            # instead of recomputed via wavelet scans per query.
+            cmin = {
+                v: min(cache.count(it) for it in by_var[v]) / self._n
+                for v in shared
+            }
+            scores = {}
+            for v in shared:
+                best = None
+                for it in by_var[v]:
+                    estimator = getattr(it, "distinct_estimate", None)
+                    value = cache.distinct(it, v, estimator)
+                    best = value if best is None else min(best, value)
+                scores[v] = best if best is not None else 0
+            return scores, cmin
         cmin = {
             v: min(it.count() for it in by_var[v]) / self._n for v in shared
         }

@@ -43,7 +43,7 @@ class QueryResult(list):
     is drop-in compatible with every existing caller.
     """
 
-    __slots__ = ("truncated", "interrupted_by", "budget")
+    __slots__ = ("truncated", "interrupted_by", "budget", "cached")
 
     def __init__(self, iterable=()) -> None:
         super().__init__(iterable)
@@ -53,11 +53,16 @@ class QueryResult(list):
         #: copies before flags are copied); lets serving layers read
         #: ops_used/deadline telemetry off the result.
         self.budget: Optional[ResourceBudget] = None
+        #: True when the rows were served from the result cache
+        #: (:class:`repro.cache.system.CachedQuerySystem`) instead of a
+        #: fresh evaluation.
+        self.cached = False
 
     def _copy_flags(self, other: "QueryResult") -> "QueryResult":
         self.truncated = other.truncated
         self.interrupted_by = other.interrupted_by
         self.budget = other.budget
+        self.cached = other.cached
         return self
 
 
@@ -85,6 +90,21 @@ class BaseQuerySystem:
 
     def size_in_bits(self) -> int:
         raise NotImplementedError
+
+    def cache_generation(self):
+        """Invalidation token for the serving caches (hashable).
+
+        Cached results and memoized planner statistics are tagged with
+        this value and served only on an exact match.  Static indexes
+        never change, so the base implementation is the constant ``0``;
+        mutable indexes override it with a token that changes on every
+        visible write (:class:`~repro.core.dynamic.DynamicRingIndex`
+        returns its epoch,
+        :class:`~repro.reliability.wal.DurableDynamicRing` pairs the
+        epoch with the WAL generation so checkpoints/recovery invalidate
+        too).
+        """
+        return 0
 
     # -- public API -----------------------------------------------------------
 

@@ -109,6 +109,13 @@ class ParallelRingIndex(RingIndex):
         """Worker-pool telemetry (empty when degraded to serial)."""
         return self._pool.stats() if self._pool is not None else {}
 
+    def cache_generation(self) -> int:
+        """Constant token: the frozen ring is immutable, so cached
+        results never go stale.  A serving cache sits *above* the
+        parallel driver — cached rows are served without touching the
+        worker pool at all."""
+        return 0
+
     def close(self) -> None:
         """Stop the workers and release the shared segment."""
         if self._pool is not None:

@@ -1,0 +1,277 @@
+"""End-to-end serving-cache benchmark (``BENCH_cache.json``).
+
+Runs the WGPB-style quick workload twice against a plain
+:class:`RingIndex` (the uncached repeated-workload baseline) and twice
+against a :class:`~repro.cache.CachedQuerySystem` over the same graph
+(cold pass populates, warm pass hits), asserting row-level ordered
+identity between every cached answer and the uncached reference — a
+hit that changes bytes is a bug, not a speedup.  Two more probes round
+out the picture:
+
+- **invalidation** — on a :class:`DynamicRingIndex`, a write between
+  identical queries must flip the answer back to the uncached path and
+  the post-write rows must match a fresh evaluation;
+- **coalescing** — a burst of identical submissions through a
+  :class:`QueryBroker` over a gated index must reach the engine exactly
+  once.
+
+Consumed by ``python -m repro bench --cache`` and the
+``benchmarks/bench_cache.py`` pytest gate (marker ``perf``/``cache``):
+identity always, the >= 5x warm-pass floor, and the invalidation flag.
+
+Same schema philosophy as :mod:`repro.perf.kernelbench`: the emitter
+lives in the library so every ``BENCH_cache.json`` in the repo history
+is comparable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.bench.wgpb import generate_wgpb_queries
+from repro.cache import CachedQuerySystem
+from repro.core import RingIndex
+from repro.core.dynamic import DynamicRingIndex
+from repro.graph.generators import wikidata_like
+
+#: Bump when the JSON layout changes, so trajectory tooling can dispatch.
+SCHEMA_VERSION = 1
+
+
+def _rows_key(result) -> list:
+    """An order-preserving, comparable encoding of a query result."""
+    return [tuple(sorted((v.name, c) for v, c in mu.items())) for mu in result]
+
+
+def _run_workload(index, queries, limit, timeout) -> tuple[float, list, int]:
+    """Evaluate every query; returns (total seconds, per-query keys, rows)."""
+    total = 0.0
+    keys = []
+    rows = 0
+    for bgp in queries:
+        start = time.perf_counter()
+        result = index.evaluate(bgp, limit=limit, timeout=timeout)
+        total += time.perf_counter() - start
+        key = _rows_key(result)
+        keys.append(key)
+        rows += len(key)
+    return total, keys, rows
+
+
+class _GatedIndex(RingIndex):
+    """A ring whose ``evaluate`` blocks until released — lets the
+    coalescing probe pile a burst of identical submissions behind one
+    deliberately slow leader."""
+
+    def __init__(self, graph) -> None:
+        super().__init__(graph)
+        self.gate = threading.Event()
+        self.calls = 0
+        self._call_lock = threading.Lock()
+
+    def evaluate(self, query, **kwargs):
+        with self._call_lock:
+            self.calls += 1
+        self.gate.wait(30.0)
+        return super().evaluate(query, **kwargs)
+
+
+def _coalescing_probe(graph, query, limit: int) -> dict:
+    """One leader evaluation fanned out to a burst of submissions."""
+    from repro.reliability.broker import QueryBroker
+
+    inner = _GatedIndex(graph)
+    cached = CachedQuerySystem(inner)
+    burst = 8
+    with QueryBroker(cached, workers=2, maintenance_interval=None) as broker:
+        futures = [broker.submit(query, limit=limit) for _ in range(burst)]
+        # Give the worker time to pick the leader up, then release it.
+        deadline = time.monotonic() + 5.0
+        while inner.calls == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        inner.gate.set()
+        results = [f.result(timeout=30.0) for f in futures]
+        stats = broker.stats()
+    reference = _rows_key(results[0])
+    return {
+        "submissions": burst,
+        "inner_evaluations": inner.calls,
+        "coalesced": stats["coalesced"],
+        "coalesce_fanout": stats["coalesce_fanout"],
+        "admission_cache_hits": stats["cache_hits"],
+        "identical": all(_rows_key(r) == reference for r in results),
+    }
+
+
+def _invalidation_probe(graph, queries, limit: int, timeout: float) -> dict:
+    """A write between identical queries must always invalidate."""
+    dynamic = DynamicRingIndex(graph)
+    cached = CachedQuerySystem(dynamic)
+    # A triple certainly absent: ids are in-universe, combination fresh.
+    fresh = None
+    for s in range(graph.n_nodes):
+        if not dynamic.contains(s, 0, s):
+            fresh = (s, 0, s)
+            break
+    checks = []
+    for bgp in queries:
+        first = cached.evaluate(bgp, limit=limit, timeout=timeout)
+        repeat = cached.evaluate(bgp, limit=limit, timeout=timeout)
+        assert fresh is not None
+        cached.insert(*fresh)
+        after = cached.evaluate(bgp, limit=limit, timeout=timeout)
+        reference = dynamic.evaluate(bgp, limit=limit, timeout=timeout)
+        checks.append(
+            {
+                "repeat_cached": bool(repeat.cached),
+                "invalidated_after_write": not after.cached,
+                "repeat_identical": _rows_key(repeat) == _rows_key(first),
+                "after_identical": _rows_key(after) == _rows_key(reference),
+            }
+        )
+        cached.delete(*fresh)
+    return {
+        "n_queries": len(checks),
+        "always_invalidated": all(c["invalidated_after_write"] for c in checks),
+        "always_identical": all(
+            c["repeat_identical"] and c["after_identical"] for c in checks
+        ),
+        "repeats_served_from_cache": all(c["repeat_cached"] for c in checks),
+        "checks": checks,
+    }
+
+
+def bench_cache(
+    n: int = 4000,
+    queries_per_shape: int = 2,
+    limit: int = 2000,
+    timeout: float = 30.0,
+    seed: int = 0,
+    capacity_bytes: Optional[int] = None,
+) -> dict:
+    """The serving cache against the uncached engine on a repeated mix.
+
+    The honest baseline for "repeated workload" is the *second* uncached
+    pass (same process, warm CPU caches and leap memos), so the reported
+    ``speedup_warm`` is cached-pass-2 against uncached-pass-2 — cache
+    machinery against engine, not cold process against warm one.
+    """
+    graph = wikidata_like(n, seed=seed)
+    by_shape = generate_wgpb_queries(
+        graph, queries_per_shape=queries_per_shape, seed=seed
+    )
+    queries = [bgp for instances in by_shape.values() for bgp in instances]
+
+    plain = RingIndex(graph)
+    un1_s, un_keys, un_rows = _run_workload(plain, queries, limit, timeout)
+    un2_s, un2_keys, _ = _run_workload(plain, queries, limit, timeout)
+
+    kwargs = {"capacity_bytes": capacity_bytes} if capacity_bytes else {}
+    cached = CachedQuerySystem(RingIndex(graph), **kwargs)
+    cold_s, cold_keys, cold_rows = _run_workload(cached, queries, limit, timeout)
+    warm_s, warm_keys, warm_rows = _run_workload(cached, queries, limit, timeout)
+
+    probe_query = max(queries, key=lambda q: len(q.patterns))
+    return {
+        "graph_triples": graph.n_triples,
+        "n_queries": len(queries),
+        "limit": limit,
+        "uncached": {
+            "pass1_seconds": un1_s,
+            "pass2_seconds": un2_s,
+            "rows": un_rows,
+            "deterministic": un_keys == un2_keys,
+        },
+        "cached": {
+            "cold_seconds": cold_s,
+            "warm_seconds": warm_s,
+            "rows": warm_rows,
+            "cold_identical": cold_keys == un_keys,
+            "warm_identical": warm_keys == un_keys,
+            "speedup_cold": un1_s / cold_s if cold_s > 0 else float("inf"),
+            "speedup_warm": un2_s / warm_s if warm_s > 0 else float("inf"),
+            "cache": cached.cache_stats(),
+        },
+        "invalidation": _invalidation_probe(graph, queries[:4], limit, timeout),
+        "coalescing": _coalescing_probe(graph, probe_query, limit),
+    }
+
+
+def full_report(
+    quick: bool = False,
+    seed: int = 0,
+    n: Optional[int] = None,
+    queries_per_shape: Optional[int] = None,
+) -> dict:
+    """The complete ``BENCH_cache.json`` payload."""
+    if quick:
+        n = n or 1500
+        queries_per_shape = queries_per_shape or 1
+    else:
+        n = n or 4000
+        queries_per_shape = queries_per_shape or 2
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "cpus": os.cpu_count(),
+        "config": {
+            "quick": quick,
+            "n": n,
+            "queries_per_shape": queries_per_shape,
+            "seed": seed,
+        },
+        "cache_serving": bench_cache(
+            n=n, queries_per_shape=queries_per_shape, seed=seed
+        ),
+    }
+
+
+def write_report(report: dict, path: str) -> None:
+    """Write the payload as indented JSON (newline-terminated)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+
+def format_report(report: dict) -> str:
+    """Human-readable table of a :func:`full_report` payload."""
+    bench = report["cache_serving"]
+    cached = bench["cached"]
+    uncached = bench["uncached"]
+    inval = bench["invalidation"]
+    co = bench["coalescing"]
+    cache_stats = cached["cache"]["results"]
+    lines = [
+        f"Serving cache ({bench['graph_triples']} triples, "
+        f"{bench['n_queries']} WGPB queries x2 passes, "
+        f"limit {bench['limit']}):",
+        f"  uncached pass1: {1000 * uncached['pass1_seconds']:>8.1f}ms "
+        f"({uncached['rows']} rows)",
+        f"  uncached pass2: {1000 * uncached['pass2_seconds']:>8.1f}ms",
+        f"  cached cold   : {1000 * cached['cold_seconds']:>8.1f}ms "
+        f"({'identical' if cached['cold_identical'] else 'MISMATCH'}, "
+        f"{cached['speedup_cold']:.2f}x)",
+        f"  cached warm   : {1000 * cached['warm_seconds']:>8.1f}ms "
+        f"({'identical' if cached['warm_identical'] else 'MISMATCH'}, "
+        f"{cached['speedup_warm']:.2f}x, "
+        f"hit rate {cache_stats['hit_rate']:.0%})",
+        f"  invalidation  : "
+        f"{inval['n_queries']} write-between-repeats drills, "
+        f"{'all invalidated' if inval['always_invalidated'] else 'STALE SERVE'}"
+        f", {'identical' if inval['always_identical'] else 'MISMATCH'}",
+        f"  coalescing    : {co['submissions']} concurrent identical "
+        f"submissions -> {co['inner_evaluations']} evaluation(s) "
+        f"({co['coalesced']} coalesced, "
+        f"{co['admission_cache_hits']} admission hits, "
+        f"{'identical' if co['identical'] else 'MISMATCH'})",
+    ]
+    return "\n".join(lines)

@@ -106,3 +106,15 @@ def measuring(reset: bool = True) -> Iterator[KernelCounters]:
 def timed_record(kernel: str, ops: int, started: float) -> None:
     """Record ``kernel`` with wall time since ``started`` (perf_counter)."""
     KERNEL_COUNTERS.record(kernel, ops, time.perf_counter() - started)
+
+
+def event(kernel: str, ops: int = 1) -> None:
+    """Count an untimed event iff measurement is on.
+
+    The cache layer reports its outcomes through this — ``cache.hit`` /
+    ``cache.miss`` / ``cache.store`` / ``cache.evict`` /
+    ``cache.coalesced`` — so one :func:`measuring` block captures the
+    serving stack end to end alongside the succinct kernels.
+    """
+    if KERNEL_COUNTERS.enabled:
+        KERNEL_COUNTERS.record(kernel, ops)

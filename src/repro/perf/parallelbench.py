@@ -35,7 +35,13 @@ from repro.graph.generators import wikidata_like
 from repro.parallel import ParallelRingIndex
 
 #: Bump when the JSON layout changes, so trajectory tooling can dispatch.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: The speedup floor the perf gate enforces, and the smallest host it
+#: is meaningful on: with < 4 cores the pool shares 1-2 cores with the
+#: parent and the measurement says nothing about the implementation.
+MIN_PARALLEL_SPEEDUP = 2.0
+MIN_GATE_CPUS = 4
 
 
 def _rows_key(result) -> list:
@@ -82,6 +88,11 @@ def bench_parallel(
     queries = [bgp for instances in by_shape.values() for bgp in instances]
 
     serial = RingIndex(graph)
+    # Untimed warm-up on both sides: pays the one-off costs (imports,
+    # leap-memo fill, and — on the parallel side — worker spawn and
+    # shared-segment mapping) outside the measured window, so the
+    # numbers compare steady-state engines, not process start-up.
+    serial.evaluate(queries[0], limit=limit, timeout=timeout)
     serial_s, serial_keys, serial_rows = _run_workload(
         serial, queries, limit, timeout
     )
@@ -92,6 +103,7 @@ def bench_parallel(
             graph, workers=w, num_slices=num_slices
         )
         try:
+            index.evaluate(queries[0], limit=limit, timeout=timeout)
             par_s, par_keys, par_rows = _run_workload(
                 index, queries, limit, timeout
             )
@@ -109,6 +121,7 @@ def bench_parallel(
                 "pool": pool_stats,
             }
         )
+    cpus = os.cpu_count() or 1
     return {
         "graph_triples": graph.n_triples,
         "n_queries": len(queries),
@@ -116,6 +129,21 @@ def bench_parallel(
         "limit": limit,
         "serial": {"total_seconds": serial_s, "rows": serial_rows},
         "parallel": parallel_rows,
+        # The pytest gate's verdict, recorded in the artifact so a
+        # sub-0.21x "speedup" measured on a 1-core container reads as
+        # "gate not applicable here", not as a regression.
+        "speedup_gate": {
+            "min_speedup": MIN_PARALLEL_SPEEDUP,
+            "min_cpus": MIN_GATE_CPUS,
+            "cpus": cpus,
+            "applicable": cpus >= MIN_GATE_CPUS,
+            "status": (
+                "enforced"
+                if cpus >= MIN_GATE_CPUS
+                else f"skipped: host has {cpus} CPU(s), speedups are "
+                     f"bounded by cores, not by the implementation"
+            ),
+        },
     }
 
 
@@ -180,9 +208,7 @@ def format_report(report: dict) -> str:
             f"({row['rows']} rows, {row['speedup']:.2f}x, {verdict}, "
             f"{row['num_slices']} slices)"
         )
-    if report["cpus"] and report["cpus"] < 4:
-        lines.append(
-            "  note: fewer than 4 CPUs — speedups on this host are "
-            "bounded by cores, not by the implementation"
-        )
+    gate = bench.get("speedup_gate")
+    if gate is not None and not gate["applicable"]:
+        lines.append(f"  gate: {gate['status']}")
     return "\n".join(lines)

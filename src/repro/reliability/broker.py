@@ -50,6 +50,7 @@ class QueryRejected(QueryError):
 class _Job:
     __slots__ = (
         "query", "options", "future", "budget", "token", "deadline_at",
+        "coalesce_key", "followers",
     )
 
     def __init__(self, query, options, budget, token, deadline_at):
@@ -59,6 +60,11 @@ class _Job:
         self.budget = budget
         self.token = token
         self.deadline_at = deadline_at
+        #: Canonical cache key when this job leads a coalescing class.
+        self.coalesce_key = None
+        #: Concurrent submissions of the same canonical query, parked
+        #: here instead of the queue; drained after the leader finishes.
+        self.followers: list["_Job"] = []
 
 
 class QueryBroker:
@@ -80,6 +86,17 @@ class QueryBroker:
         ``None`` disables the maintenance thread.
     watchdog_interval:
         Poll period of the deadline watchdog.
+    coalesce:
+        In-flight request coalescing (default on; effective only when
+        the index exposes ``cache_probe`` — i.e. is a
+        :class:`~repro.cache.system.CachedQuerySystem`).  Submissions
+        whose canonical cache key matches a query already admitted and
+        not yet finished do not enter the queue: they park behind that
+        *leader* and are answered from the leader's just-stored cache
+        entry when it completes — one evaluation fans out to every
+        concurrent identical request.  If the leader fails or times
+        out, parked followers fall back to their own evaluations
+        (degradation, never a shared wrong answer).
     """
 
     def __init__(
@@ -91,6 +108,7 @@ class QueryBroker:
         default_timeout: Optional[float] = None,
         maintenance_interval: Optional[float] = 0.05,
         watchdog_interval: float = 0.02,
+        coalesce: bool = True,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -107,6 +125,11 @@ class QueryBroker:
         self._started = False
         self._inflight: set[_Job] = set()
         self._inflight_lock = threading.Lock()
+        self._probe = getattr(index, "cache_probe", None) if coalesce else None
+        if not callable(self._probe):
+            self._probe = None
+        self._leaders: dict[object, _Job] = {}
+        self._leader_lock = threading.Lock()
         self._stats_lock = threading.Lock()
         self._stats = {
             "submitted": 0,
@@ -115,6 +138,9 @@ class QueryBroker:
             "failed": 0,
             "cancelled_by_watchdog": 0,
             "maintenance_runs": 0,
+            "cache_hits": 0,
+            "coalesced": 0,
+            "coalesce_fanout": 0,
         }
         # Wall-clock seconds each worker thread spent inside evaluate()
         # (indexed like the ``broker-worker-{i}`` thread names).
@@ -158,13 +184,20 @@ class QueryBroker:
         if not self._started:
             return
         self._stop.set()
-        # Fail queued-but-unstarted futures so callers don't hang.
+        # Fail queued-but-unstarted futures so callers don't hang —
+        # including followers parked behind a drained leader.
         while True:
             try:
                 job = self._queue.get_nowait()
             except queue.Empty:
                 break
-            job.future.set_exception(QueryRejected("broker shut down"))
+            for waiter in [job] + self._release_followers(job):
+                if not waiter.future.done():
+                    waiter.future.set_exception(
+                        QueryRejected("broker shut down")
+                    )
+                with self._inflight_lock:
+                    self._inflight.discard(waiter)
         for t in self._threads:
             t.join(timeout=timeout)
         self._threads.clear()
@@ -213,9 +246,37 @@ class QueryBroker:
         job = _Job(query, options, budget, token, deadline_at)
         with self._stats_lock:
             self._stats["submitted"] += 1
+        if self._probe is not None:
+            try:
+                key, served = self._probe(query, budget=budget, **options)
+            except Exception:
+                key, served = None, None  # fail open: run normally
+            if served is not None:
+                # Resident complete result at the current generation —
+                # answered at admission, no queue slot, no worker.
+                with self._stats_lock:
+                    self._stats["cache_hits"] += 1
+                    self._stats["completed"] += 1
+                job.future.set_result(served)
+                return job.future
+            if key is not None:
+                with self._leader_lock:
+                    leader = self._leaders.get(key)
+                    if leader is not None:
+                        # Same canonical query already in flight: park
+                        # behind it instead of evaluating twice.
+                        leader.followers.append(job)
+                        with self._stats_lock:
+                            self._stats["coalesced"] += 1
+                        with self._inflight_lock:
+                            self._inflight.add(job)  # watchdog coverage
+                        return job.future
+                    job.coalesce_key = key
+                    self._leaders[key] = job
         try:
             self._queue.put_nowait(job)
         except queue.Full:
+            self._abandon_leadership(job)
             with self._stats_lock:
                 self._stats["rejected"] += 1
             raise QueryRejected(
@@ -223,6 +284,32 @@ class QueryBroker:
                 f"({self._queue.maxsize} waiting, {self._workers_n} workers)"
             ) from None
         return job.future
+
+    def _abandon_leadership(self, job: _Job) -> None:
+        """Drop ``job``'s coalescing registration (if it holds one)."""
+        if job.coalesce_key is None:
+            return
+        with self._leader_lock:
+            if self._leaders.get(job.coalesce_key) is job:
+                del self._leaders[job.coalesce_key]
+
+    def _release_followers(self, job: _Job) -> list["_Job"]:
+        """End ``job``'s leadership; returns the parked followers.
+
+        Called when the leader finishes (either way) *before* its
+        future resolves, so a submission arriving afterwards starts a
+        fresh leader instead of attaching to a finished one.
+        """
+        if job.coalesce_key is None:
+            return []
+        with self._leader_lock:
+            if self._leaders.get(job.coalesce_key) is job:
+                del self._leaders[job.coalesce_key]
+            followers, job.followers = job.followers, []
+        if followers:
+            with self._stats_lock:
+                self._stats["coalesce_fanout"] += len(followers)
+        return followers
 
     def evaluate(self, query, **kwargs):
         """Blocking convenience: ``submit(...).result()``."""
@@ -253,6 +340,9 @@ class QueryBroker:
         pool_stats = getattr(self._index, "pool_stats", None)
         if callable(pool_stats):
             out["pool"] = pool_stats()
+        cache_stats = getattr(self._index, "cache_stats", None)
+        if callable(cache_stats):
+            out["cache"] = cache_stats()
         return out
 
     # -- threads -------------------------------------------------------------
@@ -264,28 +354,59 @@ class QueryBroker:
             except queue.Empty:
                 continue
             if not job.future.set_running_or_notify_cancel():
+                self._run_followers(self._release_followers(job), worker_id)
                 continue
+            followers = self._run_job(job, worker_id)
+            self._run_followers(followers, worker_id)
+
+    def _run_job(self, job: _Job, worker_id: int) -> list[_Job]:
+        """Evaluate one admitted job; returns its released followers."""
+        with self._inflight_lock:
+            self._inflight.add(job)
+        started = time.monotonic()
+        followers: list[_Job] = []
+        try:
+            result = self._index.evaluate(
+                job.query, budget=job.budget, **job.options
+            )
+        except BaseException as exc:  # typed QueryErrors included
+            followers = self._release_followers(job)
+            with self._stats_lock:
+                self._stats["failed"] += 1
+            job.future.set_exception(exc)
+        else:
+            # Leadership ends before the future resolves: a submission
+            # observing the result via the future can never attach to
+            # an already-finished leader.
+            followers = self._release_followers(job)
+            with self._stats_lock:
+                self._stats["completed"] += 1
+            job.future.set_result(result)
+        finally:
+            elapsed = time.monotonic() - started
+            with self._stats_lock:
+                self._busy_seconds[worker_id] += elapsed
             with self._inflight_lock:
-                self._inflight.add(job)
-            started = time.monotonic()
-            try:
-                result = self._index.evaluate(
-                    job.query, budget=job.budget, **job.options
-                )
-            except BaseException as exc:  # typed QueryErrors included
-                with self._stats_lock:
-                    self._stats["failed"] += 1
-                job.future.set_exception(exc)
-            else:
-                with self._stats_lock:
-                    self._stats["completed"] += 1
-                job.future.set_result(result)
-            finally:
-                elapsed = time.monotonic() - started
-                with self._stats_lock:
-                    self._busy_seconds[worker_id] += elapsed
+                self._inflight.discard(job)
+        return followers
+
+    def _run_followers(self, followers: list[_Job], worker_id: int) -> None:
+        """Answer parked followers after their leader finished.
+
+        Each follower re-evaluates through the (cached) index under its
+        *own* options and budget: when the leader stored a complete
+        result this is an O(rows) cache hit translated to the
+        follower's variables; when the leader failed, timed out, or
+        produced an uncacheable (truncated) result, the follower falls
+        back to a normal evaluation — degraded throughput, identical
+        answers.
+        """
+        for f in followers:
+            if not f.future.set_running_or_notify_cancel():
                 with self._inflight_lock:
-                    self._inflight.discard(job)
+                    self._inflight.discard(f)
+                continue
+            self._run_job(f, worker_id)
 
     def _watchdog_loop(self) -> None:
         while not self._stop.is_set():

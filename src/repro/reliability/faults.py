@@ -86,6 +86,12 @@ LAZY_SITES: dict[str, tuple[str, Optional[str], str]] = {
     # surface as typed errors, never truncated-but-ok answers.
     "parallel.spawn": ("repro.parallel.pool", None, "_spawn_worker"),
     "parallel.slice_merge": ("repro.parallel.pool", None, "merge_blocks"),
+    # Serving-cache layer: a failing lookup must fall through to a
+    # normal evaluation and a failing store must only cost future hits
+    # — in both cases answers stay byte-identical to uncached ones
+    # (CachedQuerySystem wraps both calls fail-open).
+    "cache.lookup": ("repro.cache.result_cache", "ResultCache", "lookup"),
+    "cache.store": ("repro.cache.result_cache", "ResultCache", "store"),
 }
 
 

@@ -815,6 +815,17 @@ class DurableDynamicRing:
     def epoch(self) -> int:
         return self._index.epoch
 
+    def cache_generation(self) -> tuple:
+        """Serving-cache invalidation token.
+
+        Pairs the in-memory epoch with the WAL generation: the epoch
+        catches inserts/deletes/compactions, the WAL generation catches
+        checkpoint/recovery boundaries (after recovery the epoch counter
+        restarts, so the epoch alone could collide with a pre-crash
+        value — the WAL generation disambiguates).
+        """
+        return (self._index.epoch, self._wal.generation)
+
     @property
     def n_triples(self) -> int:
         return self._index.n_triples

@@ -1,0 +1,221 @@
+"""CachedQuerySystem end-to-end: hit/miss flags, key separation,
+complete-results-only, and generation invalidation across every
+mutation kind (insert, delete, compaction, checkpoint)."""
+
+import numpy as np
+import pytest
+
+from repro.cache import CachedQuerySystem
+from repro.core.dynamic import DynamicRingIndex
+from repro.core.system import RingIndex
+from repro.graph.dataset import Graph
+from repro.graph.generators import nobel_graph
+from repro.graph.model import Var
+
+pytestmark = pytest.mark.cache
+
+JOIN = "?x adv ?y . ?y adv ?z"
+
+
+def items(result):
+    """Order-preserving comparison form (dict insertion order included)."""
+    return [list(m.items()) for m in result]
+
+
+class TestHitsAndFlags:
+    def test_first_miss_then_hit(self):
+        c = CachedQuerySystem(RingIndex(nobel_graph()))
+        r1 = c.evaluate(JOIN)
+        r2 = c.evaluate(JOIN)
+        assert not r1.cached and r2.cached
+        assert items(r1) == items(r2)
+
+    def test_renamed_query_hits(self):
+        c = CachedQuerySystem(RingIndex(nobel_graph()))
+        r1 = c.evaluate(JOIN)
+        renamed = "?a adv ?b . ?b adv ?c"
+        r2 = c.evaluate(renamed)
+        assert r2.cached
+        # Same values in the same row/column order, renamed keys.
+        assert [[v for _, v in row] for row in items(r1)] == [
+            [v for _, v in row] for row in items(r2)
+        ]
+        # Byte-identical to what a fresh engine would produce.
+        fresh = RingIndex(nobel_graph()).evaluate(renamed)
+        assert items(r2) == items(fresh)
+
+    def test_permuted_triples_hit(self):
+        # No lonely variables: the emission order is permutation-proof,
+        # so the permuted repeat may (and must) share the entry.
+        c = CachedQuerySystem(RingIndex(nobel_graph()))
+        q1 = "?x adv ?y . ?y adv ?z . ?z nom ?x"
+        q2 = "?z nom ?x . ?x adv ?y . ?y adv ?z"
+        r1 = c.evaluate(q1)
+        r2 = c.evaluate(q2)
+        assert r2.cached
+        assert items(r2) == items(RingIndex(nobel_graph()).evaluate(q2))
+        assert items(r1) == items(r2)
+
+    def test_lonely_order_sensitive_permutation_misses_soundly(self):
+        # Two lonely-bearing patterns: permuting them changes the §4.2
+        # cross-product nesting, hence the row order.  Byte-identity
+        # requires a miss here — and both answers match fresh engines.
+        c = CachedQuerySystem(RingIndex(nobel_graph()))
+        q1 = "?x adv ?y . ?y nom ?z"
+        q2 = "?y nom ?z . ?x adv ?y"
+        c.evaluate(q1)
+        r = c.evaluate(q2)
+        assert not r.cached
+        assert items(r) == items(RingIndex(nobel_graph()).evaluate(q2))
+
+    def test_count_goes_through_cache(self):
+        c = CachedQuerySystem(RingIndex(nobel_graph()))
+        n1 = c.count(JOIN)
+        n2 = c.count(JOIN)
+        assert n1 == n2
+        assert c.result_cache.stats()["hits"] >= 1
+
+    def test_name_reports_wrapper(self):
+        c = CachedQuerySystem(RingIndex(nobel_graph()))
+        assert c.name == "Cached(Ring)"
+        assert c.inner.name == "Ring"
+
+
+class TestKeySeparation:
+    def test_limit_is_part_of_the_key(self):
+        c = CachedQuerySystem(RingIndex(nobel_graph()))
+        full = c.evaluate(JOIN)
+        capped = c.evaluate(JOIN, limit=1)
+        assert not capped.cached
+        assert len(capped) == 1
+        again = c.evaluate(JOIN, limit=1)
+        assert again.cached and len(again) == 1
+        assert items(full)[0] == items(capped)[0]
+
+    def test_projection_is_part_of_the_key(self):
+        c = CachedQuerySystem(RingIndex(nobel_graph()))
+        plain = c.evaluate(JOIN)
+        proj = c.evaluate(JOIN, project=[Var("x")])
+        assert not proj.cached
+        assert all(list(m) == [Var("x")] for m in proj)
+        assert c.evaluate(JOIN, project=[Var("x")]).cached
+        assert c.evaluate(JOIN).cached
+        assert len(plain) >= len(proj)
+
+    def test_projection_respects_renaming(self):
+        c = CachedQuerySystem(RingIndex(nobel_graph()))
+        p1 = c.evaluate(JOIN, project=[Var("y")])
+        p2 = c.evaluate("?a adv ?b . ?b adv ?c", project=[Var("b")])
+        assert p2.cached
+        assert [[v for _, v in row] for row in items(p1)] == [
+            [v for _, v in row] for row in items(p2)
+        ]
+
+    def test_decode_not_in_key(self):
+        # Decoding happens at serve time, so an id-space store also
+        # answers decoded requests (and vice versa).
+        c = CachedQuerySystem(RingIndex(nobel_graph()))
+        c.evaluate(JOIN)
+        decoded = c.evaluate(JOIN, decode=True)
+        assert decoded.cached
+        assert all(
+            isinstance(k, str) and isinstance(v, str)
+            for m in decoded
+            for k, v in m.items()
+        )
+
+    def test_explicit_var_order_bypasses(self):
+        c = CachedQuerySystem(RingIndex(nobel_graph()))
+        c.evaluate(JOIN)
+        r = c.evaluate(JOIN, var_order=[Var("z"), Var("y"), Var("x")])
+        assert not r.cached
+        assert c.result_cache.stats()["stores"] == 1  # not stored either
+
+
+class TestCompleteResultsOnly:
+    def test_truncated_result_not_stored(self):
+        from repro.reliability.budget import ResourceBudget
+
+        c = CachedQuerySystem(RingIndex(nobel_graph()))
+        r = c.evaluate(
+            JOIN,
+            partial=True,
+            budget=ResourceBudget(max_ops=1, tick_mask=0),
+        )
+        assert r.truncated
+        assert c.result_cache.stats()["stores"] == 0
+        fresh = c.evaluate(JOIN)
+        assert not fresh.cached  # nothing stale was reused
+
+    def test_unknown_constant_bypasses(self):
+        c = CachedQuerySystem(RingIndex(nobel_graph()))
+        r = c.evaluate("?x adv NoSuchNode")
+        assert r == [] and not r.cached
+        assert len(c.result_cache) == 0
+
+
+class TestGenerationInvalidation:
+    def _fresh_triple(self, index):
+        for s in range(index.graph.n_nodes):
+            if not index.contains(s, 0, s):
+                return (s, 0, s)
+        raise AssertionError("universe full")
+
+    def test_insert_invalidates(self):
+        d = DynamicRingIndex(nobel_graph())
+        c = CachedQuerySystem(d)
+        assert c.evaluate(JOIN) is not None
+        assert c.evaluate(JOIN).cached
+        c.insert(*self._fresh_triple(d))
+        after = c.evaluate(JOIN)
+        assert not after.cached
+        assert items(after) == items(d.evaluate(JOIN))
+
+    def test_delete_invalidates(self):
+        d = DynamicRingIndex(nobel_graph())
+        c = CachedQuerySystem(d)
+        t = self._fresh_triple(d)
+        c.insert(*t)
+        c.evaluate(JOIN)
+        assert c.evaluate(JOIN).cached
+        c.delete(*t)
+        assert not c.evaluate(JOIN).cached
+
+    def test_noop_write_keeps_cache(self):
+        d = DynamicRingIndex(nobel_graph())
+        c = CachedQuerySystem(d)
+        c.evaluate(JOIN)
+        existing = next(iter(d.to_graph()))
+        assert not c.insert(*existing)  # duplicate: nothing changed
+        assert c.evaluate(JOIN).cached
+
+    def test_compaction_invalidates(self):
+        d = DynamicRingIndex(nobel_graph(), auto_compact=False)
+        c = CachedQuerySystem(d)
+        c.insert(*self._fresh_triple(d))
+        c.evaluate(JOIN)
+        assert c.evaluate(JOIN).cached
+        d._compact()
+        assert not c.evaluate(JOIN).cached
+
+    def test_durable_checkpoint_invalidates(self, tmp_path):
+        from repro.reliability.wal import DurableDynamicRing
+
+        universe = Graph(
+            np.zeros((0, 3), dtype=np.int64), n_nodes=16, n_predicates=2
+        )
+        store = DurableDynamicRing.create(str(tmp_path / "idx"), universe)
+        from repro.graph.model import BasicGraphPattern, TriplePattern
+
+        q = BasicGraphPattern([TriplePattern(Var("x"), 0, Var("y"))])
+        try:
+            c = CachedQuerySystem(store)
+            c.insert(1, 0, 2)
+            c.insert(2, 0, 3)
+            c.evaluate(q)
+            assert c.evaluate(q).cached
+            store.checkpoint()
+            assert not c.evaluate(q).cached
+            assert c.evaluate(q).cached
+        finally:
+            store.close()

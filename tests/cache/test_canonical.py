@@ -1,0 +1,141 @@
+"""Canonicalizer equivalence classes: renaming/permutation invariance,
+constant discrimination, soundness of the fallback path."""
+
+import pytest
+
+from repro.cache.canonical import (
+    CanonicalBGP,
+    canonical_pattern,
+    canonicalize,
+    pattern_descriptor,
+)
+from repro.graph.model import BasicGraphPattern, TriplePattern, Var
+
+pytestmark = pytest.mark.cache
+
+A, B, C, X, Y, Z = (Var(n) for n in "abcxyz")
+
+
+def bgp(*patterns):
+    return BasicGraphPattern([TriplePattern(*p) for p in patterns])
+
+
+class TestRenamingInvariance:
+    def test_simple_rename_same_key(self):
+        q1 = canonicalize(bgp((X, 0, Y), (Y, 0, Z)))
+        q2 = canonicalize(bgp((A, 0, B), (B, 0, C)))
+        assert q1.key == q2.key
+        assert not q1.exhausted and not q2.exhausted
+
+    def test_mapping_translates_consistently(self):
+        q1 = canonicalize(bgp((X, 0, Y), (Y, 1, Z)))
+        q2 = canonicalize(bgp((C, 0, A), (A, 1, B)))
+        # Corresponding variables (x~c, y~a, z~b) share canonical ids.
+        assert q1.mapping[X] == q2.mapping[C]
+        assert q1.mapping[Y] == q2.mapping[A]
+        assert q1.mapping[Z] == q2.mapping[B]
+
+    def test_mapping_is_dense_bijection(self):
+        q = canonicalize(bgp((X, 0, Y), (Y, 1, Z), (Z, 0, X)))
+        ids = sorted(q.mapping.values())
+        assert ids == list(range(3))
+
+    def test_triangle_automorphism_rotations_collide(self):
+        # A symmetric triangle: every rotation of the names is the same
+        # query and must share a key.
+        base = canonicalize(bgp((X, 0, Y), (Y, 0, Z), (Z, 0, X)))
+        rot1 = canonicalize(bgp((Y, 0, Z), (Z, 0, X), (X, 0, Y)))
+        renamed = canonicalize(bgp((A, 0, B), (B, 0, C), (C, 0, A)))
+        assert base.key == rot1.key == renamed.key
+
+
+class TestPermutationInvariance:
+    def test_triple_order_irrelevant(self):
+        q1 = canonicalize(bgp((X, 0, Y), (Y, 1, Z), (X, 2, Z)))
+        q2 = canonicalize(bgp((X, 2, Z), (X, 0, Y), (Y, 1, Z)))
+        assert q1.key == q2.key
+        assert q1.mapping == q2.mapping
+
+    def test_permuted_and_renamed(self):
+        q1 = canonicalize(bgp((X, 0, Y), (Y, 1, Z)))
+        q2 = canonicalize(bgp((B, 1, C), (A, 0, B)))
+        assert q1.key == q2.key
+
+
+class TestSoundness:
+    """Different queries must never share a key."""
+
+    def test_constant_values_discriminate(self):
+        assert (
+            canonicalize(bgp((X, 5, 5))).key
+            != canonicalize(bgp((X, 5, 6))).key
+        )
+
+    def test_repeated_variable_vs_distinct(self):
+        # (?x, 0, ?x) has one variable, (?x, 0, ?y) has two.
+        assert (
+            canonicalize(bgp((X, 0, X))).key
+            != canonicalize(bgp((X, 0, Y))).key
+        )
+
+    def test_path_vs_star(self):
+        path = canonicalize(bgp((X, 0, Y), (Y, 0, Z)))
+        star = canonicalize(bgp((X, 0, Y), (X, 0, Z)))
+        assert path.key != star.key
+
+    def test_constant_in_variable_position(self):
+        assert (
+            canonicalize(bgp((X, 0, 7), (X, 1, Y))).key
+            != canonicalize(bgp((X, 0, Z), (X, 1, Y))).key
+        )
+
+    def test_key_reconstructs_query(self):
+        # The key is the sorted canonical patterns — re-canonicalizing
+        # the key's own patterns is a fixpoint.
+        q = canonicalize(bgp((X, 0, Y), (Y, 1, Z), (Z, 0, X)))
+        rebuilt = [
+            TriplePattern(
+                *(Var(f"c{t[1]}") if t[0] == "v" else t[1] for t in pat)
+            )
+            for pat in q.key
+        ]
+        assert canonicalize(BasicGraphPattern(rebuilt)).key == q.key
+
+
+class TestEdgesAndFallback:
+    def test_no_variables(self):
+        q = canonicalize(bgp((1, 0, 2), (3, 1, 4)))
+        assert isinstance(q, CanonicalBGP)
+        assert q.mapping == {}
+        assert q.key == canonicalize(bgp((3, 1, 4), (1, 0, 2))).key
+
+    def test_zero_budget_is_sound_and_deterministic(self):
+        # A symmetric query forces individualization; with no budget the
+        # name fallback kicks in — still a valid, stable key.
+        q1 = canonicalize(bgp((X, 0, Y), (Y, 0, X)), budget=0)
+        q2 = canonicalize(bgp((X, 0, Y), (Y, 0, X)), budget=0)
+        assert q1.exhausted
+        assert q1.key == q2.key
+        assert sorted(q1.mapping.values()) == [0, 1]
+
+    def test_exhausted_never_set_on_asymmetric(self):
+        q = canonicalize(bgp((X, 0, Y), (Y, 1, Z)))
+        assert not q.exhausted
+
+
+class TestDescriptors:
+    def test_pattern_descriptor_anonymises(self):
+        assert pattern_descriptor(
+            TriplePattern(X, 3, Y)
+        ) == pattern_descriptor(TriplePattern(A, 3, B))
+        assert pattern_descriptor(
+            TriplePattern(X, 3, X)
+        ) == pattern_descriptor(TriplePattern(B, 3, B))
+        assert pattern_descriptor(
+            TriplePattern(X, 3, X)
+        ) != pattern_descriptor(TriplePattern(X, 3, Y))
+
+    def test_canonical_pattern_uses_mapping(self):
+        assert canonical_pattern(
+            TriplePattern(X, 2, Y), {X: 1, Y: 0}
+        ) == (("v", 1), ("k", 2), ("v", 0))

@@ -1,0 +1,175 @@
+"""In-flight coalescing through the QueryBroker: one evaluation fans
+out to every concurrent identical submission, and a failing/cancelled
+leader degrades followers to independent evaluations — never a shared
+wrong answer."""
+
+import threading
+import time
+
+import pytest
+
+from repro.cache import CachedQuerySystem
+from repro.core.interface import QueryError, QueryExecutionError
+from repro.core.system import RingIndex
+from repro.graph.generators import nobel_graph
+from repro.reliability.broker import QueryBroker
+
+pytestmark = pytest.mark.cache
+
+JOIN = "?x adv ?y . ?y adv ?z"
+
+
+class Gated(RingIndex):
+    """Counts evaluations; blocks each one until the gate opens."""
+
+    def __init__(self, graph):
+        super().__init__(graph)
+        self.gate = threading.Event()
+        self.calls = 0
+        self._call_lock = threading.Lock()
+
+    def evaluate(self, query, **kwargs):
+        with self._call_lock:
+            self.calls += 1
+        self.gate.wait(10.0)
+        return super().evaluate(query, **kwargs)
+
+
+def wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError("condition never became true")
+        time.sleep(0.005)
+
+
+def items(result):
+    return [list(m.items()) for m in result]
+
+
+class TestFanOut:
+    def test_burst_shares_one_evaluation(self):
+        inner = Gated(nobel_graph())
+        cached = CachedQuerySystem(inner)
+        with QueryBroker(cached, workers=2, maintenance_interval=None) as b:
+            futures = [b.submit(JOIN, limit=100) for _ in range(6)]
+            wait_for(lambda: inner.calls >= 1)
+            inner.gate.set()
+            results = [f.result(timeout=10.0) for f in futures]
+            stats = b.stats()
+        assert inner.calls == 1
+        assert stats["coalesced"] == 5
+        assert stats["coalesce_fanout"] == 5
+        reference = items(results[0])
+        assert all(items(r) == reference for r in results)
+        # The leader evaluated, the followers were served from its entry.
+        assert sum(1 for r in results if r.cached) == 5
+
+    def test_renamed_submissions_coalesce(self):
+        inner = Gated(nobel_graph())
+        cached = CachedQuerySystem(inner)
+        with QueryBroker(cached, workers=2, maintenance_interval=None) as b:
+            f1 = b.submit(JOIN, limit=100)
+            f2 = b.submit("?a adv ?b . ?b adv ?c", limit=100)
+            wait_for(lambda: inner.calls >= 1)
+            inner.gate.set()
+            r1, r2 = f1.result(10.0), f2.result(10.0)
+            stats = b.stats()
+        assert inner.calls == 1
+        assert stats["coalesced"] == 1
+        assert [[v for _, v in row] for row in items(r1)] == [
+            [v for _, v in row] for row in items(r2)
+        ]
+
+    def test_after_completion_new_submission_hits_at_admission(self):
+        inner = Gated(nobel_graph())
+        inner.gate.set()  # no blocking needed here
+        cached = CachedQuerySystem(inner)
+        with QueryBroker(cached, workers=1, maintenance_interval=None) as b:
+            b.submit(JOIN, limit=100).result(10.0)
+            r = b.submit(JOIN, limit=100).result(10.0)
+            stats = b.stats()
+        assert r.cached
+        assert stats["cache_hits"] == 1
+        assert inner.calls == 1
+
+    def test_different_queries_do_not_coalesce(self):
+        inner = Gated(nobel_graph())
+        inner.gate.set()
+        cached = CachedQuerySystem(inner)
+        with QueryBroker(cached, workers=1, maintenance_interval=None) as b:
+            b.submit("?x adv ?y", limit=100).result(10.0)
+            b.submit("?x nom ?y", limit=100).result(10.0)
+            stats = b.stats()
+        assert stats["coalesced"] == 0
+        assert inner.calls == 2
+
+
+class FailFirst(Gated):
+    """The first (gated) evaluation dies mid-flight; later ones work."""
+
+    def evaluate(self, query, **kwargs):
+        with self._call_lock:
+            self.calls += 1
+            first = self.calls == 1
+        self.gate.wait(10.0)
+        if first:
+            raise QueryExecutionError("injected leader crash", bgp=None)
+        return RingIndex.evaluate(self, query, **kwargs)
+
+
+class TestLeaderFailure:
+    def test_failed_leader_followers_still_answered(self):
+        """A crashing leader degrades followers to their own runs."""
+        inner = FailFirst(nobel_graph())
+        cached = CachedQuerySystem(inner)
+        with QueryBroker(cached, workers=1, maintenance_interval=None) as b:
+            leader = b.submit(JOIN, limit=100)
+            wait_for(lambda: inner.calls >= 1)
+            followers = [b.submit(JOIN, limit=100) for _ in range(2)]
+            inner.gate.set()
+            with pytest.raises(QueryError):
+                leader.result(timeout=10.0)
+            results = [f.result(timeout=10.0) for f in followers]
+        reference = items(results[0])
+        assert all(items(r) == reference for r in results)
+        assert len(reference) > 0
+        # Leader crashed; the first follower re-evaluated for real, the
+        # second was served from the entry that evaluation stored.
+        assert inner.calls == 2
+        assert items(results[0]) == items(
+            RingIndex(nobel_graph()).evaluate(JOIN, limit=100)
+        )
+
+    def test_stop_fails_parked_followers(self):
+        from repro.reliability.broker import QueryRejected
+
+        inner = Gated(nobel_graph())
+        cached = CachedQuerySystem(inner)
+        b = QueryBroker(
+            cached, workers=1, queue_depth=4, maintenance_interval=None
+        ).start()
+        blocker = b.submit("?x nom ?y", limit=10)  # occupies the worker
+        wait_for(lambda: inner.calls >= 1)
+        leader = b.submit(JOIN, limit=100)   # queued, unstarted leader
+        follower = b.submit(JOIN, limit=100)  # parked behind it
+        b.stop(timeout=0.2)
+        inner.gate.set()
+        for fut in (leader, follower):
+            with pytest.raises(QueryRejected):
+                fut.result(timeout=5.0)
+        assert blocker is not None  # the in-flight one is left to finish
+
+    def test_coalesce_disabled(self):
+        inner = Gated(nobel_graph())
+        inner.gate.set()
+        cached = CachedQuerySystem(inner)
+        with QueryBroker(
+            cached, workers=1, maintenance_interval=None, coalesce=False
+        ) as b:
+            b.submit(JOIN, limit=100).result(10.0)
+            r = b.submit(JOIN, limit=100).result(10.0)
+            stats = b.stats()
+        assert stats["cache_hits"] == 0 and stats["coalesced"] == 0
+        assert r.cached  # the index-level cache still serves the repeat
+        assert inner.calls == 1

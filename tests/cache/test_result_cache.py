@@ -1,0 +1,137 @@
+"""ResultCache unit behaviour: LRU byte budget, generation tags,
+fingerprint self-verification, and fault-injection degradation."""
+
+import pytest
+
+from repro.cache import CachedQuerySystem, ResultCache, estimate_entry_bytes
+from repro.core.system import RingIndex
+from repro.graph.generators import nobel_graph
+from repro.reliability.faults import (
+    Fault,
+    InjectedFault,
+    available_sites,
+    inject_faults,
+)
+
+pytestmark = pytest.mark.cache
+
+
+def rows(n, width=2):
+    return tuple(
+        tuple((c, 100 * i + c) for c in range(width)) for i in range(n)
+    )
+
+
+class TestLookupStore:
+    def test_roundtrip(self):
+        cache = ResultCache()
+        r = rows(3)
+        assert cache.store("k", 7, r)
+        entry = cache.lookup("k", 7)
+        assert entry is not None and entry.rows == r
+        assert cache.stats()["hits"] == 1
+
+    def test_miss(self):
+        cache = ResultCache()
+        assert cache.lookup("absent", 0) is None
+        assert cache.stats()["misses"] == 1
+
+    def test_generation_mismatch_drops_entry(self):
+        cache = ResultCache()
+        cache.store("k", 1, rows(2))
+        assert cache.lookup("k", 2) is None
+        assert len(cache) == 0  # evicted on touch, not just skipped
+        assert cache.stats()["invalidated"] == 1
+
+    def test_replace_same_key(self):
+        cache = ResultCache()
+        cache.store("k", 1, rows(2))
+        cache.store("k", 1, rows(5))
+        assert len(cache) == 1
+        assert cache.lookup("k", 1).rows == rows(5)
+        assert cache.bytes_used == estimate_entry_bytes(rows(5))
+
+
+class TestByteBudget:
+    def test_lru_eviction_by_bytes(self):
+        unit = estimate_entry_bytes(rows(4))
+        cache = ResultCache(capacity_bytes=3 * unit)
+        for i in range(3):
+            cache.store(i, 0, rows(4))
+        assert len(cache) == 3
+        cache.lookup(0, 0)  # 0 becomes most-recent; 1 is now LRU
+        cache.store(3, 0, rows(4))
+        assert cache.lookup(1, 0) is None
+        assert cache.lookup(0, 0) is not None
+        assert cache.bytes_used <= cache.capacity_bytes
+        assert cache.stats()["evictions"] == 1
+
+    def test_oversize_refused(self):
+        cache = ResultCache(capacity_bytes=1024)
+        cache.store("small", 0, rows(1))
+        assert not cache.store("huge", 0, rows(100))
+        assert cache.lookup("small", 0) is not None  # nothing evicted
+        assert cache.stats()["oversize_rejected"] == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity_bytes=0)
+
+
+class TestFingerprint:
+    def test_corrupted_rows_dropped(self):
+        cache = ResultCache()
+        cache.store("k", 0, rows(3))
+        cache._entries["k"].rows = rows(2)  # simulate corruption
+        assert cache.lookup("k", 0) is None
+        assert len(cache) == 0
+        assert cache.stats()["corrupt_dropped"] == 1
+
+    def test_invalidate_all(self):
+        cache = ResultCache()
+        for i in range(4):
+            cache.store(i, 0, rows(2))
+        assert cache.invalidate_all() == 4
+        assert len(cache) == 0 and cache.bytes_used == 0
+
+
+class TestFaultInjection:
+    """The cache.lookup / cache.store sites degrade, never corrupt."""
+
+    def test_sites_registered(self):
+        sites = available_sites()
+        assert "cache.lookup" in sites and "cache.store" in sites
+
+    def test_lookup_fault_falls_through_to_evaluation(self):
+        system = CachedQuerySystem(RingIndex(nobel_graph()))
+        q = "?x adv ?y . ?y adv ?z"
+        reference = system.evaluate(q)
+        with inject_faults(Fault("cache.lookup", error=InjectedFault), seed=11):
+            r = system.evaluate(q)
+        assert not r.cached
+        assert [list(m.items()) for m in r] == [
+            list(m.items()) for m in reference
+        ]
+        assert system.cache_stats()["degraded"] >= 1
+
+    def test_store_fault_only_costs_future_hits(self):
+        system = CachedQuerySystem(RingIndex(nobel_graph()))
+        q = "?x adv ?y . ?y adv ?z"
+        with inject_faults(Fault("cache.store", error=InjectedFault), seed=11):
+            r1 = system.evaluate(q)
+            r2 = system.evaluate(q)
+        assert not r1.cached and not r2.cached  # nothing ever stored
+        assert [list(m.items()) for m in r1] == [list(m.items()) for m in r2]
+        r3 = system.evaluate(q)  # faults gone: stores work again
+        r4 = system.evaluate(q)
+        assert not r3.cached and r4.cached
+
+    def test_lookup_latency_does_not_change_answers(self):
+        system = CachedQuerySystem(RingIndex(nobel_graph()))
+        q = "?x adv ?y"
+        reference = system.evaluate(q)
+        with inject_faults(Fault("cache.lookup", latency=0.001), seed=5):
+            r = system.evaluate(q)
+        assert [list(m.items()) for m in r] == [
+            list(m.items()) for m in reference
+        ]

@@ -1,0 +1,146 @@
+"""PlanStatsCache: renaming-invariant memo keys, generation scoping,
+engine integration, and JSON persistence."""
+
+import pytest
+
+from repro.cache import CachedQuerySystem, PlanStatsCache
+from repro.core.dynamic import DynamicRingIndex
+from repro.core.system import RingIndex
+from repro.graph.generators import nobel_graph
+from repro.graph.model import TriplePattern, Var
+
+pytestmark = pytest.mark.cache
+
+X, Y, A, B = Var("x"), Var("y"), Var("a"), Var("b")
+
+
+class FakeIterator:
+    """Just enough of the PatternIterator surface for the memo."""
+
+    def __init__(self, pattern, count_value):
+        self.pattern = pattern
+        self._count = count_value
+        self.count_calls = 0
+
+    def count(self):
+        self.count_calls += 1
+        return self._count
+
+
+class TestMemo:
+    def test_count_memoized(self):
+        cache = PlanStatsCache()
+        it = FakeIterator(TriplePattern(X, 3, Y), 42)
+        assert cache.count(it) == 42
+        assert cache.count(it) == 42
+        assert it.count_calls == 1
+        assert cache.stats()["hits"] == 1
+
+    def test_key_is_renaming_invariant(self):
+        cache = PlanStatsCache()
+        it1 = FakeIterator(TriplePattern(X, 3, Y), 42)
+        it2 = FakeIterator(TriplePattern(A, 3, B), 99)  # same shape
+        assert cache.count(it1) == 42
+        assert cache.count(it2) == 42  # memo hit: it2.count never runs
+        assert it2.count_calls == 0
+
+    def test_distinct_keyed_by_variable_positions(self):
+        cache = PlanStatsCache()
+        it = FakeIterator(TriplePattern(X, 3, Y), 10)
+        calls = []
+
+        def estimator(var):
+            calls.append(var)
+            return 5 if var is X else 7
+
+        assert cache.distinct(it, X, estimator) == 5
+        assert cache.distinct(it, Y, estimator) == 7
+        assert cache.distinct(it, X, estimator) == 5
+        assert len(calls) == 2  # third call was a hit
+        # A renamed iterator with the same shape hits both entries.
+        it2 = FakeIterator(TriplePattern(A, 3, B), 10)
+        assert cache.distinct(it2, A, lambda v: 999) == 5
+
+    def test_distinct_without_estimator_falls_back_to_count(self):
+        cache = PlanStatsCache()
+        it = FakeIterator(TriplePattern(X, 3, Y), 13)
+        assert cache.distinct(it, X, None) == 13
+
+
+class TestGenerationScoping:
+    def test_generation_change_clears(self):
+        gen = [0]
+        cache = PlanStatsCache(generation_source=lambda: gen[0])
+        it = FakeIterator(TriplePattern(X, 3, Y), 5)
+        cache.count(it)
+        assert len(cache) == 1
+        gen[0] = 1
+        assert cache.count(it) == 5
+        assert it.count_calls == 2  # recomputed at the new generation
+        assert cache.stats()["invalidations"] == 1
+
+    def test_stale_write_not_memoized(self):
+        gen = [0]
+        cache = PlanStatsCache(generation_source=lambda: gen[0])
+
+        class RacingIterator(FakeIterator):
+            def count(inner_self):
+                gen[0] += 1  # a write lands mid-computation
+                return super().count()
+
+        cache.count(RacingIterator(TriplePattern(X, 3, Y), 5))
+        assert len(cache) == 0  # the raced value was not kept
+
+
+class TestEngineIntegration:
+    def test_planner_consults_memo_and_plans_identically(self):
+        plain = RingIndex(nobel_graph())
+        cached = CachedQuerySystem(RingIndex(nobel_graph()))
+        q = "?x adv ?y . ?y adv ?z . ?x nom ?w"
+        assert plain.explain(q) == cached.explain(q)
+        memo = cached.stats_cache.stats()
+        assert memo["misses"] > 0
+        cached.explain(q)
+        assert cached.stats_cache.stats()["hits"] > memo["hits"]
+
+    def test_memo_scoped_to_dynamic_epoch(self):
+        d = DynamicRingIndex(nobel_graph())
+        c = CachedQuerySystem(d)
+        c.evaluate("?x adv ?y . ?y adv ?z")
+        assert len(c.stats_cache) > 0
+        for s in range(d.graph.n_nodes):
+            if not d.contains(s, 0, s):
+                c.insert(s, 0, s)
+                break
+        c.evaluate("?x adv ?y . ?y adv ?z")
+        assert c.stats_cache.stats()["invalidations"] >= 1
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        path = tmp_path / "stats.json"
+        cache = PlanStatsCache(generation_source=lambda: ("t", 7))
+        it = FakeIterator(TriplePattern(X, 3, Y), 42)
+        cache.count(it)
+        cache.save(path)
+        loaded = PlanStatsCache.load(path, generation_source=lambda: ("t", 7))
+        assert len(loaded) == 1
+        it2 = FakeIterator(TriplePattern(A, 3, B), 0)
+        assert loaded.count(it2) == 42
+        assert it2.count_calls == 0
+
+    def test_load_generation_mismatch_is_empty(self, tmp_path):
+        path = tmp_path / "stats.json"
+        cache = PlanStatsCache(generation_source=lambda: ("t", 7))
+        cache.count(FakeIterator(TriplePattern(X, 3, Y), 42))
+        cache.save(path)
+        loaded = PlanStatsCache.load(path, generation_source=lambda: ("t", 8))
+        assert len(loaded) == 0
+
+    def test_load_corrupt_file_is_empty(self, tmp_path):
+        path = tmp_path / "stats.json"
+        path.write_text("{not json", encoding="utf-8")
+        assert len(PlanStatsCache.load(path)) == 0
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert len(PlanStatsCache.load(tmp_path / "nope.json")) == 0
