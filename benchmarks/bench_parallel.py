@@ -67,6 +67,9 @@ def test_speedup_gate_recorded(parallel_report):
     """The artifact says whether the speedup gate applied on this host."""
     gate = parallel_report["speedup_gate"]
     assert gate["cpus"] == _CPUS
+    assert gate["cpu_count"] == _CPUS, (
+        "gate metadata must record the host cpu_count"
+    )
     assert gate["applicable"] == (_CPUS >= MIN_GATE_CPUS)
     assert gate["min_speedup"] == MIN_PARALLEL_SPEEDUP
     if not gate["applicable"]:

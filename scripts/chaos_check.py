@@ -59,6 +59,7 @@ import random
 import shutil
 import sys
 import tempfile
+import time
 
 import numpy as np
 
@@ -641,6 +642,225 @@ def drill_cache(rounds: int, seed: int) -> list[str]:
     return failures
 
 
+# -- shard drill (fault-tolerant serving tier) --------------------------------
+
+
+def drill_shards(rounds: int, seed: int) -> list[str]:
+    """Kill a random shard mid-query; the coordinator must degrade, never
+    hang or lie.
+
+    Each round scatters a workload query over 4 shards while a timer
+    kills a random shard at a random instant (a ``shard.gather`` latency
+    fault keeps the query in flight long enough for the kill to land
+    mid-gather).  The result must be either the exact reference or a
+    *flagged* partial: rows a subset of the reference, ``truncated``
+    set, and the dead shard named in ``result.shards.failed``.  The
+    drill then asserts the full recovery story: the degraded answer is
+    deterministic across reruns, a supervisor sweep restarts the shard
+    (the breaker walks open → half-open → closed), and an unfaulted
+    rerun is byte-identical to the reference.
+    """
+    import threading
+
+    from repro.serving import (
+        CircuitBreaker,
+        RetryPolicy,
+        ShardCoordinator,
+        ShardedRingIndex,
+        ShardSupervisor,
+    )
+
+    rng = random.Random(seed)
+    failures: list[str] = []
+    graph = random_graph(600, n_nodes=30, n_predicates=2, seed=5)
+    serial = RingIndex(graph)
+    reference = {
+        name: {frozenset(mu.items()) for mu in serial.evaluate(bgp)}
+        for name, bgp in WORKLOAD
+    }
+    print(f"\nshard drill: kill-a-shard mid-query, {rounds} rounds "
+          f"over {len(WORKLOAD)} queries, 4 shards")
+    for round_no in range(rounds):
+        name, bgp = WORKLOAD[round_no % len(WORKLOAD)]
+        ref = reference[name]
+        victim = rng.randrange(4)
+        label = f"  shard {round_no:3d} {name:8s} victim={victim}"
+        shards = ShardedRingIndex.from_graph(graph, 4)
+        coord = ShardCoordinator(
+            shards,
+            retry_policy=RetryPolicy(
+                max_attempts=2, base_delay=0.005, seed=round_no
+            ),
+            breaker_factory=lambda: CircuitBreaker(
+                failure_threshold=2, reset_timeout=0.05
+            ),
+            shard_timeout=1.0,
+        )
+        try:
+            timer = threading.Timer(
+                rng.uniform(0.0, 0.01), shards.kill_shard, args=(victim,)
+            )
+            fault = Fault("shard.gather", probability=1.0, latency=0.004)
+            timer.start()
+            try:
+                with inject_faults(fault, seed=rng.randrange(2**31)):
+                    result = coord.evaluate(bgp, partial=True, timeout=10.0)
+            finally:
+                timer.join()
+            rows = {frozenset(mu.items()) for mu in result}
+            report = result.shards
+            if report.complete:
+                if rows != ref:
+                    failures.append(f"{label}: complete but wrong answer")
+                    print(f"{label}: WRONG COMPLETE ANSWER")
+                    continue
+                detail = "kill landed late; complete answer"
+            else:
+                if report.failed != (victim,):
+                    failures.append(
+                        f"{label}: failed shards {report.failed} != "
+                        f"({victim},)"
+                    )
+                    print(f"{label}: WRONG FAILURE TAG {report.failed}")
+                    continue
+                if not rows <= ref:
+                    failures.append(
+                        f"{label}: {len(rows - ref)} row(s) outside the "
+                        f"reference — a lie, not a degradation"
+                    )
+                    print(f"{label}: BOGUS ROWS IN PARTIAL")
+                    continue
+                if not result.truncated:
+                    failures.append(f"{label}: partial result not flagged")
+                    print(f"{label}: UNFLAGGED PARTIAL")
+                    continue
+                again = coord.evaluate(bgp, partial=True, timeout=10.0)
+                if list(result) != list(again) or (
+                    again.shards.failed != report.failed
+                ):
+                    failures.append(f"{label}: partial result not deterministic")
+                    print(f"{label}: NONDETERMINISTIC PARTIAL")
+                    continue
+                detail = (
+                    f"flagged partial {len(rows)}/{len(ref)} rows, "
+                    f"deterministic"
+                )
+            # Recovery: supervisor restart → breaker half-open probe →
+            # byte-identical complete rerun.
+            supervisor = ShardSupervisor(shards, interval=0.01)
+            supervisor.sweep()
+            if not shards.endpoints[victim].alive:
+                failures.append(f"{label}: supervisor failed to restart")
+                print(f"{label}: RESTART FAILED")
+                continue
+            breaker = coord.breakers[victim]
+            if breaker.state == "open":
+                time.sleep(0.06)  # past reset_timeout: open -> half-open
+                if breaker.state != "half-open":
+                    failures.append(
+                        f"{label}: breaker stuck {breaker.state} after reset "
+                        f"window"
+                    )
+                    print(f"{label}: BREAKER STUCK")
+                    continue
+            final = coord.evaluate(bgp, timeout=10.0)
+            final_rows = {frozenset(mu.items()) for mu in final}
+            if final_rows != ref or not final.shards.complete:
+                failures.append(
+                    f"{label}: post-restart rerun not byte-identical "
+                    f"({len(final_rows)} vs {len(ref)} rows)"
+                )
+                print(f"{label}: POST-RESTART MISMATCH")
+                continue
+            print(f"{label}: {detail}; recovered to exact answer "
+                  f"(breaker {breaker.state})")
+        except ALLOWED_ERRORS as exc:
+            failures.append(
+                f"{label}: partial=True must degrade, not raise "
+                f"({type(exc).__name__})"
+            )
+            print(f"{label}: UNEXPECTED {type(exc).__name__}")
+        finally:
+            shards.shutdown()
+    failures += _drill_shard_fault_sites(seed + 7)
+    return failures
+
+
+def _drill_shard_fault_sites(seed: int) -> list[str]:
+    """Arm ``shard.dispatch`` / ``shard.restart`` directly.
+
+    Flaky dispatches must yield only exact or flagged-subset answers;
+    a failing restart must be *counted* by the supervisor, never crash
+    it, and recovery must complete once the fault clears.
+    """
+    from repro.serving import (
+        CircuitBreaker,
+        RetryPolicy,
+        ShardCoordinator,
+        ShardedRingIndex,
+        ShardSupervisor,
+    )
+
+    failures: list[str] = []
+    graph = random_graph(600, n_nodes=30, n_predicates=2, seed=5)
+    serial = RingIndex(graph)
+    name, bgp = WORKLOAD[1]
+    ref = {frozenset(mu.items()) for mu in serial.evaluate(bgp)}
+    print("\nshard drill: fault sites shard.dispatch, shard.restart")
+
+    shards = ShardedRingIndex.from_graph(graph, 4)
+    coord = ShardCoordinator(
+        shards,
+        retry_policy=RetryPolicy(max_attempts=3, base_delay=0.002, seed=seed),
+        breaker_factory=lambda: CircuitBreaker(
+            failure_threshold=3, reset_timeout=0.02
+        ),
+    )
+    try:
+        fault = Fault("shard.dispatch", probability=0.4, error=InjectedFault)
+        with inject_faults(fault, seed=seed):
+            for attempt in range(4):
+                result = coord.evaluate(bgp, partial=True, timeout=10.0)
+                rows = {frozenset(mu.items()) for mu in result}
+                if result.shards.complete:
+                    if rows != ref:
+                        failures.append(
+                            "shard.dispatch fault: complete but wrong"
+                        )
+                        break
+                elif not (rows <= ref and result.truncated):
+                    failures.append(
+                        "shard.dispatch fault: unflagged or bogus partial"
+                    )
+                    break
+            else:
+                print(f"  dispatch  : {fault.fired} faults fired, every "
+                      f"answer exact or flagged subset")
+
+        # A restart that itself fails must be counted, not raised.
+        shards.kill_shard(1)
+        supervisor = ShardSupervisor(shards, interval=0.01)
+        restart_fault = Fault(
+            "shard.restart", probability=1.0, error=InjectedFault
+        )
+        with inject_faults(restart_fault, seed=seed):
+            supervisor.sweep()
+        if shards.endpoints[1].alive:
+            failures.append("shard.restart fault: shard restarted anyway")
+        elif supervisor.stats()["failed_restarts"][1] < 1:
+            failures.append("shard.restart fault: failure not counted")
+        else:
+            supervisor.sweep()  # unfaulted: recovery must now succeed
+            if not shards.endpoints[1].alive:
+                failures.append("shard.restart: recovery after fault failed")
+            else:
+                print(f"  restart   : failed restart counted "
+                      f"({restart_fault.fired} fired), then recovered")
+    finally:
+        shards.shutdown()
+    return failures
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--rounds", type=int, default=40)
@@ -653,6 +873,8 @@ def main() -> None:
                         help="killed-worker parallel drill rounds")
     parser.add_argument("--cache-rounds", type=int, default=9,
                         help="serving-cache drill rounds")
+    parser.add_argument("--shard-rounds", type=int, default=8,
+                        help="kill-a-shard serving drill rounds")
     args = parser.parse_args()
     status = run(args.rounds, args.seed)
     failures = drill_crash_sites(args.dyn_rounds, args.seed + 1)
@@ -660,6 +882,7 @@ def main() -> None:
     failures += drill_parallel_kill(args.kill_rounds, args.seed + 3)
     failures += drill_parallel_faults(args.seed + 4)
     failures += drill_cache(args.cache_rounds, args.seed + 5)
+    failures += drill_shards(args.shard_rounds, args.seed + 6)
     print(f"\ndurability drills: {len(failures)} failure(s)")
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

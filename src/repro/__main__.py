@@ -369,6 +369,65 @@ def cmd_serve(args) -> None:
         print("bye")
 
 
+def cmd_shard_serve(args) -> None:
+    # Lazy: pulls in the whole serving tier only this command needs.
+    import asyncio
+
+    import numpy as np
+
+    from repro.serving import (
+        ShardCoordinator,
+        ShardedRingIndex,
+        ShardFrontend,
+        ShardSupervisor,
+    )
+
+    if args.create:
+        universe = Graph(
+            np.empty((0, 3), dtype=np.int64),
+            n_nodes=args.n_nodes,
+            n_predicates=args.n_predicates,
+        )
+        shards = ShardedRingIndex.create_durable(
+            args.directory,
+            universe,
+            args.shards,
+            buffer_threshold=args.threshold,
+            broker_options={"workers": args.workers},
+        )
+        print(f"created {args.directory}: {args.shards} durable shard(s) "
+              f"({args.n_nodes} nodes, {args.n_predicates} predicates)")
+    else:
+        shards = ShardedRingIndex.recover(
+            args.directory,
+            buffer_threshold=args.threshold,
+            broker_options={"workers": args.workers},
+        )
+        print(f"recovered {shards.n_shards} shard(s), "
+              f"{shards.n_triples} triple(s)")
+    served = ShardCoordinator(shards, shard_timeout=args.shard_timeout)
+    if args.cache:
+        # The wrapper delegates every coordinator hook (shards, graph,
+        # stats) transparently, so the frontend serves through it as-is.
+        from repro.cache import CachedQuerySystem
+
+        served = CachedQuerySystem(served, capacity_bytes=args.cache_mb << 20)
+        print(f"cache enabled ({args.cache_mb} MiB)")
+    supervisor = ShardSupervisor(shards, interval=args.supervise_interval)
+    frontend = ShardFrontend(
+        served,
+        supervisor=supervisor,
+        max_in_flight=args.max_in_flight,
+        default_timeout=args.timeout,
+        decode=shards.graph.dictionary is not None,
+    )
+    try:
+        with supervisor:
+            asyncio.run(frontend.serve_stdin())
+    finally:
+        shards.shutdown(checkpoint=not args.no_final_checkpoint)
+
+
 def cmd_recover(args) -> None:
     from repro.reliability.wal import DurableDynamicRing
 
@@ -485,6 +544,42 @@ def main(argv=None) -> None:
     p.add_argument("--cache-mb", type=int, default=64,
                    help="result-cache byte budget in MiB (with --cache)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "shard-serve",
+        help="run a supervised, sharded scatter-gather tier on stdin",
+    )
+    p.add_argument("directory", help="sharded store directory (SHARDS.json)")
+    p.add_argument("--create", action="store_true",
+                   help="initialise fresh durable shards instead of "
+                        "recovering")
+    p.add_argument("--shards", type=int, default=4,
+                   help="number of subject-hash shards for --create")
+    p.add_argument("--n-nodes", type=int, default=1024,
+                   help="node universe size for --create")
+    p.add_argument("--n-predicates", type=int, default=32,
+                   help="predicate universe size for --create")
+    p.add_argument("--threshold", type=int, default=64,
+                   help="per-shard buffer size that triggers a freeze")
+    p.add_argument("--workers", type=int, default=2,
+                   help="broker worker threads per shard")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="default per-query deadline in seconds")
+    p.add_argument("--shard-timeout", type=float, default=None,
+                   help="per-shard sub-query deadline in seconds")
+    p.add_argument("--max-in-flight", type=int, default=8,
+                   help="concurrent query cap; excess load is shed with "
+                        "a typed rejection")
+    p.add_argument("--supervise-interval", type=float, default=0.1,
+                   help="seconds between supervisor health sweeps")
+    p.add_argument("--no-final-checkpoint", action="store_true",
+                   help="skip the per-shard checkpoint taken on shutdown")
+    p.add_argument("--cache", action="store_true",
+                   help="serve repeated queries from the canonical result "
+                        "cache keyed on the shard-generation vector")
+    p.add_argument("--cache-mb", type=int, default=64,
+                   help="result-cache byte budget in MiB (with --cache)")
+    p.set_defaults(func=cmd_shard_serve)
 
     p = sub.add_parser(
         "recover",

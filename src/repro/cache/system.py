@@ -116,8 +116,14 @@ class CachedQuerySystem:
                 engine._use_ordering,
                 engine._use_batch,
             )
+            self._plan_signature = engine.plan_signature
         else:
             self._flags = (getattr(index, "name", type(index).__name__),)
+            # Engine-less systems (e.g. the sharded coordinator, whose
+            # canonical sort makes row order plan-independent) opt into
+            # caching by exposing their own signature hook.
+            sig = getattr(index, "cache_plan_signature", None)
+            self._plan_signature = sig if callable(sig) else None
         self._stats_cache = stats_cache
         if engine is not None and share_planner_stats:
             if self._stats_cache is None:
@@ -167,7 +173,7 @@ class CachedQuerySystem:
         pattern, no LTJ engine to report a plan signature) — the caller
         falls through to a normal evaluation.
         """
-        if self._engine is None:
+        if self._plan_signature is None:
             return None
         encoded = self._index.graph.encode_bgp(bgp)
         if encoded is None:
@@ -176,7 +182,7 @@ class CachedQuerySystem:
         # between planning and evaluation the stored generation check
         # (see _store) refuses the entry, so the window is safe.
         generation = generation_of(self._index)
-        sig = self._engine.plan_signature(encoded)
+        sig = self._plan_signature(encoded)
         if sig is None:  # some pattern is empty right now
             return None
         order, lonely_patterns = sig

@@ -43,7 +43,7 @@ class QueryResult(list):
     is drop-in compatible with every existing caller.
     """
 
-    __slots__ = ("truncated", "interrupted_by", "budget", "cached")
+    __slots__ = ("truncated", "interrupted_by", "budget", "cached", "shards")
 
     def __init__(self, iterable=()) -> None:
         super().__init__(iterable)
@@ -57,12 +57,18 @@ class QueryResult(list):
         #: (:class:`repro.cache.system.CachedQuerySystem`) instead of a
         #: fresh evaluation.
         self.cached = False
+        #: Scatter-gather provenance set by the sharded serving tier
+        #: (:mod:`repro.serving`): a :class:`~repro.serving.coordinator.
+        #: ShardReport` naming which shards answered and which failed.
+        #: ``None`` for single-node evaluations.
+        self.shards = None
 
     def _copy_flags(self, other: "QueryResult") -> "QueryResult":
         self.truncated = other.truncated
         self.interrupted_by = other.interrupted_by
         self.budget = other.budget
         self.cached = other.cached
+        self.shards = other.shards
         return self
 
 

@@ -186,6 +186,21 @@ class QueryBroker:
         self._stop.set()
         # Fail queued-but-unstarted futures so callers don't hang —
         # including followers parked behind a drained leader.
+        self._drain_queue()
+        for t in self._threads:
+            t.join(timeout=timeout)
+        # Close the submit/stop race: a submit() that passed the entry
+        # check before the flag flipped may have enqueued its job after
+        # the drain above.  With the workers joined nothing consumes the
+        # queue any more, so drain once again — between this sweep and
+        # submit()'s own post-enqueue re-check (see below), every such
+        # straggler is failed rather than stranded.
+        self._drain_queue()
+        self._threads.clear()
+        self._started = False
+
+    def _drain_queue(self) -> None:
+        """Fail every queued-but-unstarted job with :class:`QueryRejected`."""
         while True:
             try:
                 job = self._queue.get_nowait()
@@ -198,10 +213,6 @@ class QueryBroker:
                     )
                 with self._inflight_lock:
                     self._inflight.discard(waiter)
-        for t in self._threads:
-            t.join(timeout=timeout)
-        self._threads.clear()
-        self._started = False
 
     def __enter__(self) -> "QueryBroker":
         return self.start()
@@ -283,6 +294,22 @@ class QueryBroker:
                 f"admission queue full "
                 f"({self._queue.maxsize} waiting, {self._workers_n} workers)"
             ) from None
+        if self._stop.is_set():
+            # The entry check above raced stop(): the flag flipped after
+            # it passed, so this job may have been enqueued after stop()
+            # drained the queue — with the workers gone, nothing would
+            # ever cancel or fail it.  The flag is set before stop()
+            # drains, so at this point either stop()'s sweep already
+            # failed the job, or it is still queued and this drain fails
+            # it now; either way the future resolves.
+            self._drain_queue()
+            exc = (
+                job.future.exception(timeout=0)
+                if job.future.done()
+                else None
+            )
+            if isinstance(exc, QueryRejected):
+                raise exc
         return job.future
 
     def _abandon_leadership(self, job: _Job) -> None:

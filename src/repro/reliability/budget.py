@@ -94,6 +94,7 @@ class ResourceBudget:
         "ops",
         "solutions",
         "row_demand",
+        "_folded_ops",
     )
 
     def __init__(
@@ -121,6 +122,9 @@ class ResourceBudget:
         # projection dedup in between), so parallel drivers may cap each
         # slice block at the remaining demand without losing rows.
         self.row_demand: Optional[int] = None
+        # Ops of THIS budget already folded into some parent via
+        # ``parent.fold(self)``; makes repeated folds idempotent.
+        self._folded_ops = 0
 
     # -- construction helpers ------------------------------------------------
 
@@ -138,6 +142,64 @@ class ResourceBudget:
         if isinstance(value, ResourceBudget):
             return value
         return cls(timeout=float(value))
+
+    def sub_budget(
+        self,
+        timeout: Optional[float] = None,
+        max_ops: Optional[int] = None,
+        max_solutions: Optional[int] = None,
+    ) -> "ResourceBudget":
+        """A child budget that can never outlive (or outspend) this one.
+
+        The sharded serving tier hands each per-shard dispatch — and the
+        coordinator's local join — a sub-budget instead of the parent:
+
+        - the child's **deadline is clamped** to the parent's, so a
+          per-shard ``timeout`` can only tighten it, never extend it;
+        - the child **shares the parent's cancellation token**, so
+          cancelling the query cancels every outstanding shard call;
+        - the child's **op cap** is at most the parent's remaining
+          allowance (its own counter starts at zero);
+        - the child's work is accounted back through :meth:`fold`, which
+          is idempotent per child — retried shards and repeated folds
+          can never double-charge the parent.
+        """
+        child = ResourceBudget(
+            timeout=timeout,
+            max_ops=None,
+            max_solutions=max_solutions,
+            token=self.token,
+            tick_mask=self.tick_mask,
+        )
+        if self.deadline is not None and (
+            child.deadline is None or child.deadline > self.deadline
+        ):
+            child.deadline = self.deadline
+            child.timeout = self.remaining_time()
+        if self.max_ops is not None:
+            remaining = max(self.max_ops - self.ops, 0)
+            child.max_ops = (
+                remaining if max_ops is None else min(max_ops, remaining)
+            )
+        elif max_ops is not None:
+            child.max_ops = max_ops
+        return child
+
+    def fold(self, child: "ResourceBudget") -> int:
+        """Charge ``child``'s unfolded ops to this budget; returns the delta.
+
+        Safe to call any number of times per child (only the ops accrued
+        since the previous fold are added) and never raises — the caller
+        decides when to :meth:`check`.  This is how scatter-gather layers
+        keep one parent governor honest across shard retries without
+        double-counting work that was already accounted.
+        """
+        delta = child.ops - child._folded_ops
+        if delta <= 0:
+            return 0
+        child._folded_ops = child.ops
+        self.ops += delta
+        return delta
 
     @property
     def unlimited(self) -> bool:

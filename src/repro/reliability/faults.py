@@ -92,6 +92,13 @@ LAZY_SITES: dict[str, tuple[str, Optional[str], str]] = {
     # (CachedQuerySystem wraps both calls fail-open).
     "cache.lookup": ("repro.cache.result_cache", "ResultCache", "lookup"),
     "cache.store": ("repro.cache.result_cache", "ResultCache", "store"),
+    # Sharded serving tier: dispatch/gather cover the scatter-gather
+    # RPC seams of the coordinator (retry + breaker + partial-result
+    # degradation), restart covers the supervisor's recovery path — a
+    # failing restart must be counted, never crash the supervisor.
+    "shard.dispatch": ("repro.serving.coordinator", None, "dispatch_shard"),
+    "shard.gather": ("repro.serving.coordinator", None, "gather_block"),
+    "shard.restart": ("repro.serving.supervisor", None, "restart_shard"),
 }
 
 

@@ -1,0 +1,40 @@
+"""Sharded, fault-tolerant serving tier (INTERNALS §11).
+
+The ring's succinctness makes shards cheap; this package supplies the
+discipline for *surviving* them: subject-hash sharding over supervised
+per-shard engines (:mod:`~repro.serving.sharding`,
+:mod:`~repro.serving.endpoint`), a scatter-gather coordinator with
+retry/backoff, per-shard circuit breakers, and deterministic
+partial-result degradation (:mod:`~repro.serving.coordinator`,
+:mod:`~repro.serving.breaker`), automatic crash recovery
+(:mod:`~repro.serving.supervisor`), and an asyncio front end with
+admission control (:mod:`~repro.serving.frontend`, exposed as the
+``repro shard-serve`` CLI command).
+"""
+
+from repro.serving.breaker import CircuitBreaker, RetryPolicy
+from repro.serving.coordinator import (
+    ShardCoordinator,
+    ShardReport,
+    ShardUnavailable,
+)
+from repro.serving.endpoint import EndpointDown, EngineEndpoint, InProcessEndpoint
+from repro.serving.frontend import ShardFrontend
+from repro.serving.sharding import ShardedRingIndex, partition_graph, shard_of
+from repro.serving.supervisor import ShardSupervisor
+
+__all__ = [
+    "CircuitBreaker",
+    "RetryPolicy",
+    "ShardCoordinator",
+    "ShardReport",
+    "ShardUnavailable",
+    "EngineEndpoint",
+    "EndpointDown",
+    "InProcessEndpoint",
+    "ShardFrontend",
+    "ShardedRingIndex",
+    "ShardSupervisor",
+    "partition_graph",
+    "shard_of",
+]

@@ -1,0 +1,227 @@
+"""Failure-handling policies of the sharded serving tier.
+
+Two small, composable state machines the coordinator wraps around every
+per-shard call:
+
+- :class:`RetryPolicy` — bounded retry with exponential backoff and
+  deterministic (seeded) jitter.  The coordinator classifies shard
+  errors as *transient* (dispatch failures, admission sheds, wrapped
+  engine faults) or *permanent* (unsupported query shapes, the parent
+  deadline itself) and only retries the former; every delay is further
+  clamped to the parent budget's remaining time, so retrying can never
+  blow the caller's deadline.
+- :class:`CircuitBreaker` — the classic closed/open/half-open breaker,
+  one per shard.  Consecutive failures past ``failure_threshold`` open
+  the circuit; while open, calls are refused *without touching the
+  shard* (the shard gets restarted by the supervisor in the meantime,
+  and the coordinator degrades to a partial result).  After
+  ``reset_timeout`` seconds the breaker admits a limited number of
+  half-open *probe* calls: enough successes re-close it, any failure
+  re-opens it for another full window.
+
+Both take an injectable ``clock`` (``time.monotonic`` by default) so the
+state machines are unit-testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable, Iterator, Optional
+
+__all__ = ["CircuitBreaker", "RetryPolicy", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class RetryPolicy:
+    """Bounded exponential backoff with seeded jitter.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries per call, the first one included (``1`` = no retry).
+    base_delay:
+        Delay before the first retry, in seconds.
+    multiplier:
+        Backoff growth factor per retry.
+    max_delay:
+        Ceiling on any single delay.
+    jitter:
+        Fraction of the delay added as uniform random noise — retry
+        storms from many coordinators decorrelate, yet a fixed ``seed``
+        keeps tests and chaos drills reproducible.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay: float = 0.01,
+        multiplier: float = 2.0,
+        max_delay: float = 0.25,
+        jitter: float = 0.5,
+        seed: Optional[int] = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if base_delay < 0 or max_delay < 0 or multiplier < 1 or jitter < 0:
+            raise ValueError("retry parameters must be non-negative (multiplier >= 1)")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def delays(self) -> Iterator[float]:
+        """The backoff delays between attempts (``max_attempts - 1`` of
+        them), jittered.  A fresh iterator per call."""
+        delay = self.base_delay
+        for _ in range(self.max_attempts - 1):
+            with self._lock:
+                noise = self._rng.random()
+            jittered = min(delay, self.max_delay) * (1.0 + self.jitter * noise)
+            yield jittered
+            delay *= self.multiplier
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RetryPolicy(attempts={self.max_attempts}, "
+            f"base={self.base_delay:g}s, x{self.multiplier:g}, "
+            f"cap={self.max_delay:g}s)"
+        )
+
+
+class CircuitBreaker:
+    """Per-shard closed/open/half-open circuit breaker (thread-safe).
+
+    State machine:
+
+    - **closed** — calls flow; ``failure_threshold`` *consecutive*
+      failures trip the breaker open (any success resets the streak);
+    - **open** — :meth:`allow` refuses everything until ``reset_timeout``
+      seconds have passed since the trip;
+    - **half-open** — up to ``probe_limit`` concurrent probe calls are
+      admitted.  ``probe_successes`` successful probes re-close the
+      breaker; a single failed probe re-opens it (fresh window).
+
+    The breaker only *observes* outcomes reported via
+    :meth:`record_success` / :meth:`record_failure`; it never wraps the
+    call itself, so the coordinator stays in charge of budgets and
+    error typing.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout: float = 1.0,
+        probe_limit: int = 1,
+        probe_successes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1 or probe_limit < 1 or probe_successes < 1:
+            raise ValueError("breaker thresholds must be >= 1")
+        if reset_timeout < 0:
+            raise ValueError("reset_timeout must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.probe_limit = probe_limit
+        self.probe_successes = probe_successes
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probes_in_flight = 0
+        self._probe_successes_seen = 0
+        self._stats = {"opened": 0, "reopened": 0, "closed": 0, "refused": 0}
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state, with the open→half-open transition applied."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def allow(self) -> bool:
+        """May a call proceed right now?
+
+        In half-open state each ``True`` reserves one probe slot; the
+        caller MUST report the outcome (success or failure) to release
+        it, exactly as it must for ordinary calls.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and self._probes_in_flight < self.probe_limit:
+                self._probes_in_flight += 1
+                return True
+            self._stats["refused"] += 1
+            return False
+
+    # -- outcome reporting ---------------------------------------------------
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probes_in_flight = max(self._probes_in_flight - 1, 0)
+                self._probe_successes_seen += 1
+                if self._probe_successes_seen >= self.probe_successes:
+                    self._state = CLOSED
+                    self._consecutive_failures = 0
+                    self._opened_at = None
+                    self._stats["closed"] += 1
+            else:
+                self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probes_in_flight = max(self._probes_in_flight - 1, 0)
+                self._trip(reopen=True)
+                return
+            if self._state == OPEN:
+                return
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.failure_threshold:
+                self._trip(reopen=False)
+
+    # -- internals (call with the lock held) ---------------------------------
+
+    def _trip(self, reopen: bool) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._probes_in_flight = 0
+        self._probe_successes_seen = 0
+        self._stats["reopened" if reopen else "opened"] += 1
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == OPEN
+            and self._opened_at is not None
+            and self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = HALF_OPEN
+            self._probes_in_flight = 0
+            self._probe_successes_seen = 0
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                **self._stats,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CircuitBreaker({self.state})"

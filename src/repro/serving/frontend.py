@@ -1,0 +1,266 @@
+"""Asyncio front end for the sharded serving tier (``repro shard-serve``).
+
+Speaks the same line protocol as ``repro serve`` (INSERT / DELETE /
+QUERY / STATS / QUIT) plus the shard-specific verbs KILL and RESTART
+(chaos levers for drills and demos), over either stdin or a TCP socket.
+
+Robustness posture:
+
+- **admission control** — at most ``max_in_flight`` queries evaluate
+  concurrently; excess load is shed *immediately* with a typed
+  ``error: rejected`` line (the
+  :class:`~repro.reliability.broker.QueryRejected` discipline), never
+  queued unboundedly.  One stdin client can hardly trip it; concurrent
+  socket connections can;
+- **degraded answers are labelled** — queries run with ``partial=True``
+  through the coordinator, and every response's trailer names the
+  shards that answered, so a client can always tell a complete answer
+  from a partial one;
+- **blocking evaluation off the event loop** — the coordinator call
+  runs in a worker thread (``run_in_executor``), keeping the loop free
+  to accept, shed, and answer STATS while queries are in flight.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import threading
+from typing import Optional
+
+from repro.core.interface import QueryError, QueryTimeout
+from repro.reliability.broker import QueryRejected
+from repro.serving.coordinator import ShardCoordinator
+from repro.serving.supervisor import ShardSupervisor
+
+__all__ = ["ShardFrontend"]
+
+
+class ShardFrontend:
+    """Line-protocol server over a :class:`ShardCoordinator`.
+
+    Parameters
+    ----------
+    coordinator:
+        The scatter-gather evaluator (its ``shards`` is also the write
+        router).
+    supervisor:
+        Optional :class:`ShardSupervisor` whose counters show up in
+        STATS.
+    max_in_flight:
+        Concurrent query cap; further QUERYs are shed with
+        ``error: rejected``.
+    default_timeout:
+        Deadline applied to every query (seconds; ``None`` = none).
+    decode:
+        Decode solutions through the dictionary when the universe has
+        one.
+    """
+
+    def __init__(
+        self,
+        coordinator: ShardCoordinator,
+        supervisor: Optional[ShardSupervisor] = None,
+        max_in_flight: int = 8,
+        default_timeout: Optional[float] = None,
+        decode: bool = False,
+    ) -> None:
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        self.coordinator = coordinator
+        self.supervisor = supervisor
+        self.max_in_flight = max_in_flight
+        self.default_timeout = default_timeout
+        self.decode = decode
+        self._in_flight = 0
+        self._gate = threading.Lock()
+        self._shed = 0
+
+    # -- one protocol line ----------------------------------------------------
+
+    async def handle_line(self, line: str) -> tuple[bool, list[str]]:
+        """Process one request; returns ``(keep_going, response_lines)``."""
+        line = line.strip()
+        if not line or line.startswith("#"):
+            return True, []
+        tokens = line.split(None, 1)
+        verb = tokens[0].upper()
+        rest = tokens[1] if len(tokens) > 1 else ""
+        try:
+            if verb == "QUIT":
+                return False, []
+            if verb == "QUERY":
+                return True, await self._query(rest)
+            if verb in ("INSERT", "DELETE"):
+                return True, self._write(verb, rest)
+            if verb == "STATS":
+                return True, self._stats_lines()
+            if verb in ("KILL", "RESTART"):
+                sid = int(rest)
+                if not 0 <= sid < self.coordinator.shards.n_shards:
+                    return True, [f"error: no shard {sid}"]
+                if verb == "KILL":
+                    self.coordinator.shards.kill_shard(sid)
+                    return True, [f"ok killed shard {sid}"]
+                self.coordinator.shards.restart_shard(sid)
+                return True, [f"ok restarted shard {sid}"]
+            return True, [
+                f"error: unknown command {verb!r} "
+                f"(INSERT/DELETE/QUERY/STATS/KILL/RESTART/QUIT)"
+            ]
+        except QueryRejected as exc:
+            return True, [f"error: rejected: {exc}"]
+        except QueryTimeout:
+            return True, ["error: timeout"]
+        except (QueryError, ValueError, KeyError) as exc:
+            return True, [f"error: {str(exc) or type(exc).__name__}"]
+
+    async def _query(self, text: str) -> list[str]:
+        from repro.__main__ import _coerce_query
+
+        bgp = _coerce_query(text, self.coordinator.graph)
+        with self._gate:
+            if self._in_flight >= self.max_in_flight:
+                self._shed += 1
+                raise QueryRejected(
+                    f"{self._in_flight} queries in flight "
+                    f"(max {self.max_in_flight}); try later"
+                )
+            self._in_flight += 1
+        try:
+            loop = asyncio.get_running_loop()
+            result = await loop.run_in_executor(
+                None,
+                lambda: self.coordinator.evaluate(
+                    bgp,
+                    timeout=self.default_timeout,
+                    decode=self.decode,
+                    partial=True,
+                ),
+            )
+        finally:
+            with self._gate:
+                self._in_flight -= 1
+        out = []
+        for mu in result:
+            items = sorted(mu.items(), key=lambda kv: str(kv[0]))
+            out.append("  ".join(f"{k}={v}" for k, v in items))
+        report = getattr(result, "shards", None)
+        # A result without a shard report came from the cache layer
+        # (hits replay stored complete answers; partials are never
+        # stored, so "complete" is accurate).
+        tag = (
+            f"shards {','.join(map(str, report.answered))}"
+            if report is not None
+            else "cached"
+        )
+        state = "complete" if (report is None or report.complete) else "partial"
+        out.append(f"-- {len(result)} solution(s) [{state}; {tag}]")
+        return out
+
+    def _write(self, verb: str, rest: str) -> list[str]:
+        parts = rest.split()
+        if len(parts) != 3:
+            raise ValueError(f"{verb} needs exactly 3 terms")
+        shards = self.coordinator.shards
+        graph = self.coordinator.graph
+        if graph.dictionary is not None and not all(
+            t.lstrip("-").isdigit() for t in parts
+        ):
+            raise ValueError(
+                "labelled writes are not supported by shard-serve; use ids"
+            )
+        method = shards.insert if verb == "INSERT" else shards.delete
+        changed = method(*(int(t) for t in parts))
+        if verb == "INSERT":
+            return ["ok inserted" if changed else "ok duplicate"]
+        return ["ok deleted" if changed else "ok absent"]
+
+    def _stats_lines(self) -> list[str]:
+        stats = self.coordinator.stats()
+        shard_stats = stats.pop("shards")
+        breakers = stats.pop("breakers")
+        lines = []
+        for key in sorted(stats):
+            lines.append(f"{key:<18}: {stats[key]}")
+        lines.append(f"{'shed':<18}: {self._shed}")
+        lines.append(
+            f"{'shards':<18}: {shard_stats['live']}/{shard_stats['n_shards']} "
+            f"live, ready={shard_stats['ready']}, "
+            f"triples={shard_stats['n_triples']}"
+        )
+        lines.append(
+            f"{'breakers':<18}: "
+            + " ".join(b["state"] for b in breakers)
+        )
+        if self.supervisor is not None:
+            sup = self.supervisor.stats()
+            lines.append(
+                f"{'supervisor':<18}: checks={sup['checks']} "
+                f"restarts={sup['restarts']} failed={sup['failed_restarts']}"
+            )
+        return lines
+
+    # -- transports -----------------------------------------------------------
+
+    async def serve_stdin(self, stdin=None, stdout=None) -> None:
+        """Serve newline-delimited requests from a file-like ``stdin``.
+
+        The reader runs on a thread (plain blocking iteration), so a
+        monkeypatched ``io.StringIO`` stdin works in tests and a real
+        tty works in production — no loop-specific pipe wiring.
+        """
+        stdin = stdin if stdin is not None else sys.stdin
+        stdout = stdout if stdout is not None else sys.stdout
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue = asyncio.Queue()
+
+        def _reader() -> None:
+            for raw in stdin:
+                loop.call_soon_threadsafe(queue.put_nowait, raw)
+            loop.call_soon_threadsafe(queue.put_nowait, None)
+
+        threading.Thread(target=_reader, name="shard-stdin", daemon=True).start()
+        print("ready", file=stdout, flush=True)
+        while True:
+            raw = await queue.get()
+            if raw is None:
+                break
+            keep_going, lines = await self.handle_line(raw)
+            for out_line in lines:
+                print(out_line, file=stdout)
+            stdout.flush()
+            if not keep_going:
+                break
+        print("bye", file=stdout, flush=True)
+
+    async def serve_socket(self, host: str = "127.0.0.1", port: int = 0):
+        """TCP transport: one protocol session per connection.
+
+        Returns the started :class:`asyncio.Server` (caller owns its
+        lifetime; ``server.sockets[0].getsockname()`` gives the bound
+        port when ``port=0``).
+        """
+
+        async def _session(reader, writer):
+            writer.write(b"ready\n")
+            await writer.drain()
+            try:
+                while True:
+                    raw = await reader.readline()
+                    if not raw:
+                        break
+                    keep_going, lines = await self.handle_line(
+                        raw.decode("utf-8", "replace")
+                    )
+                    for out_line in lines:
+                        writer.write((out_line + "\n").encode())
+                    await writer.drain()
+                    if not keep_going:
+                        break
+                writer.write(b"bye\n")
+                await writer.drain()
+            finally:
+                writer.close()
+
+        return await asyncio.start_server(_session, host, port)

@@ -1,0 +1,315 @@
+"""Subject-hash sharding of a graph across supervised shard engines.
+
+A :class:`ShardedRingIndex` splits a graph's triples by
+``shard_of(subject)`` — a splitmix64 finalizer, so shard assignment is
+stable across processes and independent of Python's salted ``hash`` —
+and runs each partition behind its own
+:class:`~repro.serving.endpoint.InProcessEndpoint` (engine + private
+broker).  Because the ring is succinct, N shards cost barely more than
+one index over the union; what the split buys is *blast-radius
+containment*: a crashed or wedged shard takes out only its partition,
+and the coordinator (:mod:`repro.serving.coordinator`) degrades to the
+survivors.
+
+Two deployment modes, same object afterwards:
+
+- :meth:`ShardedRingIndex.from_graph` — in-memory shards
+  (:class:`~repro.core.dynamic.DynamicRingIndex`); a restarted shard
+  recovers to its *initial* partition (writes after construction are
+  lost — the non-durable trade-off, stated rather than hidden);
+- :meth:`ShardedRingIndex.create_durable` / :meth:`recover` — per-shard
+  :class:`~repro.reliability.wal.DurableDynamicRing` directories
+  (``shard-00/``, ``shard-01/``, …) beside a ``SHARDS.json`` manifest;
+  a restarted shard replays its WAL, so every acknowledged write
+  survives a kill.
+
+All ids stay *global* (every shard shares the parent universe sizes),
+so per-shard solutions need no translation before merging.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.core.dynamic import DynamicRingIndex
+from repro.graph.dataset import Graph
+from repro.serving.endpoint import InProcessEndpoint
+
+__all__ = ["shard_of", "shard_vector", "partition_graph", "ShardedRingIndex"]
+
+MANIFEST_NAME = "SHARDS.json"
+_MASK64 = (1 << 64) - 1
+
+
+def shard_of(subject: int, n_shards: int) -> int:
+    """Stable shard id of a subject (splitmix64 finalizer mod ``n_shards``).
+
+    Deterministic across processes and runs — unlike builtin ``hash``,
+    which is salted per interpreter — so a manifest written by one
+    process routes identically in every other.
+    """
+    z = (int(subject) + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    z ^= z >> 31
+    return z % n_shards
+
+
+def shard_vector(subjects: np.ndarray, n_shards: int) -> np.ndarray:
+    """Vectorized :func:`shard_of` over an array of subject ids."""
+    z = subjects.astype(np.uint64) + np.uint64(0x9E3779B97F4A7C15)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    z ^= z >> np.uint64(31)
+    return (z % np.uint64(n_shards)).astype(np.int64)
+
+
+def partition_graph(graph: Graph, n_shards: int) -> list[Graph]:
+    """Split a graph into ``n_shards`` disjoint subgraphs by subject hash.
+
+    Every partition keeps the parent's universe sizes (and dictionary),
+    so ids remain global and per-shard answers merge without remapping.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    arr = graph.triples
+    if len(arr):
+        owner = shard_vector(arr[:, 0], n_shards)
+    else:
+        owner = np.empty(0, dtype=np.int64)
+    return [
+        Graph(
+            arr[owner == sid],
+            n_nodes=graph.n_nodes,
+            n_predicates=graph.n_predicates,
+            dictionary=graph.dictionary,
+        )
+        for sid in range(n_shards)
+    ]
+
+
+def _memory_factory(initial: Graph, buffer_threshold: int):
+    def factory():
+        return DynamicRingIndex(
+            initial, buffer_threshold=buffer_threshold, auto_compact=False
+        )
+
+    return factory
+
+
+def _durable_factory(shard_dir: Path, initial: Optional[Graph], wal_options: dict):
+    """First call creates the store (when ``initial`` is given); every
+    later call — i.e. every supervisor restart — recovers via the WAL."""
+    from repro.reliability.wal import DurableDynamicRing
+
+    state = {"created": initial is None}
+
+    def factory():
+        if not state["created"]:
+            state["created"] = True
+            return DurableDynamicRing.create(shard_dir, initial, **wal_options)
+        store, _report = DurableDynamicRing.recover(shard_dir)
+        return store
+
+    return factory
+
+
+class ShardedRingIndex:
+    """N supervised shard engines addressed by subject hash.
+
+    This class owns shard *placement and lifecycle* only — routing
+    writes, killing/restarting shards, aggregating generations and
+    stats.  Query evaluation across shards lives in
+    :class:`~repro.serving.coordinator.ShardCoordinator`.
+    """
+
+    def __init__(
+        self,
+        endpoints: list[InProcessEndpoint],
+        universe: Graph,
+        directory: Optional[Path] = None,
+    ) -> None:
+        if not endpoints:
+            raise ValueError("need at least one shard")
+        self.endpoints = endpoints
+        self._universe = universe
+        self.directory = directory
+        self._write_lock = threading.Lock()
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: Graph,
+        n_shards: int,
+        buffer_threshold: int = 64,
+        broker_options: Optional[dict] = None,
+    ) -> "ShardedRingIndex":
+        """In-memory shards over a hash-partition of ``graph``."""
+        parts = partition_graph(graph, n_shards)
+        endpoints = [
+            InProcessEndpoint(
+                _memory_factory(part, buffer_threshold), broker_options
+            )
+            for part in parts
+        ]
+        return cls(endpoints, _universe_of(graph))
+
+    @classmethod
+    def create_durable(
+        cls,
+        directory,
+        graph: Graph,
+        n_shards: int,
+        broker_options: Optional[dict] = None,
+        **wal_options,
+    ) -> "ShardedRingIndex":
+        """Durable shards under ``directory`` (one WAL'd store each)."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "version": 1,
+            "n_shards": n_shards,
+            "n_nodes": graph.n_nodes,
+            "n_predicates": graph.n_predicates,
+        }
+        (directory / MANIFEST_NAME).write_text(json.dumps(manifest))
+        parts = partition_graph(graph, n_shards)
+        endpoints = [
+            InProcessEndpoint(
+                _durable_factory(directory / f"shard-{sid:02d}", part, wal_options),
+                broker_options,
+            )
+            for sid, part in enumerate(parts)
+        ]
+        return cls(endpoints, _universe_of(graph), directory)
+
+    @classmethod
+    def recover(
+        cls,
+        directory,
+        broker_options: Optional[dict] = None,
+        **wal_options,
+    ) -> "ShardedRingIndex":
+        """Reopen a durable sharded index from its manifest + WALs."""
+        directory = Path(directory)
+        manifest = json.loads((directory / MANIFEST_NAME).read_text())
+        universe = Graph(
+            np.empty((0, 3), dtype=np.int64),
+            n_nodes=manifest["n_nodes"],
+            n_predicates=manifest["n_predicates"],
+        )
+        endpoints = [
+            InProcessEndpoint(
+                _durable_factory(directory / f"shard-{sid:02d}", None, wal_options),
+                broker_options,
+            )
+            for sid in range(manifest["n_shards"])
+        ]
+        return cls(endpoints, universe, directory)
+
+    # -- addressing ----------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.endpoints)
+
+    def shard_for(self, subject: int) -> int:
+        return shard_of(subject, self.n_shards)
+
+    @property
+    def graph(self) -> Graph:
+        """The shared universe (sizes + dictionary; no triples).
+
+        Enough for :meth:`Graph.encode_bgp` / ``decode_solution`` at the
+        coordinator — the actual triples live in the shards.
+        """
+        return self._universe
+
+    @property
+    def n_triples(self) -> int:
+        """Total across *alive* shards (a down shard contributes 0)."""
+        total = 0
+        for ep in self.endpoints:
+            engine = ep.engine
+            if engine is not None:
+                total += int(getattr(engine, "n_triples", 0))
+        return total
+
+    # -- writes --------------------------------------------------------------
+
+    def insert(self, s: int, p: int, o: int) -> bool:
+        return self.endpoints[self.shard_for(s)].insert(s, p, o)
+
+    def delete(self, s: int, p: int, o: int) -> bool:
+        return self.endpoints[self.shard_for(s)].delete(s, p, o)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def kill_shard(self, sid: int) -> None:
+        """Crash one shard (chaos hook; no checkpoint, WAL left as-is)."""
+        self.endpoints[sid].kill()
+
+    def restart_shard(self, sid: int) -> None:
+        self.endpoints[sid].restart()
+
+    def shutdown(self, checkpoint: bool = True) -> None:
+        for ep in self.endpoints:
+            ep.shutdown(checkpoint=checkpoint)
+
+    def __enter__(self) -> "ShardedRingIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- cache integration ---------------------------------------------------
+
+    def cache_generation(self) -> tuple:
+        """Shard-generation vector: ``(incarnation, engine_generation)``
+        per shard, with a ``"down"`` marker while a shard is dead.
+
+        Any write bumps its shard's engine generation; any crash or
+        restart changes the incarnation or the marker — either way the
+        vector differs and every cached result keyed on it is stale.
+        """
+        vector = []
+        for ep in self.endpoints:
+            if not ep.alive:
+                vector.append(("down", ep.incarnation))
+            else:
+                vector.append((ep.incarnation, ep.cache_generation()))
+        return tuple(vector)
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Aggregate readiness/liveness plus per-shard endpoint stats."""
+        shards = [ep.stats() for ep in self.endpoints]
+        live = [ep.alive for ep in self.endpoints]
+        ready = [a and ep.health_check() for a, ep in zip(live, self.endpoints)]
+        return {
+            "n_shards": self.n_shards,
+            "live": sum(live),
+            "ready": all(ready),
+            "n_triples": self.n_triples,
+            "shards": shards,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShardedRingIndex(n_shards={self.n_shards}, live={sum(ep.alive for ep in self.endpoints)})"
+
+
+def _universe_of(graph: Graph) -> Graph:
+    return Graph(
+        np.empty((0, 3), dtype=np.int64),
+        n_nodes=graph.n_nodes,
+        n_predicates=graph.n_predicates,
+        dictionary=graph.dictionary,
+    )

@@ -1,0 +1,142 @@
+"""Shard supervision: health checks and automatic restart.
+
+A :class:`ShardSupervisor` is a daemon thread that periodically probes
+every endpoint of a :class:`~repro.serving.sharding.ShardedRingIndex`
+(``alive`` + ``health_check``) and restarts any shard found dead.  For
+durable shards a restart goes through the factory's
+``DurableDynamicRing.recover`` path, so the shard comes back with every
+acknowledged write and a bumped ``incarnation`` — the coordinator's
+half-open breaker probes then find a healthy engine and re-close the
+circuit, and the cache layer's shard-generation vector changes so no
+stale entry survives the crash.
+
+The actual restart goes through the module-level :func:`restart_shard`
+(fault site ``shard.restart``), so chaos drills can make *recovery
+itself* fail and assert the supervisor degrades to counting the failure
+rather than dying.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.serving.sharding import ShardedRingIndex
+
+__all__ = ["ShardSupervisor", "restart_shard"]
+
+
+def restart_shard(endpoint) -> None:
+    """Restart one dead endpoint (fault site ``shard.restart``)."""
+    endpoint.restart()
+
+
+class ShardSupervisor:
+    """Health-check loop over a sharded index's endpoints.
+
+    Parameters
+    ----------
+    shards:
+        The sharded index to supervise.
+    interval:
+        Seconds between sweeps.
+    max_restarts:
+        Per-shard cap on automatic restarts (``None`` = unbounded); a
+        shard that keeps dying past the cap is left down — flapping
+        engines must not turn the supervisor into a crash loop.
+    """
+
+    def __init__(
+        self,
+        shards: ShardedRingIndex,
+        interval: float = 0.05,
+        max_restarts: Optional[int] = None,
+    ) -> None:
+        self.shards = shards
+        self.interval = interval
+        self.max_restarts = max_restarts
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self._checks = 0
+        self._restarts = [0] * shards.n_shards
+        self._failed_restarts = [0] * shards.n_shards
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ShardSupervisor":
+        if self._thread is not None:
+            raise RuntimeError("supervisor already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="shard-supervisor", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: Optional[float] = 5.0) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=timeout)
+        self._thread = None
+
+    def __enter__(self) -> "ShardSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- the sweep -----------------------------------------------------------
+
+    def sweep(self) -> int:
+        """One supervision pass; returns how many shards were restarted.
+
+        Public so tests (and synchronous callers) can drive supervision
+        deterministically without the background thread.
+        """
+        restarted = 0
+        with self._lock:
+            self._checks += 1
+        for sid, endpoint in enumerate(self.shards.endpoints):
+            if endpoint.alive and endpoint.health_check():
+                continue
+            with self._lock:
+                if (
+                    self.max_restarts is not None
+                    and self._restarts[sid] >= self.max_restarts
+                ):
+                    continue
+            try:
+                restart_shard(endpoint)
+            except Exception:
+                with self._lock:
+                    self._failed_restarts[sid] += 1
+                continue
+            with self._lock:
+                self._restarts[sid] += 1
+            restarted += 1
+        return restarted
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self.sweep()
+            except Exception:  # pragma: no cover - keep the thread alive
+                pass
+            self._stop.wait(self.interval)
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "running": self._thread is not None,
+                "checks": self._checks,
+                "restarts": list(self._restarts),
+                "failed_restarts": list(self._failed_restarts),
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "running" if self._thread is not None else "stopped"
+        return f"ShardSupervisor({state}, restarts={sum(self._restarts)})"

@@ -104,6 +104,61 @@ class TestAdmission:
         with pytest.raises(ValueError):
             QueryBroker(SlowIndex(), queue_depth=0)
 
+    def test_stop_racing_submit_cannot_strand_a_future(self):
+        """Regression: a submit that passes the entry check just before
+        stop() flips the flag used to enqueue its job *after* the final
+        drain — nothing would ever cancel or fail it.  Simulate the
+        interleaving deterministically by running a complete stop()
+        between submit's admission check and its put_nowait; the job
+        must be rejected, never stranded."""
+        broker = QueryBroker(
+            SlowIndex(), workers=1, queue_depth=4, maintenance_interval=None
+        )
+        broker.start()
+        real_put = broker._queue.put_nowait
+        fired = {"done": False}
+
+        def racing_put(job):
+            if not fired["done"]:
+                fired["done"] = True
+                broker.stop()  # flag flipped, queue drained, workers gone
+            real_put(job)  # ...and only now does the put land
+
+        broker._queue.put_nowait = racing_put
+        with pytest.raises(QueryRejected):
+            broker.submit(SCAN)
+        assert fired["done"], "the race window was never exercised"
+        assert broker._queue.qsize() == 0, "job stranded in the dead queue"
+
+    def test_submit_future_rejected_when_stop_wins_the_race(self):
+        """Same interleaving, observed through the future: even a caller
+        that ignores the synchronous rejection must see the future fail
+        with QueryRejected rather than hang."""
+        broker = QueryBroker(
+            SlowIndex(), workers=1, queue_depth=4, maintenance_interval=None
+        )
+        broker.start()
+        real_put = broker._queue.put_nowait
+        fired = {"done": False}
+        captured = {}
+
+        def racing_put(job):
+            captured["job"] = job
+            if not fired["done"]:
+                fired["done"] = True
+                broker.stop()
+            real_put(job)
+
+        broker._queue.put_nowait = racing_put
+        try:
+            broker.submit(SCAN)
+        except QueryRejected:
+            pass
+        future = captured["job"].future
+        assert future.done(), "racing submit left an unresolved future"
+        with pytest.raises(QueryRejected):
+            future.result(timeout=0)
+
 
 class TestWatchdog:
     def test_watchdog_cancels_overdue_queries(self):

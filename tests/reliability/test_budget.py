@@ -112,3 +112,91 @@ class TestValidation:
         before = time.monotonic()
         budget = ResourceBudget(timeout=10.0)
         assert budget.deadline >= before + 9.0
+
+
+# -- sub-budgets & folding (the sharded serving tier's accounting) -----------
+
+from hypothesis import given  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+maybe_timeout = st.one_of(st.none(), st.floats(0.0, 60.0, allow_nan=False))
+maybe_ops = st.one_of(st.none(), st.integers(0, 10_000))
+
+
+class TestSubBudget:
+    @given(parent_timeout=maybe_timeout, child_timeout=maybe_timeout)
+    def test_child_deadline_never_exceeds_parents(
+        self, parent_timeout, child_timeout
+    ):
+        parent = ResourceBudget(timeout=parent_timeout)
+        child = parent.sub_budget(timeout=child_timeout)
+        if parent.deadline is not None:
+            assert child.deadline is not None
+            assert child.deadline <= parent.deadline
+        elif child_timeout is not None:
+            assert child.deadline is not None
+
+    @given(
+        parent_ops=maybe_ops,
+        spent=st.integers(0, 10_000),
+        child_ops=maybe_ops,
+    )
+    def test_child_op_cap_bounded_by_parents_remaining(
+        self, parent_ops, spent, child_ops
+    ):
+        parent = ResourceBudget(max_ops=parent_ops)
+        parent.ops = spent if parent_ops is None else min(spent, parent_ops)
+        child = parent.sub_budget(max_ops=child_ops)
+        if parent.max_ops is not None:
+            assert child.max_ops is not None
+            assert child.max_ops <= parent.max_ops - parent.ops
+        if child_ops is not None and child.max_ops is not None:
+            assert child.max_ops <= child_ops
+
+    def test_child_shares_the_parents_token(self):
+        token = CancellationToken()
+        parent = ResourceBudget(token=token)
+        child = parent.sub_budget(timeout=5.0)
+        token.cancel()
+        with pytest.raises(QueryCancelled):
+            child.check()
+
+
+class TestFold:
+    @given(
+        work=st.lists(st.integers(0, 500), min_size=1, max_size=8),
+        extra_folds=st.integers(0, 3),
+    )
+    def test_folding_never_double_counts(self, work, extra_folds):
+        """However often each child is folded — after every retry, again
+        at the end, in any interleaving — the parent is charged exactly
+        the total work once."""
+        parent = ResourceBudget()
+        children = []
+        for ops in work:
+            child = parent.sub_budget()
+            child.ops = ops
+            children.append(child)
+            parent.fold(child)
+            for again in children:  # refold everything seen so far
+                for _ in range(extra_folds):
+                    parent.fold(again)
+        assert parent.ops == sum(work)
+
+    @given(increments=st.lists(st.integers(0, 100), min_size=1, max_size=6))
+    def test_incremental_folds_sum_to_child_ops(self, increments):
+        parent = ResourceBudget()
+        child = parent.sub_budget()
+        for inc in increments:
+            child.ops += inc
+            parent.fold(child)
+        assert parent.ops == child.ops == sum(increments)
+
+    def test_fold_returns_the_delta(self):
+        parent = ResourceBudget()
+        child = parent.sub_budget()
+        child.ops = 7
+        assert parent.fold(child) == 7
+        assert parent.fold(child) == 0
+        child.ops = 10
+        assert parent.fold(child) == 3

@@ -1,0 +1,54 @@
+"""Shared fixtures for the sharded-serving test suite."""
+
+import numpy as np
+import pytest
+
+from repro.graph import BasicGraphPattern, TriplePattern, Var
+from repro.graph.dataset import Graph
+
+N_NODES = 30
+N_PREDICATES = 2
+
+X, Y, Z = Var("x"), Var("y"), Var("z")
+
+WORKLOAD = [
+    BasicGraphPattern([TriplePattern(X, 0, Y)]),
+    BasicGraphPattern([TriplePattern(X, Y, Z)]),
+    BasicGraphPattern([TriplePattern(X, 0, Y), TriplePattern(Y, 1, Z)]),
+    BasicGraphPattern(
+        [
+            TriplePattern(X, 0, Y),
+            TriplePattern(Y, 0, Z),
+            TriplePattern(Z, 1, X),
+        ]
+    ),
+]
+
+
+def random_graph(n_triples=400, n_nodes=N_NODES, n_predicates=N_PREDICATES, seed=7):
+    rng = np.random.default_rng(seed)
+    arr = np.unique(
+        np.stack(
+            [
+                rng.integers(0, n_nodes, n_triples),
+                rng.integers(0, n_predicates, n_triples),
+                rng.integers(0, n_nodes, n_triples),
+            ],
+            axis=1,
+        ).astype(np.int64),
+        axis=0,
+    )
+    return Graph(arr, n_nodes=n_nodes, n_predicates=n_predicates)
+
+
+@pytest.fixture
+def graph():
+    return random_graph()
+
+
+@pytest.fixture
+def sharded(graph):
+    from repro.serving import ShardedRingIndex
+
+    with ShardedRingIndex.from_graph(graph, 4) as shards:
+        yield shards

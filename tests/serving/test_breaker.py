@@ -1,0 +1,171 @@
+"""Retry/backoff policy and per-shard circuit breaker state machines.
+
+Both take injectable clocks/seeds, so every transition here is tested
+without sleeping.
+"""
+
+import pytest
+
+from repro.serving.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker, RetryPolicy
+
+pytestmark = pytest.mark.serving
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestRetryPolicy:
+    def test_yields_max_attempts_minus_one_delays(self):
+        policy = RetryPolicy(max_attempts=4, jitter=0.0)
+        assert len(list(policy.delays())) == 3
+        assert list(RetryPolicy(max_attempts=1).delays()) == []
+
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(
+            max_attempts=4, base_delay=0.01, multiplier=2.0, max_delay=10.0, jitter=0.0
+        )
+        assert list(policy.delays()) == pytest.approx([0.01, 0.02, 0.04])
+
+    def test_delays_capped_at_max_delay(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=0.1, multiplier=10.0, max_delay=0.25, jitter=0.0
+        )
+        assert max(policy.delays()) == pytest.approx(0.25)
+
+    def test_jitter_bounded_and_seeded(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=0.01, multiplier=1.0, jitter=0.5, seed=42
+        )
+        delays = list(policy.delays())
+        for d in delays:
+            assert 0.01 <= d <= 0.01 * 1.5
+        # Same seed, fresh policy: identical schedule (chaos drills rely
+        # on this to be reproducible).
+        again = RetryPolicy(
+            max_attempts=5, base_delay=0.01, multiplier=1.0, jitter=0.5, seed=42
+        )
+        assert list(again.delays()) == delays
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-1.0)
+
+
+class TestBreakerLifecycle:
+    def make(self, **kw):
+        clock = FakeClock()
+        kw.setdefault("failure_threshold", 3)
+        kw.setdefault("reset_timeout", 1.0)
+        return CircuitBreaker(clock=clock, **kw), clock
+
+    def test_starts_closed_and_allows(self):
+        breaker, _ = self.make()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_opens_after_consecutive_failures(self):
+        breaker, _ = self.make(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.stats()["opened"] == 1
+        assert breaker.stats()["refused"] >= 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _ = self.make(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED, "non-consecutive failures must not trip"
+
+    def test_half_open_after_reset_timeout(self):
+        breaker, clock = self.make(failure_threshold=1, reset_timeout=5.0)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(4.9)
+        assert breaker.state == OPEN
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+
+    def test_probe_success_closes(self):
+        breaker, clock = self.make(failure_threshold=1, reset_timeout=1.0)
+        breaker.record_failure()
+        clock.advance(1.1)
+        assert breaker.allow(), "half-open must admit a probe"
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.stats()["closed"] == 1
+
+    def test_probe_failure_reopens_for_a_fresh_window(self):
+        breaker, clock = self.make(failure_threshold=1, reset_timeout=1.0)
+        breaker.record_failure()
+        clock.advance(1.1)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.stats()["reopened"] == 1
+        # The window restarts from the re-trip, not the original trip.
+        clock.advance(0.9)
+        assert breaker.state == OPEN
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+
+    def test_probe_limit_bounds_concurrent_probes(self):
+        breaker, clock = self.make(
+            failure_threshold=1, reset_timeout=1.0, probe_limit=2
+        )
+        breaker.record_failure()
+        clock.advance(1.1)
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow(), "third concurrent probe must be refused"
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_probe_successes_threshold(self):
+        breaker, clock = self.make(
+            failure_threshold=1,
+            reset_timeout=1.0,
+            probe_limit=3,
+            probe_successes=2,
+        )
+        breaker.record_failure()
+        clock.advance(1.1)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == HALF_OPEN, "one probe success is not enough"
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(probe_limit=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout=-1.0)
+
+    def test_stats_shape(self):
+        breaker, _ = self.make()
+        stats = breaker.stats()
+        for key in ("state", "consecutive_failures", "opened", "reopened",
+                    "closed", "refused"):
+            assert key in stats

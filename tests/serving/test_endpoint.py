@@ -1,0 +1,86 @@
+"""InProcessEndpoint lifecycle: kill, restart, incarnation, health."""
+
+import numpy as np
+import pytest
+
+from repro.core.dynamic import DynamicRingIndex
+from repro.graph import BasicGraphPattern, TriplePattern, Var
+from repro.graph.dataset import Graph
+from repro.serving.endpoint import EndpointDown, EngineEndpoint, InProcessEndpoint
+
+pytestmark = pytest.mark.serving
+
+X, Y, Z = Var("x"), Var("y"), Var("z")
+SCAN = BasicGraphPattern([TriplePattern(X, Y, Z)])
+
+
+def factory():
+    graph = Graph(
+        np.array([[1, 0, 2], [2, 1, 3]], dtype=np.int64),
+        n_nodes=10,
+        n_predicates=2,
+    )
+    return DynamicRingIndex(graph, buffer_threshold=16, auto_compact=False)
+
+
+@pytest.fixture
+def endpoint():
+    ep = InProcessEndpoint(factory, {"maintenance_interval": None})
+    yield ep
+    ep.shutdown()
+
+
+class TestLifecycle:
+    def test_satisfies_the_protocol(self, endpoint):
+        assert isinstance(endpoint, EngineEndpoint)
+
+    def test_submit_evaluates_through_the_broker(self, endpoint):
+        rows = endpoint.submit(SCAN, timeout=5.0).result(timeout=5.0)
+        assert len(rows) == 2
+
+    def test_kill_then_submit_raises_endpoint_down(self, endpoint):
+        endpoint.kill()
+        assert not endpoint.alive
+        with pytest.raises(EndpointDown):
+            endpoint.submit(SCAN)
+        with pytest.raises(EndpointDown):
+            endpoint.insert(1, 0, 5)
+
+    def test_restart_bumps_incarnation_and_serves_again(self, endpoint):
+        assert endpoint.incarnation == 0
+        endpoint.kill()
+        endpoint.restart()
+        assert endpoint.alive
+        assert endpoint.incarnation == 1
+        rows = endpoint.submit(SCAN, timeout=5.0).result(timeout=5.0)
+        assert len(rows) == 2
+
+    def test_restart_while_alive_is_a_no_op(self, endpoint):
+        endpoint.restart()
+        assert endpoint.incarnation == 0, "restarting a live shard must not churn"
+
+    def test_memory_engine_restart_loses_post_construction_writes(self, endpoint):
+        # The stated non-durable trade-off: the factory rebuilds the
+        # initial partition, not writes applied since.
+        endpoint.insert(7, 1, 8)
+        assert endpoint.stats()["n_triples"] == 3
+        endpoint.kill()
+        endpoint.restart()
+        assert endpoint.stats()["n_triples"] == 2
+
+    def test_health_check_tracks_liveness(self, endpoint):
+        assert endpoint.health_check()
+        endpoint.kill()
+        assert not endpoint.health_check()
+
+    def test_stats_shape(self, endpoint):
+        stats = endpoint.stats()
+        assert stats["alive"] is True
+        assert stats["incarnation"] == 0
+        assert stats["restarts"] == 0
+        assert stats["n_triples"] == 2
+        assert "broker" in stats
+        endpoint.kill()
+        down = endpoint.stats()
+        assert down["alive"] is False
+        assert "broker" not in down

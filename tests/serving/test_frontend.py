@@ -1,0 +1,203 @@
+"""The asyncio front end and the ``repro shard-serve`` CLI command."""
+
+import asyncio
+import io
+
+import pytest
+
+from repro.reliability.broker import QueryRejected
+from repro.serving import (
+    CircuitBreaker,
+    RetryPolicy,
+    ShardCoordinator,
+    ShardFrontend,
+    ShardSupervisor,
+)
+
+pytestmark = pytest.mark.serving
+
+
+def make_frontend(sharded, **kw):
+    coord = ShardCoordinator(
+        sharded,
+        retry_policy=RetryPolicy(max_attempts=2, base_delay=0.001, seed=0),
+        breaker_factory=lambda: CircuitBreaker(
+            failure_threshold=2, reset_timeout=0.05
+        ),
+    )
+    return ShardFrontend(coord, **kw)
+
+
+def run(frontend, line):
+    return asyncio.run(frontend.handle_line(line))
+
+
+class TestProtocol:
+    def test_blank_and_comment_lines_ignored(self, sharded):
+        frontend = make_frontend(sharded)
+        assert run(frontend, "") == (True, [])
+        assert run(frontend, "# a comment") == (True, [])
+
+    def test_quit_stops(self, sharded):
+        assert run(make_frontend(sharded), "QUIT") == (False, [])
+
+    def test_insert_query_delete_round_trip(self, sharded):
+        frontend = make_frontend(sharded)
+        _, lines = run(frontend, "INSERT 29 1 29")
+        assert lines == ["ok inserted"]
+        _, lines = run(frontend, "INSERT 29 1 29")
+        assert lines == ["ok duplicate"]
+        _, lines = run(frontend, "QUERY 29 1 ?o")
+        assert any("?o=29" in line for line in lines)
+        assert lines[-1].endswith("[complete; shards 0,1,2,3]")
+        _, lines = run(frontend, "DELETE 29 1 29")
+        assert lines == ["ok deleted"]
+        _, lines = run(frontend, "DELETE 29 1 29")
+        assert lines == ["ok absent"]
+
+    def test_partial_answers_are_labelled(self, sharded):
+        frontend = make_frontend(sharded)
+        sharded.kill_shard(2)
+        _, lines = run(frontend, "QUERY ?x ?p ?y")
+        assert lines[-1].endswith("[partial; shards 0,1,3]")
+
+    def test_kill_and_restart_verbs(self, sharded):
+        frontend = make_frontend(sharded)
+        _, lines = run(frontend, "KILL 1")
+        assert lines == ["ok killed shard 1"]
+        assert not sharded.endpoints[1].alive
+        _, lines = run(frontend, "RESTART 1")
+        assert lines == ["ok restarted shard 1"]
+        assert sharded.endpoints[1].alive
+        _, lines = run(frontend, "KILL 9")
+        assert lines == ["error: no shard 9"]
+
+    def test_errors_are_lines_not_exceptions(self, sharded):
+        frontend = make_frontend(sharded)
+        _, lines = run(frontend, "FROB 1 2 3")
+        assert lines[0].startswith("error: unknown command")
+        _, lines = run(frontend, "INSERT 1 2")
+        assert lines[0].startswith("error:")
+        _, lines = run(frontend, "QUERY")
+        assert lines[0].startswith("error:")
+
+    def test_stats_lines(self, sharded):
+        sup = ShardSupervisor(sharded)
+        frontend = make_frontend(sharded)
+        frontend.supervisor = sup
+        run(frontend, "QUERY ?x 0 ?y")
+        _, lines = run(frontend, "STATS")
+        text = "\n".join(lines)
+        assert "queries" in text
+        assert "shards" in text and "4/4 live" in text
+        assert "breakers" in text
+        assert "supervisor" in text
+
+
+class TestAdmission:
+    def test_shed_when_at_capacity(self, sharded):
+        frontend = make_frontend(sharded, max_in_flight=1)
+        frontend._in_flight = 1  # a query is (deterministically) in flight
+        _, lines = run(frontend, "QUERY ?x ?p ?y")
+        assert lines[0].startswith("error: rejected:")
+        assert frontend._shed == 1
+        frontend._in_flight = 0
+        _, lines = run(frontend, "QUERY ?x ?p ?y")
+        assert lines[-1].startswith("--"), "capacity freed, queries flow again"
+
+    def test_invalid_max_in_flight(self, sharded):
+        with pytest.raises(ValueError):
+            make_frontend(sharded, max_in_flight=0)
+
+    def test_shed_is_a_typed_rejection(self, sharded):
+        frontend = make_frontend(sharded, max_in_flight=1)
+        frontend._in_flight = 1
+        with pytest.raises(QueryRejected):
+            asyncio.run(frontend._query("?x ?p ?y"))
+
+
+class TestServeStdin:
+    def test_line_session_over_string_io(self, sharded):
+        script = "INSERT 29 0 29\nQUERY 29 0 ?o\nQUIT\n"
+        out = io.StringIO()
+        frontend = make_frontend(sharded)
+        asyncio.run(frontend.serve_stdin(stdin=io.StringIO(script), stdout=out))
+        text = out.getvalue()
+        assert text.startswith("ready\n")
+        assert "ok inserted" in text
+        assert "?o=29" in text
+        assert text.rstrip().endswith("bye")
+
+
+class TestSocket:
+    def test_tcp_session(self, sharded):
+        async def scenario():
+            frontend = make_frontend(sharded)
+            server = await frontend.serve_socket(port=0)
+            host, port = server.sockets[0].getsockname()[:2]
+            reader, writer = await asyncio.open_connection(host, port)
+            assert (await reader.readline()) == b"ready\n"
+            writer.write(b"INSERT 29 1 29\nQUERY 29 1 ?o\nQUIT\n")
+            await writer.drain()
+            lines = []
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                lines.append(line.decode().rstrip())
+            writer.close()
+            server.close()
+            await server.wait_closed()
+            return lines
+
+        lines = asyncio.run(scenario())
+        assert "ok inserted" in lines
+        assert any("?o=29" in line for line in lines)
+        assert lines[-1] == "bye"
+
+
+class TestCLI:
+    def test_shard_serve_end_to_end(self, tmp_path, capsys, monkeypatch):
+        from repro.__main__ import main
+
+        script = (
+            "INSERT 1 0 2\nINSERT 2 0 3\nINSERT 9 1 2\n"
+            "QUERY ?x 0 ?y\nSTATS\nKILL 1\nRESTART 1\nQUIT\n"
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(script))
+        main([
+            "shard-serve", str(tmp_path / "d"), "--create",
+            "--shards", "3", "--n-nodes", "16", "--n-predicates", "2",
+            "--timeout", "10",
+        ])
+        out = capsys.readouterr().out
+        assert "3 durable shard(s)" in out
+        assert out.count("ok inserted") == 3
+        assert "?x=1  ?y=2" in out
+        assert "-- 2 solution(s) [complete; shards 0,1,2]" in out
+        assert "breakers" in out
+        assert "ok killed shard 1" in out
+        assert "ok restarted shard 1" in out
+        assert "bye" in out
+
+        # The durable store survives the session: recover and re-serve.
+        monkeypatch.setattr("sys.stdin", io.StringIO("QUERY ?x 0 ?y\nQUIT\n"))
+        main(["shard-serve", str(tmp_path / "d"), "--timeout", "10"])
+        out = capsys.readouterr().out
+        assert "recovered 3 shard(s)" in out
+        assert "-- 2 solution(s) [complete; shards 0,1,2]" in out
+
+    def test_shard_serve_with_cache(self, tmp_path, capsys, monkeypatch):
+        from repro.__main__ import main
+
+        script = "INSERT 1 0 2\nQUERY ?x 0 ?y\nQUERY ?x 0 ?y\nQUIT\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(script))
+        main([
+            "shard-serve", str(tmp_path / "d"), "--create",
+            "--shards", "2", "--n-nodes", "8", "--n-predicates", "1",
+            "--cache", "--timeout", "10",
+        ])
+        out = capsys.readouterr().out
+        assert "cache enabled" in out
+        assert "-- 1 solution(s) [complete; shards 0,1]" in out
+        assert "-- 1 solution(s) [complete; cached]" in out

@@ -1,0 +1,67 @@
+"""Shard supervision: health sweeps, restart caps, failing restarts."""
+
+import time
+
+import pytest
+
+from repro.reliability.faults import Fault, InjectedFault, inject_faults
+from repro.serving import ShardSupervisor
+
+pytestmark = pytest.mark.serving
+
+
+class TestSweep:
+    def test_healthy_shards_left_alone(self, sharded):
+        sup = ShardSupervisor(sharded)
+        assert sup.sweep() == 0
+        assert sup.stats()["restarts"] == [0, 0, 0, 0]
+
+    def test_dead_shard_restarted(self, sharded):
+        sharded.kill_shard(2)
+        sup = ShardSupervisor(sharded)
+        assert sup.sweep() == 1
+        assert sharded.endpoints[2].alive
+        assert sharded.endpoints[2].incarnation == 1
+        assert sup.stats()["restarts"] == [0, 0, 1, 0]
+
+    def test_max_restarts_caps_flapping_shards(self, sharded):
+        sup = ShardSupervisor(sharded, max_restarts=2)
+        for _ in range(4):
+            sharded.kill_shard(0)
+            sup.sweep()
+        assert sup.stats()["restarts"][0] == 2
+        assert not sharded.endpoints[0].alive, (
+            "a shard past its restart cap must stay down"
+        )
+
+    def test_failed_restart_counted_not_raised(self, sharded):
+        sharded.kill_shard(1)
+        sup = ShardSupervisor(sharded)
+        with inject_faults(
+            Fault("shard.restart", error=InjectedFault, probability=1.0), seed=1
+        ):
+            assert sup.sweep() == 0  # must not raise
+        assert sup.stats()["failed_restarts"][1] >= 1
+        assert not sharded.endpoints[1].alive
+        # The next unfaulted sweep recovers the shard.
+        assert sup.sweep() == 1
+        assert sharded.endpoints[1].alive
+
+
+class TestBackgroundLoop:
+    def test_thread_restarts_killed_shard(self, sharded):
+        with ShardSupervisor(sharded, interval=0.01) as sup:
+            sharded.kill_shard(3)
+            deadline = time.monotonic() + 5.0
+            while not sharded.endpoints[3].alive and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert sharded.endpoints[3].alive, "supervisor never restarted the shard"
+            assert sup.stats()["running"]
+        assert not sup.stats()["running"]
+        assert sup.stats()["checks"] >= 1
+
+    def test_double_start_rejected(self, sharded):
+        sup = ShardSupervisor(sharded, interval=0.01)
+        with sup:
+            with pytest.raises(RuntimeError):
+                sup.start()
