@@ -1,0 +1,99 @@
+"""Adaptive-planning benchmark: speedup, regression and identity gates.
+
+Regenerates the ``BENCH_adaptive.json`` perf artifact and gates the
+dynamic variable-selection policies (ISSUE 7) on all three promises:
+
+- **skewed speedup** — on the two-wing hub workload the ``adaptive``
+  policy beats the static §4.3 order by at least ``MIN_SKEW_SPEEDUP`` x
+  (geomean over instances);
+- **uniform safety** — on the WGPB-style Table-1 mix (where static is
+  already near-optimal) adaptive costs at most ``MAX_UNIFORM_REGRESSION``
+  of the static time;
+- **identity, everywhere** — every policy returns the same solution
+  multiset, enumerates deterministically, and the cached / parallel /
+  sharded serving paths stay byte-identical to serial evaluation under
+  every policy.
+
+Scale knobs: ``REPRO_BENCH_ADAPTIVE_QUICK=1`` shrinks every section to
+CI size; ``REPRO_BENCH_ADAPTIVE_OUT`` overrides the artifact path.
+"""
+
+import os
+
+import pytest
+
+from repro.perf.adaptivebench import (
+    format_report,
+    full_report,
+    write_report,
+)
+
+QUICK = os.environ.get("REPRO_BENCH_ADAPTIVE_QUICK", "0") == "1"
+
+#: Required adaptive-over-static factor on the skewed workload (geomean).
+MIN_SKEW_SPEEDUP = 2.0
+
+#: Allowed adaptive/static time ratio on the uniform Table-1 mix.
+MAX_UNIFORM_REGRESSION = 1.10
+
+pytestmark = [pytest.mark.perf, pytest.mark.adaptive]
+
+
+@pytest.fixture(scope="module")
+def adaptive_report():
+    report = full_report(quick=QUICK, seed=0)
+    print()
+    print(format_report(report))
+    return report
+
+
+def test_skewed_speedup(adaptive_report):
+    """Adaptive beats every static order >= 2x on the two-wing hubs."""
+    skew = adaptive_report["skewed"]
+    assert skew["speedup_adaptive_geomean"] >= MIN_SKEW_SPEEDUP, (
+        f"adaptive only {skew['speedup_adaptive_geomean']:.2f}x over static "
+        f"on the skewed workload (floor {MIN_SKEW_SPEEDUP}x)"
+    )
+
+
+def test_skewed_policies_identical(adaptive_report):
+    """All four policies agree on the multiset and are deterministic."""
+    assert adaptive_report["skewed"]["all_identical"]
+
+
+def test_adaptive_actually_reranks(adaptive_report):
+    """The decision log shows live re-ranking (and no silent fallbacks)."""
+    for run in adaptive_report["skewed"]["runs"]:
+        counters = run["policies"]["adaptive"]["counters"]
+        assert counters["reranks"] > 0
+        assert counters["rerank_divergence"] > 0, (
+            "adaptive never diverged from the static order on the "
+            "workload built to force divergence"
+        )
+        assert counters["rerank_fallbacks"] == 0
+        assert counters["estimate_misses"] == 0
+
+
+def test_uniform_regression_bounded(adaptive_report):
+    """Re-rank overhead stays within 10% where it cannot help."""
+    uni = adaptive_report["uniform"]
+    assert uni["same_multisets"]
+    assert uni["regression_adaptive"] <= MAX_UNIFORM_REGRESSION, (
+        f"adaptive cost {uni['regression_adaptive']:.3f}x static on the "
+        f"uniform mix (ceiling {MAX_UNIFORM_REGRESSION}x)"
+    )
+
+
+def test_serving_paths_identical(adaptive_report):
+    """Cached, parallel and sharded serving are byte-stable per policy."""
+    ident = adaptive_report["serving_identity"]
+    assert ident["all_identical"]
+    assert ident["sharded_identical_across_policies"]
+    for policy, probes in ident["per_policy"].items():
+        assert probes["warm_was_cached"], f"{policy}: warm serve missed cache"
+
+
+def test_write_bench_artifact(adaptive_report):
+    """Emit the machine-readable perf artifact for trajectory tracking."""
+    path = os.environ.get("REPRO_BENCH_ADAPTIVE_OUT", "BENCH_adaptive.json")
+    write_report(adaptive_report, path)

@@ -7,11 +7,13 @@ Examples::
     python -m repro query nobel.npz "?x ?p ?y" --timeout 1 --partial
     python -m repro explain nobel.npz "?x nom ?y . ?x win ?z . ?z adv ?y"
     python -m repro plan nobel.npz "?x adv ?y . ?y win ?z" --slices 4
+    python -m repro plan nobel.npz "?x adv ?y . ?y win ?z" --policy adaptive
     python -m repro path nobel.npz "adv+" --source Thorne
     python -m repro verify nobel.npz
     python -m repro stats nobel.npz
     python -m repro bench --quick -o BENCH_kernels.json
     python -m repro bench --parallel --quick -o BENCH_parallel.json
+    python -m repro bench --adaptive --quick -o BENCH_adaptive.json
     python -m repro serve store/ --create --n-nodes 1000 --n-predicates 16
     python -m repro recover store/
 
@@ -78,7 +80,7 @@ def cmd_build(args) -> None:
 
 
 def cmd_query(args) -> None:
-    index = RingIndex.load(args.index)
+    index = RingIndex.load(args.index, policy=args.policy)
     solutions = index.evaluate(
         args.query,
         limit=args.limit,
@@ -118,7 +120,7 @@ def cmd_plan(args) -> None:
     """The cardinality-guided plan plus the parallel slice preview."""
     from repro.parallel.slices import plan_slices
 
-    index = RingIndex.load(args.index)
+    index = RingIndex.load(args.index, policy=args.policy)
     stats_cache = None
     if getattr(args, "stats_cache", None):
         from repro.cache import PlanStatsCache
@@ -147,6 +149,11 @@ def cmd_plan(args) -> None:
     print("elimination order (cheapest distinct-count first):")
     for var in order:
         print(f"  {var.name:<8} ~{scores.get(var.name, '?')} distinct values")
+    if plan.get("policy", "static") != "static":
+        first = plan.get("first_variable")
+        print(f"policy            : {plan['policy']} — re-ranks per binding "
+              f"depth; depth-0 choice: "
+              f"{first.name if first is not None else '(none)'}")
     lonely = ", ".join(v.name for v in plan["lonely_variables"]) or "(none)"
     print(f"lonely variables  : {lonely}")
     print("pattern cardinalities (exact, via Lemma 3.6 ranges):")
@@ -200,7 +207,13 @@ def cmd_verify(args) -> None:
 def cmd_bench(args) -> None:
     # Imported lazily: pulls in the graph generators and bench runner,
     # which the serving commands never need.
-    if args.cache:
+    if args.adaptive:
+        from repro.perf.adaptivebench import (
+            format_report, full_report, write_report,
+        )
+
+        report = full_report(quick=args.quick, seed=args.seed)
+    elif args.cache:
         from repro.perf.cachebench import (
             format_report, full_report, write_report,
         )
@@ -323,15 +336,19 @@ def cmd_serve(args) -> None:
             n_predicates=args.n_predicates,
         )
         store = DurableDynamicRing.create(
-            args.directory, universe, buffer_threshold=args.threshold
+            args.directory, universe, buffer_threshold=args.threshold,
+            policy=args.policy,
         )
         print(f"created {args.directory} "
               f"({args.n_nodes} nodes, {args.n_predicates} predicates)")
     else:
         store, report = DurableDynamicRing.recover(
-            args.directory, buffer_threshold=args.threshold
+            args.directory, buffer_threshold=args.threshold,
+            policy=args.policy,
         )
         print(f"recovered: {report.summary()}")
+    if args.policy != "static":
+        print(f"policy: {args.policy}")
     decode = store.graph.dictionary is not None
     served_index = store
     if args.cache:
@@ -405,7 +422,11 @@ def cmd_shard_serve(args) -> None:
         )
         print(f"recovered {shards.n_shards} shard(s), "
               f"{shards.n_triples} triple(s)")
-    served = ShardCoordinator(shards, shard_timeout=args.shard_timeout)
+    served = ShardCoordinator(
+        shards, shard_timeout=args.shard_timeout, policy=args.policy
+    )
+    if args.policy != "static":
+        print(f"policy: {args.policy}")
     if args.cache:
         # The wrapper delegates every coordinator hook (shards, graph,
         # stats) transparently, so the frontend serves through it as-is.
@@ -461,6 +482,16 @@ def main(argv=None) -> None:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_policy_flag(p) -> None:
+        from repro.core.ltj import POLICIES
+
+        p.add_argument(
+            "--policy", choices=POLICIES, default="static",
+            help="variable-selection policy: 'static' keeps the "
+                 "precomputed §4.3 order, the others re-rank per binding "
+                 "depth from O(1) estimates (answers are byte-identical)",
+        )
+
     p = sub.add_parser("build", help="index a triple file")
     p.add_argument("input", help=".nt file or whitespace 's p o' lines")
     p.add_argument("-o", "--output", required=True, help="index path (.npz)")
@@ -479,6 +510,7 @@ def main(argv=None) -> None:
                    help="on timeout, return the solutions found so far "
                         "instead of failing")
     p.add_argument("--json", action="store_true")
+    add_policy_flag(p)
     p.set_defaults(func=cmd_query)
 
     p = sub.add_parser("explain", help="show the §4.3 evaluation plan")
@@ -497,6 +529,7 @@ def main(argv=None) -> None:
                         "loaded before planning, saved after")
     p.add_argument("--slices", type=int, default=4,
                    help="target number of range slices to preview")
+    add_policy_flag(p)
     p.set_defaults(func=cmd_plan)
 
     p = sub.add_parser("path", help="regular path query from a node")
@@ -543,6 +576,7 @@ def main(argv=None) -> None:
                         "coalesce concurrent identical submissions")
     p.add_argument("--cache-mb", type=int, default=64,
                    help="result-cache byte budget in MiB (with --cache)")
+    add_policy_flag(p)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -579,6 +613,7 @@ def main(argv=None) -> None:
                         "cache keyed on the shard-generation vector")
     p.add_argument("--cache-mb", type=int, default=64,
                    help="result-cache byte budget in MiB (with --cache)")
+    add_policy_flag(p)
     p.set_defaults(func=cmd_shard_serve)
 
     p = sub.add_parser(
@@ -603,6 +638,10 @@ def main(argv=None) -> None:
     p.add_argument("--cache", action="store_true",
                    help="benchmark the serving cache on a repeated "
                         "workload (BENCH_cache.json)")
+    p.add_argument("--adaptive", action="store_true",
+                   help="benchmark the adaptive planning policies: skewed "
+                        "speedup, uniform regression, serving identity "
+                        "(BENCH_adaptive.json)")
     p.add_argument("--workers", type=int, nargs="*", default=None,
                    help="worker counts to measure with --parallel "
                         "(default: 2 in quick mode, 2 and 4 otherwise)")

@@ -278,8 +278,14 @@ class DynamicRingIndex(BaseLTJSystem):
         use_lonely: bool = True,
         use_ordering: bool = True,
         auto_compact: bool = True,
+        policy: str = "static",
     ) -> None:
-        super().__init__(graph, use_lonely=use_lonely, use_ordering=use_ordering)
+        super().__init__(
+            graph,
+            use_lonely=use_lonely,
+            use_ordering=use_ordering,
+            policy=policy,
+        )
         self._n_nodes = graph.n_nodes
         self._n_predicates = graph.n_predicates
         self._threshold = max(buffer_threshold, 8)

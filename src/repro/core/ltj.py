@@ -36,17 +36,105 @@ path — so op caps, timeouts and cancellation behave the same either way.
 
 All refinements can be disabled (``use_lonely`` / ``use_ordering`` /
 ``use_batch``) for the ablation benchmarks.
+
+**Adaptive intra-query planning** (``policy``): the §4.3 order is
+computed once before the first leap, so one skewed join (power-law
+predicates, star subjects) can lock the whole search into a
+pathological order.  The dynamic policies instead re-rank the *next*
+variable at every binding depth from O(1)-maintained per-iterator
+bounds — the Lemma 3.6 range width ``count()`` is updated incrementally
+by ``bind``/``unbind``, and the root distinct estimates are computed
+once per query (never re-descending the wavelet matrix on the hot
+path):
+
+- ``static``   — today's behaviour: the precomputed §4.3 order;
+- ``rowcount`` — minimize the current range width ``min count(t)``;
+- ``distinct`` — minimize the root distinct-value estimate;
+- ``adaptive`` — minimize the partial-binding bound
+  ``min(count(t), distinct_root)``: the narrowed width caps the root
+  branching estimate, so a variable whose candidate range collapsed
+  under the current partial binding is eliminated immediately.
+
+Ties break on the static §4.3 rank (renaming-invariant via the plan
+signature), so every policy enumerates deterministically; a failing
+estimator degrades the rest of the query to the static order
+(chaos site ``plan.rerank``), never to a wrong answer.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Iterator, Optional, Sequence, Union
 
-from repro.core.interface import PatternIterator
+from repro.core.interface import PatternIterator, QueryCancelled, QueryTimeout
 from repro.graph.model import BasicGraphPattern, TriplePattern, Var
+from repro.perf.counters import event
 from repro.reliability.budget import ResourceBudget
 
 IteratorFactory = Callable[[TriplePattern], PatternIterator]
+
+#: The variable-selection policies of the per-depth planner.
+POLICIES = ("static", "rowcount", "distinct", "adaptive")
+
+#: Per-query cap on the recorded (depth, variable, estimate) decisions:
+#: re-ranking fires at every search-tree node, so the log is a bounded
+#: sample — the totals live in the ``reranks``/``rerank_divergence``
+#: stats and the ``plan.*`` kernel counters.
+DECISION_LOG_CAP = 128
+
+
+def rank_candidates(
+    policy: str,
+    candidates: Sequence[Var],
+    by_var: dict[Var, list[PatternIterator]],
+    static_rank: dict[Var, int],
+    root_distinct: dict[tuple[int, Var], int],
+) -> tuple[Var, int]:
+    """Pick the next variable a dynamic ``policy`` would eliminate.
+
+    Every bound is O(1) per iterator: ``count()`` reads the current
+    Lemma 3.6 range width off the incrementally-maintained zone state,
+    and ``root_distinct`` was filled once at analysis time.  Ties break
+    on the static §4.3 rank so the choice is renaming-invariant and
+    deterministic across processes (the parallel workers re-run this
+    exact computation).  Registered as chaos fault site ``plan.rerank``:
+    callers treat any exception as "degrade to the static order".
+    """
+    best: Optional[Var] = None
+    best_key: Optional[tuple[int, int]] = None
+    for v in candidates:
+        if policy == "rowcount":
+            estimate = min(it.count() for it in by_var[v])
+        elif policy == "distinct":
+            estimate = min(root_distinct[(id(it), v)] for it in by_var[v])
+        else:  # adaptive: the narrowed width clips the root estimate
+            estimate = min(
+                min(it.count(), root_distinct[(id(it), v)])
+                for it in by_var[v]
+            )
+        key = (estimate, static_rank[v])
+        if best_key is None or key < best_key:
+            best_key, best = key, v
+    assert best is not None and best_key is not None
+    return best, best_key[0]
+
+
+class _PolicyState:
+    """Per-query state of a dynamic variable-selection policy."""
+
+    __slots__ = ("policy", "static_rank", "root_distinct", "static_rest")
+
+    def __init__(
+        self,
+        policy: str,
+        static_rank: dict[Var, int],
+        root_distinct: dict[tuple[int, Var], int],
+    ) -> None:
+        self.policy = policy
+        self.static_rank = static_rank
+        self.root_distinct = root_distinct
+        #: Set when :func:`rank_candidates` raised — the remainder of
+        #: the query runs in the static §4.3 order.
+        self.static_rest = False
 
 
 class LeapfrogTrieJoin:
@@ -64,6 +152,11 @@ class LeapfrogTrieJoin:
         The vectorised batch-leap path (bulk range decoding, single-
         iterator value sweeps); disable to force the scalar per-triple
         walk everywhere (ablation/benchmark switch).
+    policy:
+        Variable-selection policy, one of :data:`POLICIES`.  ``static``
+        (default) keeps the precomputed §4.3 order; the dynamic
+        policies re-rank the next variable at every binding depth from
+        O(1) per-iterator bounds (see the module docstring).
     """
 
     def __init__(
@@ -73,18 +166,29 @@ class LeapfrogTrieJoin:
         use_lonely: bool = True,
         use_ordering: bool = True,
         use_batch: bool = True,
+        policy: str = "static",
     ) -> None:
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; expected one of {POLICIES}"
+            )
         self._factory = iterator_factory
         self._stats: Optional[dict] = None
         self._n = max(n_triples, 1)
         self._use_lonely = use_lonely
         self._use_ordering = use_ordering
         self._use_batch = use_batch
+        self._policy = policy
         #: Optional :class:`~repro.cache.stats_cache.PlanStatsCache`
         #: (duck-typed: anything with ``count(it)`` / ``distinct(it,
         #: var, estimator)``) memoizing the §4.3 statistics across
         #: queries.  ``None`` (the default) recomputes them per query.
         self.stats_cache = None
+
+    @property
+    def policy(self) -> str:
+        """The configured variable-selection policy (see :data:`POLICIES`)."""
+        return self._policy
 
     # -- public API ----------------------------------------------------------
 
@@ -95,6 +199,7 @@ class LeapfrogTrieJoin:
         var_order: Optional[Sequence[Var]] = None,
         stats: Optional[dict] = None,
         first_range: Optional[tuple[int, int]] = None,
+        first_var: Optional[Var] = None,
     ) -> Iterator[dict[Var, int]]:
         """Stream the solutions ``Q(G)`` as ``{Var: id}`` mappings.
 
@@ -115,12 +220,20 @@ class LeapfrogTrieJoin:
         unrestricted enumeration — the contract the range-partitioned
         parallel driver builds on.  Requires at least one shared
         variable (callers pass ``var_order`` to pin which one).
+
+        ``first_var`` (dynamic policies only) pins *just the first*
+        eliminated variable — the parallel driver slices that
+        variable's domain while every deeper depth still re-ranks, so
+        the concatenated slices stay byte-identical to the serial
+        policy enumeration.  An explicit ``var_order`` pins the whole
+        order and therefore disables per-depth re-ranking.
         """
         self._stats = stats if stats is not None else None
         if stats is not None:
             stats.setdefault("leaps", 0)
             stats.setdefault("binds", 0)
             stats.setdefault("bulk_rows", 0)
+            stats.setdefault("policy", self._policy)
         deadline = ResourceBudget.coerce(timeout)
         analysed = self._analyse(bgp, var_order)
         if analysed is None:  # some pattern is unsatisfiable
@@ -133,8 +246,33 @@ class LeapfrogTrieJoin:
         if first_range is not None and not order:
             raise ValueError("first_range requires a shared join variable")
 
-        yield from self._search(
-            order, 0, by_var, lonely_by_iter, {}, deadline, first_range
+        dynamic = self._policy != "static" and var_order is None
+        if first_var is not None:
+            if not dynamic:
+                raise ValueError(
+                    "first_var requires a dynamic policy without var_order"
+                )
+            # Re-anchor to the in-tree Var object (first_var may have
+            # crossed a process boundary, so identity is not enough).
+            first_var = next((v for v in order if v == first_var), None)
+            if first_var is None:
+                raise ValueError("first_var must be a shared join variable")
+        if not dynamic:
+            yield from self._search(
+                order, 0, by_var, lonely_by_iter, {}, deadline, first_range
+            )
+            return
+
+        state = self._policy_state(order, by_var)
+        if stats is not None:
+            stats.setdefault("reranks", 0)
+            stats.setdefault("rerank_divergence", 0)
+            stats.setdefault("rerank_fallbacks", 0)
+            stats.setdefault("estimate_misses", 0)
+            stats.setdefault("decision_log", [])
+        yield from self._search_adaptive(
+            list(order), by_var, lonely_by_iter, {}, deadline, state,
+            first_range, first_var,
         )
 
     def _analyse(
@@ -201,6 +339,13 @@ class LeapfrogTrieJoin:
         its keys so a shared entry is guaranteed byte-identical to what
         a fresh evaluation would stream.  ``None`` means some pattern is
         empty (zero solutions) at the current index state.
+
+        Dynamic policies re-rank inside this static order's tie-break
+        frame, and their per-depth choices depend only on the (cache-
+        generation-tagged) index state — so the signature plus the
+        engine's ``policy`` flag (folded into the cache key by
+        :class:`~repro.cache.system.CachedQuerySystem`) still pins the
+        row order exactly.
         """
         analysed = self._analyse(bgp, var_order)
         if analysed is None:
@@ -236,6 +381,10 @@ class LeapfrogTrieJoin:
             "variable_scores": {v.name: scores[v] for v in shared},
             "uses_lonely_optimisation": self._use_lonely,
             "uses_cardinality_ordering": self._use_ordering,
+            "policy": self._policy,
+            "first_variable": (
+                self.first_variable(order, by_var) if order else None
+            ),
         }
 
     # -- §4.3 variable ordering -------------------------------------------------
@@ -268,8 +417,9 @@ class LeapfrogTrieJoin:
             for v in shared:
                 best = None
                 for it in by_var[v]:
-                    estimator = getattr(it, "distinct_estimate", None)
-                    value = cache.distinct(it, v, estimator)
+                    value = cache.distinct(
+                        it, v, self._estimator_or_miss(it)
+                    )
                     best = value if best is None else min(best, value)
                 scores[v] = best if best is not None else 0
             return scores, cmin
@@ -280,11 +430,32 @@ class LeapfrogTrieJoin:
         for v in shared:
             best: Optional[int] = None
             for it in by_var[v]:
-                estimator = getattr(it, "distinct_estimate", None)
+                estimator = self._estimator_or_miss(it)
+                # Explicit fallback: the pattern's range width stands in
+                # for the distinct estimate (counted, never silent).
                 value = estimator(v) if estimator is not None else it.count()
                 best = value if best is None else min(best, value)
             scores[v] = best if best is not None else 0
         return scores, cmin
+
+    def _estimator_or_miss(self, it: PatternIterator):
+        """``it.distinct_estimate`` or ``None``, *counting* the miss.
+
+        Engines without the wavelet estimator (e.g. the dynamic ring's
+        union iterator) used to degrade the §4.3 statistics silently;
+        every such degradation now fires the ``plan.estimate_miss``
+        kernel counter and the per-query ``estimate_misses`` stat, so a
+        workload planning off range widths instead of distinct counts
+        is observable.
+        """
+        estimator = getattr(it, "distinct_estimate", None)
+        if estimator is None:
+            event("plan.estimate_miss")
+            if self._stats is not None:
+                self._stats["estimate_misses"] = (
+                    self._stats.get("estimate_misses", 0) + 1
+                )
+        return estimator
 
     def _variable_order(
         self, shared: Sequence[Var], by_var: dict[Var, list[PatternIterator]]
@@ -309,7 +480,217 @@ class LeapfrogTrieJoin:
                 chosen_iters.add(id(it))
         return order
 
+    # -- per-depth re-ranking (dynamic policies) ---------------------------------
+
+    def _policy_state(
+        self, order: Sequence[Var], by_var: dict[Var, list[PatternIterator]]
+    ) -> _PolicyState:
+        """Build the per-query state a dynamic policy ranks against.
+
+        The root distinct estimates (``distinct``/``adaptive`` only)
+        are computed *once* here — through the
+        :class:`~repro.cache.stats_cache.PlanStatsCache` memo when one
+        is installed, so repeated workloads skip the wavelet scans
+        entirely — and every later depth refines them with the O(1)
+        range widths alone: the hot path never re-descends the wavelet
+        matrix.
+        """
+        static_rank = {v: i for i, v in enumerate(order)}
+        root_distinct: dict[tuple[int, Var], int] = {}
+        if self._policy in ("distinct", "adaptive"):
+            cache = self.stats_cache
+            for v in order:
+                for it in by_var[v]:
+                    estimator = self._estimator_or_miss(it)
+                    if cache is not None:
+                        value = cache.distinct(it, v, estimator)
+                    elif estimator is not None:
+                        value = estimator(v)
+                    else:
+                        value = it.count()
+                    root_distinct[(id(it), v)] = value
+        return _PolicyState(self._policy, static_rank, root_distinct)
+
+    def first_variable(
+        self,
+        order: Sequence[Var],
+        by_var: dict[Var, list[PatternIterator]],
+        stats: Optional[dict] = None,
+    ) -> Optional[Var]:
+        """The policy's depth-0 choice (what :meth:`evaluate` would
+        eliminate first at the current index state).
+
+        The parallel driver slices this variable's domain and pins it
+        in every worker (``first_var``) so the merged slices reproduce
+        the serial policy enumeration byte for byte.  A failing ranking
+        degrades to the static head, mirroring the in-query contract.
+        """
+        if not order:
+            return None
+        self._stats = stats if stats is not None else None
+        if self._policy == "static" or len(order) == 1:
+            return order[0]
+        state = self._policy_state(order, by_var)
+        try:
+            var, _estimate = rank_candidates(
+                self._policy, list(order), by_var,
+                state.static_rank, state.root_distinct,
+            )
+        except (QueryTimeout, QueryCancelled):
+            raise
+        except Exception:
+            event("plan.rerank_fallback")
+            return order[0]
+        return var
+
+    def _choose_variable(
+        self,
+        remaining: list[Var],
+        by_var: dict[Var, list[PatternIterator]],
+        state: _PolicyState,
+    ) -> Var:
+        """One re-ranking decision: the next variable to eliminate.
+
+        ``remaining`` is kept in static §4.3 order, so ``remaining[0]``
+        is both the divergence baseline and the degradation target when
+        the ranking itself fails (chaos site ``plan.rerank``): a broken
+        estimator costs plan quality for the rest of this query, never
+        correctness.
+        """
+        if len(remaining) == 1:
+            return remaining[0]
+        if state.static_rest:
+            return remaining[0]
+        try:
+            var, estimate = rank_candidates(
+                state.policy, remaining, by_var,
+                state.static_rank, state.root_distinct,
+            )
+        except (QueryTimeout, QueryCancelled):
+            raise
+        except Exception:
+            state.static_rest = True
+            event("plan.rerank_fallback")
+            if self._stats is not None:
+                self._stats["rerank_fallbacks"] = (
+                    self._stats.get("rerank_fallbacks", 0) + 1
+                )
+            return remaining[0]
+        event("plan.rerank")
+        diverged = var is not remaining[0]
+        if diverged:
+            event("plan.rerank_divergence")
+        stats = self._stats
+        if stats is not None:
+            stats["reranks"] = stats.get("reranks", 0) + 1
+            if diverged:
+                stats["rerank_divergence"] = (
+                    stats.get("rerank_divergence", 0) + 1
+                )
+            log = stats.get("decision_log")
+            if isinstance(log, list) and len(log) < DECISION_LOG_CAP:
+                depth = len(state.static_rank) - len(remaining)
+                log.append((depth, var.name, int(estimate)))
+        return var
+
     # -- the search tree ---------------------------------------------------------
+
+    def _search_adaptive(
+        self,
+        remaining: list[Var],
+        by_var: dict[Var, list[PatternIterator]],
+        lonely_by_iter: Sequence[tuple[PatternIterator, list[Var]]],
+        binding: dict[Var, int],
+        deadline: ResourceBudget,
+        state: _PolicyState,
+        first_range: Optional[tuple[int, int]] = None,
+        first_var: Optional[Var] = None,
+    ) -> Iterator[dict[Var, int]]:
+        """:meth:`_search` with the next variable re-ranked per depth.
+
+        ``remaining`` stays in static §4.3 order (the fallback and
+        tie-break baseline); the three enumeration shapes — slice mode,
+        the single-iterator batch sweep, the Algorithm 1 seek loop —
+        are byte-identical to the static search once the variable is
+        chosen, so a policy's output differs from ``static`` only in
+        row *order*, never in the solution multiset.
+        """
+        if not remaining:
+            yield from self._emit_lonely(lonely_by_iter, 0, binding, deadline)
+            return
+        if first_var is not None:
+            # Parallel slice mode: depth 0 is pinned to the slicing
+            # variable (the parent's own policy choice).
+            var = first_var
+        else:
+            var = self._choose_variable(remaining, by_var, state)
+        rest = [v for v in remaining if v is not var]
+        iters = by_var[var]
+        if first_range is not None:
+            a, b = first_range
+            if self._use_batch and len(iters) == 1:
+                it = iters[0]
+                for value in it.values(var):
+                    if value >= b:
+                        break
+                    deadline.tick()
+                    if value < a:
+                        continue
+                    if self._stats is not None:
+                        self._stats["leaps"] += 1
+                        self._stats["binds"] += 1
+                    it.bind(var, value)
+                    binding[var] = value
+                    yield from self._search_adaptive(
+                        rest, by_var, lonely_by_iter, binding, deadline, state
+                    )
+                    del binding[var]
+                    it.unbind(var)
+                return
+            value = self._seek(iters, var, a, deadline)
+            while value is not None and value < b:
+                if self._stats is not None:
+                    self._stats["binds"] += 1
+                for it in iters:
+                    it.bind(var, value)
+                binding[var] = value
+                yield from self._search_adaptive(
+                    rest, by_var, lonely_by_iter, binding, deadline, state
+                )
+                del binding[var]
+                for it in iters:
+                    it.unbind(var)
+                value = self._seek(iters, var, value + 1, deadline)
+            return
+        if self._use_batch and len(iters) == 1:
+            it = iters[0]
+            for value in it.values(var):
+                deadline.tick()
+                if self._stats is not None:
+                    self._stats["leaps"] += 1
+                    self._stats["binds"] += 1
+                it.bind(var, value)
+                binding[var] = value
+                yield from self._search_adaptive(
+                    rest, by_var, lonely_by_iter, binding, deadline, state
+                )
+                del binding[var]
+                it.unbind(var)
+            return
+        value = self._seek(iters, var, 0, deadline)
+        while value is not None:
+            if self._stats is not None:
+                self._stats["binds"] += 1
+            for it in iters:
+                it.bind(var, value)
+            binding[var] = value
+            yield from self._search_adaptive(
+                rest, by_var, lonely_by_iter, binding, deadline, state
+            )
+            del binding[var]
+            for it in iters:
+                it.unbind(var)
+            value = self._seek(iters, var, value + 1, deadline)
 
     def _search(
         self,

@@ -243,6 +243,7 @@ class BaseLTJSystem(BaseQuerySystem):
         use_lonely: bool = True,
         use_ordering: bool = True,
         use_batch: bool = True,
+        policy: str = "static",
     ) -> None:
         super().__init__(graph)
         self._engine = LeapfrogTrieJoin(
@@ -251,7 +252,14 @@ class BaseLTJSystem(BaseQuerySystem):
             use_lonely=use_lonely,
             use_ordering=use_ordering,
             use_batch=use_batch,
+            policy=policy,
         )
+
+    @property
+    def policy(self) -> str:
+        """The engine's variable-selection policy
+        (:data:`repro.core.ltj.POLICIES`)."""
+        return self._engine.policy
 
     def iterator(self, pattern: TriplePattern) -> PatternIterator:
         raise NotImplementedError
@@ -297,12 +305,14 @@ class RingIndex(BaseLTJSystem):
         use_ordering: bool = True,
         use_batch: bool = True,
         leap_memo_size: int = 1 << 16,
+        policy: str = "static",
     ) -> None:
         super().__init__(
             graph,
             use_lonely=use_lonely,
             use_ordering=use_ordering,
             use_batch=use_batch,
+            policy=policy,
         )
         self._ring = Ring(
             graph,
@@ -382,7 +392,7 @@ class RingIndex(BaseLTJSystem):
         write_manifest(path, compressed=self._ring.compressed, graph=self._graph)
 
     @classmethod
-    def load(cls, path, verify: bool = True) -> "RingIndex":
+    def load(cls, path, verify: bool = True, **options) -> "RingIndex":
         """Inverse of :meth:`save`, with integrity checks.
 
         With ``verify=True`` (default) the payload checksum is compared
@@ -391,6 +401,8 @@ class RingIndex(BaseLTJSystem):
         and the rebuilt ring runs its structural self-check — a
         corrupted or truncated index is *never* silently served.
         Legacy sidecars without a checksum skip the hash comparison.
+        Extra ``options`` (e.g. ``policy=...``) go to the constructor —
+        engine configuration is per-process, not part of the manifest.
         """
         from repro.reliability.integrity import (
             checked_load_graph,
@@ -404,7 +416,7 @@ class RingIndex(BaseLTJSystem):
             verify_file(path, manifest)
         graph = checked_load_graph(path)
         compressed = bool((manifest or {}).get("compressed", False))
-        index = cls(graph, compressed=compressed)
+        index = cls(graph, compressed=compressed, **options)
         if verify:
             expected_n = (manifest or {}).get("n_triples", graph.n_triples)
             verify_ring_structure(
@@ -428,6 +440,7 @@ class CompressedRingIndex(RingIndex):
         use_lonely: bool = True,
         use_ordering: bool = True,
         use_batch: bool = True,
+        policy: str = "static",
     ) -> None:
         super().__init__(
             graph,
@@ -436,6 +449,7 @@ class CompressedRingIndex(RingIndex):
             use_lonely=use_lonely,
             use_ordering=use_ordering,
             use_batch=use_batch,
+            policy=policy,
         )
 
 

@@ -118,14 +118,20 @@ def _worker_main(
         stats: dict = {}
         status, error = "ok", None
         max_rows = spec.get("max_solutions")
+        # Dynamic variable-selection policies: the driver pins only the
+        # sliced first variable and lets every deeper depth re-rank, so
+        # this worker's subtree enumeration matches the serial policy
+        # search node for node.
+        pin_first = spec.get("pin_first", False)
         try:
             if max_rows is None or max_rows > 0:
                 for solution in engine.evaluate(
                     bgp,
                     timeout=budget,
-                    var_order=var_order,
+                    var_order=None if pin_first else var_order,
                     stats=stats,
                     first_range=first_range,
+                    first_var=var_order[0] if pin_first else None,
                 ):
                     rows.append(solution)
                     # A capped block keeps status "ok": the parent never
@@ -325,6 +331,7 @@ class WorkerPool:
         slices: Sequence[tuple[int, int]],
         budget,
         serial_fallback: SerialFallback,
+        pin_first: bool = False,
     ) -> list[Block]:
         """Execute one task per slice; blocks return in slice order.
 
@@ -334,16 +341,20 @@ class WorkerPool:
         its token's cancellation) trips the shared flag so workers stop
         within one check interval.  ``serial_fallback(first_range)``
         re-executes a slice in the calling process when its worker died
-        before answering.
+        before answering.  With ``pin_first`` (dynamic variable-selection
+        policies) workers pin only ``var_order[0]`` — the sliced
+        variable — and re-rank every deeper depth themselves.
         """
         if self._closed:
             raise PoolUnavailable("pool is closed")
         with self._lock:
             return self._run_slices_locked(
-                bgp, var_order, list(slices), budget, serial_fallback
+                bgp, var_order, list(slices), budget, serial_fallback, pin_first
             )
 
-    def _run_slices_locked(self, bgp, var_order, slices, budget, serial_fallback):
+    def _run_slices_locked(
+        self, bgp, var_order, slices, budget, serial_fallback, pin_first=False
+    ):
         alive = [
             wid
             for wid, p in enumerate(self._procs)
@@ -377,6 +388,7 @@ class WorkerPool:
             "max_ops": sub_ops,
             "tick_mask": budget.tick_mask,
             "max_solutions": sub_solutions,
+            "pin_first": pin_first,
         }
 
         task_ids = [next(self._task_counter) for _ in slices]

@@ -72,6 +72,7 @@ class ParallelRingIndex(RingIndex):
         use_ordering: bool = True,
         use_batch: bool = True,
         leap_memo_size: int = 1 << 16,
+        policy: str = "static",
     ) -> None:
         super().__init__(
             graph,
@@ -80,6 +81,7 @@ class ParallelRingIndex(RingIndex):
             use_ordering=use_ordering,
             use_batch=use_batch,
             leap_memo_size=leap_memo_size,
+            policy=policy,
         )
         self._use_lonely = use_lonely
         self._workers = max(1, int(workers))
@@ -93,6 +95,7 @@ class ParallelRingIndex(RingIndex):
                     "use_lonely": use_lonely,
                     "use_ordering": use_ordering,
                     "use_batch": use_batch,
+                    "policy": policy,
                 },
                 start_method=start_method,
             )
@@ -178,6 +181,20 @@ class ParallelRingIndex(RingIndex):
         else:
             order = self._engine._variable_order(shared, by_var)
 
+        # Dynamic policies: the sliced (and per-worker pinned) first
+        # variable is the policy's own depth-0 choice, so workers only
+        # re-rank depths >= 1 and the merged slices reproduce the serial
+        # policy enumeration byte for byte.  Slices may diverge in the
+        # deeper order — each worker re-ranks against its own narrowed
+        # ranges — but those choices are deterministic functions of the
+        # shared ring state, identical to what the serial search decides
+        # at the same node.
+        pin_first = var_order is None and self._engine.policy != "static"
+        if pin_first and order:
+            v0 = self._engine.first_variable(order, by_var, stats)
+            if v0 is not order[0]:
+                order = [v0] + [v for v in order if v is not v0]
+
         plan = plan_slices(live, bgp, order, self._num_slices) if order else None
         if plan is None or not plan.viable:
             yield from self._engine.evaluate(
@@ -205,9 +222,10 @@ class ParallelRingIndex(RingIndex):
                     for solution in self._engine.evaluate(
                         bgp,
                         timeout=budget,
-                        var_order=order,
+                        var_order=None if pin_first else order,
                         stats=slice_stats,
                         first_range=first_range,
+                        first_var=order[0] if pin_first else None,
                     ):
                         rows.append(solution)
                         if max_rows is not None and len(rows) >= max_rows:
@@ -223,7 +241,8 @@ class ParallelRingIndex(RingIndex):
 
         try:
             blocks = pool.run_slices(
-                bgp, order, plan.slices, budget, serial_fallback
+                bgp, order, plan.slices, budget, serial_fallback,
+                pin_first=pin_first,
             )
         except PoolUnavailable:
             yield from self._engine.evaluate(

@@ -1,0 +1,361 @@
+"""Adaptive-planning benchmark (``BENCH_adaptive.json``).
+
+Two workloads, one per side of the bet the dynamic variable-selection
+policies make (:data:`repro.core.ltj.POLICIES`):
+
+- **skewed** — :func:`repro.graph.generators.skewed_graph` instances
+  whose two-wing hubs make *every* static elimination order
+  pathological on half the hubs; the gate demands ``adaptive`` beats
+  ``static`` by >= 2x here (it wins by skipping the wide wing per
+  binding, not by a different asymptotic);
+- **uniform** — the WGPB-style Table-1 mix over ``wikidata_like``,
+  where the static §4.3 order is already near-optimal; the gate demands
+  ``adaptive`` regresses <= 10% (the re-rank arithmetic is O(1) per
+  search-tree node, but it is *Python* arithmetic on the hot path).
+
+Identity is asserted everywhere timing is measured: every policy must
+return the same solution multiset, each policy must enumerate
+deterministically, and the cached / parallel / sharded serving paths
+must stay byte-identical to the serial evaluation under every policy.
+The per-query decision-log counters (``reranks``,
+``rerank_divergence``, ``rerank_fallbacks``, ``estimate_misses``) ride
+along so re-rank overhead and order divergence are observable in the
+artifact.
+
+Consumed by ``python -m repro bench --adaptive`` and the
+``benchmarks/bench_adaptive.py`` pytest gate (markers
+``perf``/``adaptive``).  Same schema philosophy as
+:mod:`repro.perf.kernelbench`: the emitter lives in the library so
+every ``BENCH_adaptive.json`` in the repo history is comparable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.bench.wgpb import generate_wgpb_queries
+from repro.core import RingIndex
+from repro.core.ltj import POLICIES
+from repro.graph.generators import skewed_graph, wikidata_like
+from repro.graph.model import BasicGraphPattern, TriplePattern, Var
+
+#: Bump when the JSON layout changes, so trajectory tooling can dispatch.
+SCHEMA_VERSION = 1
+
+#: The two-wing join of the generator's docstring: after binding ``?s``
+#: one of the ``?a``/``?b`` wings has collapsed to width 1, but which
+#: one alternates per hub — no static order can be right for both.
+TWO_WING_QUERY = BasicGraphPattern(
+    [
+        TriplePattern(Var("s"), 0, Var("a")),
+        TriplePattern(Var("s"), 1, Var("b")),
+        TriplePattern(Var("a"), 2, Var("b")),
+    ]
+)
+
+
+def _rows_key(result) -> list:
+    """An order-preserving, comparable encoding of a query result."""
+    return [tuple(sorted((v.name, c) for v, c in mu.items())) for mu in result]
+
+
+def _timed_eval(index, bgp, limit, timeout, repeats: int) -> tuple[float, list, dict]:
+    """Best-of-``repeats`` evaluation; returns (seconds, rows_key, stats)."""
+    best = float("inf")
+    key: list = []
+    stats: dict = {}
+    for _ in range(repeats):
+        run_stats: dict = {}
+        start = time.perf_counter()
+        result = index.evaluate(
+            bgp, limit=limit, timeout=timeout, stats=run_stats
+        )
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best, key, stats = elapsed, _rows_key(result), run_stats
+    return best, key, stats
+
+
+def _decision_counters(stats: dict) -> dict:
+    """The policy decision-log counters of one evaluation's stats."""
+    return {
+        k: stats.get(k, 0)
+        for k in (
+            "reranks",
+            "rerank_divergence",
+            "rerank_fallbacks",
+            "estimate_misses",
+        )
+    }
+
+
+def bench_skewed(
+    n_hubs: int = 64,
+    fan: int = 32,
+    instances: int = 3,
+    noise: int = 500,
+    timeout: float = 60.0,
+    repeats: int = 2,
+    seed: int = 0,
+) -> dict:
+    """Every policy against the two-wing pathology, ``instances`` graphs.
+
+    No ``limit``: the query must be enumerated exhaustively (each hub
+    contributes an answer, so early cutoff would hide exactly the
+    branches the static order wastes time on).
+    """
+    runs = []
+    for i in range(instances):
+        graph = skewed_graph(
+            n_hubs=n_hubs, fan=fan, noise=noise, seed=seed + i
+        )
+        per_policy: dict[str, dict] = {}
+        reference: Optional[list] = None
+        for policy in POLICIES:
+            index = RingIndex(graph, policy=policy)
+            seconds, key, stats = _timed_eval(
+                index, TWO_WING_QUERY, None, timeout, repeats
+            )
+            # Determinism: a second pass must stream identical bytes.
+            _s2, key2, _st2 = _timed_eval(
+                index, TWO_WING_QUERY, None, timeout, 1
+            )
+            if reference is None:
+                reference = sorted(key)
+            per_policy[policy] = {
+                "seconds": seconds,
+                "rows": len(key),
+                "deterministic": key == key2,
+                "same_multiset": sorted(key) == reference,
+                "counters": _decision_counters(stats),
+                "stat_binds": stats.get("binds", 0),
+                "stat_leaps": stats.get("leaps", 0),
+            }
+        static_s = per_policy["static"]["seconds"]
+        adaptive_s = per_policy["adaptive"]["seconds"]
+        runs.append(
+            {
+                "graph_triples": graph.n_triples,
+                "seed": seed + i,
+                "policies": per_policy,
+                "speedup_adaptive": (
+                    static_s / adaptive_s if adaptive_s > 0 else float("inf")
+                ),
+            }
+        )
+    speedups = [r["speedup_adaptive"] for r in runs]
+    return {
+        "n_hubs": n_hubs,
+        "fan": fan,
+        "instances": instances,
+        "query": "?s p0 ?a . ?s p1 ?b . ?a p2 ?b",
+        "runs": runs,
+        "speedup_adaptive_min": min(speedups),
+        "speedup_adaptive_geomean": float(np.exp(np.mean(np.log(speedups)))),
+        "all_identical": all(
+            p["deterministic"] and p["same_multiset"]
+            for r in runs
+            for p in r["policies"].values()
+        ),
+    }
+
+
+def bench_uniform(
+    n: int = 1500,
+    queries_per_shape: int = 1,
+    limit: int = 1000,
+    timeout: float = 30.0,
+    repeats: int = 3,
+    seed: int = 0,
+) -> dict:
+    """Static vs adaptive on the WGPB-style Table-1 mix (no skew).
+
+    The gate is the *regression* ratio ``adaptive / static``: re-ranking
+    buys nothing here, so all that shows is its per-node overhead.  Both
+    policies are timed back-to-back per query (best of ``repeats``), so
+    host-load drift during the run cancels out of the ratio.
+    """
+    graph = wikidata_like(n, seed=seed)
+    by_shape = generate_wgpb_queries(
+        graph, queries_per_shape=queries_per_shape, seed=seed
+    )
+    queries = [bgp for instances in by_shape.values() for bgp in instances]
+
+    indexes = {
+        policy: RingIndex(graph, policy=policy)
+        for policy in ("static", "adaptive")
+    }
+    totals = {"static": 0.0, "adaptive": 0.0}
+    keys: dict[str, list] = {"static": [], "adaptive": []}
+    counters = {"reranks": 0, "rerank_divergence": 0, "rerank_fallbacks": 0,
+                "estimate_misses": 0}
+    for bgp in queries:
+        for policy, index in indexes.items():
+            seconds, key, stats = _timed_eval(index, bgp, limit, timeout, repeats)
+            totals[policy] += seconds
+            keys[policy].append(sorted(key))
+            if policy == "adaptive":
+                for k in counters:
+                    counters[k] += stats.get(k, 0)
+    return {
+        "graph_triples": graph.n_triples,
+        "n_queries": len(queries),
+        "limit": limit,
+        "static_seconds": totals["static"],
+        "adaptive_seconds": totals["adaptive"],
+        "regression_adaptive": (
+            totals["adaptive"] / totals["static"]
+            if totals["static"] > 0
+            else float("inf")
+        ),
+        "same_multisets": keys["static"] == keys["adaptive"],
+        "adaptive_counters": counters,
+    }
+
+
+def bench_serving_identity(
+    n_hubs: int = 32,
+    fan: int = 16,
+    timeout: float = 60.0,
+    seed: int = 0,
+    policies: Sequence[str] = POLICIES,
+) -> dict:
+    """Byte-identity of the cached, parallel and sharded paths per policy.
+
+    For each policy: a cached serve must equal a fresh evaluation byte
+    for byte, and the parallel driver's merged slices must equal the
+    serial enumeration byte for byte.  The shard coordinator's canonical
+    sort goes further — its rows must be identical *across* policies.
+    """
+    from repro.cache import CachedQuerySystem
+    from repro.parallel.system import ParallelRingIndex
+    from repro.serving.coordinator import ShardCoordinator
+    from repro.serving.sharding import ShardedRingIndex
+
+    graph = skewed_graph(n_hubs=n_hubs, fan=fan, noise=200, seed=seed)
+    bgp = TWO_WING_QUERY
+    out: dict[str, dict] = {}
+    shard_rows: list = []
+    for policy in policies:
+        fresh = _rows_key(
+            RingIndex(graph, policy=policy).evaluate(bgp, timeout=timeout)
+        )
+        cached = CachedQuerySystem(RingIndex(graph, policy=policy))
+        cold = cached.evaluate(bgp, timeout=timeout)
+        warm = cached.evaluate(bgp, timeout=timeout)
+        with ParallelRingIndex(graph, workers=2, policy=policy) as par:
+            par_rows = _rows_key(par.evaluate(bgp, timeout=timeout))
+        with ShardedRingIndex.from_graph(graph, 2) as shards:
+            coord = ShardCoordinator(shards, policy=policy)
+            rows = _rows_key(coord.evaluate(bgp, timeout=timeout))
+            shard_rows.append(rows)
+        out[policy] = {
+            "cached_identical": (
+                _rows_key(cold) == fresh and _rows_key(warm) == fresh
+            ),
+            "warm_was_cached": bool(warm.cached),
+            "parallel_identical": par_rows == fresh,
+            "sharded_same_multiset": sorted(rows) == sorted(fresh),
+        }
+    return {
+        "per_policy": out,
+        "sharded_identical_across_policies": all(
+            rows == shard_rows[0] for rows in shard_rows
+        ),
+        "all_identical": all(
+            p["cached_identical"] and p["parallel_identical"]
+            and p["sharded_same_multiset"]
+            for p in out.values()
+        ),
+    }
+
+
+def full_report(quick: bool = False, seed: int = 0) -> dict:
+    """The complete ``BENCH_adaptive.json`` payload."""
+    if quick:
+        skew_kwargs = {"n_hubs": 48, "fan": 24, "instances": 2, "noise": 300}
+        uniform_kwargs = {"n": 1200, "queries_per_shape": 1}
+        identity_kwargs = {"n_hubs": 24, "fan": 12}
+    else:
+        skew_kwargs = {"n_hubs": 64, "fan": 32, "instances": 3, "noise": 500}
+        uniform_kwargs = {"n": 2500, "queries_per_shape": 2}
+        identity_kwargs = {"n_hubs": 32, "fan": 16}
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "cpus": os.cpu_count(),
+        "config": {
+            "quick": quick,
+            "seed": seed,
+            "skewed": skew_kwargs,
+            "uniform": uniform_kwargs,
+            "identity": identity_kwargs,
+        },
+        "skewed": bench_skewed(seed=seed, **skew_kwargs),
+        "uniform": bench_uniform(seed=seed, **uniform_kwargs),
+        "serving_identity": bench_serving_identity(seed=seed, **identity_kwargs),
+    }
+
+
+def write_report(report: dict, path: str) -> None:
+    """Write the payload as indented JSON (newline-terminated)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+
+def format_report(report: dict) -> str:
+    """Human-readable table of a :func:`full_report` payload."""
+    skew = report["skewed"]
+    uni = report["uniform"]
+    ident = report["serving_identity"]
+    lines = [
+        f"Adaptive planning — skewed two-wing workload "
+        f"({skew['n_hubs']} hubs, fan {skew['fan']}, "
+        f"{skew['instances']} instance(s)):",
+    ]
+    for run in skew["runs"]:
+        pol = run["policies"]
+        lines.append(
+            f"  seed {run['seed']}: "
+            + "  ".join(
+                f"{name} {1000 * pol[name]['seconds']:.1f}ms"
+                for name in POLICIES
+            )
+            + f"  -> adaptive {run['speedup_adaptive']:.2f}x"
+        )
+        counters = pol["adaptive"]["counters"]
+        lines.append(
+            f"    adaptive decisions: {counters['reranks']} reranks, "
+            f"{counters['rerank_divergence']} diverged, "
+            f"{counters['rerank_fallbacks']} fallbacks, "
+            f"{counters['estimate_misses']} estimate misses"
+        )
+    lines += [
+        f"  speedup: geomean {skew['speedup_adaptive_geomean']:.2f}x, "
+        f"min {skew['speedup_adaptive_min']:.2f}x "
+        f"({'identical' if skew['all_identical'] else 'MISMATCH'})",
+        f"Uniform WGPB mix ({uni['graph_triples']} triples, "
+        f"{uni['n_queries']} queries, limit {uni['limit']}):",
+        f"  static {1000 * uni['static_seconds']:.1f}ms, "
+        f"adaptive {1000 * uni['adaptive_seconds']:.1f}ms "
+        f"-> regression {uni['regression_adaptive']:.3f}x "
+        f"({'same multisets' if uni['same_multisets'] else 'MISMATCH'})",
+        f"Serving identity (cached/parallel/sharded per policy): "
+        f"{'all identical' if ident['all_identical'] else 'MISMATCH'}; "
+        f"sharded rows "
+        + (
+            "identical across policies"
+            if ident["sharded_identical_across_policies"]
+            else "DIFFER across policies"
+        ),
+    ]
+    return "\n".join(lines)

@@ -99,6 +99,10 @@ LAZY_SITES: dict[str, tuple[str, Optional[str], str]] = {
     "shard.dispatch": ("repro.serving.coordinator", None, "dispatch_shard"),
     "shard.gather": ("repro.serving.coordinator", None, "gather_block"),
     "shard.restart": ("repro.serving.supervisor", None, "restart_shard"),
+    # Adaptive planning: a failing per-depth re-ranking must degrade the
+    # rest of the query to the static §4.3 order (a counted fallback,
+    # observable as ``plan.rerank_fallback``) — worse plan, same rows.
+    "plan.rerank": ("repro.core.ltj", None, "rank_candidates"),
 }
 
 

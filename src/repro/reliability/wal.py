@@ -590,6 +590,7 @@ class DurableDynamicRing:
         fsync: bool = True,
         auto_compact: bool = True,
         checkpoint_bytes: int = DEFAULT_CHECKPOINT_BYTES,
+        policy: str = "static",
     ) -> "DurableDynamicRing":
         """Initialise a fresh durable index directory.
 
@@ -617,6 +618,7 @@ class DurableDynamicRing:
             graph,
             buffer_threshold=buffer_threshold,
             auto_compact=auto_compact,
+            policy=policy,
         )
         wal = WriteAheadLog.create(
             wal_path, graph.n_nodes, graph.n_predicates, fsync=fsync
@@ -636,6 +638,7 @@ class DurableDynamicRing:
         buffer_threshold: int = DEFAULT_BUFFER_THRESHOLD,
         auto_compact: bool = True,
         checkpoint_bytes: int = DEFAULT_CHECKPOINT_BYTES,
+        policy: str = "static",
     ) -> tuple["DurableDynamicRing", RecoveryReport]:
         """Rebuild the last durably acknowledged state from disk.
 
@@ -682,12 +685,14 @@ class DurableDynamicRing:
                 buffer_threshold=buffer_threshold,
                 epoch=state.epoch,
                 auto_compact=auto_compact,
+                policy=policy,
             )
         else:
             index = DynamicRingIndex(
                 universe,
                 buffer_threshold=buffer_threshold,
                 auto_compact=auto_compact,
+                policy=policy,
             )
 
         replayed = skipped = 0

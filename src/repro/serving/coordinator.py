@@ -177,9 +177,16 @@ class ShardCoordinator:
         breaker_factory=None,
         shard_timeout: Optional[float] = None,
         gather_timeout: float = DEFAULT_GATHER_TIMEOUT,
+        policy: str = "static",
     ) -> None:
         self.shards = shards
         self.retry_policy = retry_policy or RetryPolicy()
+        #: Variable-selection policy of the coordinator-side local join
+        #: (:data:`repro.core.ltj.POLICIES`).  The canonical row sort
+        #: makes the output order policy-independent, so this is purely
+        #: a performance knob — answers stay byte-identical across
+        #: policies here.
+        self.policy = policy
         make = breaker_factory or CircuitBreaker
         self.breakers = [make() for _ in range(shards.n_shards)]
         self.shard_timeout = shard_timeout
@@ -462,7 +469,7 @@ class ShardCoordinator:
             n_nodes=self.graph.n_nodes,
             n_predicates=self.graph.n_predicates,
         )
-        local = RingIndex(local_graph)
+        local = RingIndex(local_graph, policy=self.policy)
         sub = budget.sub_budget()
         # No limit here: a pre-sort cutoff would make the output depend
         # on engine enumeration order, breaking canonical determinism.

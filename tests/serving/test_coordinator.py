@@ -119,7 +119,16 @@ class TestCompletePath:
 class TestDegradation:
     def test_acceptance_kill_degrade_recover(self, graph, sharded):
         """The ISSUE acceptance scenario, end to end."""
-        coord = fast_coordinator(sharded)
+        # A generous reset window: the open-state assertions below run
+        # after reference evaluations whose wall-clock time must not be
+        # allowed to tick the breaker over into half-open on a loaded
+        # host.
+        coord = fast_coordinator(
+            sharded,
+            breaker_factory=lambda: CircuitBreaker(
+                failure_threshold=2, reset_timeout=0.5
+            ),
+        )
         complete = list(coord.evaluate(JOIN, partial=True))
         victim = 2
 
@@ -156,7 +165,7 @@ class TestDegradation:
 
         # Restart; after the reset window the breaker half-opens.
         sharded.restart_shard(victim)
-        time.sleep(0.06)
+        time.sleep(0.6)
         assert coord.breakers[victim].state == HALF_OPEN
         # The unfaulted re-run is byte-identical to the complete answer
         # and the probe successes re-close the breaker.

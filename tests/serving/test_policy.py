@@ -1,0 +1,47 @@
+"""Shard coordinator under the dynamic variable-selection policies.
+
+The coordinator's canonical sort makes its row order plan-independent,
+so the policy is a pure performance knob of the local join: rows must
+be identical across *all* policies, and each policy must match the
+single-index reference multiset.
+"""
+
+import pytest
+
+from repro.core import RingIndex
+from repro.core.ltj import POLICIES
+from repro.graph import BasicGraphPattern, TriplePattern, Var
+from repro.graph.generators import skewed_graph
+from repro.serving import ShardCoordinator, ShardedRingIndex
+
+pytestmark = pytest.mark.serving
+
+S, A, B = Var("s"), Var("a"), Var("b")
+
+TWO_WING = BasicGraphPattern(
+    [TriplePattern(S, 0, A), TriplePattern(S, 1, B), TriplePattern(A, 2, B)]
+)
+
+
+def test_coordinator_rows_identical_across_policies():
+    graph = skewed_graph(n_hubs=12, fan=6, noise=100, seed=6)
+    reference = sorted(
+        tuple(sorted((v.name, c) for v, c in mu.items()))
+        for mu in RingIndex(graph).evaluate(TWO_WING)
+    )
+    assert reference, "workload query must have solutions"
+    rows_by_policy = {}
+    for policy in POLICIES:
+        with ShardedRingIndex.from_graph(graph, 2) as shards:
+            coord = ShardCoordinator(shards, policy=policy)
+            assert coord.policy == policy
+            result = coord.evaluate(TWO_WING, timeout=30.0)
+            assert result.shards.complete
+            rows_by_policy[policy] = [list(mu.items()) for mu in result]
+            assert sorted(
+                tuple(sorted((v.name, c) for v, c in mu.items()))
+                for mu in result
+            ) == reference, policy
+    first = rows_by_policy[POLICIES[0]]
+    for policy, rows in rows_by_policy.items():
+        assert rows == first, f"{policy} changed the canonical row order"

@@ -65,6 +65,21 @@ class TestQuery:
         main(["query", index_path, "?x ?p ?y", "--limit", "2"])
         assert "2 solution(s)" in capsys.readouterr().out
 
+    def test_query_policy_same_answers(self, index_path, capsys):
+        query = "?x adv ?y . Nobel win ?x"
+        main(["query", index_path, query])
+        static = capsys.readouterr().out
+        for policy in ("rowcount", "distinct", "adaptive"):
+            main(["query", index_path, query, "--policy", policy])
+            assert capsys.readouterr().out == static
+
+    def test_plan_policy_reports_depth0(self, index_path, capsys):
+        main(["plan", index_path, "?x adv ?y . Nobel win ?x",
+              "--policy", "adaptive"])
+        out = capsys.readouterr().out
+        assert "policy            : adaptive" in out
+        assert "depth-0 choice" in out
+
 
 class TestExplainPathStats:
     def test_explain(self, index_path, capsys):
