@@ -52,14 +52,31 @@ in-place entry corruption, and random entry drops must all degrade to
 normal evaluation — answers stay exactly right, only the hit-rate may
 suffer.
 
+A **process drill** attacks the process-isolated serving tier
+(:mod:`repro.serving.process` / :mod:`repro.serving.replica`): genuine
+``kill -9`` of a live primary shard *process* mid-query must — with two
+replicas — fail over transparently to a complete, byte-identical answer
+(``ShardReport.failovers`` names the shard); with one replica the same
+kill degrades to the flagged-partial contract; SIGTERM must drain
+in-flight queries, checkpoint, and exit 0; and the ``proc.spawn`` /
+``proc.heartbeat`` / ``replica.failover`` fault sites must each degrade
+to counted failures, never wrong answers.
+
 Run it as::
 
     PYTHONPATH=src python scripts/chaos_check.py [--rounds 40] [--seed 0]
+    PYTHONPATH=src python scripts/chaos_check.py --json chaos.json \
+        --drills process-shards
+
+``--json`` writes a machine-readable summary (per-drill pass/fail,
+seeds, fault sites, failure messages); the exit code is nonzero when
+any selected drill fails.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import random
 import shutil
@@ -155,7 +172,7 @@ def random_faults(rng: random.Random) -> list[Fault]:
     return faults
 
 
-def run(rounds: int, seed: int) -> int:
+def run(rounds: int, seed: int) -> list[str]:
     rng = random.Random(seed)
     graph = random_graph(600, n_nodes=30, n_predicates=2, seed=5)
     index = RingIndex(graph)
@@ -222,7 +239,7 @@ def run(rounds: int, seed: int) -> int:
     )
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
-    return 1 if failures else 0
+    return failures
 
 
 # -- durability drills (crash-safe dynamic ring) ------------------------------
@@ -942,6 +959,375 @@ def _drill_shard_fault_sites(seed: int) -> list[str]:
     return failures
 
 
+# -- process drill (process-isolated shards + replication) --------------------
+
+
+def _kill_pid(pid) -> None:
+    """Genuine ``kill -9`` of a shard process (ignores already-dead)."""
+    import signal as _signal
+
+    try:
+        os.kill(pid, _signal.SIGKILL)
+    except (OSError, ProcessLookupError):
+        pass
+
+
+def _heal_process_shards(shards, supervisor, timeout: float = 60.0) -> bool:
+    """Sweep until every replica of every shard is back up (or timeout)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        supervisor.sweep()
+        healthy = all(
+            all(r.alive for r in getattr(ep, "replicas", [ep]))
+            for ep in shards.endpoints
+        )
+        if healthy:
+            return True
+        time.sleep(0.05)
+    return False
+
+
+def drill_process_shards(rounds: int, seed: int) -> list[str]:
+    """``kill -9`` a live shard *process* mid-query; the ISSUE-8 contract.
+
+    With ``replicas=2`` the answer must stay complete, byte-identical to
+    the single-copy reference, and unflagged — the ``ShardReport`` may
+    only record the failover.  With ``replicas=1`` a pre-killed primary
+    must degrade to the PR 6 flagged-partial contract, and a supervised
+    respawn through WAL recovery must restore the exact answer.  A
+    SIGTERM'd shard must finish its in-flight query, checkpoint, and
+    exit 0.  Finally the ``proc.spawn`` / ``proc.heartbeat`` /
+    ``replica.failover`` fault sites must each degrade to counted
+    failures, never wrong answers.
+    """
+    import threading
+
+    from repro.serving import (
+        CircuitBreaker,
+        RetryPolicy,
+        ShardCoordinator,
+        ShardedRingIndex,
+        ShardSupervisor,
+    )
+    from repro.reliability.wal import verify_dynamic_dir
+
+    rng = random.Random(seed)
+    failures: list[str] = []
+    graph = random_graph(400, n_nodes=30, n_predicates=2, seed=5)
+
+    # Single-copy reference: the same coordinator pipeline over plain
+    # in-memory shards — byte-identity means *list* equality (canonical
+    # order included), not just set equality.
+    ref_shards = ShardedRingIndex.from_graph(graph, 4)
+    ref_coord = ShardCoordinator(ref_shards)
+    try:
+        ref_rows = {
+            name: list(ref_coord.evaluate(bgp, timeout=60.0))
+            for name, bgp in WORKLOAD
+        }
+    finally:
+        ref_shards.shutdown()
+
+    base = tempfile.mkdtemp(prefix="chaos-proc-")
+    print(f"\nprocess drill: kill -9 a primary shard process mid-query, "
+          f"{rounds} rounds, 4 shards x2 replicas")
+
+    # -- part 1: replicas=2 — kill -9 must stay complete + byte-identical
+    shards = ShardedRingIndex.create_durable(
+        os.path.join(base, "r2"), graph, 4,
+        replicas=2, processes=True,
+        broker_options={"workers": 1}, buffer_threshold=256,
+    )
+    coord = ShardCoordinator(
+        shards,
+        retry_policy=RetryPolicy(max_attempts=2, base_delay=0.005, seed=seed),
+        breaker_factory=lambda: CircuitBreaker(
+            failure_threshold=2, reset_timeout=0.05
+        ),
+        shard_timeout=20.0,
+    )
+    supervisor = ShardSupervisor(shards, interval=0.01)
+    try:
+        for round_no in range(rounds):
+            name, bgp = WORKLOAD[round_no % len(WORKLOAD)]
+            victim = rng.randrange(4)
+            ep = shards.endpoints[victim]
+            pid = ep.replicas[ep.primary].pid
+            label = f"  proc {round_no:3d} {name:8s} victim={victim} pid={pid}"
+            timer = threading.Timer(
+                rng.uniform(0.0, 0.01), _kill_pid, args=(pid,)
+            )
+            # Latency on the gather seam stretches the query so the kill
+            # lands mid-flight rather than before/after it.
+            fault = Fault("shard.gather", probability=1.0, latency=0.004)
+            timer.start()
+            try:
+                with inject_faults(fault, seed=rng.randrange(2**31)):
+                    result = coord.evaluate(bgp, partial=True, timeout=60.0)
+            finally:
+                timer.join()
+            report = result.shards
+            if not report.complete:
+                failures.append(
+                    f"{label}: replicated kill must stay complete, "
+                    f"failed={report.failed}"
+                )
+                print(f"{label}: NOT COMPLETE {report.failed}")
+            elif list(result) != ref_rows[name]:
+                failures.append(f"{label}: answer not byte-identical")
+                print(f"{label}: NOT BYTE-IDENTICAL")
+            elif result.truncated:
+                failures.append(f"{label}: complete answer flagged truncated")
+                print(f"{label}: SPURIOUS TRUNCATED FLAG")
+            else:
+                print(f"{label}: complete byte-identical answer "
+                      f"(failovers={report.failovers})")
+            if not _heal_process_shards(shards, supervisor):
+                failures.append(f"{label}: shards never healed after round")
+                print(f"{label}: HEAL TIMEOUT")
+                break
+        total_failovers = sum(
+            int(getattr(ep, "failovers", 0)) for ep in shards.endpoints
+        )
+        if total_failovers < 1:
+            failures.append(
+                "process drill: no kill ever landed as a replica failover "
+                "(failovers == 0 across all rounds)"
+            )
+        final = coord.evaluate(WORKLOAD[1][1], timeout=60.0)
+        if list(final) != ref_rows["two-hop"] or not final.shards.complete:
+            failures.append(
+                "process drill: healed cluster rerun not byte-identical"
+            )
+        else:
+            print(f"  healed rerun: complete byte-identical answer, "
+                  f"{total_failovers} failover(s) across the drill")
+    finally:
+        shards.shutdown()
+
+    # -- part 2: replicas=1 — the same kill degrades to flagged-partial
+    print("\nprocess drill: replicas=1 degradation + respawn through WAL")
+    shards1 = ShardedRingIndex.create_durable(
+        os.path.join(base, "r1"), graph, 4,
+        replicas=1, processes=True,
+        broker_options={"workers": 1}, buffer_threshold=256,
+    )
+    coord1 = ShardCoordinator(
+        shards1,
+        retry_policy=RetryPolicy(max_attempts=2, base_delay=0.005, seed=seed),
+        breaker_factory=lambda: CircuitBreaker(
+            failure_threshold=2, reset_timeout=0.05
+        ),
+        shard_timeout=20.0,
+    )
+    supervisor1 = ShardSupervisor(shards1, interval=0.01)
+    try:
+        name, bgp = WORKLOAD[1]
+        victim = rng.randrange(4)
+        ref_set = {frozenset(mu.items()) for mu in ref_rows[name]}
+        shards1.endpoints[victim].kill()  # genuine SIGKILL + reap
+        result = coord1.evaluate(bgp, partial=True, timeout=60.0)
+        rows = {frozenset(mu.items()) for mu in result}
+        if result.shards.failed != (victim,):
+            failures.append(
+                f"process drill r1: failed={result.shards.failed} != "
+                f"({victim},)"
+            )
+        elif not (rows <= ref_set and result.truncated):
+            failures.append(
+                "process drill r1: unflagged or bogus partial after kill"
+            )
+        else:
+            again = coord1.evaluate(bgp, partial=True, timeout=60.0)
+            if list(result) != list(again):
+                failures.append(
+                    "process drill r1: flagged partial not deterministic"
+                )
+            else:
+                print(f"  r1 kill: flagged partial {len(rows)}/{len(ref_set)} "
+                      f"rows, failed=({victim},), deterministic")
+        if not _heal_process_shards(shards1, supervisor1):
+            failures.append("process drill r1: respawn through WAL never healed")
+        else:
+            healed = coord1.evaluate(bgp, timeout=60.0)
+            if list(healed) != ref_rows[name] or not healed.shards.complete:
+                failures.append(
+                    "process drill r1: post-respawn answer not byte-identical"
+                )
+            else:
+                incarnation = shards1.endpoints[victim].incarnation
+                print(f"  r1 respawn: WAL recovery restored the exact answer "
+                      f"(incarnation={incarnation})")
+
+        # -- part 3: SIGTERM drain — in-flight finishes, exit 0, valid
+        # checkpoint on disk.
+        import signal as _signal
+
+        ep = shards1.endpoints[(victim + 1) % 4]
+        expect = ep.evaluate(WORKLOAD[0][1], timeout=30.0)
+        futures = [ep.submit(WORKLOAD[0][1], timeout=30.0) for _ in range(3)]
+        time.sleep(0.3)  # let the child recv the requests before the signal
+        os.kill(ep.pid, _signal.SIGTERM)
+        try:
+            drained = [list(f.result(timeout=30.0)) for f in futures]
+        except Exception as exc:
+            failures.append(
+                f"process drill sigterm: in-flight query lost "
+                f"({type(exc).__name__})"
+            )
+            drained = None
+        deadline = time.monotonic() + 30.0
+        while ep.exitcode is None and time.monotonic() < deadline:
+            time.sleep(0.02)  # wait for the real exit, not just pipe EOF
+        if ep.exitcode != 0:
+            failures.append(
+                f"process drill sigterm: exit code {ep.exitcode}, wanted 0"
+            )
+        elif drained is not None and any(d != list(expect) for d in drained):
+            failures.append(
+                "process drill sigterm: drained answers differ from live ones"
+            )
+        else:
+            checks = verify_dynamic_dir(ep.directory)
+            ep.restart()
+            if not ep.health_check():
+                failures.append(
+                    "process drill sigterm: restart after drain unhealthy"
+                )
+            else:
+                print(f"  sigterm: drained {len(futures)} in-flight queries, "
+                      f"exit 0, checkpoint valid "
+                      f"({checks['n_triples']} triples), restarted healthy")
+    finally:
+        shards1.shutdown()
+        shutil.rmtree(base, ignore_errors=True)
+
+    failures += _drill_process_fault_sites(seed + 11)
+    return failures
+
+
+def _drill_process_fault_sites(seed: int) -> list[str]:
+    """Arm ``proc.spawn`` / ``proc.heartbeat`` / ``replica.failover``.
+
+    A failing spawn must surface as a counted failed restart (typed,
+    never a crash); a failing heartbeat must mark the endpoint unhealthy
+    and recover when the fault clears; a failing promotion must degrade
+    the query to a flagged partial — never a wrong answer.
+    """
+    from repro.serving import (
+        CircuitBreaker,
+        RetryPolicy,
+        ShardCoordinator,
+        ShardedRingIndex,
+        ShardSupervisor,
+    )
+
+    failures: list[str] = []
+    graph = random_graph(400, n_nodes=30, n_predicates=2, seed=5)
+    base = tempfile.mkdtemp(prefix="chaos-procsite-")
+    print("\nprocess drill: fault sites proc.spawn, proc.heartbeat, "
+          "replica.failover")
+    try:
+        shards = ShardedRingIndex.create_durable(
+            os.path.join(base, "store"), graph, 2,
+            replicas=1, processes=True,
+            broker_options={"workers": 1}, buffer_threshold=256,
+        )
+        supervisor = ShardSupervisor(shards, interval=0.01)
+        try:
+            # proc.heartbeat: armed probe fails -> unhealthy; clears after.
+            fault = Fault("proc.heartbeat", probability=1.0, error=InjectedFault)
+            with inject_faults(fault, seed=seed):
+                if shards.endpoints[0].health_check():
+                    failures.append(
+                        "proc.heartbeat fault: probe succeeded anyway"
+                    )
+            if not shards.endpoints[0].health_check():
+                failures.append(
+                    "proc.heartbeat: endpoint unhealthy after fault cleared"
+                )
+            elif shards.endpoints[0].stats()["transport"]["heartbeat_failures"] < 1:
+                failures.append("proc.heartbeat fault: failure not counted")
+            else:
+                print(f"  heartbeat : armed probe failed typed "
+                      f"({fault.fired} fired), healthy once cleared")
+
+            # proc.spawn: a respawn that fails must be counted, not raised.
+            shards.endpoints[0].kill()
+            spawn_fault = Fault("proc.spawn", probability=1.0,
+                                error=InjectedFault)
+            with inject_faults(spawn_fault, seed=seed):
+                supervisor.sweep()
+            if shards.endpoints[0].alive:
+                failures.append("proc.spawn fault: shard respawned anyway")
+            elif supervisor.stats()["failed_restarts"][0] < 1:
+                failures.append("proc.spawn fault: failure not counted")
+            else:
+                supervisor.sweep()  # unfaulted: respawn must now succeed
+                if not shards.endpoints[0].alive:
+                    failures.append("proc.spawn: recovery after fault failed")
+                else:
+                    print(f"  spawn     : failed respawn counted "
+                          f"({spawn_fault.fired} fired), then recovered")
+        finally:
+            shards.shutdown()
+
+        # replica.failover: promotion failure degrades to flagged partial.
+        rep_shards = ShardedRingIndex.from_graph(graph, 2, replicas=2)
+        coord = ShardCoordinator(
+            rep_shards,
+            retry_policy=RetryPolicy(max_attempts=2, base_delay=0.005, seed=seed),
+            breaker_factory=lambda: CircuitBreaker(
+                failure_threshold=2, reset_timeout=0.05
+            ),
+            shard_timeout=10.0,
+        )
+        try:
+            name, bgp = WORKLOAD[0]
+            reference = list(coord.evaluate(bgp, timeout=30.0))
+            victim = 0
+            ep = rep_shards.endpoints[victim]
+            ep.replicas[ep.primary].kill()
+            fo_fault = Fault("replica.failover", probability=1.0,
+                             error=InjectedFault)
+            with inject_faults(fo_fault, seed=seed):
+                result = coord.evaluate(bgp, partial=True, timeout=30.0)
+            rows = {frozenset(mu.items()) for mu in result}
+            ref_set = {frozenset(mu.items()) for mu in reference}
+            if result.shards.complete or not result.truncated:
+                failures.append(
+                    "replica.failover fault: broken promotion did not "
+                    "degrade to a flagged partial"
+                )
+            elif not rows <= ref_set:
+                failures.append(
+                    "replica.failover fault: bogus rows in the partial"
+                )
+            else:
+                time.sleep(0.1)  # let the breaker's reset window elapse
+                unfaulted = coord.evaluate(bgp, partial=True, timeout=30.0)
+                if (
+                    list(unfaulted) != reference
+                    or not unfaulted.shards.complete
+                ):
+                    failures.append(
+                        "replica.failover: unfaulted failover not "
+                        "byte-identical"
+                    )
+                else:
+                    print(f"  failover  : broken promotion degraded to "
+                          f"flagged partial ({fo_fault.fired} fired), "
+                          f"then failed over exactly")
+        finally:
+            rep_shards.shutdown()
+    finally:
+        shutil.rmtree(base, ignore_errors=True)
+    return failures
+
+
+# -- harness ------------------------------------------------------------------
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--rounds", type=int, default=40)
@@ -958,19 +1344,78 @@ def main() -> None:
                         help="kill-a-shard serving drill rounds")
     parser.add_argument("--rerank-rounds", type=int, default=6,
                         help="plan.rerank degradation drill rounds")
+    parser.add_argument("--proc-rounds", type=int, default=4,
+                        help="kill -9 process-shard drill rounds")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write a machine-readable per-drill summary")
+    parser.add_argument("--drills", default="all",
+                        help="comma-separated drill names to run "
+                             "(default: all)")
     args = parser.parse_args()
-    status = run(args.rounds, args.seed)
-    failures = drill_crash_sites(args.dyn_rounds, args.seed + 1)
-    failures += drill_wal_truncation(args.truncate_points, args.seed + 2)
-    failures += drill_parallel_kill(args.kill_rounds, args.seed + 3)
-    failures += drill_parallel_faults(args.seed + 4)
-    failures += drill_cache(args.cache_rounds, args.seed + 5)
-    failures += drill_shards(args.shard_rounds, args.seed + 6)
-    failures += drill_plan_rerank(args.rerank_rounds, args.seed + 7)
-    print(f"\ndurability drills: {len(failures)} failure(s)")
-    for failure in failures:
+
+    drills = [
+        ("query-faults", QUERY_SITES,
+         lambda: run(args.rounds, args.seed)),
+        ("crash-sites", DYNAMIC_SITES,
+         lambda: drill_crash_sites(args.dyn_rounds, args.seed + 1)),
+        ("wal-truncation", ["wal.append"],
+         lambda: drill_wal_truncation(args.truncate_points, args.seed + 2)),
+        ("parallel-kill", [],
+         lambda: drill_parallel_kill(args.kill_rounds, args.seed + 3)),
+        ("parallel-faults", ["parallel.spawn", "parallel.slice_merge"],
+         lambda: drill_parallel_faults(args.seed + 4)),
+        ("cache", ["cache.lookup", "cache.store"],
+         lambda: drill_cache(args.cache_rounds, args.seed + 5)),
+        ("shards", ["shard.dispatch", "shard.gather", "shard.restart"],
+         lambda: drill_shards(args.shard_rounds, args.seed + 6)),
+        ("plan-rerank", ["plan.rerank"],
+         lambda: drill_plan_rerank(args.rerank_rounds, args.seed + 7)),
+        ("process-shards",
+         ["proc.spawn", "proc.heartbeat", "replica.failover",
+          "shard.gather"],
+         lambda: drill_process_shards(args.proc_rounds, args.seed + 8)),
+    ]
+    known = [name for name, _sites, _fn in drills]
+    if args.drills.strip().lower() == "all":
+        selected = set(known)
+    else:
+        selected = {d.strip() for d in args.drills.split(",") if d.strip()}
+        unknown = selected - set(known)
+        if unknown:
+            parser.error(
+                f"unknown drill(s) {sorted(unknown)}; known: {known}"
+            )
+
+    summary = {"seed": args.seed, "drills": [], "passed": True,
+               "total_failures": 0}
+    for name, sites, fn in drills:
+        if name not in selected:
+            continue
+        started = time.time()
+        drill_failures = fn()
+        summary["drills"].append({
+            "name": name,
+            "sites": sites,
+            "failures": drill_failures,
+            "passed": not drill_failures,
+            "seconds": round(time.time() - started, 3),
+        })
+    all_failures = [
+        failure
+        for entry in summary["drills"]
+        for failure in entry["failures"]
+    ]
+    summary["total_failures"] = len(all_failures)
+    summary["passed"] = not all_failures
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(summary, handle, indent=2)
+        print(f"\nwrote JSON summary to {args.json}")
+    print(f"\nchaos drills: {len(summary['drills'])} ran, "
+          f"{summary['total_failures']} failure(s)")
+    for failure in all_failures:
         print(f"FAIL: {failure}", file=sys.stderr)
-    raise SystemExit(status or (1 if failures else 0))
+    raise SystemExit(0 if summary["passed"] else 1)
 
 
 if __name__ == "__main__":

@@ -322,6 +322,34 @@ def _serve_line(line: str, store, broker, decode: bool) -> bool:
     return True
 
 
+class _DrainRequested(Exception):
+    """Raised by the SIGTERM handler to break the blocking serve loop."""
+
+
+def _install_sigterm_drain():
+    """Route SIGTERM into :class:`_DrainRequested`; returns the previous
+    handler (or ``None`` when not installable, e.g. off the main thread)."""
+    import signal
+
+    def _handler(signum, frame):
+        raise _DrainRequested()
+
+    try:
+        return signal.signal(signal.SIGTERM, _handler)
+    except ValueError:  # pragma: no cover - non-main-thread callers
+        return None
+
+
+def _restore_sigterm(previous) -> None:
+    import signal
+
+    if previous is not None:
+        try:
+            signal.signal(signal.SIGTERM, previous)
+        except ValueError:  # pragma: no cover - non-main-thread callers
+            pass
+
+
 def cmd_serve(args) -> None:
     # Lazy: pulls in the WAL + broker machinery only this command needs.
     import numpy as np
@@ -365,23 +393,33 @@ def cmd_serve(args) -> None:
         default_timeout=args.timeout,
         maintenance_interval=args.maintenance_interval,
     )
+    # SIGTERM = graceful drain: the raising handler interrupts the
+    # blocking stdin read (PEP 475), the broker's context exit finishes
+    # every in-flight query, and the final checkpoint still runs — so a
+    # supervised `repro serve` can be stopped without losing acked work.
+    previous_handler = _install_sigterm_drain()
     try:
         with broker:
             print("ready")
             sys.stdout.flush()
-            for line in sys.stdin:
-                line = line.strip()
-                if not line or line.startswith("#"):
-                    continue
-                try:
-                    if not _serve_line(line, store, broker, decode):
-                        break
-                except QueryTimeout:
-                    print("error: timeout")
-                except (QueryExecutionError, ValueError, KeyError) as exc:
-                    print(f"error: {str(exc) or type(exc).__name__}")
+            try:
+                for line in sys.stdin:
+                    line = line.strip()
+                    if not line or line.startswith("#"):
+                        continue
+                    try:
+                        if not _serve_line(line, store, broker, decode):
+                            break
+                    except QueryTimeout:
+                        print("error: timeout")
+                    except (QueryExecutionError, ValueError, KeyError) as exc:
+                        print(f"error: {str(exc) or type(exc).__name__}")
+                    sys.stdout.flush()
+            except _DrainRequested:
+                print("draining: finishing in-flight queries")
                 sys.stdout.flush()
     finally:
+        _restore_sigterm(previous_handler)
         store.close(checkpoint=not args.no_final_checkpoint)
         print("bye")
 
@@ -399,6 +437,8 @@ def cmd_shard_serve(args) -> None:
         ShardSupervisor,
     )
 
+    if args.replicas < 1:
+        raise SystemExit("--replicas must be >= 1")
     if args.create:
         universe = Graph(
             np.empty((0, 3), dtype=np.int64),
@@ -411,14 +451,19 @@ def cmd_shard_serve(args) -> None:
             args.shards,
             buffer_threshold=args.threshold,
             broker_options={"workers": args.workers},
+            replicas=args.replicas,
+            processes=args.processes,
         )
+        mode = "process" if args.processes else "in-process"
         print(f"created {args.directory}: {args.shards} durable shard(s) "
+              f"x{args.replicas} replica(s), {mode} "
               f"({args.n_nodes} nodes, {args.n_predicates} predicates)")
     else:
         shards = ShardedRingIndex.recover(
             args.directory,
             buffer_threshold=args.threshold,
             broker_options={"workers": args.workers},
+            processes=True if args.processes else None,
         )
         print(f"recovered {shards.n_shards} shard(s), "
               f"{shards.n_triples} triple(s)")
@@ -442,9 +487,21 @@ def cmd_shard_serve(args) -> None:
         default_timeout=args.timeout,
         decode=shards.graph.dictionary is not None,
     )
+    async def _serve() -> None:
+        # SIGTERM = graceful drain: stop admitting, finish in-flight,
+        # then the finally below checkpoints every shard and exits 0.
+        import signal
+
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, frontend.request_drain)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # platform without loop signal handlers
+        await frontend.serve_stdin()
+
     try:
         with supervisor:
-            asyncio.run(frontend.serve_stdin())
+            asyncio.run(_serve())
     finally:
         shards.shutdown(checkpoint=not args.no_final_checkpoint)
 
@@ -606,6 +663,13 @@ def main(argv=None) -> None:
                         "a typed rejection")
     p.add_argument("--supervise-interval", type=float, default=0.1,
                    help="seconds between supervisor health sweeps")
+    p.add_argument("--processes", action="store_true",
+                   help="run each shard replica in its own OS process "
+                        "(ProcessEndpoint; crash isolation + real "
+                        "kill -9 recovery)")
+    p.add_argument("--replicas", type=int, default=1,
+                   help="replicas per shard partition (2 gives transparent "
+                        "primary->secondary read failover)")
     p.add_argument("--no-final-checkpoint", action="store_true",
                    help="skip the per-shard checkpoint taken on shutdown")
     p.add_argument("--cache", action="store_true",

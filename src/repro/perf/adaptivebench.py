@@ -44,6 +44,7 @@ from repro.core import RingIndex
 from repro.core.ltj import POLICIES
 from repro.graph.generators import skewed_graph, wikidata_like
 from repro.graph.model import BasicGraphPattern, TriplePattern, Var
+from repro.perf.hostmeta import host_metadata
 
 #: Bump when the JSON layout changes, so trajectory tooling can dispatch.
 SCHEMA_VERSION = 1
@@ -291,6 +292,7 @@ def full_report(quick: bool = False, seed: int = 0) -> dict:
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": sys.version.split()[0],
         "numpy": np.__version__,
+        "host": host_metadata(),
         "cpus": os.cpu_count(),
         "config": {
             "quick": quick,

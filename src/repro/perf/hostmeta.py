@@ -1,0 +1,33 @@
+"""Uniform host metadata for every ``BENCH_*.json`` payload.
+
+Benchmark trajectory files are compared across sessions and machines;
+a number without its host is noise.  Every emitter embeds the same
+``host`` block so downstream tooling can group or normalise runs
+without guessing from ad-hoc per-file keys.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+
+__all__ = ["host_metadata"]
+
+
+def host_metadata() -> dict:
+    """The ``host`` block shared by all benchmark reports."""
+    try:
+        import numpy as np
+
+        numpy_version = np.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dep in practice
+        numpy_version = None
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "numpy": numpy_version,
+    }

@@ -27,6 +27,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.bench.runner import run_benchmark, summarize
+from repro.perf.hostmeta import host_metadata
 from repro.bench.wgpb import generate_wgpb_queries
 from repro.core import RingIndex
 from repro.graph.generators import wikidata_like
@@ -184,6 +185,7 @@ def full_report(
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": sys.version.split()[0],
         "numpy": np.__version__,
+        "host": host_metadata(),
         "config": {
             "quick": quick,
             "kernel_n": kernel_n,

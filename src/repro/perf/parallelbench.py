@@ -30,6 +30,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.bench.wgpb import generate_wgpb_queries
+from repro.perf.hostmeta import host_metadata
 from repro.core import RingIndex
 from repro.graph.generators import wikidata_like
 from repro.parallel import ParallelRingIndex
@@ -172,6 +173,7 @@ def full_report(
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": sys.version.split()[0],
         "numpy": np.__version__,
+        "host": host_metadata(),
         "cpus": os.cpu_count(),
         "config": {
             "quick": quick,

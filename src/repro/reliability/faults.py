@@ -99,6 +99,14 @@ LAZY_SITES: dict[str, tuple[str, Optional[str], str]] = {
     "shard.dispatch": ("repro.serving.coordinator", None, "dispatch_shard"),
     "shard.gather": ("repro.serving.coordinator", None, "gather_block"),
     "shard.restart": ("repro.serving.supervisor", None, "restart_shard"),
+    # Process-isolated shards: a failing spawn must surface as a typed
+    # ShardProcessDied (counted by supervisor/replica repair, never a
+    # crash), a failing heartbeat marks the endpoint unhealthy, and a
+    # failing replica promotion must degrade the query to the
+    # flagged-partial contract — never a wrong or half-merged answer.
+    "proc.spawn": ("repro.serving.process", None, "spawn_process"),
+    "proc.heartbeat": ("repro.serving.process", None, "heartbeat"),
+    "replica.failover": ("repro.serving.replica", None, "promote_replica"),
     # Adaptive planning: a failing per-depth re-ranking must degrade the
     # rest of the query to the static §4.3 order (a counted fallback,
     # observable as ``plan.rerank_fallback``) — worse plan, same rows.

@@ -9,7 +9,9 @@ partial-result degradation (:mod:`~repro.serving.coordinator`,
 :mod:`~repro.serving.breaker`), automatic crash recovery
 (:mod:`~repro.serving.supervisor`), and an asyncio front end with
 admission control (:mod:`~repro.serving.frontend`, exposed as the
-``repro shard-serve`` CLI command).
+``repro shard-serve`` CLI command).  Shards can run process-isolated
+(:mod:`~repro.serving.process`, INTERNALS §13) and replicated with
+transparent primary→secondary failover (:mod:`~repro.serving.replica`).
 """
 
 from repro.serving.breaker import CircuitBreaker, RetryPolicy
@@ -20,6 +22,12 @@ from repro.serving.coordinator import (
 )
 from repro.serving.endpoint import EndpointDown, EngineEndpoint, InProcessEndpoint
 from repro.serving.frontend import ShardFrontend
+from repro.serving.process import (
+    ProcessEndpoint,
+    ShardConnectionReset,
+    ShardProcessDied,
+)
+from repro.serving.replica import ReplicaSet
 from repro.serving.sharding import ShardedRingIndex, partition_graph, shard_of
 from repro.serving.supervisor import ShardSupervisor
 
@@ -32,6 +40,10 @@ __all__ = [
     "EngineEndpoint",
     "EndpointDown",
     "InProcessEndpoint",
+    "ProcessEndpoint",
+    "ReplicaSet",
+    "ShardConnectionReset",
+    "ShardProcessDied",
     "ShardFrontend",
     "ShardedRingIndex",
     "ShardSupervisor",

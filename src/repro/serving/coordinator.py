@@ -87,14 +87,20 @@ class ShardUnavailable(QueryError):
 
 
 class ShardReport:
-    """Which shards contributed to a result (``QueryResult.shards``)."""
+    """Which shards contributed to a result (``QueryResult.shards``).
 
-    __slots__ = ("answered", "failed", "retries", "complete")
+    ``failovers`` names the shards whose :class:`ReplicaSet` transparently
+    failed over to a secondary during this query — the answer is still
+    complete and byte-identical; the report just makes the event visible.
+    """
 
-    def __init__(self, answered, failed, retries) -> None:
+    __slots__ = ("answered", "failed", "retries", "complete", "failovers")
+
+    def __init__(self, answered, failed, retries, failovers=()) -> None:
         self.answered = tuple(sorted(answered))
         self.failed = tuple(sorted(failed))
         self.retries = retries
+        self.failovers = tuple(sorted(failovers))
         self.complete = not self.failed
 
     def as_dict(self) -> dict:
@@ -102,6 +108,7 @@ class ShardReport:
             "answered": list(self.answered),
             "failed": list(self.failed),
             "retries": self.retries,
+            "failovers": list(self.failovers),
             "complete": self.complete,
         }
 
@@ -109,7 +116,8 @@ class ShardReport:
         kind = "complete" if self.complete else "partial"
         return (
             f"ShardReport({kind}, answered={self.answered}, "
-            f"failed={self.failed}, retries={self.retries})"
+            f"failed={self.failed}, retries={self.retries}, "
+            f"failovers={self.failovers})"
         )
 
 
@@ -250,9 +258,17 @@ class ShardCoordinator:
             out.shards = ShardReport(range(self.shards.n_shards), (), 0)
             return out
 
+        failover_base = self._failover_snapshot()
         answered, failed, retries, triples, interrupted = self._scatter_gather(
             encoded, budget, partial, options
         )
+        failovers = [
+            sid
+            for sid, (before, after) in enumerate(
+                zip(failover_base, self._failover_snapshot())
+            )
+            if after > before
+        ]
         if failed and not partial:
             raise ShardUnavailable(
                 f"shards {sorted(failed)} unavailable and partial=False",
@@ -260,7 +276,7 @@ class ShardCoordinator:
             )
 
         out = self._local_join(encoded, triples, budget, limit, project, partial)
-        out.shards = ShardReport(answered, failed, retries)
+        out.shards = ShardReport(answered, failed, retries, failovers)
         if interrupted is not None and out.interrupted_by is None:
             out.interrupted_by = interrupted
         if failed:
@@ -277,6 +293,12 @@ class ShardCoordinator:
 
     def count(self, query, timeout: Optional[float] = None, **options) -> int:
         return len(self.evaluate(query, timeout=timeout, **options))
+
+    def _failover_snapshot(self) -> list[int]:
+        """Per-shard replica-failover counters (0 for plain endpoints)."""
+        return [
+            int(getattr(ep, "failovers", 0)) for ep in self.shards.endpoints
+        ]
 
     # -- scatter / gather ------------------------------------------------------
 

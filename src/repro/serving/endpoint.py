@@ -190,6 +190,20 @@ class InProcessEndpoint:
         with self._lock:
             return self._engine
 
+    @property
+    def n_triples(self) -> int:
+        engine = self.engine
+        if engine is None:
+            return 0
+        return int(getattr(engine, "n_triples", 0))
+
+    def dump(self) -> list:
+        """Every triple of the shard (replica catch-up, tests)."""
+        engine = self.engine
+        if engine is None:
+            raise EndpointDown("shard engine is down")
+        return [tuple(map(int, t)) for t in engine.to_graph().triples]
+
     # -- writes (routed by the sharding layer) -------------------------------
 
     def insert(self, s: int, p: int, o: int) -> bool:

@@ -75,6 +75,31 @@ class ShardFrontend:
         self._in_flight = 0
         self._gate = threading.Lock()
         self._shed = 0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._drain_requested = threading.Event()
+        self._drain_waiter: Optional[asyncio.Event] = None
+
+    # -- graceful drain --------------------------------------------------------
+
+    def request_drain(self) -> None:
+        """Begin a graceful shutdown (signal-handler safe).
+
+        The serve loop stops admitting new requests, waits for every
+        in-flight query to finish, and returns — the CLI then writes the
+        final checkpoint.  Callable from any thread; idempotent.
+        """
+        self._drain_requested.set()
+        loop, waiter = self._loop, self._drain_waiter
+        if loop is not None and waiter is not None:
+            loop.call_soon_threadsafe(waiter.set)
+
+    async def _await_drained(self, poll: float = 0.02, timeout: float = 30.0) -> None:
+        deadline = asyncio.get_running_loop().time() + timeout
+        while asyncio.get_running_loop().time() < deadline:
+            with self._gate:
+                if self._in_flight == 0:
+                    return
+            await asyncio.sleep(poll)
 
     # -- one protocol line ----------------------------------------------------
 
@@ -221,9 +246,22 @@ class ShardFrontend:
             loop.call_soon_threadsafe(queue.put_nowait, None)
 
         threading.Thread(target=_reader, name="shard-stdin", daemon=True).start()
+        self._loop = loop
+        self._drain_waiter = asyncio.Event()
+        if self._drain_requested.is_set():  # signal raced the startup
+            self._drain_waiter.set()
         print("ready", file=stdout, flush=True)
-        while True:
-            raw = await queue.get()
+        while not self._drain_requested.is_set():
+            get_task = asyncio.ensure_future(queue.get())
+            drain_task = asyncio.ensure_future(self._drain_waiter.wait())
+            done, _pending = await asyncio.wait(
+                {get_task, drain_task}, return_when=asyncio.FIRST_COMPLETED
+            )
+            drain_task.cancel()
+            if get_task not in done:
+                get_task.cancel()
+                break  # drain requested: stop admitting
+            raw = get_task.result()
             if raw is None:
                 break
             keep_going, lines = await self.handle_line(raw)
@@ -232,6 +270,12 @@ class ShardFrontend:
             stdout.flush()
             if not keep_going:
                 break
+        if self._drain_requested.is_set():
+            with self._gate:
+                pending = self._in_flight
+            if pending:
+                print(f"draining: {pending} in flight", file=stdout, flush=True)
+            await self._await_drained()
         print("bye", file=stdout, flush=True)
 
     async def serve_socket(self, host: str = "127.0.0.1", port: int = 0):

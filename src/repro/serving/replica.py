@@ -1,0 +1,392 @@
+"""Primary/secondary replication of one shard partition.
+
+A :class:`ReplicaSet` wraps N :class:`~repro.serving.endpoint.EngineEndpoint`
+instances holding *the same partition* and presents the single-endpoint
+surface to the coordinator — replication is invisible above this layer
+except for the ``failovers`` counter the
+:class:`~repro.serving.coordinator.ShardReport` samples.
+
+**Reads** go to the primary; when the primary dies mid-call (an
+:class:`~repro.serving.endpoint.EndpointDown` — process death, pipe
+reset, engine gone) the set *fails over*: it promotes the next clean
+live replica (module-level :func:`promote_replica`, fault site
+``replica.failover``) and transparently resubmits, resolving the same
+outer future.  Because every replica holds the identical partition and
+the coordinator canonically sorts rows, a failed-over answer is
+byte-identical to the one the dead primary would have produced —
+complete, cacheable, no ``truncated`` flag.  Typed query errors
+(timeout, rejection, bad query) are *not* failed over: they mean the
+replica is up and the query itself is the problem, so they propagate
+for the coordinator's retry/breaker machinery to handle.
+
+**Writes** fan out to every replica under a write lock; a replica that
+misses a write (dead, or the write errored) is marked *dirty* and
+excluded from reads until :meth:`catch_up` reconciles it from a clean
+peer by triple-set diff (the durable transports recover their own
+acknowledged prefix from the WAL, so the diff only covers the missed
+tail — cheap WAL-shipping by state rather than by log).
+
+**Repair** (called by the :class:`~repro.serving.supervisor.ShardSupervisor`)
+restarts dead replicas under a per-replica flap cap and then catches up
+every dirty one.  A replica set with no clean live member reports
+``alive == False`` and the coordinator degrades to the PR 6
+flagged-partial contract — replication narrows the failure window, it
+never fabricates data.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import Optional, Sequence
+
+from repro.serving.endpoint import EndpointDown
+
+__all__ = ["ReplicaSet", "promote_replica"]
+
+
+def promote_replica(replica_set: "ReplicaSet", rid: int) -> None:
+    """Make replica ``rid`` the primary (fault site ``replica.failover``)."""
+    replica_set._set_primary(rid)
+
+
+def _is_replica_death(exc: BaseException) -> bool:
+    """Failures that mean *this replica* is gone (failover is sound),
+    as opposed to typed query failures the replica answered with."""
+    return isinstance(
+        exc, (EndpointDown, EOFError, BrokenPipeError, ConnectionError)
+    )
+
+
+class ReplicaSet:
+    """N same-partition endpoints behind one endpoint surface.
+
+    Parameters
+    ----------
+    replicas:
+        The member endpoints (any :class:`EngineEndpoint` transport;
+        index 0 starts as primary).
+    max_restarts:
+        Per-replica flap cap for :meth:`repair` (``None`` = unbounded).
+    """
+
+    def __init__(
+        self,
+        replicas: Sequence,
+        *,
+        max_restarts: Optional[int] = None,
+    ) -> None:
+        self.replicas = list(replicas)
+        if not self.replicas:
+            raise ValueError("need at least one replica")
+        self.max_restarts = max_restarts
+        self._lock = threading.RLock()
+        self._write_lock = threading.Lock()
+        self._primary = 0
+        self._dirty = [False] * len(self.replicas)
+        self._restarts = [0] * len(self.replicas)
+        self._failed_restarts = [0] * len(self.replicas)
+        self._counters = {
+            "failovers": 0,
+            "failover_errors": 0,
+            "catch_ups": 0,
+            "catch_up_failures": 0,
+            "write_misses": 0,
+        }
+
+    # -- routing --------------------------------------------------------------
+
+    @property
+    def primary(self) -> int:
+        with self._lock:
+            return self._primary
+
+    def _set_primary(self, rid: int) -> None:
+        with self._lock:
+            self._primary = rid
+
+    def _eligible(self, exclude=()) -> list[int]:
+        """Clean live replica ids, primary first."""
+        with self._lock:
+            primary = self._primary
+            dirty = list(self._dirty)
+        order = [primary] + [
+            rid for rid in range(len(self.replicas)) if rid != primary
+        ]
+        return [
+            rid
+            for rid in order
+            if rid not in exclude
+            and not dirty[rid]
+            and self.replicas[rid].alive
+        ]
+
+    # -- reads (submit + transparent failover) --------------------------------
+
+    def submit(self, query, **kwargs) -> Future:
+        outer: Future = Future()
+        self._attempt(outer, query, kwargs, tried=set())
+        return outer
+
+    def _attempt(self, outer: Future, query, kwargs, tried: set) -> None:
+        candidates = self._eligible(exclude=tried)
+        if not candidates:
+            outer.set_exception(
+                EndpointDown("no live replica holds this partition")
+            )
+            return
+        rid = candidates[0]
+        with self._lock:
+            primary = self._primary
+        if rid != primary and primary not in candidates and primary not in tried:
+            # The primary is ineligible (dead or dirty) before we even
+            # submitted: promote the read target so the event is counted
+            # and later queries route to the new primary directly.
+            try:
+                promote_replica(self, rid)
+            except Exception:
+                with self._lock:
+                    self._counters["failover_errors"] += 1
+                outer.set_exception(
+                    EndpointDown("replica promotion failed; shard degraded")
+                )
+                return
+            with self._lock:
+                self._counters["failovers"] += 1
+        tried.add(rid)
+        try:
+            inner = self.replicas[rid].submit(query, **kwargs)
+        except Exception as exc:
+            self._after_failure(outer, query, kwargs, tried, rid, exc)
+            return
+        inner.add_done_callback(
+            lambda f: self._on_inner_done(outer, query, kwargs, tried, rid, f)
+        )
+
+    def _on_inner_done(self, outer, query, kwargs, tried, rid, inner) -> None:
+        exc = inner.exception()
+        if exc is None:
+            if not outer.done():
+                outer.set_result(inner.result())
+            return
+        self._after_failure(outer, query, kwargs, tried, rid, exc)
+
+    def _after_failure(self, outer, query, kwargs, tried, rid, exc) -> None:
+        if not _is_replica_death(exc):
+            if not outer.done():
+                outer.set_exception(exc)
+            return
+        # This replica is gone.  Fail over when another clean live one
+        # remains; otherwise surface the death (coordinator degrades to
+        # the flagged-partial contract).
+        candidates = self._eligible(exclude=tried)
+        if not candidates:
+            if not outer.done():
+                outer.set_exception(exc)
+            return
+        if rid == self.primary:
+            try:
+                promote_replica(self, candidates[0])
+            except Exception:
+                # Failover itself failed (chaos site): degrade to a
+                # plain shard failure — never a wrong answer.
+                with self._lock:
+                    self._counters["failover_errors"] += 1
+                if not outer.done():
+                    outer.set_exception(exc)
+                return
+        with self._lock:
+            self._counters["failovers"] += 1
+        self._attempt(outer, query, kwargs, tried)
+
+    def evaluate(self, query, **kwargs):
+        return self.submit(query, **kwargs).result()
+
+    # -- writes (fan-out + dirty tracking) ------------------------------------
+
+    def insert(self, s: int, p: int, o: int) -> bool:
+        return self._write("insert", (s, p, o))
+
+    def delete(self, s: int, p: int, o: int) -> bool:
+        return self._write("delete", (s, p, o))
+
+    def _write(self, verb: str, triple) -> bool:
+        with self._write_lock:
+            results: dict[int, bool] = {}
+            for rid, replica in enumerate(self.replicas):
+                if not replica.alive:
+                    self._mark_dirty(rid)
+                    continue
+                try:
+                    results[rid] = bool(getattr(replica, verb)(*triple))
+                except Exception:
+                    self._mark_dirty(rid)
+            if not results:
+                raise EndpointDown("no replica accepted the write")
+            primary = self.primary
+            return results[primary] if primary in results else results[min(results)]
+
+    def _mark_dirty(self, rid: int) -> None:
+        with self._lock:
+            if not self._dirty[rid]:
+                self._dirty[rid] = True
+                self._counters["write_misses"] += 1
+
+    # -- catch-up (WAL-recovered replicas reconcile the missed tail) ----------
+
+    def catch_up(self, rid: int) -> bool:
+        """Reconcile replica ``rid`` from a clean live peer by set diff."""
+        source_ids = [
+            src for src in self._eligible() if src != rid
+        ]
+        replica = self.replicas[rid]
+        if not source_ids or not replica.alive:
+            return False
+        source = self.replicas[source_ids[0]]
+        try:
+            with self._write_lock:  # freeze writes while diffing
+                want = {tuple(map(int, t)) for t in source.dump()}
+                have = {tuple(map(int, t)) for t in replica.dump()}
+                for t in have - want:
+                    replica.delete(*t)
+                for t in want - have:
+                    replica.insert(*t)
+            with self._lock:
+                self._dirty[rid] = False
+                self._counters["catch_ups"] += 1
+            return True
+        except Exception:
+            with self._lock:
+                self._counters["catch_up_failures"] += 1
+            return False
+
+    # -- lifecycle (supervisor surface) ---------------------------------------
+
+    def kill(self, rid: Optional[int] = None) -> None:
+        """Crash one replica (default: the primary) — chaos lever."""
+        self.replicas[self.primary if rid is None else rid].kill()
+
+    def restart(self) -> None:
+        """Supervisor-compatible restart: repair the whole set."""
+        self.repair()
+
+    def repair(self) -> int:
+        """Restart dead replicas (flap-capped) and catch up dirty ones.
+
+        Returns how many replicas were restarted.  Never raises: a
+        replica that cannot be revived is counted and left down.
+        """
+        restarted = 0
+        for rid, replica in enumerate(self.replicas):
+            if replica.alive:
+                continue
+            with self._lock:
+                if (
+                    self.max_restarts is not None
+                    and self._restarts[rid] >= self.max_restarts
+                ):
+                    continue
+            try:
+                replica.restart()
+            except Exception:
+                with self._lock:
+                    self._failed_restarts[rid] += 1
+                continue
+            with self._lock:
+                self._restarts[rid] += 1
+                # A revived replica may have missed writes while down.
+                self._dirty[rid] = True
+            restarted += 1
+        for rid in range(len(self.replicas)):
+            with self._lock:
+                dirty = self._dirty[rid]
+            if dirty and self.replicas[rid].alive:
+                self.catch_up(rid)
+        return restarted
+
+    def shutdown(self, checkpoint: bool = True) -> None:
+        for replica in self.replicas:
+            replica.shutdown(checkpoint=checkpoint)
+
+    # -- the EngineEndpoint surface -------------------------------------------
+
+    def health_check(self) -> bool:
+        return any(
+            self.replicas[rid].health_check() for rid in self._eligible()
+        )
+
+    @property
+    def alive(self) -> bool:
+        return bool(self._eligible())
+
+    @property
+    def incarnation(self) -> tuple:
+        return tuple(r.incarnation for r in self.replicas)
+
+    @property
+    def failovers(self) -> int:
+        """Total transparent read failovers (sampled by ShardReport)."""
+        with self._lock:
+            return self._counters["failovers"]
+
+    @property
+    def engine(self):
+        eligible = self._eligible()
+        if not eligible:
+            return None
+        return getattr(self.replicas[eligible[0]], "engine", None)
+
+    @property
+    def n_triples(self) -> int:
+        for rid in self._eligible():
+            try:
+                return int(getattr(self.replicas[rid], "n_triples", 0) or 0)
+            except Exception:
+                continue
+        return 0
+
+    def dump(self) -> list[tuple[int, int, int]]:
+        eligible = self._eligible()
+        if not eligible:
+            raise EndpointDown("no live replica holds this partition")
+        return self.replicas[eligible[0]].dump()
+
+    def cache_generation(self):
+        """Per-replica generation vector with down/dirty markers.
+
+        Any death, restart, promotion-relevant state change, or missed
+        write perturbs the vector, so cached results keyed on it can
+        only be invalidated too eagerly, never kept stale.
+        """
+        with self._lock:
+            dirty = list(self._dirty)
+        vector = []
+        for rid, replica in enumerate(self.replicas):
+            if not replica.alive:
+                vector.append(("down", replica.incarnation))
+            elif dirty[rid]:
+                vector.append(("dirty", replica.incarnation))
+            else:
+                vector.append((replica.incarnation, replica.cache_generation()))
+        return tuple(vector)
+
+    def stats(self) -> dict:
+        with self._lock:
+            out = {
+                "alive": self.alive,
+                "primary": self._primary,
+                "dirty": list(self._dirty),
+                "restarts": list(self._restarts),
+                "failed_restarts": list(self._failed_restarts),
+                "incarnation": self.incarnation,
+            }
+            out.update(self._counters)
+        out["replicas"] = [r.stats() for r in self.replicas]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        live = sum(r.alive for r in self.replicas)
+        return (
+            f"ReplicaSet({live}/{len(self.replicas)} live, "
+            f"primary={self.primary}, failovers={self.failovers})"
+        )

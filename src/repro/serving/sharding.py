@@ -11,7 +11,7 @@ containment*: a crashed or wedged shard takes out only its partition,
 and the coordinator (:mod:`repro.serving.coordinator`) degrades to the
 survivors.
 
-Two deployment modes, same object afterwards:
+Deployment axes, same object afterwards:
 
 - :meth:`ShardedRingIndex.from_graph` — in-memory shards
   (:class:`~repro.core.dynamic.DynamicRingIndex`); a restarted shard
@@ -21,7 +21,13 @@ Two deployment modes, same object afterwards:
   :class:`~repro.reliability.wal.DurableDynamicRing` directories
   (``shard-00/``, ``shard-01/``, …) beside a ``SHARDS.json`` manifest;
   a restarted shard replays its WAL, so every acknowledged write
-  survives a kill.
+  survives a kill;
+- ``processes=True`` (durable modes) — each store runs in its own OS
+  process behind a :class:`~repro.serving.process.ProcessEndpoint`, so
+  a crash is genuine process death and recovery a genuine respawn;
+- ``replicas=N`` — every partition is held by a
+  :class:`~repro.serving.replica.ReplicaSet` of N endpoints (directory
+  layout ``shard-SS/replica-R/``), giving transparent read failover.
 
 All ids stay *global* (every shard shares the parent universe sizes),
 so per-shard solutions need no translation before merging.
@@ -119,6 +125,52 @@ def _durable_factory(shard_dir: Path, initial: Optional[Graph], wal_options: dic
     return factory
 
 
+def _replica_dirs(directory: Path, sid: int, replicas: int) -> list[Path]:
+    """On-disk layout: ``shard-SS/`` solo, ``shard-SS/replica-R/`` replicated."""
+    shard_dir = directory / f"shard-{sid:02d}"
+    if replicas == 1:
+        return [shard_dir]
+    return [shard_dir / f"replica-{rid}" for rid in range(replicas)]
+
+
+def _build_durable_shard(
+    dirs: list[Path],
+    initial: Optional[Graph],
+    processes: bool,
+    broker_options: Optional[dict],
+    wal_options: dict,
+    replica_options: Optional[dict],
+):
+    """One durable shard: an endpoint per replica dir, wrapped when N > 1."""
+    endpoints = []
+    for d in dirs:
+        if processes:
+            if initial is not None:
+                # The child always opens through ``recover``, so the
+                # store must exist before the first spawn.
+                from repro.reliability.wal import DurableDynamicRing
+
+                DurableDynamicRing.create(d, initial, **wal_options).close(
+                    checkpoint=True
+                )
+            from repro.serving.process import ProcessEndpoint
+
+            endpoints.append(
+                ProcessEndpoint(
+                    d, store_options=wal_options, broker_options=broker_options
+                )
+            )
+        else:
+            endpoints.append(
+                InProcessEndpoint(_durable_factory(d, initial, wal_options), broker_options)
+            )
+    if len(endpoints) == 1:
+        return endpoints[0]
+    from repro.serving.replica import ReplicaSet
+
+    return ReplicaSet(endpoints, **(replica_options or {}))
+
+
 class ShardedRingIndex:
     """N supervised shard engines addressed by subject hash.
 
@@ -130,7 +182,7 @@ class ShardedRingIndex:
 
     def __init__(
         self,
-        endpoints: list[InProcessEndpoint],
+        endpoints: list,  # EngineEndpoint per shard (endpoint or ReplicaSet)
         universe: Graph,
         directory: Optional[Path] = None,
     ) -> None:
@@ -150,15 +202,28 @@ class ShardedRingIndex:
         n_shards: int,
         buffer_threshold: int = 64,
         broker_options: Optional[dict] = None,
+        *,
+        replicas: int = 1,
+        replica_options: Optional[dict] = None,
     ) -> "ShardedRingIndex":
         """In-memory shards over a hash-partition of ``graph``."""
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
         parts = partition_graph(graph, n_shards)
-        endpoints = [
-            InProcessEndpoint(
-                _memory_factory(part, buffer_threshold), broker_options
-            )
-            for part in parts
-        ]
+        endpoints = []
+        for part in parts:
+            members = [
+                InProcessEndpoint(
+                    _memory_factory(part, buffer_threshold), broker_options
+                )
+                for _ in range(replicas)
+            ]
+            if replicas == 1:
+                endpoints.append(members[0])
+            else:
+                from repro.serving.replica import ReplicaSet
+
+                endpoints.append(ReplicaSet(members, **(replica_options or {})))
         return cls(endpoints, _universe_of(graph))
 
     @classmethod
@@ -168,23 +233,35 @@ class ShardedRingIndex:
         graph: Graph,
         n_shards: int,
         broker_options: Optional[dict] = None,
+        *,
+        replicas: int = 1,
+        processes: bool = False,
+        replica_options: Optional[dict] = None,
         **wal_options,
     ) -> "ShardedRingIndex":
         """Durable shards under ``directory`` (one WAL'd store each)."""
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         manifest = {
-            "version": 1,
+            "version": 2,
             "n_shards": n_shards,
             "n_nodes": graph.n_nodes,
             "n_predicates": graph.n_predicates,
+            "replicas": replicas,
+            "transport": "process" if processes else "inproc",
         }
         (directory / MANIFEST_NAME).write_text(json.dumps(manifest))
         parts = partition_graph(graph, n_shards)
         endpoints = [
-            InProcessEndpoint(
-                _durable_factory(directory / f"shard-{sid:02d}", part, wal_options),
+            _build_durable_shard(
+                _replica_dirs(directory, sid, replicas),
+                part,
+                processes,
                 broker_options,
+                wal_options,
+                replica_options,
             )
             for sid, part in enumerate(parts)
         ]
@@ -195,20 +272,34 @@ class ShardedRingIndex:
         cls,
         directory,
         broker_options: Optional[dict] = None,
+        *,
+        processes: Optional[bool] = None,
+        replica_options: Optional[dict] = None,
         **wal_options,
     ) -> "ShardedRingIndex":
-        """Reopen a durable sharded index from its manifest + WALs."""
+        """Reopen a durable sharded index from its manifest + WALs.
+
+        ``processes`` defaults to whatever transport the manifest was
+        created with (version-1 manifests mean in-process, one replica).
+        """
         directory = Path(directory)
         manifest = json.loads((directory / MANIFEST_NAME).read_text())
+        replicas = int(manifest.get("replicas", 1))
+        if processes is None:
+            processes = manifest.get("transport") == "process"
         universe = Graph(
             np.empty((0, 3), dtype=np.int64),
             n_nodes=manifest["n_nodes"],
             n_predicates=manifest["n_predicates"],
         )
         endpoints = [
-            InProcessEndpoint(
-                _durable_factory(directory / f"shard-{sid:02d}", None, wal_options),
+            _build_durable_shard(
+                _replica_dirs(directory, sid, replicas),
+                None,
+                processes,
                 broker_options,
+                wal_options,
+                replica_options,
             )
             for sid in range(manifest["n_shards"])
         ]
@@ -237,9 +328,10 @@ class ShardedRingIndex:
         """Total across *alive* shards (a down shard contributes 0)."""
         total = 0
         for ep in self.endpoints:
-            engine = ep.engine
-            if engine is not None:
-                total += int(getattr(engine, "n_triples", 0))
+            try:
+                total += int(getattr(ep, "n_triples", 0) or 0)
+            except Exception:
+                pass  # a shard dying mid-probe counts 0, like down
         return total
 
     # -- writes --------------------------------------------------------------

@@ -14,6 +14,12 @@ The actual restart goes through the module-level :func:`restart_shard`
 (fault site ``shard.restart``), so chaos drills can make *recovery
 itself* fail and assert the supervisor degrades to counting the failure
 rather than dying.
+
+Endpoints exposing ``repair()`` (replica sets) are delegated to instead:
+the set restarts its own dead members under per-replica flap caps —
+respawning :class:`~repro.serving.process.ProcessEndpoint` members
+through WAL recovery with an incarnation bump, reaping the dead process
+first — and then catches up any replica that missed writes.
 """
 
 from __future__ import annotations
@@ -99,6 +105,17 @@ class ShardSupervisor:
         with self._lock:
             self._checks += 1
         for sid, endpoint in enumerate(self.shards.endpoints):
+            repair = getattr(endpoint, "repair", None)
+            if repair is not None:
+                # Replica sets own their member lifecycle (per-replica
+                # flap caps, catch-up); the supervisor just drives the
+                # pass and counts outcomes — repair() never raises.
+                revived = repair()
+                if revived:
+                    with self._lock:
+                        self._restarts[sid] += revived
+                    restarted += revived
+                continue
             if endpoint.alive and endpoint.health_check():
                 continue
             with self._lock:

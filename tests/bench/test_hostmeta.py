@@ -1,0 +1,22 @@
+"""The uniform ``host`` block every BENCH_*.json payload embeds."""
+
+import os
+import sys
+
+from repro.perf.hostmeta import host_metadata
+
+
+def test_host_metadata_fields():
+    meta = host_metadata()
+    assert meta["python"] == sys.version.split()[0]
+    assert meta["cpu_count"] == os.cpu_count()
+    assert meta["machine"]
+    assert meta["platform"]
+    assert meta["implementation"]
+    assert meta["numpy"] is not None
+
+
+def test_host_metadata_is_json_serialisable():
+    import json
+
+    assert json.loads(json.dumps(host_metadata())) == host_metadata()
