@@ -62,6 +62,14 @@ in-flight queries, checkpoint, and exit 0; and the ``proc.spawn`` /
 ``proc.heartbeat`` / ``replica.failover`` fault sites must each degrade
 to counted failures, never wrong answers.
 
+An **out-of-core drill** attacks the external-memory builder and the
+memmapped pack reader (:mod:`repro.graph.bulkload` /
+:mod:`repro.core.frozen`): crashes armed at ``build.spill`` /
+``build.merge`` must surface as typed ``BulkBuildError`` with *no*
+partial pack on disk and a byte-identical pack on unfaulted retry; a
+failing ``mmap.open`` must be a typed ``IndexIntegrityError`` refusal,
+never a half-mapped ring.
+
 Run it as::
 
     PYTHONPATH=src python scripts/chaos_check.py [--rounds 40] [--seed 0]
@@ -1325,6 +1333,109 @@ def _drill_process_fault_sites(seed: int) -> list[str]:
     return failures
 
 
+# -- out-of-core drill (streaming builder + memmapped packs) -------------------
+
+
+def drill_outofcore(rounds: int, seed: int) -> list[str]:
+    """Kill the external-memory builder mid-spill / mid-merge; open packs
+    through a failing mmap.  The out-of-core contract:
+
+    - a faulted build raises typed :class:`BulkBuildError` and leaves
+      **no pack and no sidecar** behind (spills live in a private
+      directory that is removed either way);
+    - an immediate unfaulted retry to the same path succeeds and its
+      pack is *byte-identical* to the never-faulted reference — the
+      builder is restartable, not merely crash-safe;
+    - a failing ``mmap.open`` surfaces as typed
+      :class:`IndexIntegrityError`, never a half-mapped ring.
+    """
+    from repro.graph.bulkload import BulkBuildError, bulk_build
+
+    rng = random.Random(seed)
+    failures: list[str] = []
+    graph = random_graph(4000, n_nodes=200, n_predicates=4, seed=5)
+    base = tempfile.mkdtemp(prefix="chaos-ooc-")
+    sites = ["build.spill", "build.merge"]
+    print(f"\nout-of-core drill: {rounds} rounds crashing "
+          f"{', '.join(sites)}, then a faulted mmap.open")
+    try:
+        reference = os.path.join(base, "reference.ring")
+        # Small chunk so both the spill and the merge paths genuinely run.
+        bulk_build(graph, reference, chunk_triples=512)
+        with open(reference, "rb") as fh:
+            ref_bytes = fh.read()
+
+        for round_no in range(rounds):
+            site = sites[round_no % len(sites)]
+            hard = round_no % 4 < 2
+            out = os.path.join(base, f"round-{round_no}.ring")
+            fault = Fault(
+                site,
+                probability=1.0 if hard else rng.uniform(0.3, 0.9),
+                error=InjectedFault,
+            )
+            label = f"  ooc {round_no:3d} {site:12s} {'hard ' if hard else 'flaky'}"
+            try:
+                with inject_faults(fault, seed=rng.randrange(2**31)):
+                    bulk_build(graph, out, chunk_triples=512)
+            except BulkBuildError:
+                if os.path.exists(out) or os.path.exists(out + ".config.json"):
+                    failures.append(f"{label}: partial pack left behind")
+                    print(f"{label}: PARTIAL PACK ON DISK")
+                    continue
+            except Exception as exc:  # noqa: BLE001 - the whole point
+                failures.append(
+                    f"{label}: untyped {type(exc).__name__}: {exc}"
+                )
+                print(f"{label}: UNTYPED {type(exc).__name__}")
+                continue
+            else:
+                if fault.fired:
+                    failures.append(
+                        f"{label}: build swallowed {fault.fired} fired fault(s)"
+                    )
+                    print(f"{label}: FAULT SWALLOWED")
+                    continue
+                # Flaky fault never fired: the clean build must be exact.
+            if not os.path.exists(out):
+                bulk_build(graph, out, chunk_triples=512)  # unfaulted retry
+            with open(out, "rb") as fh:
+                retry_bytes = fh.read()
+            if retry_bytes != ref_bytes:
+                failures.append(f"{label}: retry pack not byte-identical")
+                print(f"{label}: RETRY DIVERGED")
+            else:
+                print(f"{label}: typed failure, clean dir, retry "
+                      f"byte-identical ({fault.fired} fired)")
+
+        # mmap.open: a failing map must be a typed refusal, not a ring.
+        fault = Fault("mmap.open", probability=1.0, error=InjectedFault)
+        try:
+            with inject_faults(fault, seed=seed):
+                RingIndex.load(reference, mmap=True)
+        except IndexIntegrityError:
+            print(f"  mmap.open  : typed IndexIntegrityError "
+                  f"({fault.fired} fired)")
+        except Exception as exc:  # noqa: BLE001 - the whole point
+            failures.append(
+                f"mmap.open fault: untyped {type(exc).__name__}: {exc}"
+            )
+        else:
+            failures.append("mmap.open fault: load succeeded anyway")
+        # Cleared fault: the same pack must open and answer exactly.
+        index = RingIndex.load(reference, mmap=True)
+        ref_rows = [dict(mu) for mu in RingIndex.load(reference).evaluate(
+            WORKLOAD[0][1]
+        )]
+        if [dict(mu) for mu in index.evaluate(WORKLOAD[0][1])] != ref_rows:
+            failures.append("mmap.open: post-fault reopen answered wrongly")
+        else:
+            print("  mmap.open  : post-fault reopen exact")
+    finally:
+        shutil.rmtree(base, ignore_errors=True)
+    return failures
+
+
 # -- harness ------------------------------------------------------------------
 
 
@@ -1346,6 +1457,8 @@ def main() -> None:
                         help="plan.rerank degradation drill rounds")
     parser.add_argument("--proc-rounds", type=int, default=4,
                         help="kill -9 process-shard drill rounds")
+    parser.add_argument("--ooc-rounds", type=int, default=8,
+                        help="out-of-core builder crash drill rounds")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="write a machine-readable per-drill summary")
     parser.add_argument("--drills", default="all",
@@ -1374,6 +1487,9 @@ def main() -> None:
          ["proc.spawn", "proc.heartbeat", "replica.failover",
           "shard.gather"],
          lambda: drill_process_shards(args.proc_rounds, args.seed + 8)),
+        ("out-of-core",
+         ["build.spill", "build.merge", "mmap.open"],
+         lambda: drill_outofcore(args.ooc_rounds, args.seed + 9)),
     ]
     known = [name for name, _sites, _fn in drills]
     if args.drills.strip().lower() == "all":

@@ -60,11 +60,52 @@ def _load_graph_file(path: str, strict: bool = True, stats=None) -> Graph:
 
 def cmd_build(args) -> None:
     start = time.perf_counter()
+    if args.stream:
+        # Out-of-core path: never holds the triple set in memory, and
+        # always emits a frozen pack (the streaming builder writes the
+        # succinct arrays directly into the on-disk layout).
+        if args.compressed:
+            raise SystemExit(
+                "error: --stream builds plain frozen packs; "
+                "--compressed needs the in-memory builder"
+            )
+        from repro.graph.bulkload import bulk_build
+
+        build_stats: dict = {}
+        manifest = bulk_build(
+            args.input,
+            args.output,
+            chunk_triples=args.chunk_triples,
+            stats=build_stats,
+            progress=lambda msg: print(f"  {msg}", file=sys.stderr),
+        )
+        elapsed = time.perf_counter() - start
+        print(
+            f"stream-indexed {manifest['n_triples']} triples "
+            f"({manifest['n_nodes']} nodes, "
+            f"{manifest['n_predicates']} predicates) "
+            f"in {elapsed:.2f}s -> {args.output}"
+        )
+        print(
+            f"pack size: {manifest['file_size']} bytes "
+            f"({build_stats['runs_spilled']} spilled run(s), "
+            f"{build_stats['deduplicated']} duplicate(s) dropped); "
+            f"open with --mmap for O(1) RAM"
+        )
+        return
     stats: dict = {}
     graph = _load_graph_file(args.input, strict=not args.lenient, stats=stats)
     cls = CompressedRingIndex if args.compressed else RingIndex
     index = cls(graph)
-    index.save(args.output)
+    if args.frozen:
+        if args.compressed:
+            raise SystemExit(
+                "error: compressed rings have no flat layout; "
+                "--frozen requires a plain ring"
+            )
+        index.save_frozen(args.output)
+    else:
+        index.save(args.output)
     elapsed = time.perf_counter() - start
     if stats.get("bad_lines"):
         print(
@@ -80,7 +121,7 @@ def cmd_build(args) -> None:
 
 
 def cmd_query(args) -> None:
-    index = RingIndex.load(args.index, policy=args.policy)
+    index = RingIndex.load(args.index, mmap=args.mmap, policy=args.policy)
     solutions = index.evaluate(
         args.query,
         limit=args.limit,
@@ -207,7 +248,13 @@ def cmd_verify(args) -> None:
 def cmd_bench(args) -> None:
     # Imported lazily: pulls in the graph generators and bench runner,
     # which the serving commands never need.
-    if args.adaptive:
+    if args.scale:
+        from repro.perf.scalebench import (
+            format_report, full_report, write_report,
+        )
+
+        report = full_report(quick=args.quick, seed=args.seed)
+    elif args.adaptive:
         from repro.perf.adaptivebench import (
             format_report, full_report, write_report,
         )
@@ -372,9 +419,10 @@ def cmd_serve(args) -> None:
     else:
         store, report = DurableDynamicRing.recover(
             args.directory, buffer_threshold=args.threshold,
-            policy=args.policy,
+            policy=args.policy, mmap=args.mmap,
         )
-        print(f"recovered: {report.summary()}")
+        print(f"recovered: {report.summary()}"
+              + (" (memmapped checkpoints)" if args.mmap else ""))
     if args.policy != "static":
         print(f"policy: {args.policy}")
     decode = store.graph.dictionary is not None
@@ -464,9 +512,11 @@ def cmd_shard_serve(args) -> None:
             buffer_threshold=args.threshold,
             broker_options={"workers": args.workers},
             processes=True if args.processes else None,
+            mmap=args.mmap,
         )
         print(f"recovered {shards.n_shards} shard(s), "
-              f"{shards.n_triples} triple(s)")
+              f"{shards.n_triples} triple(s)"
+              + (" (memmapped checkpoints)" if args.mmap else ""))
     served = ShardCoordinator(
         shards, shard_timeout=args.shard_timeout, policy=args.policy
     )
@@ -550,12 +600,23 @@ def main(argv=None) -> None:
         )
 
     p = sub.add_parser("build", help="index a triple file")
-    p.add_argument("input", help=".nt file or whitespace 's p o' lines")
+    p.add_argument("input", help=".nt file, whitespace 's p o' lines, or "
+                                 "(with --stream) also raw int64 .bin/.npy")
     p.add_argument("-o", "--output", required=True, help="index path (.npz)")
     p.add_argument("--compressed", action="store_true",
                    help="build the C-Ring (RRR bitvectors)")
     p.add_argument("--lenient", action="store_true",
                    help="skip (and count) malformed N-Triples lines")
+    p.add_argument("--frozen", action="store_true",
+                   help="save a memory-mappable frozen pack instead of a "
+                        "rebuild-on-load .npz")
+    p.add_argument("--stream", action="store_true",
+                   help="external-memory build: bounded-RAM chunked sort "
+                        "runs + streaming merge, emits a frozen pack "
+                        "without ever holding the triple set in memory")
+    p.add_argument("--chunk-triples", type=int, default=1_000_000,
+                   help="scan/sort working-set bound for --stream "
+                        "(default 1e6 triples)")
     p.set_defaults(func=cmd_build)
 
     p = sub.add_parser("query", help="evaluate a basic graph pattern")
@@ -567,6 +628,9 @@ def main(argv=None) -> None:
                    help="on timeout, return the solutions found so far "
                         "instead of failing")
     p.add_argument("--json", action="store_true")
+    p.add_argument("--mmap", action="store_true",
+                   help="memory-map a frozen pack instead of loading it "
+                        "into RAM (O(working set) memory)")
     add_policy_flag(p)
     p.set_defaults(func=cmd_query)
 
@@ -633,6 +697,9 @@ def main(argv=None) -> None:
                         "coalesce concurrent identical submissions")
     p.add_argument("--cache-mb", type=int, default=64,
                    help="result-cache byte budget in MiB (with --cache)")
+    p.add_argument("--mmap", action="store_true",
+                   help="recover checkpointed rings memory-mapped from "
+                        "their frozen packs (O(working set) RAM)")
     add_policy_flag(p)
     p.set_defaults(func=cmd_serve)
 
@@ -677,6 +744,9 @@ def main(argv=None) -> None:
                         "cache keyed on the shard-generation vector")
     p.add_argument("--cache-mb", type=int, default=64,
                    help="result-cache byte budget in MiB (with --cache)")
+    p.add_argument("--mmap", action="store_true",
+                   help="recover each shard's checkpointed rings "
+                        "memory-mapped from their frozen packs")
     add_policy_flag(p)
     p.set_defaults(func=cmd_shard_serve)
 
@@ -706,6 +776,10 @@ def main(argv=None) -> None:
                    help="benchmark the adaptive planning policies: skewed "
                         "speedup, uniform regression, serving identity "
                         "(BENCH_adaptive.json)")
+    p.add_argument("--scale", action="store_true",
+                   help="out-of-core scale benchmark: streaming build "
+                        "under a peak-RSS cap + mmap-vs-RAM query "
+                        "overhead and identity gates (BENCH_scale.json)")
     p.add_argument("--workers", type=int, nargs="*", default=None,
                    help="worker counts to measure with --parallel "
                         "(default: 2 in quick mode, 2 and 4 otherwise)")

@@ -120,6 +120,72 @@ class BitVector:
         return bv
 
     @classmethod
+    def from_packed_words(cls, words: np.ndarray, n: int) -> "BitVector":
+        """Build from pre-packed little-endian uint64 words.
+
+        ``words`` must hold exactly ``ceil(max(n, 1) / 64)`` words with
+        every bit past position ``n`` clear (the builder's invariant);
+        the rank counters are recomputed here, so the result is
+        byte-identical to :meth:`from_bool_array` on the same bits.
+        """
+        arr = np.ascontiguousarray(words, dtype=np.uint64).reshape(-1)
+        expected = -(-max(int(n), 1) // 64)
+        if len(arr) != expected:
+            raise ValueError(
+                f"packed words length {len(arr)} != {expected} for n={n}"
+            )
+        bv = cls.__new__(cls)
+        bv._n = int(n)
+        bv._words = arr
+        bv._word_prefix = None
+        bv._build_counters()
+        return bv
+
+    @classmethod
+    def from_components(
+        cls,
+        words: np.ndarray,
+        super_: np.ndarray,
+        rel: np.ndarray,
+        *,
+        n: int,
+        ones: int,
+    ) -> "BitVector":
+        """Adopt prebuilt payload + counter buffers without copying.
+
+        The buffers may be views into shared memory or a ``np.memmap``
+        over the frozen on-disk layout — this is the copy-free
+        ``mmap_mode`` constructor.  Only O(1) shape/dtype validation is
+        performed; use :func:`repro.reliability.integrity.verify_index`
+        (or ``verify=True`` on the frozen open path) for content checks.
+        """
+        bv = cls.__new__(cls)
+        bv._n = int(n)
+        nwords = -(-max(bv._n, 1) // 64)
+        nsuper = -(-nwords // WORDS_PER_SUPERBLOCK)
+        if words.dtype != np.uint64 or len(words) != nwords:
+            raise ValueError(
+                f"words buffer must be {nwords} uint64, got "
+                f"{len(words)} {words.dtype}"
+            )
+        if super_.dtype != np.uint64 or len(super_) != nsuper + 1:
+            raise ValueError(
+                f"super buffer must be {nsuper + 1} uint64, got "
+                f"{len(super_)} {super_.dtype}"
+            )
+        if rel.dtype != np.uint16 or len(rel) != nwords:
+            raise ValueError(
+                f"rel buffer must be {nwords} uint16, got "
+                f"{len(rel)} {rel.dtype}"
+            )
+        bv._words = words
+        bv._super = super_
+        bv._rel = rel
+        bv._ones = int(ones)
+        bv._word_prefix = None
+        return bv
+
+    @classmethod
     def from_positions(cls, n: int, positions: Iterable[int]) -> "BitVector":
         """Build a length-``n`` bitvector with ones at ``positions``."""
         arr = np.zeros(n, dtype=bool)

@@ -71,6 +71,25 @@ class PackedCounts:
             raise ValueError("cumulative counts must be non-decreasing")
         self._n = int(self._c[-1])
 
+    @classmethod
+    def from_raw(
+        cls, cumulative: np.ndarray, *, validate: bool = True
+    ) -> "PackedCounts":
+        """Adopt a cumulative array without copying (mmap / shm views).
+
+        With ``validate=False`` the O(σ) monotonicity scan is skipped —
+        the frozen open path defers it to the layout verifier so a
+        memory-mapped open touches no pages beyond the last entry.
+        """
+        if validate:
+            return cls(cumulative)
+        pc = cls.__new__(cls)
+        pc._c = np.asarray(cumulative, dtype=np.int64)
+        if len(pc._c) == 0:
+            raise ValueError("cumulative counts must be non-empty")
+        pc._n = int(pc._c[-1])
+        return pc
+
     def __len__(self) -> int:
         return len(self._c)
 

@@ -120,6 +120,41 @@ class Ring:
             for attr in (S, P, O)
         }
 
+    @classmethod
+    def from_components(
+        cls,
+        seq: dict,
+        counts: dict,
+        *,
+        n: int,
+        sigma: tuple[int, int, int],
+        compressed: bool = False,
+        leap_memo_size: int = 1 << 16,
+    ) -> "Ring":
+        """Assemble a ring from prebuilt zone sequences and C components.
+
+        The copy-free path shared by the shared-memory attach
+        (:func:`repro.parallel.shm.attach_ring`), the frozen
+        ``mmap_mode`` open (:mod:`repro.core.frozen`) and the streaming
+        bulk builder: ``seq`` maps zones to wavelet matrices, ``counts``
+        maps attributes to C components.  Nothing is copied; the result
+        has a fresh leap memo at generation 0.
+        """
+        ring = cls.__new__(cls)
+        ring._n = int(n)
+        ring._sigma = tuple(int(x) for x in sigma)
+        ring._compressed = bool(compressed)
+        if set(seq) != {S, P, O} or set(counts) != {S, P, O}:
+            raise ValueError("seq/counts must cover exactly the zones S, P, O")
+        ring._seq = dict(seq)
+        ring._c = dict(counts)
+        ring._leap_memo = OrderedDict()
+        ring._leap_generation = 0
+        ring._leap_memo_size = int(leap_memo_size)
+        ring._leap_memo_hits = 0
+        ring._leap_memo_misses = 0
+        return ring
+
     # -- basic properties ----------------------------------------------------
 
     @property

@@ -322,6 +322,31 @@ class RingIndex(BaseLTJSystem):
             leap_memo_size=leap_memo_size,
         )
 
+    @classmethod
+    def from_ring(
+        cls,
+        ring: Ring,
+        graph: Graph,
+        *,
+        use_lonely: bool = True,
+        use_ordering: bool = True,
+        use_batch: bool = True,
+        policy: str = "static",
+    ) -> "RingIndex":
+        """Wrap a prebuilt ring (memmapped, shm-attached or streamed)
+        without re-running index construction."""
+        index = cls.__new__(cls)
+        BaseLTJSystem.__init__(
+            index,
+            graph,
+            use_lonely=use_lonely,
+            use_ordering=use_ordering,
+            use_batch=use_batch,
+            policy=policy,
+        )
+        index._ring = ring
+        return index
+
     @property
     def ring(self) -> Ring:
         return self._ring
@@ -391,9 +416,33 @@ class RingIndex(BaseLTJSystem):
         graph_io.save_graph(self._graph, path)
         write_manifest(path, compressed=self._ring.compressed, graph=self._graph)
 
+    def save_frozen(self, path) -> dict:
+        """Persist the *built ring* as a memory-mappable frozen pack.
+
+        Unlike :meth:`save` (graph ``.npz``, rebuild on load), a frozen
+        pack stores the succinct arrays themselves in the flat aligned
+        layout of :mod:`repro.core.frozen`, so :meth:`load` can reopen
+        it with ``mmap=True`` in O(1) RAM.  Only plain rings freeze
+        (RRR/Elias–Fano state raises
+        :class:`~repro.core.frozen.RingLayoutError`).  Returns the
+        manifest written to the sidecar.
+        """
+        from repro.core.frozen import write_frozen_ring
+
+        return write_frozen_ring(
+            self._ring,
+            path,
+            n_nodes=self._graph.n_nodes,
+            n_predicates=self._graph.n_predicates,
+            dictionary=self._graph.dictionary,
+        )
+
     @classmethod
-    def load(cls, path, verify: bool = True, **options) -> "RingIndex":
-        """Inverse of :meth:`save`, with integrity checks.
+    def load(
+        cls, path, verify: bool = True, mmap: bool = False, **options
+    ) -> "RingIndex":
+        """Inverse of :meth:`save` / :meth:`save_frozen`, with integrity
+        checks.
 
         With ``verify=True`` (default) the payload checksum is compared
         against the manifest, deserialization failures become typed
@@ -403,6 +452,13 @@ class RingIndex(BaseLTJSystem):
         Legacy sidecars without a checksum skip the hash comparison.
         Extra ``options`` (e.g. ``policy=...``) go to the constructor —
         engine configuration is per-process, not part of the manifest.
+
+        Frozen packs (``kind: "frozen-ring"`` sidecars) are detected
+        automatically; ``mmap=True`` then backs the arrays with
+        read-only ``np.memmap`` views (O(1) RAM, verified layout before
+        first touch) instead of one eager read.  ``mmap=True`` on a
+        legacy ``.npz`` index raises ``ValueError`` — zip archives are
+        not mappable; re-save with :meth:`save_frozen` first.
         """
         from repro.reliability.integrity import (
             checked_load_graph,
@@ -412,6 +468,18 @@ class RingIndex(BaseLTJSystem):
         )
 
         manifest = read_manifest(path)
+        from repro.core.frozen import is_frozen_manifest
+
+        if is_frozen_manifest(manifest):
+            return cls._load_frozen(
+                path, manifest, verify=verify, mmap=mmap, **options
+            )
+        if mmap:
+            raise ValueError(
+                f"{path}: mmap load requires a frozen-ring pack; this is a "
+                "legacy .npz index — re-save it with save_frozen() or "
+                "`repro build --frozen`"
+            )
         if verify:
             verify_file(path, manifest)
         graph = checked_load_graph(path)
@@ -423,6 +491,46 @@ class RingIndex(BaseLTJSystem):
                 index.ring,
                 graph=graph,
                 expected_n=expected_n,
+                path=path,
+            )
+        return index
+
+    @classmethod
+    def _load_frozen(
+        cls, path, manifest, *, verify: bool, mmap: bool, **options
+    ) -> "RingIndex":
+        """Open a frozen pack (mmap or eager) behind :meth:`load`.
+
+        Eager opens keep the classic deep-verification contract (full
+        SHA-256 — the file is read anyway); mmap opens run the O(1)
+        layout validation plus the structural spot-check, touching only
+        the pages the spot-check needs.
+        """
+        from repro.core.frozen import (
+            FrozenGraph,
+            manifest_dictionary,
+            open_frozen_ring,
+        )
+        from repro.reliability.integrity import verify_ring_structure
+
+        ring, manifest = open_frozen_ring(
+            path,
+            manifest,
+            mmap=mmap,
+            verify=verify,
+            deep_verify=verify and not mmap,
+        )
+        graph = FrozenGraph(
+            ring,
+            int(manifest["n_nodes"]),
+            int(manifest["n_predicates"]),
+            dictionary=manifest_dictionary(manifest),
+        )
+        index = cls.from_ring(ring, graph, **options)
+        if verify:
+            verify_ring_structure(
+                ring,
+                expected_n=int(manifest["n_triples"]),
                 path=path,
             )
         return index

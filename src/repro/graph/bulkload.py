@@ -1,0 +1,704 @@
+"""Streaming external-memory bulk construction of frozen ring packs.
+
+``RingIndex(graph)`` needs the whole triple set (and three full sorts
+of it) in RAM.  This module builds the *same* on-disk frozen pack
+(:mod:`repro.core.frozen`) with bounded memory, so the index a host
+serves can be an order of magnitude larger than its RAM:
+
+1. **scan** — the source (N-Triples, id text, raw binary or any block
+   iterable) is consumed in chunks of ``chunk_triples`` rows; each chunk
+   is sorted, deduplicated and spilled to a run file (`build.spill`
+   fault site);
+2. **merge** — runs are merged pairwise as sorted streams with
+   duplicate elimination (`build.merge` fault site) into one canonical
+   ``(s, p, o)``-ordered key stream (triples are packed into single
+   int64 keys, ``(s·P + p)·N + o``, which makes every sort and merge a
+   flat int64 operation);
+3. **re-sort** — two more external sorts derive the ``(p, o, s)`` and
+   ``(o, s, p)`` orders the ring's other zones need;
+4. **incremental wavelet construction** — each zone's wavelet matrix is
+   built level by level: the level's bit stream is packed directly into
+   the pack's word buffer (``n/8`` bytes of RAM) while the sequence is
+   stably partitioned into two scratch files that feed the next level —
+   the classic construction loop of
+   :class:`~repro.sequences.wavelet_matrix.WaveletMatrix`, replayed
+   out of core and **byte-identical** to it (same packing, same
+   counters via :meth:`BitVector.from_packed_words`);
+5. **C arrays** — streaming bincount passes over the canonical stream.
+
+The full triple set is never held in memory: peak RSS is dominated by
+one chunk buffer, one ``n/8``-byte word buffer and one ``σ``-sized
+count accumulator.  Everything intermediate lives in a private spill
+directory, and the pack is published by an atomic rename
+(:class:`~repro.core.frozen.PackWriter`), so a crash at *any* point
+leaves either no pack or the previous intact one — never a torn index.
+
+Byte-identity with the in-memory path (``RingIndex(graph).save_frozen``)
+is a hard invariant, property-tested under random chunk sizes and
+permuted input order: same pack bytes, same manifest, same answers.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.bits.bitvector import BitVector
+from repro.core.frozen import PackWriter, write_pack_manifest
+from repro.graph.dataset import Graph
+from repro.graph.dictionary import Dictionary
+from repro.graph.model import O, P, S
+from repro.graph.ntriples import iter_ntriples
+
+_KEY_LIMIT = (1 << 63) - 1
+
+__all__ = ["BulkBuildError", "bulk_build"]
+
+
+class BulkBuildError(RuntimeError):
+    """A streaming bulk build failed (typed; the target is untouched)."""
+
+
+# -- fault-injectable primitives -------------------------------------------
+
+
+def _spill_run(path: str, arr: np.ndarray) -> None:
+    """Write one sorted run to disk (the ``build.spill`` fault site)."""
+    with open(path, "wb") as f:
+        arr.tofile(f)
+
+
+def _merge_chunk(f, arr: np.ndarray) -> None:
+    """Append one merged block (the ``build.merge`` fault site)."""
+    arr.tofile(f)
+
+
+# -- streaming primitives --------------------------------------------------
+
+
+#: Block size (in int64 values, 1 MiB) for the read-only streaming
+#: passes (merge, re-sort, wavelet, counts).  Decoupled from
+#: ``chunk_triples``: the chunk bounds the scan/sort working set and the
+#: spilled-run granularity, but the later passes only *read* sorted
+#: streams, so their buffers can stay small no matter how large a chunk
+#: the scan used — block boundaries never change the output bytes.
+#: Keeping every such buffer ~1 MiB (plus its transform temporaries)
+#: is what holds the whole build under the RSS-over-index gate.
+_STREAM_BLOCK = 1 << 17
+
+
+def _iter_file_int64(path: str, block: int):
+    """Yield int64 blocks of up to ``block`` values from a raw file."""
+    with open(path, "rb") as f:
+        while True:
+            arr = np.fromfile(f, dtype=np.int64, count=block)
+            if arr.size == 0:
+                return
+            yield arr
+
+
+def _iter_files_aligned(paths, block: int, transform=None):
+    """Yield int64 blocks across files, sizes multiples of 64 (last may
+    be ragged) — so bit-packing lands on word boundaries."""
+    block = max(64, block - block % 64)
+    carry: Optional[np.ndarray] = None
+    for path in paths:
+        with open(path, "rb") as f:
+            while True:
+                arr = np.fromfile(f, dtype=np.int64, count=block)
+                if arr.size == 0:
+                    break
+                if transform is not None:
+                    arr = transform(arr)
+                if carry is not None and carry.size:
+                    arr = np.concatenate([carry, arr])
+                carry = None
+                cut = (arr.size // 64) * 64
+                if cut:
+                    yield arr[:cut]
+                if cut < arr.size:
+                    carry = arr[cut:]
+    if carry is not None and carry.size:
+        yield carry
+
+
+class _RunReader:
+    """Buffered reader over one sorted int64 run file."""
+
+    def __init__(self, path: str, block: int) -> None:
+        self._gen = _iter_file_int64(path, block)
+        self.buf = np.empty(0, dtype=np.int64)
+        self._eof = False
+        self._fill()
+
+    def _fill(self) -> None:
+        while not self._eof and self.buf.size == 0:
+            nxt = next(self._gen, None)
+            if nxt is None:
+                self._eof = True
+            else:
+                self.buf = nxt
+
+    @property
+    def exhausted(self) -> bool:
+        return self._eof and self.buf.size == 0
+
+    def take(self, k: int) -> np.ndarray:
+        out = self.buf[:k]
+        self.buf = self.buf[k:]
+        self._fill()
+        return out
+
+
+def _merge_two(path_a: str, path_b: str, out_path: str, block: int) -> int:
+    """Merge two sorted key runs into one, deduplicating; returns the
+    output length.  Streams in ``block``-value windows: memory is O(block)."""
+    ra, rb = _RunReader(path_a, block), _RunReader(path_b, block)
+    last: Optional[int] = None
+    written = 0
+    with open(out_path, "wb") as fo:
+
+        def emit(part: np.ndarray) -> None:
+            nonlocal last, written
+            if part.size == 0:
+                return
+            keep = np.empty(part.size, dtype=bool)
+            keep[0] = last is None or int(part[0]) != last
+            keep[1:] = part[1:] != part[:-1]
+            part = part[keep]
+            if part.size:
+                _merge_chunk(fo, part)
+                last = int(part[-1])
+                written += part.size
+
+        while not ra.exhausted and not rb.exhausted:
+            bound = min(int(ra.buf[-1]), int(rb.buf[-1]))
+            ia = int(np.searchsorted(ra.buf, bound, side="right"))
+            ib = int(np.searchsorted(rb.buf, bound, side="right"))
+            part = np.concatenate([ra.take(ia), rb.take(ib)])
+            part.sort()
+            emit(part)
+        for reader in (ra, rb):
+            while not reader.exhausted:
+                emit(reader.take(reader.buf.size))
+    return written
+
+
+def _merge_runs(
+    runs: list[str], workdir: str, block: int, tag: str, progress=None
+) -> tuple[str, int]:
+    """Pairwise-merge sorted runs down to one file; returns (path, len)."""
+    if not runs:
+        empty = os.path.join(workdir, f"{tag}.empty.bin")
+        open(empty, "wb").close()
+        return empty, 0
+    size = -1
+    generation = 0
+    while len(runs) > 1:
+        if progress:
+            progress(f"merge[{tag}]: {len(runs)} runs")
+        merged: list[str] = []
+        for i in range(0, len(runs) - 1, 2):
+            out = os.path.join(workdir, f"{tag}.m{generation}.{i // 2}.bin")
+            size = _merge_two(runs[i], runs[i + 1], out, block)
+            os.unlink(runs[i])
+            os.unlink(runs[i + 1])
+            merged.append(out)
+        if len(runs) % 2:
+            merged.append(runs[-1])
+        runs = merged
+        generation += 1
+    if size < 0:  # single run: already sorted + deduplicated at spill
+        size = os.path.getsize(runs[0]) // 8
+    return runs[0], size
+
+
+# -- key packing -----------------------------------------------------------
+
+
+def _check_universe(n_nodes: int, n_predicates: int) -> None:
+    if n_nodes * n_nodes * max(n_predicates, 1) > _KEY_LIMIT:
+        raise BulkBuildError(
+            f"universe too large for int64 triple keys: "
+            f"{n_nodes}^2 * {n_predicates} > 2^63-1"
+        )
+
+
+def _spo_keys(rows: np.ndarray, n_nodes: int, n_predicates: int) -> np.ndarray:
+    return (rows[:, S] * n_predicates + rows[:, P]) * n_nodes + rows[:, O]
+
+
+def _decode_spo(keys: np.ndarray, n_nodes: int, n_predicates: int):
+    o = keys % n_nodes
+    sp = keys // n_nodes
+    return sp // n_predicates, sp % n_predicates, o
+
+
+# -- source normalization --------------------------------------------------
+
+
+def _blocks_from_text(path: str, chunk: int, parse_labels: bool):
+    """Yield (block, dictionary) from a text source; ``dictionary`` is
+    None for id-level files and grows incrementally for ``.nt``."""
+    if parse_labels:
+        dictionary = Dictionary()
+        rows: list[tuple[int, int, int]] = []
+        with open(path, encoding="utf-8") as f:
+            for s, p, o in iter_ntriples(f, source=path):
+                rows.append(
+                    (
+                        dictionary.add_node(s),
+                        dictionary.add_predicate(p),
+                        dictionary.add_node(o),
+                    )
+                )
+                if len(rows) >= chunk:
+                    yield np.array(rows, dtype=np.int64), dictionary
+                    rows = []
+        if rows:
+            yield np.array(rows, dtype=np.int64), dictionary
+        elif dictionary.n_nodes or dictionary.n_predicates:
+            yield np.empty((0, 3), dtype=np.int64), dictionary
+    else:
+        rows = []
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                parts = line.split()
+                if len(parts) != 3:
+                    raise BulkBuildError(f"malformed triple line: {line!r}")
+                rows.append((int(parts[0]), int(parts[1]), int(parts[2])))
+                if len(rows) >= chunk:
+                    yield np.array(rows, dtype=np.int64), None
+                    rows = []
+        if rows:
+            yield np.array(rows, dtype=np.int64), None
+
+
+def _blocks_from_bin(path: str, chunk: int):
+    """Raw little-endian int64 ``(n, 3)`` row-major triples."""
+    size = os.path.getsize(path)
+    if size % 24:
+        raise BulkBuildError(
+            f"{path}: raw triple file size {size} is not a multiple of 24"
+        )
+    with open(path, "rb") as f:
+        while True:
+            arr = np.fromfile(f, dtype=np.int64, count=chunk * 3)
+            if arr.size == 0:
+                return
+            yield arr.reshape(-1, 3), None
+
+
+def _source_blocks(source, chunk: int):
+    """Normalize any supported source into (block, dictionary) pairs."""
+    if isinstance(source, Graph):
+        triples = source.triples
+        if len(triples) == 0:
+            yield np.empty((0, 3), dtype=np.int64), source.dictionary
+        for start in range(0, len(triples), chunk):
+            yield triples[start : start + chunk], source.dictionary
+        return
+    if isinstance(source, (str, os.PathLike)):
+        path = str(source)
+        if not os.path.exists(path):
+            raise BulkBuildError(f"source {path!r} does not exist")
+        if path.endswith(".nt"):
+            yield from _blocks_from_text(path, chunk, parse_labels=True)
+        elif path.endswith(".bin"):
+            yield from _blocks_from_bin(path, chunk)
+        elif path.endswith(".npy"):
+            mm = np.load(path, mmap_mode="r")
+            if mm.ndim != 2 or mm.shape[1] != 3:
+                raise BulkBuildError(f"{path}: expected an (n, 3) array")
+            for start in range(0, len(mm), chunk):
+                yield np.asarray(mm[start : start + chunk], dtype=np.int64), None
+        else:
+            yield from _blocks_from_text(path, chunk, parse_labels=False)
+        return
+    if isinstance(source, Iterable):
+        pending: list[np.ndarray] = []
+        count = 0
+        for item in source:
+            arr = np.asarray(item, dtype=np.int64)
+            if arr.ndim == 1:
+                arr = arr.reshape(1, 3)
+            if arr.ndim != 2 or arr.shape[1] != 3:
+                raise BulkBuildError("iterable items must be (k, 3) blocks")
+            for start in range(0, len(arr), chunk):
+                pending.append(arr[start : start + chunk])
+                count += len(pending[-1])
+                if count >= chunk:
+                    yield np.concatenate(pending), None
+                    pending, count = [], 0
+        if pending:
+            yield np.concatenate(pending), None
+        return
+    raise BulkBuildError(f"unsupported source type {type(source).__name__}")
+
+
+# -- wavelet + counts passes -----------------------------------------------
+
+
+def _build_wavelet_streaming(
+    writer: PackWriter,
+    zone: int,
+    key_path: str,
+    transform,
+    n: int,
+    sigma: int,
+    workdir: str,
+    chunk: int,
+) -> dict:
+    """One zone's wavelet matrix, level by level, out of core.
+
+    ``transform`` decodes the zone's symbol column from the sorted key
+    stream at level 0; deeper levels read the scratch partitions of the
+    previous one.  Returns the zone's manifest metadata block.
+    """
+    levels = max(1, (sigma - 1).bit_length())
+    zeros_list: list[int] = []
+    level_meta: list[dict] = []
+    inputs: list[str] = [key_path]
+    input_transform = transform
+    nwords = -(-max(n, 1) // 64)
+    for level in range(levels):
+        shift = levels - 1 - level
+        words = np.zeros(nwords, dtype=np.uint64)
+        wbytes = words.view(np.uint8)
+        zero_path = os.path.join(workdir, f"wm{zone}.l{level}.part0.bin")
+        one_path = os.path.join(workdir, f"wm{zone}.l{level}.part1.bin")
+        zeros = 0
+        byte_pos = 0
+        last_level = level == levels - 1
+        with open(zero_path, "wb") as zf, open(one_path, "wb") as of:
+            for vals in _iter_files_aligned(inputs, chunk, input_transform):
+                bits = ((vals >> shift) & 1).astype(np.uint8)
+                packed = np.packbits(bits, bitorder="little")
+                wbytes[byte_pos : byte_pos + packed.size] = packed
+                byte_pos += packed.size
+                mask = bits.view(bool)
+                if not last_level:  # the bottom partition feeds nothing
+                    vals[~mask].tofile(zf)
+                    vals[mask].tofile(of)
+                    zeros += int(vals.size - mask.sum())
+                else:
+                    zeros += int(vals.size - mask.sum())
+        bv = BitVector.from_packed_words(words, n)
+        prefix = f"wm{zone}.l{level}"
+        writer.add_array(f"{prefix}.words", bv._words)
+        writer.add_array(f"{prefix}.super", bv._super)
+        writer.add_array(f"{prefix}.rel", bv._rel)
+        zeros_list.append(zeros)
+        level_meta.append({"n": n, "ones": bv._ones})
+        for path in inputs:
+            if path != key_path:
+                os.unlink(path)
+        inputs = [zero_path, one_path]
+        input_transform = None
+    for path in inputs:
+        if path != key_path and os.path.exists(path):
+            os.unlink(path)
+    return {
+        "n": n,
+        "sigma": sigma,
+        "levels": levels,
+        "zeros": zeros_list,
+        "level_meta": level_meta,
+    }
+
+
+def _counts_from_keys(
+    key_path: str, chunk: int, decode, sigma: int
+) -> np.ndarray:
+    """Streaming ``counts_from_column``: cumulative counts, length σ+1.
+
+    Working memory is exactly one σ+1 accumulator plus O(chunk)
+    temporaries: each chunk's column is run-length encoded
+    (``np.unique``) so the scatter-add touches only the values present,
+    where a ``bincount`` per chunk would allocate a *second* σ-sized
+    array every iteration — at σ = 3 M nodes that one temporary is
+    24 MB, the difference between passing and blowing the build's
+    RSS-over-index gate.  The final prefix sum runs in place.
+    """
+    out = np.zeros(sigma + 1, dtype=np.int64)
+    if sigma:
+        acc = out[1:]
+        for keys in _iter_file_int64(key_path, chunk):
+            values, counts = np.unique(decode(keys), return_counts=True)
+            acc[values] += counts
+        np.cumsum(acc, out=acc)
+    return out
+
+
+def _external_sort(
+    src_path: str,
+    repack,
+    workdir: str,
+    chunk: int,
+    tag: str,
+    progress=None,
+) -> str:
+    """Re-sort a key stream under a different key packing, out of core."""
+    runs: list[str] = []
+    for i, keys in enumerate(_iter_file_int64(src_path, chunk)):
+        new_keys = repack(keys)
+        new_keys.sort()
+        run = os.path.join(workdir, f"{tag}.run{i}.bin")
+        _spill_run(run, new_keys)
+        runs.append(run)
+    path, _ = _merge_runs(runs, workdir, chunk, tag, progress)
+    return path
+
+
+# -- the builder -----------------------------------------------------------
+
+
+def bulk_build(
+    source,
+    out_path,
+    *,
+    chunk_triples: int = 1_000_000,
+    n_nodes: Optional[int] = None,
+    n_predicates: Optional[int] = None,
+    spill_dir: Optional[str] = None,
+    leap_memo_size: int = 1 << 16,
+    progress=None,
+    stats: Optional[dict] = None,
+) -> dict:
+    """Stream-build a frozen ring pack at ``out_path``; returns the manifest.
+
+    ``source`` may be a ``.nt`` file (labels, dictionary built
+    incrementally), a ``.bin`` file (raw int64 ``(n, 3)`` rows), a
+    ``.npy`` array, an id-text file (``s p o`` per line), a
+    :class:`Graph`, or any iterable of rows/blocks.  ``chunk_triples``
+    bounds the scan/sort working set; ``n_nodes``/``n_predicates`` pin
+    the universes (inferred from the data when omitted, exactly like
+    :class:`Graph`).  All spill files live in a private directory under
+    ``spill_dir`` (default: next to ``out_path``) and are removed on
+    exit; the pack itself appears atomically.  ``stats`` (a dict, if
+    given) receives build counters.  Failures raise
+    :class:`BulkBuildError` and leave no partial pack behind.
+    """
+    out_path = str(out_path)
+    if chunk_triples < 1:
+        raise ValueError("chunk_triples must be positive")
+    chunk = int(chunk_triples)
+    parent = spill_dir or (os.path.dirname(os.path.abspath(out_path)) or ".")
+    os.makedirs(parent, exist_ok=True)
+    workdir = tempfile.mkdtemp(prefix=".bulkload-", dir=parent)
+    if stats is None:
+        stats = {}
+    stats.update(input_triples=0, runs_spilled=0, phase="scan")
+    writer: Optional[PackWriter] = None
+    try:
+        # Phase 1: scan + chunked sorted runs.  Runs hold packed keys
+        # when the universes are pinned upfront (1/3 the bytes of rows),
+        # sorted rows otherwise (keys need N and P).
+        keyed = n_nodes is not None and n_predicates is not None
+        if keyed:
+            _check_universe(int(n_nodes), int(n_predicates))
+        dictionary: Optional[Dictionary] = None
+        max_node = -1
+        max_pred = -1
+        runs: list[str] = []
+        pending: list[np.ndarray] = []
+        pending_rows = 0
+
+        def flush_pending() -> None:
+            nonlocal pending, pending_rows
+            if not pending_rows:
+                pending = []
+                return
+            block = np.concatenate(pending) if len(pending) > 1 else pending[0]
+            pending, pending_rows = [], 0
+            if len(block) and block.min() < 0:
+                raise BulkBuildError("ids must be non-negative")
+            run = os.path.join(workdir, f"scan.run{len(runs)}.bin")
+            if keyed:
+                if len(block) and (
+                    int(block[:, S].max()) >= n_nodes
+                    or int(block[:, O].max()) >= n_nodes
+                    or int(block[:, P].max()) >= n_predicates
+                ):
+                    raise BulkBuildError("id outside the pinned universes")
+                keys = _spo_keys(block, int(n_nodes), int(n_predicates))
+                keys.sort()
+                if keys.size:
+                    keys = keys[np.concatenate(([True], keys[1:] != keys[:-1]))]
+                _spill_run(run, keys)
+            else:
+                order = np.lexsort((block[:, O], block[:, P], block[:, S]))
+                block = block[order]
+                if len(block):
+                    uniq = np.concatenate(
+                        ([True], np.any(block[1:] != block[:-1], axis=1))
+                    )
+                    block = block[uniq]
+                _spill_run(run, block)
+            runs.append(run)
+            stats["runs_spilled"] += 1
+
+        for block, block_dict in _source_blocks(source, chunk):
+            if block_dict is not None:
+                dictionary = block_dict
+            if not len(block):
+                continue
+            stats["input_triples"] += len(block)
+            if not keyed:
+                if len(block):
+                    max_node = max(
+                        max_node,
+                        int(block[:, S].max()),
+                        int(block[:, O].max()),
+                    )
+                    max_pred = max(max_pred, int(block[:, P].max()))
+            pending.append(np.ascontiguousarray(block, dtype=np.int64))
+            pending_rows += len(block)
+            if pending_rows >= chunk:
+                flush_pending()
+        flush_pending()
+
+        # Universe resolution (mirrors Graph's inference exactly).
+        if dictionary is not None:
+            N, Pn = dictionary.n_nodes, dictionary.n_predicates
+            if n_nodes is not None and n_nodes != N:
+                raise BulkBuildError(
+                    "explicit n_nodes conflicts with the dictionary"
+                )
+            if n_predicates is not None and n_predicates != Pn:
+                raise BulkBuildError(
+                    "explicit n_predicates conflicts with the dictionary"
+                )
+        elif keyed:
+            N, Pn = int(n_nodes), int(n_predicates)
+        else:
+            N = int(n_nodes) if n_nodes is not None else max_node + 1
+            Pn = (
+                int(n_predicates)
+                if n_predicates is not None
+                else max_pred + 1
+            )
+            if max_node >= N or max_pred >= Pn:
+                raise BulkBuildError("id outside the declared universes")
+        _check_universe(N, Pn)
+
+        # Phase 2: merge to the canonical deduplicated spo key stream.
+        # Everything from here on streams sorted files: buffers shrink
+        # to _STREAM_BLOCK regardless of the scan chunk (see above).
+        stats["phase"] = "merge"
+        io_block = max(64, min(chunk, _STREAM_BLOCK))
+        if not keyed and runs:
+            # Row runs become key runs now that N and P are known.
+            key_runs = []
+            for i, run in enumerate(runs):
+                krun = os.path.join(workdir, f"scan.keys{i}.bin")
+                with open(krun, "wb") as kf:
+                    for rows in _iter_file_int64(run, io_block * 3):
+                        _merge_chunk(kf, _spo_keys(rows.reshape(-1, 3), N, Pn))
+                os.unlink(run)
+                key_runs.append(krun)
+            runs = key_runs
+        spo_path, n = _merge_runs(runs, workdir, io_block, "spo", progress)
+        stats["n_triples"] = n
+        stats["deduplicated"] = stats["input_triples"] - n
+        if progress:
+            progress(f"canonical stream: {n} triples")
+
+        # Phase 3: derive the (p,o,s) and (o,s,p) orders.
+        stats["phase"] = "resort"
+
+        def to_pos(keys: np.ndarray) -> np.ndarray:
+            s, p, o = _decode_spo(keys, N, Pn)
+            return (p * N + o) * N + s
+
+        def to_osp(keys: np.ndarray) -> np.ndarray:
+            s, p, o = _decode_spo(keys, N, Pn)
+            return (o * N + s) * Pn + p
+
+        pos_path = _external_sort(
+            spo_path, to_pos, workdir, io_block, "pos", progress
+        )
+        osp_path = _external_sort(
+            spo_path, to_osp, workdir, io_block, "osp", progress
+        )
+
+        # Phase 4: wavelet matrices, written straight into the pack.
+        stats["phase"] = "wavelet"
+        writer = PackWriter(out_path)
+        sigma = {S: N, P: Pn, O: N}
+        wm_meta = {
+            S: _build_wavelet_streaming(
+                writer, S, spo_path,
+                lambda keys: keys % max(N, 1),  # spo key % N == o
+                n, sigma[O], workdir, io_block,
+            ),
+            P: _build_wavelet_streaming(
+                writer, P, pos_path,
+                lambda keys: keys % max(N, 1),
+                n, sigma[S], workdir, io_block,
+            ),
+            O: _build_wavelet_streaming(
+                writer, O, osp_path,
+                lambda keys: keys % max(Pn, 1),
+                n, sigma[P], workdir, io_block,
+            ),
+        }
+        os.unlink(pos_path)
+        os.unlink(osp_path)
+
+        # Phase 5: C arrays by streaming bincount over the canonical stream.
+        # Single-column decoders: ``_decode_spo`` materialises all three
+        # columns (five chunk-sized temporaries) when each pass needs
+        # exactly one — with ``key = (s*P + p)*N + o`` every column is
+        # one division/modulo away.
+        stats["phase"] = "counts"
+        decoders = {
+            S: lambda keys: keys // (N * Pn) if N * Pn else keys,
+            P: lambda keys: (keys // N) % Pn if N and Pn else keys,
+            O: lambda keys: keys % N if N else keys,
+        }
+        for attr in (S, P, O):
+            c = _counts_from_keys(
+                spo_path, io_block, decoders[attr], sigma[attr]
+            )
+            writer.add_array(f"c{attr}", c)
+        table = writer.table
+        size = writer.finish()
+        writer = None
+        stats["phase"] = "manifest"
+        meta = {
+            "n": n,
+            "sigma": (N, Pn, N),
+            "leap_memo_size": int(leap_memo_size),
+            "wm": wm_meta,
+        }
+        manifest = write_pack_manifest(
+            out_path,
+            meta=meta,
+            table=table,
+            file_size=size,
+            n_nodes=N,
+            n_predicates=Pn,
+            dictionary=dictionary,
+        )
+        stats["phase"] = "done"
+        stats["pack_bytes"] = size
+        return manifest
+    except BulkBuildError:
+        raise
+    except Exception as exc:
+        raise BulkBuildError(
+            f"bulk build failed during {stats.get('phase')}: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
+    finally:
+        if writer is not None:
+            writer.abort()
+        shutil.rmtree(workdir, ignore_errors=True)

@@ -27,7 +27,6 @@ segment while the parent (and sibling workers) still use it (Python
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass, field
 from multiprocessing import resource_tracker, shared_memory
 from typing import Optional
@@ -36,6 +35,7 @@ import numpy as np
 
 from repro.bits.bitvector import BitVector
 from repro.core.counts import PackedCounts
+from repro.core.frozen import RingLayoutError, collect_ring_arrays
 from repro.core.ring import Ring
 from repro.graph.model import O, P, S
 from repro.sequences.wavelet_matrix import WaveletMatrix
@@ -47,7 +47,7 @@ _ALIGN = 64
 ArrayTable = dict[str, tuple[int, str, int]]
 
 
-class ShmExportError(ValueError):
+class ShmExportError(RingLayoutError):
     """The ring's layout cannot be exported to a flat shared segment."""
 
 
@@ -59,6 +59,20 @@ class RingHandle:
     size: int  #: segment size in bytes
     meta: dict = field(repr=False)  #: ring scalars (n, sigma, wm shapes…)
     arrays: ArrayTable = field(repr=False)
+
+
+@dataclass(frozen=True)
+class PackHandle:
+    """Attach target for a frozen pack on disk (picklable).
+
+    A ring already persisted as a frozen pack needs no shm segment at
+    all: every worker maps the *file* read-only and the page cache is
+    the shared memory — same zero-copy property, no O(index) export
+    copy, and the mapping works across unrelated processes and
+    restarts.
+    """
+
+    path: str  #: frozen pack file (``repro.core.frozen`` layout)
 
 
 class SharedRing:
@@ -103,52 +117,17 @@ class SharedRing:
 def _collect_arrays(ring: Ring) -> tuple[dict, dict[str, np.ndarray]]:
     """Walk the ring; return (meta scalars, path -> source array).
 
-    Raises :class:`ShmExportError` on any component whose state is not
-    a set of flat numpy arrays (RRR bitvectors, Elias–Fano counts).
+    Delegates to the shared flat-buffer collector
+    (:func:`repro.core.frozen.collect_ring_arrays` — the same layout the
+    frozen pack persists), surfacing layout failures as
+    :class:`ShmExportError` (RRR bitvectors, Elias–Fano counts).
     """
-    if ring.compressed:
-        raise ShmExportError(
-            "compressed (C-Ring) bitvectors cannot be exported to shared "
-            "memory; build the parallel index over a plain ring"
-        )
-    arrays: dict[str, np.ndarray] = {}
-    wm_meta: dict[int, dict] = {}
-    for zone in (S, P, O):
-        wm = ring.zone_sequence(zone)
-        levels_meta = []
-        for level, bv in enumerate(wm._bits):
-            if type(bv) is not BitVector:
-                raise ShmExportError(
-                    f"zone {zone} level {level} uses {type(bv).__name__}; "
-                    "only plain BitVector levels are exportable"
-                )
-            prefix = f"wm{zone}.l{level}"
-            arrays[f"{prefix}.words"] = bv._words
-            arrays[f"{prefix}.super"] = bv._super
-            arrays[f"{prefix}.rel"] = bv._rel
-            levels_meta.append({"n": bv._n, "ones": bv._ones})
-        wm_meta[zone] = {
-            "n": wm._n,
-            "sigma": wm._sigma,
-            "levels": wm._levels,
-            "zeros": list(wm._zeros),
-            "level_meta": levels_meta,
-        }
-    for attr in (S, P, O):
-        counts = ring.counts(attr)
-        if type(counts) is not PackedCounts:
-            raise ShmExportError(
-                f"attribute {attr} uses {type(counts).__name__}; only "
-                "PackedCounts (plain cumulative arrays) are exportable"
-            )
-        arrays[f"c{attr}"] = counts.raw()
-    meta = {
-        "n": ring.n,
-        "sigma": tuple(ring.sigma(a) for a in (S, P, O)),
-        "leap_memo_size": ring._leap_memo_size,
-        "wm": wm_meta,
-    }
-    return meta, arrays
+    try:
+        return collect_ring_arrays(ring)
+    except ShmExportError:
+        raise
+    except RingLayoutError as exc:
+        raise ShmExportError(str(exc)) from None
 
 
 def export_ring(ring: Ring, name: Optional[str] = None) -> SharedRing:
@@ -194,14 +173,13 @@ def _attach_bitvector(
     prefix: str,
     level_meta: dict,
 ) -> BitVector:
-    bv = BitVector.__new__(BitVector)
-    bv._n = int(level_meta["n"])
-    bv._ones = int(level_meta["ones"])
-    bv._words = _view(shm, table, f"{prefix}.words")
-    bv._super = _view(shm, table, f"{prefix}.super")
-    bv._rel = _view(shm, table, f"{prefix}.rel")
-    bv._word_prefix = None  # lazy, rebuilt per process on first use
-    return bv
+    return BitVector.from_components(
+        _view(shm, table, f"{prefix}.words"),
+        _view(shm, table, f"{prefix}.super"),
+        _view(shm, table, f"{prefix}.rel"),
+        n=int(level_meta["n"]),
+        ones=int(level_meta["ones"]),
+    )
 
 
 def _view(
@@ -229,7 +207,16 @@ def attach_ring(handle: RingHandle, untrack: bool = False) -> Ring:
     tracker is shared with the exporting process (``fork`` workers, or
     attaching within the exporter itself): the registration being
     removed would then be the *owner's*, breaking its cleanup.
+
+    A :class:`PackHandle` attaches by memory-mapping the frozen pack
+    file instead (``untrack`` is irrelevant: there is no segment to
+    leak, the kernel drops the mapping with the process).
     """
+    if isinstance(handle, PackHandle):
+        from repro.core.frozen import open_frozen_ring
+
+        ring, _ = open_frozen_ring(handle.path, mmap=True, verify=True)
+        return ring
     shm = shared_memory.SharedMemory(name=handle.name)
     if untrack:
         _untrack(shm)
@@ -237,33 +224,30 @@ def attach_ring(handle: RingHandle, untrack: bool = False) -> Ring:
     seq = {}
     for zone in (S, P, O):
         wmm = meta["wm"][zone]
-        wm = WaveletMatrix.__new__(WaveletMatrix)
-        wm._n = int(wmm["n"])
-        wm._sigma = int(wmm["sigma"])
-        wm._levels = int(wmm["levels"])
-        wm._zeros = [int(z) for z in wmm["zeros"]]
-        wm._bits = [
+        levels = [
             _attach_bitvector(shm, table, f"wm{zone}.l{level}", lm)
             for level, lm in enumerate(wmm["level_meta"])
         ]
-        seq[zone] = wm
-    counts = {}
-    for attr in (S, P, O):
-        pc = PackedCounts.__new__(PackedCounts)
-        pc._c = _view(shm, table, f"c{attr}")
-        pc._n = int(pc._c[-1]) if len(pc._c) else 0
-        counts[attr] = pc
-    ring = Ring.__new__(Ring)
-    ring._n = int(meta["n"])
-    ring._sigma = tuple(int(s) for s in meta["sigma"])
-    ring._compressed = False
-    ring._seq = seq
-    ring._c = counts
-    ring._leap_memo = OrderedDict()
-    ring._leap_generation = 0
-    ring._leap_memo_size = int(meta["leap_memo_size"])
-    ring._leap_memo_hits = 0
-    ring._leap_memo_misses = 0
+        seq[zone] = WaveletMatrix.from_levels(
+            levels,
+            [int(z) for z in wmm["zeros"]],
+            n=int(wmm["n"]),
+            sigma=int(wmm["sigma"]),
+        )
+    counts = {
+        attr: PackedCounts.from_raw(
+            _view(shm, table, f"c{attr}"), validate=False
+        )
+        for attr in (S, P, O)
+    }
+    ring = Ring.from_components(
+        seq,
+        counts,
+        n=int(meta["n"]),
+        sigma=tuple(int(s) for s in meta["sigma"]),
+        compressed=False,
+        leap_memo_size=int(meta["leap_memo_size"]),
+    )
     ring._shm = shm  # keeps the mapping alive for the ring's lifetime
     return ring
 

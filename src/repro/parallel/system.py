@@ -102,6 +102,68 @@ class ParallelRingIndex(RingIndex):
         except PoolUnavailable:
             self._pool = None  # degraded: every query runs serially
 
+    @classmethod
+    def from_ring(
+        cls,
+        ring,
+        graph: Graph,
+        *,
+        workers: int = 2,
+        num_slices: Optional[int] = None,
+        start_method: Optional[str] = None,
+        use_lonely: bool = True,
+        use_ordering: bool = True,
+        use_batch: bool = True,
+        policy: str = "static",
+    ) -> "ParallelRingIndex":
+        """Parallel driver over a prebuilt ring (no index construction).
+
+        This is how ``ParallelRingIndex.load(path, mmap=True)`` serves a
+        frozen pack: a pack-backed ring skips the shm export entirely —
+        workers map the pack *file* (:class:`~repro.parallel.shm.PackHandle`)
+        and the page cache is the shared memory, so a 100 GB index fans
+        out across workers in O(working set) RAM.  Rings without a pack
+        behind them (shm-attached, hand-built) export as usual.
+        """
+        index = RingIndex.from_ring.__func__(
+            cls,
+            ring,
+            graph,
+            use_lonely=use_lonely,
+            use_ordering=use_ordering,
+            use_batch=use_batch,
+            policy=policy,
+        )
+        index._use_lonely = use_lonely
+        index._workers = max(1, int(workers))
+        index._num_slices = (
+            int(num_slices) if num_slices else 2 * index._workers
+        )
+        pack_path = getattr(ring, "_pack_path", None)
+        if pack_path is not None and getattr(ring, "_pack_mmap", False):
+            from repro.parallel.shm import PackHandle
+
+            index._shared = None
+            handle = PackHandle(pack_path)
+        else:
+            index._shared = export_ring(ring)
+            handle = index._shared.handle
+        try:
+            index._pool = WorkerPool(
+                handle,
+                workers=index._workers,
+                engine_opts={
+                    "use_lonely": use_lonely,
+                    "use_ordering": use_ordering,
+                    "use_batch": use_batch,
+                    "policy": policy,
+                },
+                start_method=start_method,
+            )
+        except PoolUnavailable:
+            index._pool = None
+        return index
+
     # -- lifecycle -----------------------------------------------------------
 
     @property
@@ -124,7 +186,8 @@ class ParallelRingIndex(RingIndex):
         if self._pool is not None:
             self._pool.close()
             self._pool = None
-        self._shared.close()
+        if self._shared is not None:
+            self._shared.close()
 
     def __enter__(self) -> "ParallelRingIndex":
         return self

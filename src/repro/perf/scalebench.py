@@ -1,0 +1,615 @@
+"""Out-of-core scale benchmark (``BENCH_scale.json``).
+
+Measures the two promises the streaming builder + memmapped pack make
+at scale, and gates them:
+
+- **bounded build memory** — :func:`repro.graph.bulkload.bulk_build`
+  run in a *subprocess* (so ``ru_maxrss`` is the build's own high-water
+  mark, not the parent's) over a synthetic ``.bin`` triple file must
+  peak below ``MAX_BUILD_RSS_FRACTION`` of the final pack size.  The
+  gate is scale-aware: below ``MIN_RSS_GATE_INDEX_BYTES`` the Python +
+  numpy interpreter baseline (~40 MB) dominates any honest measurement,
+  so quick runs record the ratio with ``status: skipped`` instead of
+  faking a pass — same idiom as the parallel bench's CPU-count gate.
+- **near-free memmap serving** — the same workload evaluated on the
+  eagerly-loaded pack and on the memmapped pack (page cache dropped
+  via ``posix_fadvise`` for the cold pass, reused for the warm pass)
+  must agree row-for-row, and the *warm* mmap pass must stay within
+  ``MAX_WARM_MMAP_OVERHEAD`` of the in-RAM time.
+- **identity everywhere** — a small pack served through every read
+  path (serial eager, serial mmap, result-cached, parallel pool over
+  :class:`~repro.parallel.shm.PackHandle`, durable sharded recover
+  with memmapped checkpoints) returns the same answers.
+
+Consumed by ``python -m repro bench --scale`` and the
+``benchmarks/bench_scale.py`` pytest gate (marker ``perf``).  Same
+schema philosophy as :mod:`repro.perf.kernelbench`: the emitter lives
+in the library so every ``BENCH_scale.json`` in the repo history is
+comparable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.perf.hostmeta import host_metadata, peak_rss_bytes
+
+#: Bump when the JSON layout changes, so trajectory tooling can dispatch.
+SCHEMA_VERSION = 1
+
+#: The build-RSS ceiling as a fraction of the final pack size, and the
+#: smallest pack the gate is meaningful on: below that the interpreter
+#: baseline swamps the builder's own working set.
+MAX_BUILD_RSS_FRACTION = 0.5
+MIN_RSS_GATE_INDEX_BYTES = 96 * 2**20
+
+#: Warm memmapped queries may cost at most this multiple of the
+#: eager-RAM time; only enforced when the RAM pass is long enough for
+#: the ratio to be signal rather than timer noise.
+MAX_WARM_MMAP_OVERHEAD = 2.0
+MIN_OVERHEAD_GATE_SECONDS = 0.05
+
+#: Full-scale defaults: 15 M triples over 3 M nodes — a 22-level
+#: wavelet forest whose pack comfortably clears the RSS-gate floor.
+#: The builder's peak is scale-*independent* (interpreter baseline +
+#: one σ-sized C accumulator + ~1 MiB stream blocks ≈ 77 MB), while
+#: the pack grows with n, so the triple count sets the gate's margin:
+#: 15 M triples → ~165 MiB pack → an ~82 MiB ceiling the builder
+#: clears with headroom to spare.
+FULL_TRIPLES = 15_000_000
+FULL_NODES = 3_000_000
+FULL_PREDICATES = 64
+FULL_CHUNK = 500_000
+
+QUICK_TRIPLES = 60_000
+QUICK_NODES = 20_000
+QUICK_PREDICATES = 16
+QUICK_CHUNK = 20_000
+
+#: Identity gates always run at this size — correctness needs every
+#: path exercised, not a big constant factor.
+IDENTITY_TRIPLES = 20_000
+IDENTITY_NODES = 4_000
+IDENTITY_PREDICATES = 8
+
+
+# -- synthetic input -----------------------------------------------------------
+
+
+def write_synthetic_bin(
+    path: str,
+    n_triples: int,
+    n_nodes: int,
+    n_predicates: int,
+    seed: int = 0,
+    block: int = 1_000_000,
+) -> int:
+    """Stream a uniform random ``(n, 3)`` int64 triple file to ``path``.
+
+    Written block-by-block so generating a 10 M-triple input never holds
+    it in memory either.  Rows may repeat — the builder dedupes — so the
+    *distinct* triple count is slightly below ``n_triples``.
+    """
+    rng = np.random.default_rng(seed)
+    written = 0
+    with open(path, "wb") as fh:
+        while written < n_triples:
+            take = min(block, n_triples - written)
+            rows = np.empty((take, 3), dtype=np.int64)
+            rows[:, 0] = rng.integers(0, n_nodes, take)
+            rows[:, 1] = rng.integers(0, n_predicates, take)
+            rows[:, 2] = rng.integers(0, n_nodes, take)
+            rows.tofile(fh)
+            written += take
+    return written
+
+
+# -- the subprocess build (clean ru_maxrss) ------------------------------------
+
+
+def _child_build_main(config_path: str, result_path: str) -> None:
+    """Entry point of the build subprocess (run via ``python -c``).
+
+    Reads the build request from ``config_path``, runs
+    :func:`~repro.graph.bulkload.bulk_build`, and writes the child's own
+    RSS high-water marks (interpreter baseline vs post-build peak) plus
+    the build stats to ``result_path``.
+    """
+    from repro.graph.bulkload import bulk_build
+
+    with open(config_path, "r", encoding="utf-8") as fh:
+        config = json.load(fh)
+    baseline = peak_rss_bytes()
+    stats: dict = {}
+    start = time.perf_counter()
+    manifest = bulk_build(
+        config["source"],
+        config["out"],
+        chunk_triples=config["chunk_triples"],
+        n_nodes=config.get("n_nodes"),
+        n_predicates=config.get("n_predicates"),
+        stats=stats,
+    )
+    elapsed = time.perf_counter() - start
+    result = {
+        "baseline_rss_bytes": baseline,
+        "peak_rss_bytes": peak_rss_bytes(),
+        "build_seconds": elapsed,
+        "n_triples": manifest["n_triples"],
+        "n_nodes": manifest["n_nodes"],
+        "n_predicates": manifest["n_predicates"],
+        "stats": {
+            k: v
+            for k, v in stats.items()
+            if isinstance(v, (int, float, str, bool))
+        },
+    }
+    with open(result_path, "w", encoding="utf-8") as fh:
+        json.dump(result, fh)
+
+
+def _run_child_build(
+    source: str,
+    out: str,
+    workdir: str,
+    chunk_triples: int,
+    n_nodes: Optional[int] = None,
+    n_predicates: Optional[int] = None,
+) -> dict:
+    """Run :func:`_child_build_main` in a fresh interpreter; return its
+    result payload.  The child inherits this interpreter's import path
+    so the bench works from a source checkout without installation."""
+    config_path = os.path.join(workdir, "build-config.json")
+    result_path = os.path.join(workdir, "build-result.json")
+    with open(config_path, "w", encoding="utf-8") as fh:
+        json.dump(
+            {
+                "source": source,
+                "out": out,
+                "chunk_triples": chunk_triples,
+                "n_nodes": n_nodes,
+                "n_predicates": n_predicates,
+            },
+            fh,
+        )
+    import repro
+
+    pkg_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = pkg_root + os.pathsep + env.get("PYTHONPATH", "")
+    # Pin glibc's mmap threshold.  By default it adapts upward when
+    # multi-MB blocks are freed, after which numpy's buffers come from
+    # the brk heap — which never shrinks, so each builder phase ratchets
+    # the child's RSS high-water mark by allocator fragmentation rather
+    # than live data.  Pinning keeps large buffers mmap-backed and
+    # returned to the OS the moment they are freed.
+    env.setdefault("MALLOC_MMAP_THRESHOLD_", "131072")
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            "import sys; from repro.perf.scalebench import _child_build_main; "
+            "_child_build_main(sys.argv[1], sys.argv[2])",
+            config_path,
+            result_path,
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        tail = (proc.stderr or "").strip().splitlines()[-8:]
+        raise RuntimeError(
+            "scale-bench build subprocess failed "
+            f"(exit {proc.returncode}):\n" + "\n".join(tail)
+        )
+    with open(result_path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def bench_build(
+    workdir: str,
+    n_triples: int,
+    n_nodes: int,
+    n_predicates: int,
+    chunk_triples: int,
+    seed: int = 0,
+) -> tuple[dict, str]:
+    """Streaming-build a synthetic graph in a subprocess; gate its RSS.
+
+    Returns ``(section, pack_path)`` — the pack stays on disk for the
+    query benchmark to reuse.
+    """
+    source = os.path.join(workdir, "scale-input.bin")
+    pack = os.path.join(workdir, "scale-index.ring")
+    gen_start = time.perf_counter()
+    write_synthetic_bin(source, n_triples, n_nodes, n_predicates, seed=seed)
+    gen_seconds = time.perf_counter() - gen_start
+    child = _run_child_build(
+        source, pack, workdir, chunk_triples, n_nodes, n_predicates
+    )
+    index_bytes = os.path.getsize(pack)
+    peak = child["peak_rss_bytes"]
+    ratio = peak / index_bytes if index_bytes else float("inf")
+    applicable = index_bytes >= MIN_RSS_GATE_INDEX_BYTES
+    section = {
+        "input_triples": n_triples,
+        "distinct_triples": child["n_triples"],
+        "n_nodes": child["n_nodes"],
+        "n_predicates": child["n_predicates"],
+        "chunk_triples": chunk_triples,
+        "input_bytes": os.path.getsize(source),
+        "index_bytes": index_bytes,
+        "generate_seconds": gen_seconds,
+        "build_seconds": child["build_seconds"],
+        "triples_per_second": (
+            child["n_triples"] / child["build_seconds"]
+            if child["build_seconds"] > 0
+            else float("inf")
+        ),
+        "baseline_rss_bytes": child["baseline_rss_bytes"],
+        "peak_rss_bytes": peak,
+        "rss_over_index": ratio,
+        "build_stats": child["stats"],
+        "rss_gate": {
+            "max_fraction": MAX_BUILD_RSS_FRACTION,
+            "min_index_bytes": MIN_RSS_GATE_INDEX_BYTES,
+            "index_bytes": index_bytes,
+            "peak_rss_bytes": peak,
+            "applicable": applicable,
+            "passed": (ratio <= MAX_BUILD_RSS_FRACTION) if applicable else None,
+            "status": (
+                "enforced"
+                if applicable
+                else (
+                    f"skipped: pack is {index_bytes / 2**20:.0f} MiB "
+                    f"(< {MIN_RSS_GATE_INDEX_BYTES / 2**20:.0f} MiB); the "
+                    "interpreter baseline dominates, the ratio is not a "
+                    "verdict on the builder"
+                )
+            ),
+        },
+    }
+    os.unlink(source)  # the pack is all the query bench needs
+    return section, pack
+
+
+# -- query overhead ------------------------------------------------------------
+
+
+def _workload(n_predicates: int, limit: int):
+    """A tiny mixed workload: scan, path join, star join.
+
+    Integer constants throughout — the synthetic graphs are id-only.
+    """
+    from repro.graph.model import BasicGraphPattern, TriplePattern, Var
+
+    x, y, z = Var("x"), Var("y"), Var("z")
+    p0, p1 = 0, min(1, n_predicates - 1)
+    return [
+        BasicGraphPattern([TriplePattern(x, p0, y)]),
+        BasicGraphPattern(
+            [TriplePattern(x, p0, y), TriplePattern(y, p1, z)]
+        ),
+        BasicGraphPattern(
+            [TriplePattern(x, p0, y), TriplePattern(x, p1, z)]
+        ),
+    ], limit
+
+
+def _rows_key(result) -> list:
+    """An order-preserving, comparable encoding of a query result."""
+    return [tuple(sorted((v.name, c) for v, c in mu.items())) for mu in result]
+
+
+def _run_workload(index, queries, limit, timeout) -> tuple[float, list, int]:
+    """Evaluate every query; returns (total seconds, per-query keys, rows)."""
+    total = 0.0
+    keys = []
+    rows = 0
+    for bgp in queries:
+        start = time.perf_counter()
+        result = index.evaluate(bgp, limit=limit, timeout=timeout)
+        total += time.perf_counter() - start
+        key = _rows_key(result)
+        keys.append(key)
+        rows += len(key)
+    return total, keys, rows
+
+
+def _drop_page_cache(path: str) -> bool:
+    """Best-effort eviction of ``path`` from the OS page cache.
+
+    ``POSIX_FADV_DONTNEED`` makes the next mmap access genuinely cold
+    on Linux; where unsupported we record that the "cold" pass may be
+    warm rather than pretending.
+    """
+    if not hasattr(os, "posix_fadvise"):  # pragma: no cover - non-Linux
+        return False
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.posix_fadvise(fd, 0, 0, os.POSIX_FADV_DONTNEED)
+        return True
+    except OSError:  # pragma: no cover - exotic filesystem
+        return False
+    finally:
+        os.close(fd)
+
+
+def bench_query(
+    pack: str, n_predicates: int, limit: int = 20_000, timeout: float = 600.0
+) -> dict:
+    """Eager-RAM vs cold-mmap vs warm-mmap over the same pack."""
+    from repro.core import RingIndex
+
+    queries, limit = _workload(n_predicates, limit)
+
+    eager = RingIndex.load(pack, mmap=False)
+    ram_s, ram_keys, ram_rows = _run_workload(eager, queries, limit, timeout)
+    del eager
+
+    evicted = _drop_page_cache(pack)
+    cold_index = RingIndex.load(pack, mmap=True)
+    cold_s, cold_keys, _ = _run_workload(cold_index, queries, limit, timeout)
+    # Same process, pages now resident: the warm pass reuses the mapping.
+    warm_s, warm_keys, _ = _run_workload(cold_index, queries, limit, timeout)
+    del cold_index
+
+    applicable = ram_s >= MIN_OVERHEAD_GATE_SECONDS
+    warm_ratio = warm_s / ram_s if ram_s > 0 else float("inf")
+    return {
+        "n_queries": len(queries),
+        "limit": limit,
+        "rows": ram_rows,
+        "ram_seconds": ram_s,
+        "cold_mmap_seconds": cold_s,
+        "warm_mmap_seconds": warm_s,
+        "cold_over_ram": cold_s / ram_s if ram_s > 0 else float("inf"),
+        "warm_over_ram": warm_ratio,
+        "page_cache_dropped": evicted,
+        "identical_cold": cold_keys == ram_keys,
+        "identical_warm": warm_keys == ram_keys,
+        "overhead_gate": {
+            "max_warm_over_ram": MAX_WARM_MMAP_OVERHEAD,
+            "min_ram_seconds": MIN_OVERHEAD_GATE_SECONDS,
+            "ram_seconds": ram_s,
+            "applicable": applicable,
+            "passed": (
+                (warm_ratio <= MAX_WARM_MMAP_OVERHEAD) if applicable else None
+            ),
+            "status": (
+                "enforced"
+                if applicable
+                else (
+                    f"skipped: RAM pass took {ram_s * 1000:.1f}ms "
+                    f"(< {MIN_OVERHEAD_GATE_SECONDS * 1000:.0f}ms); the "
+                    "ratio would measure timer noise, not mmap overhead"
+                )
+            ),
+        },
+    }
+
+
+# -- identity across every serving path ----------------------------------------
+
+
+def bench_identity(
+    workdir: str,
+    seed: int = 0,
+    n_triples: int = IDENTITY_TRIPLES,
+    n_nodes: int = IDENTITY_NODES,
+    n_predicates: int = IDENTITY_PREDICATES,
+    limit: int = 5_000,
+    timeout: float = 60.0,
+) -> dict:
+    """One small pack, served through every read path, same answers.
+
+    The reference is the eagerly-loaded serial index; each other path
+    reports whether its rows matched (ordered, except the sharded
+    coordinator whose cross-shard merge order is its own contract —
+    that path compares sorted rows).
+    """
+    from repro.cache import CachedQuerySystem
+    from repro.core import RingIndex
+    from repro.graph.bulkload import bulk_build
+    from repro.graph.dataset import Graph
+    from repro.parallel import ParallelRingIndex
+    from repro.serving.coordinator import ShardCoordinator
+    from repro.serving.sharding import ShardedRingIndex
+
+    rng = np.random.default_rng(seed)
+    rows = np.empty((n_triples, 3), dtype=np.int64)
+    rows[:, 0] = rng.integers(0, n_nodes, n_triples)
+    rows[:, 1] = rng.integers(0, n_predicates, n_triples)
+    rows[:, 2] = rng.integers(0, n_nodes, n_triples)
+    graph = Graph(rows, n_nodes=n_nodes, n_predicates=n_predicates)
+
+    pack = os.path.join(workdir, "identity-index.ring")
+    bulk_build(
+        graph,
+        pack,
+        chunk_triples=max(1, n_triples // 7),
+        n_nodes=n_nodes,
+        n_predicates=n_predicates,
+    )
+    queries, limit = _workload(n_predicates, limit)
+
+    reference = RingIndex.load(pack, mmap=False)
+    _, ref_keys, ref_rows = _run_workload(reference, queries, limit, timeout)
+    del reference
+    paths: dict[str, bool] = {}
+
+    serial = RingIndex.load(pack, mmap=True)
+    _, keys, _ = _run_workload(serial, queries, limit, timeout)
+    paths["serial_mmap"] = keys == ref_keys
+    del serial
+
+    cached = CachedQuerySystem(RingIndex.load(pack, mmap=True))
+    _, cold_keys, _ = _run_workload(cached, queries, limit, timeout)
+    _, warm_keys, _ = _run_workload(cached, queries, limit, timeout)
+    paths["cached_mmap_cold"] = cold_keys == ref_keys
+    paths["cached_mmap_warm"] = warm_keys == ref_keys
+    del cached
+
+    parallel = ParallelRingIndex.load(pack, mmap=True, workers=2)
+    try:
+        _, keys, _ = _run_workload(parallel, queries, limit, timeout)
+        paths["parallel_mmap"] = keys == ref_keys
+        pool_fanout = parallel.pool_stats().get("dispatched", 0)
+    finally:
+        parallel.close()
+
+    shard_dir = os.path.join(workdir, "identity-shards")
+    with ShardedRingIndex.create_durable(shard_dir, graph, 2) as shards:
+        shards.shutdown(checkpoint=True)
+    sharded_sorted = None
+    with ShardedRingIndex.recover(shard_dir, mmap=True) as shards:
+        coordinator = ShardCoordinator(shards)
+        sharded_keys = []
+        for bgp in queries:
+            result = coordinator.evaluate(bgp, limit=limit, timeout=timeout)
+            sharded_keys.append(sorted(_rows_key(result)))
+        sharded_sorted = sharded_keys == [sorted(k) for k in ref_keys]
+    paths["sharded_mmap_recover"] = bool(sharded_sorted)
+
+    return {
+        "n_triples": graph.n_triples,
+        "n_queries": len(queries),
+        "rows": ref_rows,
+        "parallel_dispatched": pool_fanout,
+        "paths": paths,
+        "all_identical": all(paths.values()),
+    }
+
+
+# -- report --------------------------------------------------------------------
+
+
+def full_report(
+    quick: bool = False,
+    seed: int = 0,
+    n_triples: Optional[int] = None,
+    n_nodes: Optional[int] = None,
+    n_predicates: Optional[int] = None,
+    chunk_triples: Optional[int] = None,
+    workdir: Optional[str] = None,
+) -> dict:
+    """The complete ``BENCH_scale.json`` payload.
+
+    ``workdir`` (or ``$REPRO_BENCH_SCALE_DIR``) hosts the synthetic
+    input, spill runs and pack — point it at a volume with roughly
+    ``4 x`` the final index size free.  A temporary directory is used
+    (and removed) when unset.
+    """
+    if quick:
+        n_triples = n_triples or QUICK_TRIPLES
+        n_nodes = n_nodes or QUICK_NODES
+        n_predicates = n_predicates or QUICK_PREDICATES
+        chunk_triples = chunk_triples or QUICK_CHUNK
+    else:
+        n_triples = n_triples or FULL_TRIPLES
+        n_nodes = n_nodes or FULL_NODES
+        n_predicates = n_predicates or FULL_PREDICATES
+        chunk_triples = chunk_triples or FULL_CHUNK
+
+    workdir = workdir or os.environ.get("REPRO_BENCH_SCALE_DIR")
+    cleanup = workdir is None
+    if workdir is None:
+        workdir = tempfile.mkdtemp(prefix="repro-scale-")
+    else:
+        os.makedirs(workdir, exist_ok=True)
+    try:
+        build, pack = bench_build(
+            workdir, n_triples, n_nodes, n_predicates, chunk_triples, seed=seed
+        )
+        query = bench_query(pack, n_predicates)
+        identity = bench_identity(workdir, seed=seed)
+    finally:
+        if cleanup:
+            shutil.rmtree(workdir, ignore_errors=True)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "host": host_metadata(),
+        "config": {
+            "quick": quick,
+            "n_triples": n_triples,
+            "n_nodes": n_nodes,
+            "n_predicates": n_predicates,
+            "chunk_triples": chunk_triples,
+            "seed": seed,
+        },
+        "build": build,
+        "query": query,
+        "identity": identity,
+    }
+
+
+def write_report(report: dict, path: str) -> None:
+    """Write the payload as indented JSON (newline-terminated)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+
+def format_report(report: dict) -> str:
+    """Human-readable table of a :func:`full_report` payload."""
+    build = report["build"]
+    query = report["query"]
+    identity = report["identity"]
+    gate = build["rss_gate"]
+    qgate = query["overhead_gate"]
+    lines = [
+        f"Out-of-core scale ({build['distinct_triples']} distinct triples, "
+        f"{build['n_nodes']} nodes, {build['n_predicates']} predicates):",
+        f"  build         : {build['build_seconds']:>8.1f}s  "
+        f"({build['triples_per_second']:,.0f} triples/s, "
+        f"chunk {build['chunk_triples']})",
+        f"  pack          : {build['index_bytes'] / 2**20:>8.1f}MiB  "
+        f"(input {build['input_bytes'] / 2**20:.1f}MiB)",
+        f"  build peak RSS: {build['peak_rss_bytes'] / 2**20:>8.1f}MiB  "
+        f"({100 * build['rss_over_index']:.0f}% of pack, "
+        f"baseline {build['baseline_rss_bytes'] / 2**20:.0f}MiB)",
+    ]
+    if gate["applicable"]:
+        verdict = "PASS" if gate["passed"] else "FAIL"
+        lines.append(
+            f"  RSS gate      : {verdict} "
+            f"(<= {100 * gate['max_fraction']:.0f}% of pack)"
+        )
+    else:
+        lines.append(f"  RSS gate      : {gate['status']}")
+    lines.append(
+        f"  query RAM     : {1000 * query['ram_seconds']:>8.1f}ms  "
+        f"({query['rows']} rows)"
+    )
+    lines.append(
+        f"  query mmap    : cold {1000 * query['cold_mmap_seconds']:.1f}ms "
+        f"({query['cold_over_ram']:.2f}x), "
+        f"warm {1000 * query['warm_mmap_seconds']:.1f}ms "
+        f"({query['warm_over_ram']:.2f}x, "
+        f"cache dropped: {query['page_cache_dropped']})"
+    )
+    if qgate["applicable"]:
+        verdict = "PASS" if qgate["passed"] else "FAIL"
+        lines.append(
+            f"  overhead gate : {verdict} "
+            f"(warm <= {qgate['max_warm_over_ram']:.1f}x RAM)"
+        )
+    else:
+        lines.append(f"  overhead gate : {qgate['status']}")
+    for name, same in identity["paths"].items():
+        verdict = "identical" if same else "MISMATCH"
+        lines.append(f"  {name:<14}: {verdict}")
+    return "\n".join(lines)

@@ -235,15 +235,22 @@ class ResourceBudget:
             self.check()
 
     def check(self) -> None:
-        """Consult every constraint now (raises on exhaustion)."""
+        """Consult every constraint now (raises on exhaustion).
+
+        The deadline outranks the cancellation token: the broker's
+        watchdog *cancels* queries that overstay their deadline, so an
+        expired query may observe both conditions — and must surface as
+        the :class:`QueryTimeout` it is, not as a caller cancellation
+        that happens to have won the watchdog-vs-tick race.
+        """
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise QueryTimeout(f"deadline exceeded ({self.timeout:g}s)")
         if self.token is not None and self.token.cancelled:
             raise QueryCancelled("query cancelled by caller")
         if self.max_ops is not None and self.ops > self.max_ops:
             raise QueryTimeout(
                 f"operation budget exhausted ({self.ops} > {self.max_ops} ops)"
             )
-        if self.deadline is not None and time.monotonic() > self.deadline:
-            raise QueryTimeout(f"deadline exceeded ({self.timeout:g}s)")
 
     def expired(self) -> bool:
         """Non-raising probe: would :meth:`check` raise right now?"""

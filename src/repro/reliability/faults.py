@@ -111,6 +111,14 @@ LAZY_SITES: dict[str, tuple[str, Optional[str], str]] = {
     # rest of the query to the static §4.3 order (a counted fallback,
     # observable as ``plan.rerank_fallback``) — worse plan, same rows.
     "plan.rerank": ("repro.core.ltj", None, "rank_candidates"),
+    # Out-of-core path: a build killed while spilling a run or merging
+    # must leave either no pack or the previous intact one (the writer
+    # publishes atomically), and be restartable from scratch; a failing
+    # mmap open must surface as IndexIntegrityError, never as a ring
+    # over garbage pages.
+    "build.spill": ("repro.graph.bulkload", None, "_spill_run"),
+    "build.merge": ("repro.graph.bulkload", None, "_merge_chunk"),
+    "mmap.open": ("repro.core.frozen", None, "_open_memmap"),
 }
 
 

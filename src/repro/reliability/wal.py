@@ -396,6 +396,8 @@ def write_checkpoint(
             shutil.rmtree(stale)
     os.makedirs(tmp_dir)
 
+    from repro.core.frozen import RingLayoutError, write_frozen_ring
+
     ring_entries = []
     for i, ring in enumerate(rings):
         g = _ring_graph(ring, n_nodes, n_predicates)
@@ -405,7 +407,23 @@ def write_checkpoint(
         write_manifest(fpath, compressed=False, graph=g)
         with open(fpath, "rb") as f:
             _fsync(f)
-        ring_entries.append({"file": fname, "n_triples": int(g.n_triples)})
+        entry = {"file": fname, "n_triples": int(g.n_triples)}
+        # Also persist the ring as a frozen pack so recovery can open it
+        # memory-mapped (recover(mmap=True)) instead of rebuilding the
+        # succinct structures from the .npz.  Compressed rings have no
+        # flat form; they simply fall back to the rebuild path.
+        try:
+            pack_name = f"ring-{i:03d}.ring"
+            write_frozen_ring(
+                ring,
+                os.path.join(tmp_dir, pack_name),
+                n_nodes=n_nodes,
+                n_predicates=n_predicates,
+            )
+            entry["pack"] = pack_name
+        except RingLayoutError:
+            pass
+        ring_entries.append(entry)
 
     manifest = {
         "format_version": CHECKPOINT_VERSION,
@@ -435,12 +453,21 @@ def write_checkpoint(
     return final_dir
 
 
-def load_checkpoint(directory, verify: bool = True) -> Optional[CheckpointState]:
+def load_checkpoint(
+    directory, verify: bool = True, mmap: bool = False
+) -> Optional[CheckpointState]:
     """Load the current checkpoint; ``None`` when none was ever taken.
 
     With ``verify=True`` every ring payload's SHA-256 is compared
     against its sidecar and the rebuilt ring runs the full structural
     self-check battery from :mod:`repro.reliability.integrity`.
+
+    ``mmap=True`` opens each ring's frozen pack memory-mapped instead
+    of rebuilding from the ``.npz`` — recovery RSS then grows with the
+    pages queries touch, not with checkpoint size.  Verification
+    downgrades to the O(1) layout check plus structural spot-checks
+    (full checksums would read every page, defeating the cold map);
+    checkpoints written before packs existed fall back per ring.
     """
     cpdir = current_checkpoint_dir(directory)
     if cpdir is None:
@@ -473,7 +500,29 @@ def load_checkpoint(directory, verify: bool = True) -> Optional[CheckpointState]
         wal_generation=int(manifest.get("wal_generation", 0)),
         wal_offset=int(manifest.get("wal_offset", HEADER_SIZE)),
     )
+    from repro.core.frozen import open_frozen_ring, verify_frozen_layout
+
     for entry in manifest.get("rings", []):
+        pack = entry.get("pack")
+        if mmap and pack is not None:
+            ppath = os.path.join(cpdir, pack)
+            if verify:
+                verify_frozen_layout(ppath)
+            ring, _ = open_frozen_ring(ppath, mmap=True, verify=verify)
+            if ring.n != int(entry["n_triples"]):
+                raise IndexIntegrityError(
+                    ppath,
+                    f"checkpoint pack has {ring.n} triples, "
+                    f"manifest says {entry['n_triples']}",
+                )
+            if verify:
+                state.checks.extend(
+                    verify_ring_structure(
+                        ring, expected_n=ring.n, path=ppath
+                    )
+                )
+            state.rings.append(ring)
+            continue
         fpath = os.path.join(cpdir, entry["file"])
         if verify:
             verify_file(fpath, read_manifest(fpath))
@@ -639,13 +688,16 @@ class DurableDynamicRing:
         auto_compact: bool = True,
         checkpoint_bytes: int = DEFAULT_CHECKPOINT_BYTES,
         policy: str = "static",
+        mmap: bool = False,
     ) -> tuple["DurableDynamicRing", RecoveryReport]:
         """Rebuild the last durably acknowledged state from disk.
 
         checkpoint → WAL-tail replay → structural verification; a torn
         WAL tail is truncated (those operations were never
         acknowledged), a corrupt checkpoint or unreadable WAL header
-        raises :class:`IndexIntegrityError` loudly.
+        raises :class:`IndexIntegrityError` loudly.  ``mmap=True``
+        serves the checkpointed rings straight off their frozen packs
+        (see :func:`load_checkpoint`).
         """
         directory = str(directory)
         upath = os.path.join(directory, UNIVERSE_FILE)
@@ -653,7 +705,7 @@ class DurableDynamicRing:
             verify_file(upath, read_manifest(upath))
         universe = checked_load_graph(upath)
 
-        state = load_checkpoint(directory, verify=verify)
+        state = load_checkpoint(directory, verify=verify, mmap=mmap)
         wal_path = os.path.join(directory, WAL_FILE)
         wal, rep = WriteAheadLog.open(wal_path, fsync=fsync)
 
@@ -918,6 +970,20 @@ def verify_dynamic_dir(directory, samples: int = 32) -> dict:
         base = sum(r.n for r in state.rings) + len(state.buffer) - len(
             state.tombstones
         )
+        # Frozen packs ride beside the .npz payloads; a torn pack would
+        # poison mmap recovery, so deep-verify each one too.
+        from repro.core.frozen import verify_frozen_layout
+
+        cpdir = state.directory
+        packs = sorted(
+            name for name in os.listdir(cpdir) if name.endswith(".ring")
+        )
+        for name in packs:
+            verify_frozen_layout(os.path.join(cpdir, name), deep=True)
+        if packs:
+            report["checks"].append(
+                f"frozen pack layout + checksum ({len(packs)} pack(s))"
+            )
 
     rep = replay(os.path.join(directory, WAL_FILE))
     report["checks"].append(

@@ -97,6 +97,43 @@ class WaveletMatrix:
             self._zeros.append(int(len(bits) - bits.sum()))
             current = np.concatenate([current[~bits], current[bits]])
 
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_levels(
+        cls,
+        levels: list,
+        zeros: list[int],
+        *,
+        n: int,
+        sigma: int,
+    ) -> "WaveletMatrix":
+        """Adopt prebuilt per-level bitvectors without re-partitioning.
+
+        The copy-free assembly path shared by the shared-memory attach,
+        the frozen ``mmap_mode`` open and the streaming bulk builder:
+        ``levels[l]`` is the level-``l`` bitvector (plain or RRR) and
+        ``zeros[l]`` its zero count, exactly as ``__init__`` would have
+        produced them.  Buffers are adopted as-is (views stay views).
+        """
+        wm = cls.__new__(cls)
+        wm._n = int(n)
+        wm._sigma = int(sigma)
+        wm._levels = max(1, (wm._sigma - 1).bit_length())
+        if len(levels) != wm._levels or len(zeros) != wm._levels:
+            raise ValueError(
+                f"expected {wm._levels} levels for sigma={sigma}, got "
+                f"{len(levels)} bitvectors / {len(zeros)} zero counts"
+            )
+        for lvl, bv in enumerate(levels):
+            if len(bv) != wm._n:
+                raise ValueError(
+                    f"level {lvl} has {len(bv)} bits, expected {n}"
+                )
+        wm._bits = list(levels)
+        wm._zeros = [int(z) for z in zeros]
+        return wm
+
     # -- basics -------------------------------------------------------------
 
     def __len__(self) -> int:

@@ -108,9 +108,22 @@ def _memory_factory(initial: Graph, buffer_threshold: int):
     return factory
 
 
+#: ``DurableDynamicRing.recover``-only keywords that ``create`` rejects.
+_RECOVER_ONLY_OPTIONS = ("mmap", "verify")
+
+
+def _create_options(wal_options: dict) -> dict:
+    return {
+        k: v for k, v in wal_options.items() if k not in _RECOVER_ONLY_OPTIONS
+    }
+
+
 def _durable_factory(shard_dir: Path, initial: Optional[Graph], wal_options: dict):
     """First call creates the store (when ``initial`` is given); every
-    later call — i.e. every supervisor restart — recovers via the WAL."""
+    later call — i.e. every supervisor restart — recovers via the WAL.
+    Recovery honours the full option set (including ``mmap=True`` to
+    serve checkpointed rings off their frozen packs); creation drops
+    the recover-only keys."""
     from repro.reliability.wal import DurableDynamicRing
 
     state = {"created": initial is None}
@@ -118,8 +131,10 @@ def _durable_factory(shard_dir: Path, initial: Optional[Graph], wal_options: dic
     def factory():
         if not state["created"]:
             state["created"] = True
-            return DurableDynamicRing.create(shard_dir, initial, **wal_options)
-        store, _report = DurableDynamicRing.recover(shard_dir)
+            return DurableDynamicRing.create(
+                shard_dir, initial, **_create_options(wal_options)
+            )
+        store, _report = DurableDynamicRing.recover(shard_dir, **wal_options)
         return store
 
     return factory
@@ -150,9 +165,9 @@ def _build_durable_shard(
                 # store must exist before the first spawn.
                 from repro.reliability.wal import DurableDynamicRing
 
-                DurableDynamicRing.create(d, initial, **wal_options).close(
-                    checkpoint=True
-                )
+                DurableDynamicRing.create(
+                    d, initial, **_create_options(wal_options)
+                ).close(checkpoint=True)
             from repro.serving.process import ProcessEndpoint
 
             endpoints.append(

@@ -1,9 +1,10 @@
 """The uniform ``host`` block every BENCH_*.json payload embeds."""
 
+import json
 import os
 import sys
 
-from repro.perf.hostmeta import host_metadata
+from repro.perf.hostmeta import host_metadata, peak_rss_bytes
 
 
 def test_host_metadata_fields():
@@ -17,6 +18,15 @@ def test_host_metadata_fields():
 
 
 def test_host_metadata_is_json_serialisable():
-    import json
+    meta = host_metadata()
+    assert json.loads(json.dumps(meta)) == meta
 
-    assert json.loads(json.dumps(host_metadata())) == host_metadata()
+
+def test_peak_rss_reported():
+    # ru_maxrss is a high-water mark: positive, in bytes, and monotone
+    # (a later reading can only be >= an earlier one).
+    first = peak_rss_bytes()
+    assert first is not None and first > 0
+    # Well above any plausible page size, i.e. actually bytes not KB.
+    assert first > 10 * 1024 * 1024
+    assert host_metadata()["peak_rss_bytes"] >= first

@@ -1,0 +1,228 @@
+"""External-memory bulk construction (:mod:`repro.graph.bulkload`).
+
+The contract under test: whatever the source format, chunk size, input
+order or duplication, ``bulk_build`` writes the *byte-identical* pack
+that ``RingIndex(graph).save_frozen`` would — with working memory
+bounded by the chunk size, spills in a private directory, and typed
+failures that leave no partial pack behind.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import RingIndex
+from repro.graph.bulkload import BulkBuildError, bulk_build
+from repro.graph.dataset import Graph
+from repro.graph.dictionary import Dictionary
+from repro.graph.generators import random_graph
+from repro.reliability.faults import Fault, InjectedFault, inject_faults
+
+
+def _reference_pack(graph, tmp_path, name="reference.ring"):
+    path = str(tmp_path / name)
+    RingIndex(graph).save_frozen(path)
+    return path
+
+
+def _read(path):
+    with open(path, "rb") as fh:
+        return fh.read()
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_graph(2000, n_nodes=100, n_predicates=4, seed=11)
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("chunk", [64, 777, 2000, 10_000])
+    def test_every_chunk_size_matches_in_memory(self, graph, tmp_path, chunk):
+        reference = _reference_pack(graph, tmp_path)
+        out = str(tmp_path / f"chunk{chunk}.ring")
+        stats: dict = {}
+        bulk_build(graph, out, chunk_triples=chunk, stats=stats)
+        assert _read(out) == _read(reference)
+        assert _read(out + ".config.json") == _read(
+            reference + ".config.json"
+        )
+        if chunk < graph.n_triples:
+            assert stats["runs_spilled"] > 1
+
+    def test_permuted_duplicated_input(self, graph, tmp_path):
+        reference = _reference_pack(graph, tmp_path)
+        rng = np.random.default_rng(5)
+        rows = graph.triples
+        noisy = np.concatenate([rows, rows[rng.integers(0, len(rows), 500)]])
+        noisy = noisy[rng.permutation(len(noisy))]
+        out = str(tmp_path / "noisy.ring")
+        stats: dict = {}
+        bulk_build(
+            iter(noisy),
+            out,
+            chunk_triples=300,
+            n_nodes=graph.n_nodes,
+            n_predicates=graph.n_predicates,
+            stats=stats,
+        )
+        assert _read(out) == _read(reference)
+        assert stats["deduplicated"] == 500
+
+    def test_bin_source(self, graph, tmp_path):
+        reference = _reference_pack(graph, tmp_path)
+        src = str(tmp_path / "input.bin")
+        graph.triples.astype(np.int64).tofile(src)
+        out = str(tmp_path / "frombin.ring")
+        bulk_build(
+            src,
+            out,
+            chunk_triples=256,
+            n_nodes=graph.n_nodes,
+            n_predicates=graph.n_predicates,
+        )
+        assert _read(out) == _read(reference)
+
+    def test_text_source(self, graph, tmp_path):
+        reference = _reference_pack(graph, tmp_path)
+        src = str(tmp_path / "input.txt")
+        with open(src, "w") as fh:
+            fh.write("# id triples, one per line\n")
+            for s, p, o in graph.triples:
+                fh.write(f"{s} {p} {o}\n")
+        out = str(tmp_path / "fromtext.ring")
+        bulk_build(
+            src,
+            out,
+            chunk_triples=256,
+            n_nodes=graph.n_nodes,
+            n_predicates=graph.n_predicates,
+        )
+        assert _read(out) == _read(reference)
+
+
+class TestNtriples:
+    def test_nt_source_matches_loaded_graph(self, tmp_path):
+        rng = np.random.default_rng(9)
+        src = str(tmp_path / "data.nt")
+        with open(src, "w") as fh:
+            for _ in range(400):
+                s, o = rng.integers(0, 40, 2)
+                p = rng.integers(0, 3)
+                fh.write(
+                    f"<http://ex/e{s}> <http://ex/p{p}> <http://ex/e{o}> .\n"
+                )
+        from repro.graph.ntriples import load_ntriples
+
+        graph = load_ntriples(src)
+        reference = _reference_pack(graph, tmp_path)
+        out = str(tmp_path / "fromnt.ring")
+        bulk_build(src, out, chunk_triples=64)
+        assert _read(out) == _read(reference)
+        # String queries decode through the pack's own dictionary.
+        loaded = RingIndex.load(out, mmap=True)
+        want = RingIndex(graph).evaluate("?x http://ex/p0 ?y", decode=True)
+        assert list(loaded.evaluate("?x http://ex/p0 ?y", decode=True)) == list(
+            want
+        )
+
+    def test_malformed_nt_is_typed(self, tmp_path):
+        src = str(tmp_path / "bad.nt")
+        with open(src, "w") as fh:
+            fh.write("<http://ex/a> <http://ex/p>\n")  # missing object
+        with pytest.raises(BulkBuildError):
+            bulk_build(src, str(tmp_path / "bad.ring"))
+
+
+class TestEdges:
+    def test_empty_graph(self, tmp_path):
+        graph = Graph(
+            np.empty((0, 3), dtype=np.int64), n_nodes=5, n_predicates=2
+        )
+        reference = _reference_pack(graph, tmp_path)
+        out = str(tmp_path / "empty.ring")
+        bulk_build(
+            graph, out, chunk_triples=16, n_nodes=5, n_predicates=2
+        )
+        assert _read(out) == _read(reference)
+
+    def test_single_triple(self, tmp_path):
+        graph = Graph(np.array([[1, 0, 2]], dtype=np.int64))
+        reference = _reference_pack(graph, tmp_path)
+        out = str(tmp_path / "one.ring")
+        bulk_build(graph, out, chunk_triples=16)
+        assert _read(out) == _read(reference)
+
+    def test_inferred_universe_matches_graph(self, graph, tmp_path):
+        # No pinned universes: inference must mirror Graph (max id + 1).
+        reference = _reference_pack(graph, tmp_path)
+        out = str(tmp_path / "inferred.ring")
+        bulk_build(iter(graph.triples), out, chunk_triples=300)
+        if graph.n_nodes == int(graph.triples[:, [0, 2]].max()) + 1:
+            assert _read(out) == _read(reference)
+
+    def test_id_outside_pinned_universe(self, tmp_path):
+        rows = np.array([[0, 0, 9]], dtype=np.int64)
+        with pytest.raises(BulkBuildError):
+            bulk_build(
+                iter(rows),
+                str(tmp_path / "oob.ring"),
+                n_nodes=5,
+                n_predicates=1,
+            )
+
+    def test_dictionary_conflict(self, tmp_path):
+        d = Dictionary()
+        d.add_node("a"), d.add_node("b")
+        d.add_predicate("p")
+        src = str(tmp_path / "two.nt")
+        with open(src, "w") as fh:
+            fh.write("<a> <p> <b> .\n")
+        with pytest.raises(BulkBuildError, match="conflicts"):
+            bulk_build(src, str(tmp_path / "c.ring"), n_nodes=99)
+
+    def test_universe_overflow_guard(self, tmp_path):
+        with pytest.raises(BulkBuildError, match="int64"):
+            bulk_build(
+                iter(np.empty((0, 3), dtype=np.int64)),
+                str(tmp_path / "huge.ring"),
+                n_nodes=2**33,
+                n_predicates=2**10,
+            )
+
+    def test_bad_chunk(self, graph, tmp_path):
+        with pytest.raises(ValueError):
+            bulk_build(graph, str(tmp_path / "x.ring"), chunk_triples=0)
+
+
+class TestFaults:
+    @pytest.mark.parametrize("site", ["build.spill", "build.merge"])
+    def test_crash_leaves_no_pack_and_retry_is_exact(
+        self, graph, tmp_path, site
+    ):
+        reference = _reference_pack(graph, tmp_path)
+        out = str(tmp_path / "faulted.ring")
+        fault = Fault(site, probability=1.0, error=InjectedFault, max_fires=1)
+        with inject_faults(fault, seed=3):
+            with pytest.raises(BulkBuildError):
+                bulk_build(graph, out, chunk_triples=300)
+        assert fault.fired
+        assert not os.path.exists(out)
+        assert not os.path.exists(out + ".config.json")
+        # No spill litter: the private workdir is removed either way.
+        assert not [
+            n for n in os.listdir(tmp_path) if n.startswith("bulkload")
+        ]
+        bulk_build(graph, out, chunk_triples=300)  # restart, unfaulted
+        assert _read(out) == _read(reference)
+
+    def test_failure_reports_phase(self, graph, tmp_path):
+        fault = Fault(
+            "build.merge", probability=1.0, error=InjectedFault, max_fires=1
+        )
+        with inject_faults(fault, seed=3):
+            with pytest.raises(BulkBuildError) as err:
+                bulk_build(
+                    graph, str(tmp_path / "p.ring"), chunk_triples=300
+                )
+        assert "during" in str(err.value)

@@ -1,0 +1,159 @@
+"""Out-of-core serving: memmapped checkpoints through every tier.
+
+PR 9 threads ``mmap=True`` from ``RingIndex.load`` up through the
+durable store (``DurableDynamicRing.recover``), the sharded tier
+(``ShardedRingIndex.recover``) and the parallel pool
+(``ParallelRingIndex.load`` over a :class:`~repro.parallel.shm.PackHandle`).
+These tests pin the property that matters at every level: the
+memmapped server answers *exactly* like the in-RAM one.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import RingIndex
+from repro.graph import BasicGraphPattern, TriplePattern, Var
+from repro.graph.dataset import Graph
+from repro.graph.generators import random_graph
+from repro.parallel import ParallelRingIndex
+from repro.parallel.shm import PackHandle
+from repro.reliability.wal import DurableDynamicRing, verify_dynamic_dir
+from repro.serving.coordinator import ShardCoordinator
+from repro.serving.sharding import ShardedRingIndex
+
+X, Y, Z = Var("x"), Var("y"), Var("z")
+JOIN = BasicGraphPattern([TriplePattern(X, 0, Y), TriplePattern(Y, 1, Z)])
+SCAN = BasicGraphPattern([TriplePattern(X, Var("p"), Y)])
+
+
+def _rows(system, bgp):
+    return [dict(mu) for mu in system.evaluate(bgp)]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_graph(1200, n_nodes=60, n_predicates=3, seed=13)
+
+
+class TestDurableMmapRecover:
+    def test_recover_mmap_matches_eager(self, graph, tmp_path):
+        store = DurableDynamicRing.create(
+            tmp_path / "store", graph, buffer_threshold=64
+        )
+        store.insert(1, 0, 2)
+        store.delete(*map(int, graph.triples[0]))
+        store.checkpoint()
+        store.insert(3, 1, 4)  # WAL tail beyond the checkpoint
+        store.close()
+
+        eager, _ = DurableDynamicRing.recover(tmp_path / "store")
+        mapped, _ = DurableDynamicRing.recover(tmp_path / "store", mmap=True)
+        try:
+            assert _rows(mapped, JOIN) == _rows(eager, JOIN)
+            assert _rows(mapped, SCAN) == _rows(eager, SCAN)
+        finally:
+            eager.close()
+            mapped.close()
+
+    def test_checkpoint_writes_packs(self, graph, tmp_path):
+        store = DurableDynamicRing.create(
+            tmp_path / "store", graph, buffer_threshold=64
+        )
+        cpdir = store.checkpoint()
+        store.close()
+        packs = [n for n in os.listdir(cpdir) if n.endswith(".ring")]
+        assert packs, "checkpoint must persist mappable ring packs"
+        report = verify_dynamic_dir(tmp_path / "store")
+        assert any("pack" in check for check in report["checks"])
+
+    def test_recover_mmap_without_packs_falls_back(self, graph, tmp_path):
+        # Old checkpoints (written before packs existed: no ``pack``
+        # manifest keys, no .ring files) still recover eagerly.
+        import json
+
+        store = DurableDynamicRing.create(
+            tmp_path / "store", graph, buffer_threshold=64
+        )
+        cpdir = store.checkpoint()
+        store.close()
+        for name in os.listdir(cpdir):
+            if name.endswith(".ring") or name.endswith(".ring.config.json"):
+                os.unlink(os.path.join(cpdir, name))
+        mpath = os.path.join(cpdir, "MANIFEST.json")
+        manifest = json.loads(open(mpath).read())
+        for entry in manifest.get("rings", []):
+            entry.pop("pack", None)
+        with open(mpath, "w") as fh:
+            json.dump(manifest, fh)
+        mapped, _ = DurableDynamicRing.recover(tmp_path / "store", mmap=True)
+        try:
+            assert _rows(mapped, JOIN) == _rows(
+                RingIndex(graph), JOIN
+            )
+        finally:
+            mapped.close()
+
+
+class TestShardedMmapRecover:
+    def test_sharded_recover_mmap_identity(self, graph, tmp_path):
+        with ShardedRingIndex.create_durable(
+            tmp_path / "shards", graph, 3, buffer_threshold=64
+        ) as shards:
+            shards.shutdown(checkpoint=True)
+
+        def answers(shards):
+            coordinator = ShardCoordinator(shards)
+            return [
+                sorted(
+                    tuple(sorted((v.name, c) for v, c in mu.items()))
+                    for mu in coordinator.evaluate(bgp, timeout=60.0)
+                )
+                for bgp in (SCAN, JOIN)
+            ]
+
+        with ShardedRingIndex.recover(tmp_path / "shards") as eager_shards:
+            eager = answers(eager_shards)
+        with ShardedRingIndex.recover(
+            tmp_path / "shards", mmap=True
+        ) as mapped_shards:
+            mapped = answers(mapped_shards)
+        assert mapped == eager
+        assert eager[0], "scan must return rows"
+
+
+class TestParallelPackHandle:
+    def test_parallel_load_skips_shm_export(self, graph, tmp_path):
+        pack = str(tmp_path / "index.ring")
+        RingIndex(graph).save_frozen(pack)
+        index = ParallelRingIndex.load(pack, mmap=True, workers=2)
+        try:
+            # A pack-backed ring must not be copied into a segment:
+            # the workers map the file, the page cache is the sharing.
+            assert index._shared is None
+            reference = _rows(RingIndex(graph), JOIN)
+            assert _rows(index, JOIN) == reference
+        finally:
+            index.close()
+
+    def test_eager_parallel_load_still_exports(self, graph, tmp_path):
+        pack = str(tmp_path / "index.ring")
+        RingIndex(graph).save_frozen(pack)
+        index = ParallelRingIndex.load(pack, mmap=False, workers=2)
+        try:
+            assert index._shared is not None
+            assert _rows(index, JOIN) == _rows(RingIndex(graph), JOIN)
+        finally:
+            index.close()
+
+    def test_pack_handle_attach_round_trip(self, graph, tmp_path):
+        from repro.parallel.shm import attach_ring
+
+        pack = str(tmp_path / "index.ring")
+        RingIndex(graph).save_frozen(pack)
+        ring = attach_ring(PackHandle(pack))
+        assert ring.n == graph.n_triples
+        direct = RingIndex(graph)
+        attached = RingIndex.from_ring(ring, graph)
+        assert _rows(attached, JOIN) == _rows(direct, JOIN)
