@@ -12,10 +12,17 @@ out-of-core pipeline on three axes:
   honestly as ``skipped`` instead of faking a pass;
 - **mmap overhead, where it is signal** — warm memmapped queries within
   ``MAX_WARM_MMAP_OVERHEAD`` of RAM, enforced only when the RAM pass
-  is long enough to out-run timer noise.
+  is long enough to out-run timer noise;
+- **k-way merge accounting, always** — each spilled byte read exactly
+  once on its way into the canonical stream (``extra_pass_bytes == 0``
+  at the default fan-in);
+- **parallel build identity, always** — the partitioned worker build
+  emits the byte-exact serial pack; the >= 2x speedup gate is enforced
+  only on hosts with enough CPUs and recorded as ``skipped`` elsewhere.
 
 Scale knobs: ``REPRO_BENCH_SCALE_TRIPLES`` / ``REPRO_BENCH_SCALE_NODES``
-/ ``REPRO_BENCH_SCALE_CHUNK`` (defaults are CI-sized; the 10 M-triple
+/ ``REPRO_BENCH_SCALE_CHUNK`` / ``REPRO_BENCH_SCALE_WORKERS``
+(defaults are CI-sized; the 10 M-triple
 acceptance run is ``python -m repro bench --scale``),
 ``REPRO_BENCH_SCALE_OUT`` for the artifact path,
 ``REPRO_BENCH_SCALE_DIR`` for the spill volume.
@@ -27,7 +34,9 @@ import os
 import pytest
 
 from repro.perf.scalebench import (
+    BENCH_BUILD_WORKERS,
     MIN_RSS_GATE_INDEX_BYTES,
+    MIN_SPEEDUP_GATE_CPUS,
     SCHEMA_VERSION,
     full_report,
 )
@@ -35,6 +44,9 @@ from repro.perf.scalebench import (
 SCALE_TRIPLES = int(os.environ.get("REPRO_BENCH_SCALE_TRIPLES", "200000"))
 SCALE_NODES = int(os.environ.get("REPRO_BENCH_SCALE_NODES", "50000"))
 SCALE_CHUNK = int(os.environ.get("REPRO_BENCH_SCALE_CHUNK", "50000"))
+SCALE_WORKERS = int(
+    os.environ.get("REPRO_BENCH_SCALE_WORKERS", str(BENCH_BUILD_WORKERS))
+)
 
 pytestmark = pytest.mark.perf
 
@@ -47,6 +59,7 @@ def scale_report():
         n_triples=SCALE_TRIPLES,
         n_nodes=SCALE_NODES,
         chunk_triples=SCALE_CHUNK,
+        workers=SCALE_WORKERS,
     )
 
 
@@ -103,6 +116,67 @@ def test_build_bounded_by_chunks(scale_report):
     assert build["distinct_triples"] > 0
     if SCALE_TRIPLES > SCALE_CHUNK:
         assert build["build_stats"].get("runs_spilled", 0) > 1
+
+
+def test_merge_single_pass_gate(scale_report):
+    """The k-way merge read every spilled byte exactly once (no rereads)."""
+    merge = scale_report["build"]["merge"]
+    gate = merge["single_pass_gate"]
+    assert gate["applicable"]
+    assert gate["status"] == "enforced"
+    assert gate["passed"], (
+        f"merge reread {merge['extra_pass_bytes']} bytes beyond one pass "
+        f"({merge['runs_merged']} runs at fan-in {merge['fanin']})"
+    )
+    assert merge["reduction_rounds"] == 0
+    assert merge["bytes_read"] == merge["bytes_in"]
+    if SCALE_TRIPLES > SCALE_CHUNK:
+        assert merge["spill_runs"] > 1
+        assert merge["bytes_in"] > 0
+
+
+def test_parallel_build_identity_gate(scale_report):
+    """The partitioned worker build emitted the byte-exact serial pack."""
+    parallel = scale_report["parallel_build"]
+    assert parallel["workers"] == SCALE_WORKERS
+    gate = parallel["identity_gate"]
+    assert gate["applicable"]
+    assert gate["passed"], "parallel pack diverged from the serial bytes"
+    assert parallel["pack_identical"]
+    assert parallel["manifest_identical"]
+    if SCALE_WORKERS > 0:
+        pool = parallel["pool"]
+        assert pool.get("completed", 0) > 0 or pool == {}
+
+
+def test_parallel_speedup_gate_recorded(scale_report):
+    """Speedup is enforced on real multi-core hosts, skipped honestly else."""
+    gate = scale_report["parallel_build"]["speedup_gate"]
+    assert gate["min_cpus"] == MIN_SPEEDUP_GATE_CPUS
+    assert gate["applicable"] == (gate["cpus"] >= MIN_SPEEDUP_GATE_CPUS)
+    if gate["applicable"]:
+        assert gate["passed"], (
+            f"parallel build ran {gate['speedup']:.2f}x the serial one "
+            f"(floor {gate['min_speedup']:.1f}x on {gate['cpus']} CPUs)"
+        )
+    else:
+        assert gate["passed"] is None
+        assert "skipped" in gate["status"]
+
+
+def test_worker_rss_gate_recorded(scale_report):
+    """Per-worker RSS rides the same <= 50%-of-pack budget as serial."""
+    gate = scale_report["parallel_build"]["worker_rss_gate"]
+    assert gate["min_index_bytes"] == MIN_RSS_GATE_INDEX_BYTES
+    if gate["applicable"]:
+        assert gate["passed"], (
+            f"a build worker peaked at {gate['worker_peak_rss_bytes']} bytes, "
+            f"over {100 * gate['max_fraction']:.0f}% of the "
+            f"{gate['index_bytes']}-byte pack"
+        )
+    else:
+        assert gate["passed"] is None
+        assert "skipped" in gate["status"]
 
 
 def test_host_block_present(scale_report):

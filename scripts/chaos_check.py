@@ -1436,6 +1436,192 @@ def drill_outofcore(rounds: int, seed: int) -> list[str]:
     return failures
 
 
+# -- parallel-build drill (partitioned builds, killed build workers) ----------
+
+
+def drill_parallel_build(rounds: int, seed: int) -> list[str]:
+    """Fault and kill parallel build workers mid-partition.  The
+    partitioned-build contract:
+
+    - a faulted ``build.worker`` task (the fault fires *inside* the
+      forked worker and again in the inline rescue) surfaces as typed
+      :class:`BulkBuildError` with **no pack and no sidecar** behind —
+      and an unfaulted retry is byte-identical to the serial reference;
+    - a *killed* build worker (no fault, just ``SIGKILL`` after
+      dispatch) is rescued inline: the build **succeeds**, counts at
+      least one ``serial_rescues``, and the pack is still byte-identical
+      to the serial reference;
+    - a faulted sharded build leaves no output directory at all (the
+      layout publishes by directory rename);
+    - a sharded build that loses a worker still produces shard packs
+      byte-identical to an undisturbed sharded build's.
+    """
+    from repro.graph import bulkload
+    from repro.graph.bulkload import (
+        BulkBuildError,
+        bulk_build,
+        bulk_build_sharded,
+    )
+
+    rng = random.Random(seed)
+    failures: list[str] = []
+    graph = random_graph(4000, n_nodes=200, n_predicates=4, seed=5)
+    base = tempfile.mkdtemp(prefix="chaos-pbuild-")
+    print(f"\nparallel-build drill: {rounds} fault + {rounds} kill rounds "
+          f"on build.worker, then sharded fault + kill rounds")
+    try:
+        reference = os.path.join(base, "reference.ring")
+        bulk_build(graph, reference, chunk_triples=512)
+        with open(reference, "rb") as fh:
+            ref_bytes = fh.read()
+
+        # Fault rounds: the armed site makes every build task raise —
+        # in the worker *and* in the rescue path — so the build must
+        # fail typed and leave nothing behind.
+        for round_no in range(rounds):
+            out = os.path.join(base, f"fault-{round_no}.ring")
+            fault = Fault("build.worker", probability=1.0,
+                          error=InjectedFault)
+            label = f"  pbuild {round_no:3d} fault"
+            try:
+                with inject_faults(fault, seed=rng.randrange(2**31)):
+                    bulk_build(graph, out, chunk_triples=512, workers=2)
+            except BulkBuildError:
+                if os.path.exists(out) or os.path.exists(
+                    out + ".config.json"
+                ):
+                    failures.append(f"{label}: partial pack left behind")
+                    print(f"{label}: PARTIAL PACK ON DISK")
+                    continue
+            except Exception as exc:  # noqa: BLE001 - the whole point
+                failures.append(
+                    f"{label}: untyped {type(exc).__name__}: {exc}"
+                )
+                print(f"{label}: UNTYPED {type(exc).__name__}")
+                continue
+            else:
+                failures.append(f"{label}: build swallowed the fault")
+                print(f"{label}: FAULT SWALLOWED")
+                continue
+            bulk_build(graph, out, chunk_triples=512, workers=2)
+            with open(out, "rb") as fh:
+                retry_bytes = fh.read()
+            if retry_bytes != ref_bytes:
+                failures.append(f"{label}: retry pack not byte-identical")
+                print(f"{label}: RETRY DIVERGED")
+            else:
+                print(f"{label}: typed failure, clean dir, retry "
+                      f"byte-identical")
+
+        # Kill rounds: SIGKILL one worker right after dispatch; the
+        # inline rescue must finish its tasks and the pack must not
+        # change by a byte.
+        for round_no in range(rounds):
+            out = os.path.join(base, f"kill-{round_no}.ring")
+            victim = rng.randrange(2)
+            label = f"  pbuild {round_no:3d} kill w{victim}"
+            bulkload._POOL_HOOK = (
+                lambda pool, _wid=victim: setattr(
+                    pool, "_kill_after_dispatch", _wid
+                )
+            )
+            build_stats: dict = {}
+            try:
+                bulk_build(graph, out, chunk_triples=512, workers=2,
+                           stats=build_stats)
+            except Exception as exc:  # noqa: BLE001 - the whole point
+                failures.append(
+                    f"{label}: killed worker failed the build "
+                    f"({type(exc).__name__}: {exc})"
+                )
+                print(f"{label}: BUILD FAILED")
+                continue
+            finally:
+                bulkload._POOL_HOOK = None
+            with open(out, "rb") as fh:
+                killed_bytes = fh.read()
+            if killed_bytes != ref_bytes:
+                failures.append(f"{label}: pack diverged after rescue")
+                print(f"{label}: PACK DIVERGED")
+            elif not build_stats.get("pool_serial_rescues"):
+                failures.append(f"{label}: no serial rescue counted")
+                print(f"{label}: NO RESCUE COUNTED")
+            else:
+                print(f"{label}: rescued inline "
+                      f"({build_stats['pool_serial_rescues']} task(s)), "
+                      f"pack byte-identical")
+
+        # Sharded fault: the layout publishes by rename, so a failed
+        # build must leave no output directory at all.
+        shard_out = os.path.join(base, "shards-faulted")
+        fault = Fault("build.worker", probability=1.0, error=InjectedFault)
+        try:
+            with inject_faults(fault, seed=seed):
+                bulk_build_sharded(graph, shard_out, n_shards=2,
+                                   chunk_triples=512, workers=2)
+        except BulkBuildError:
+            if os.path.exists(shard_out):
+                failures.append("sharded fault: output directory left")
+                print("  pbuild shard fault: PARTIAL LAYOUT ON DISK")
+            else:
+                print("  pbuild shard fault: typed failure, no layout")
+        except Exception as exc:  # noqa: BLE001 - the whole point
+            failures.append(
+                f"sharded fault: untyped {type(exc).__name__}: {exc}"
+            )
+        else:
+            failures.append("sharded fault: build swallowed the fault")
+
+        # Sharded kill: shard packs must match an undisturbed build's.
+        clean_dir = os.path.join(base, "shards-clean")
+        bulk_build_sharded(graph, clean_dir, n_shards=2,
+                           chunk_triples=512, workers=2)
+        killed_dir = os.path.join(base, "shards-killed")
+        bulkload._POOL_HOOK = lambda pool: setattr(
+            pool, "_kill_after_dispatch", 0
+        )
+        kill_stats: dict = {}
+        try:
+            bulk_build_sharded(graph, killed_dir, n_shards=2,
+                               chunk_triples=512, workers=2,
+                               stats=kill_stats)
+        except Exception as exc:  # noqa: BLE001 - the whole point
+            failures.append(
+                f"sharded kill: build failed ({type(exc).__name__}: {exc})"
+            )
+        finally:
+            bulkload._POOL_HOOK = None
+        if os.path.exists(killed_dir):
+            diverged = []
+            for sid in range(2):
+                rel = os.path.join(
+                    f"shard-{sid:02d}", "checkpoint-0000000001",
+                    "ring-000.ring",
+                )
+                with open(os.path.join(clean_dir, rel), "rb") as fh:
+                    want = fh.read()
+                with open(os.path.join(killed_dir, rel), "rb") as fh:
+                    got = fh.read()
+                if want != got:
+                    diverged.append(rel)
+            if diverged:
+                failures.append(
+                    f"sharded kill: shard packs diverged: {diverged}"
+                )
+                print("  pbuild shard kill : PACKS DIVERGED")
+            elif not kill_stats.get("pool_serial_rescues"):
+                failures.append("sharded kill: no serial rescue counted")
+                print("  pbuild shard kill : NO RESCUE COUNTED")
+            else:
+                print(f"  pbuild shard kill : rescued inline "
+                      f"({kill_stats['pool_serial_rescues']} task(s)), "
+                      f"shard packs byte-identical")
+    finally:
+        bulkload._POOL_HOOK = None
+        shutil.rmtree(base, ignore_errors=True)
+    return failures
+
+
 # -- harness ------------------------------------------------------------------
 
 
@@ -1459,6 +1645,8 @@ def main() -> None:
                         help="kill -9 process-shard drill rounds")
     parser.add_argument("--ooc-rounds", type=int, default=8,
                         help="out-of-core builder crash drill rounds")
+    parser.add_argument("--pbuild-rounds", type=int, default=3,
+                        help="parallel-build fault/kill drill rounds")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="write a machine-readable per-drill summary")
     parser.add_argument("--drills", default="all",
@@ -1490,6 +1678,9 @@ def main() -> None:
         ("out-of-core",
          ["build.spill", "build.merge", "mmap.open"],
          lambda: drill_outofcore(args.ooc_rounds, args.seed + 9)),
+        ("parallel-build",
+         ["build.worker"],
+         lambda: drill_parallel_build(args.pbuild_rounds, args.seed + 10)),
     ]
     known = [name for name, _sites, _fn in drills]
     if args.drills.strip().lower() == "all":

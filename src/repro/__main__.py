@@ -60,6 +60,51 @@ def _load_graph_file(path: str, strict: bool = True, stats=None) -> Graph:
 
 def cmd_build(args) -> None:
     start = time.perf_counter()
+    if args.workers or args.shards:
+        # Parallel partitioned builds only exist on the streaming path.
+        args.stream = True
+    if args.merge_fanin < 2:
+        raise SystemExit("error: --merge-fanin must be at least 2")
+    if args.workers < 0:
+        raise SystemExit("error: --workers must be non-negative")
+    if args.shards is not None and args.shards < 1:
+        raise SystemExit("error: --shards must be positive")
+    if args.shards is not None:
+        if args.compressed or args.frozen:
+            raise SystemExit(
+                "error: --shards emits a sharded durable layout; "
+                "it is incompatible with --compressed/--frozen"
+            )
+        from repro.graph.bulkload import bulk_build_sharded
+
+        build_stats: dict = {}
+        manifest = bulk_build_sharded(
+            args.input,
+            args.output,
+            n_shards=args.shards,
+            chunk_triples=args.chunk_triples,
+            workers=args.workers,
+            merge_fanin=args.merge_fanin,
+            stats=build_stats,
+            progress=lambda msg: print(f"  {msg}", file=sys.stderr),
+        )
+        elapsed = time.perf_counter() - start
+        print(
+            f"shard-indexed {build_stats['n_triples']} triples "
+            f"({manifest['n_nodes']} nodes, "
+            f"{manifest['n_predicates']} predicates) into "
+            f"{manifest['n_shards']} shard(s) "
+            f"in {elapsed:.2f}s -> {args.output}"
+        )
+        for sid, count in enumerate(build_stats["shard_triples"]):
+            print(f"  shard-{sid:02d}: {count} triples")
+        print(
+            f"pack bytes: {build_stats['pack_bytes']} "
+            f"({build_stats['runs_spilled']} spilled run(s), "
+            f"{build_stats['deduplicated']} duplicate(s) dropped); "
+            f"serve with: repro shard-serve {args.output} --mmap ..."
+        )
+        return
     if args.stream:
         # Out-of-core path: never holds the triple set in memory, and
         # always emits a frozen pack (the streaming builder writes the
@@ -76,6 +121,8 @@ def cmd_build(args) -> None:
             args.input,
             args.output,
             chunk_triples=args.chunk_triples,
+            workers=args.workers,
+            merge_fanin=args.merge_fanin,
             stats=build_stats,
             progress=lambda msg: print(f"  {msg}", file=sys.stderr),
         )
@@ -617,6 +664,20 @@ def main(argv=None) -> None:
     p.add_argument("--chunk-triples", type=int, default=1_000_000,
                    help="scan/sort working-set bound for --stream "
                         "(default 1e6 triples)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="build-worker processes for the streaming path "
+                        "(implies --stream; >1 also partitions the scan "
+                        "by subject hash; output stays byte-identical "
+                        "to the serial build)")
+    p.add_argument("--merge-fanin", type=int, default=64,
+                   help="max spill runs one k-way merge pass opens "
+                        "(default 64; more runs fall back to recursive "
+                        "reduction rounds)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="emit a ready-to-serve sharded durable layout "
+                        "(SHARDS.json + per-shard stores) instead of one "
+                        "pack; implies --stream, serve via 'repro "
+                        "shard-serve <dir> --mmap'")
     p.set_defaults(func=cmd_build)
 
     p = sub.add_parser("query", help="evaluate a basic graph pattern")

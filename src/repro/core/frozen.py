@@ -175,6 +175,39 @@ class PackWriter:
         self._f.write(memoryview(arr).cast("B"))
         self._offset = aligned + arr.nbytes
 
+    def add_array_from_file(
+        self, name: str, path: str, dtype: str, length: int,
+        block: int = 1 << 20,
+    ) -> None:
+        """Append one array by streaming its raw bytes from ``path``.
+
+        The stitch path of the partitioned bulk builder: workers spill
+        finished arrays to scratch files and the driver replays them
+        here in canonical order — byte-identical to :meth:`add_array`
+        of the materialised array, without ever holding it.
+        """
+        if name in self.table:
+            raise ValueError(f"duplicate array {name!r}")
+        dt = np.dtype(dtype)
+        nbytes = dt.itemsize * int(length)
+        actual = os.path.getsize(path)
+        if actual != nbytes:
+            raise ValueError(
+                f"{path}: array {name!r} should be {nbytes} bytes, "
+                f"file holds {actual}"
+            )
+        aligned = (self._offset + ALIGN - 1) & ~(ALIGN - 1)
+        if aligned > self._offset:
+            self._f.write(b"\0" * (aligned - self._offset))
+        self.table[name] = (aligned, dt.str, int(length))
+        with open(path, "rb") as src:
+            while True:
+                chunk = src.read(block)
+                if not chunk:
+                    break
+                self._f.write(chunk)
+        self._offset = aligned + nbytes
+
     def finish(self) -> int:
         """Write the footer, fsync, atomically publish; returns the size."""
         self._f.write(FOOTER)

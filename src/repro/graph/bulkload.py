@@ -8,12 +8,17 @@ serves can be an order of magnitude larger than its RAM:
 1. **scan** — the source (N-Triples, id text, raw binary or any block
    iterable) is consumed in chunks of ``chunk_triples`` rows; each chunk
    is sorted, deduplicated and spilled to a run file (`build.spill`
-   fault site);
-2. **merge** — runs are merged pairwise as sorted streams with
-   duplicate elimination (`build.merge` fault site) into one canonical
-   ``(s, p, o)``-ordered key stream (triples are packed into single
-   int64 keys, ``(s·P + p)·N + o``, which makes every sort and merge a
-   flat int64 operation);
+   fault site).  With ``workers > 1`` the chunk is first split by
+   splitmix64 subject hash (:func:`repro.serving.sharding.shard_vector`
+   — the same hash the serving tier routes queries with) into disjoint
+   per-partition spill streams;
+2. **merge** — runs are merged in a *single pass* by a heap-free k-way
+   merge with global duplicate elimination (`build.merge` fault site):
+   every spill run is read exactly once as long as the run count stays
+   within ``merge_fanin``; larger inputs fall back to fan-in-bounded
+   recursive reduction rounds.  Triples are packed into single int64
+   keys, ``(s·P + p)·N + o``, which makes every sort and merge a flat
+   int64 operation;
 3. **re-sort** — two more external sorts derive the ``(p, o, s)`` and
    ``(o, s, p)`` orders the ring's other zones need;
 4. **incremental wavelet construction** — each zone's wavelet matrix is
@@ -26,16 +31,30 @@ serves can be an order of magnitude larger than its RAM:
    counters via :meth:`BitVector.from_packed_words`);
 5. **C arrays** — streaming bincount passes over the canonical stream.
 
+**Parallel partitioned build** (``workers > 0``): the per-partition
+sort→merge→re-sort pipelines, the three per-zone wavelet constructions
+and the three count passes each run as independent *build tasks* on a
+:class:`~repro.parallel.pool.TaskPool` of worker processes (dead
+workers are rescued inline, exactly like the query pool).  Because the
+partitions are disjoint by subject and the key embeds the subject,
+k-way merging the per-partition sorted streams reproduces the global
+sorted stream — the driver stitches the workers' spooled arrays into
+one pack that is **byte-identical** to the serial build.
+:func:`bulk_build_sharded` keeps the partitions separate instead and
+emits a ready-to-serve ``SHARDS.json`` durable layout that
+``ShardedRingIndex.recover(mmap=True)`` loads with zero extra passes.
+
 The full triple set is never held in memory: peak RSS is dominated by
 one chunk buffer, one ``n/8``-byte word buffer and one ``σ``-sized
-count accumulator.  Everything intermediate lives in a private spill
-directory, and the pack is published by an atomic rename
+count accumulator — per worker.  Everything intermediate lives in a
+private spill directory, and the pack is published by an atomic rename
 (:class:`~repro.core.frozen.PackWriter`), so a crash at *any* point
 leaves either no pack or the previous intact one — never a torn index.
 
 Byte-identity with the in-memory path (``RingIndex(graph).save_frozen``)
-is a hard invariant, property-tested under random chunk sizes and
-permuted input order: same pack bytes, same manifest, same answers.
+is a hard invariant, property-tested under random chunk sizes, worker
+counts, merge fan-ins and permuted input order: same pack bytes, same
+manifest, same answers.
 """
 
 from __future__ import annotations
@@ -56,7 +75,19 @@ from repro.graph.ntriples import iter_ntriples
 
 _KEY_LIMIT = (1 << 63) - 1
 
-__all__ = ["BulkBuildError", "bulk_build"]
+#: Default bounded fan-in of the k-way spill merge.  64 open run files
+#: keep the per-reader buffers useful (io_block/64 values each) while
+#: covering every realistic run count in one pass: runs are spilled at
+#: ``chunk_triples`` granularity, so exceeding the fan-in takes a
+#: dataset more than 64 chunks long.
+DEFAULT_MERGE_FANIN = 64
+
+__all__ = [
+    "BulkBuildError",
+    "DEFAULT_MERGE_FANIN",
+    "bulk_build",
+    "bulk_build_sharded",
+]
 
 
 class BulkBuildError(RuntimeError):
@@ -101,36 +132,49 @@ def _iter_file_int64(path: str, block: int):
             yield arr
 
 
-def _iter_files_aligned(paths, block: int, transform=None):
-    """Yield int64 blocks across files, sizes multiples of 64 (last may
-    be ragged) — so bit-packing lands on word boundaries."""
-    block = max(64, block - block % 64)
+def _align64(blocks, transform=None):
+    """Re-chunk int64 blocks to multiples of 64 values (last may be
+    ragged) — so bit-packing lands on word boundaries."""
     carry: Optional[np.ndarray] = None
-    for path in paths:
-        with open(path, "rb") as f:
-            while True:
-                arr = np.fromfile(f, dtype=np.int64, count=block)
-                if arr.size == 0:
-                    break
-                if transform is not None:
-                    arr = transform(arr)
-                if carry is not None and carry.size:
-                    arr = np.concatenate([carry, arr])
-                carry = None
-                cut = (arr.size // 64) * 64
-                if cut:
-                    yield arr[:cut]
-                if cut < arr.size:
-                    carry = arr[cut:]
+    for arr in blocks:
+        if transform is not None:
+            arr = transform(arr)
+        if carry is not None and carry.size:
+            arr = np.concatenate([carry, arr])
+        carry = None
+        cut = (arr.size // 64) * 64
+        if cut:
+            yield arr[:cut]
+        if cut < arr.size:
+            carry = arr[cut:]
     if carry is not None and carry.size:
         yield carry
+
+
+def _chain_files(paths, block: int):
+    for path in paths:
+        yield from _iter_file_int64(path, block)
+
+
+def _iter_files_aligned(paths, block: int, transform=None):
+    """64-aligned blocks over files read *sequentially* (one logical
+    stream split across files, e.g. wavelet scratch partitions)."""
+    block = max(64, block - block % 64)
+    yield from _align64(_chain_files(paths, block), transform)
+
+
+def _iter_merged_aligned(paths, block: int, transform=None):
+    """64-aligned blocks over disjoint sorted runs, k-way *merged* into
+    one globally sorted stream (e.g. per-partition zone streams)."""
+    yield from _align64(_iter_kway(paths, block, dedup=False), transform)
 
 
 class _RunReader:
     """Buffered reader over one sorted int64 run file."""
 
-    def __init__(self, path: str, block: int) -> None:
+    def __init__(self, path: str, block: int, counter: Optional[dict] = None):
         self._gen = _iter_file_int64(path, block)
+        self._counter = counter
         self.buf = np.empty(0, dtype=np.int64)
         self._eof = False
         self._fill()
@@ -141,6 +185,8 @@ class _RunReader:
             if nxt is None:
                 self._eof = True
             else:
+                if self._counter is not None:
+                    self._counter["bytes_read"] += nxt.nbytes
                 self.buf = nxt
 
     @property
@@ -154,67 +200,165 @@ class _RunReader:
         return out
 
 
-def _merge_two(path_a: str, path_b: str, out_path: str, block: int) -> int:
-    """Merge two sorted key runs into one, deduplicating; returns the
-    output length.  Streams in ``block``-value windows: memory is O(block)."""
-    ra, rb = _RunReader(path_a, block), _RunReader(path_b, block)
+def _dedup_block(part: np.ndarray, last: Optional[int]):
+    """Drop duplicates within ``part`` and against the previous block's
+    final value; returns (filtered, new last)."""
+    if part.size == 0:
+        return part, last
+    keep = np.empty(part.size, dtype=bool)
+    keep[0] = last is None or int(part[0]) != last
+    keep[1:] = part[1:] != part[:-1]
+    part = part[keep]
+    if part.size:
+        last = int(part[-1])
+    return part, last
+
+
+def _iter_kway(paths, block: int, *, dedup: bool, counter: Optional[dict] = None):
+    """Single-pass k-way merge of sorted int64 runs, as sorted blocks.
+
+    Block-synchronous rather than heap-based: each round every reader
+    contributes its prefix at or below the smallest buffered maximum
+    (``searchsorted``), the prefixes are concatenated and sorted once —
+    all vectorized, no per-element Python.  ``block`` bounds the *total*
+    buffered values across readers, so memory stays O(block) at any
+    fan-in.  With ``dedup`` the output stream is globally deduplicated.
+    ``counter["bytes_read"]`` (if given) accumulates bytes fetched from
+    disk — the single-pass accounting the merge gate checks.
+    """
+    per = max(64, block // max(1, len(paths)))
+    readers = [_RunReader(p, per, counter) for p in paths]
+    readers = [r for r in readers if not r.exhausted]
     last: Optional[int] = None
+    while len(readers) > 1:
+        bound = min(int(r.buf[-1]) for r in readers)
+        parts = []
+        for r in readers:
+            k = int(np.searchsorted(r.buf, bound, side="right"))
+            if k:
+                parts.append(r.take(k))
+        part = np.concatenate(parts) if len(parts) > 1 else parts[0]
+        if len(parts) > 1:
+            part.sort()
+        if dedup:
+            part, last = _dedup_block(part, last)
+        if part.size:
+            yield part
+        readers = [r for r in readers if not r.exhausted]
+    if readers:
+        (reader,) = readers
+        while not reader.exhausted:
+            part = reader.take(reader.buf.size)
+            if dedup:
+                part, last = _dedup_block(part, last)
+            if part.size:
+                yield part
+
+
+def _merge_group(
+    paths, out_path: str, block: int, *, dedup: bool, counter: Optional[dict] = None
+) -> int:
+    """k-way merge a group of runs into one file; returns output length."""
     written = 0
     with open(out_path, "wb") as fo:
-
-        def emit(part: np.ndarray) -> None:
-            nonlocal last, written
-            if part.size == 0:
-                return
-            keep = np.empty(part.size, dtype=bool)
-            keep[0] = last is None or int(part[0]) != last
-            keep[1:] = part[1:] != part[:-1]
-            part = part[keep]
-            if part.size:
-                _merge_chunk(fo, part)
-                last = int(part[-1])
-                written += part.size
-
-        while not ra.exhausted and not rb.exhausted:
-            bound = min(int(ra.buf[-1]), int(rb.buf[-1]))
-            ia = int(np.searchsorted(ra.buf, bound, side="right"))
-            ib = int(np.searchsorted(rb.buf, bound, side="right"))
-            part = np.concatenate([ra.take(ia), rb.take(ib)])
-            part.sort()
-            emit(part)
-        for reader in (ra, rb):
-            while not reader.exhausted:
-                emit(reader.take(reader.buf.size))
+        for part in _iter_kway(paths, block, dedup=dedup, counter=counter):
+            _merge_chunk(fo, part)
+            written += part.size
     return written
 
 
+def _merge_accumulate(
+    stats: Optional[dict], *, fanin: int, runs: int, bytes_in: int,
+    bytes_read: int, rounds: int,
+) -> None:
+    if stats is None:
+        return
+    stats["merge_fanin"] = fanin
+    stats["merge_runs_merged"] = stats.get("merge_runs_merged", 0) + runs
+    stats["merge_bytes_in"] = stats.get("merge_bytes_in", 0) + bytes_in
+    stats["merge_bytes_read"] = stats.get("merge_bytes_read", 0) + bytes_read
+    stats["merge_extra_pass_bytes"] = stats.get(
+        "merge_extra_pass_bytes", 0
+    ) + max(0, bytes_read - bytes_in)
+    stats["merge_rounds"] = max(stats.get("merge_rounds", 0), rounds)
+    stats["merge_passes"] = stats.get("merge_passes", 0) + 1
+
+
 def _merge_runs(
-    runs: list[str], workdir: str, block: int, tag: str, progress=None
+    runs: list[str],
+    workdir: str,
+    block: int,
+    tag: str,
+    progress=None,
+    *,
+    fanin: int = DEFAULT_MERGE_FANIN,
+    stats: Optional[dict] = None,
+    keep_inputs: bool = False,
 ) -> tuple[str, int]:
-    """Pairwise-merge sorted runs down to one file; returns (path, len)."""
+    """k-way merge sorted runs down to one deduplicated file.
+
+    A single pass when ``len(runs) <= fanin`` (each run's bytes are read
+    exactly once); beyond that, fan-in-bounded reduction rounds shrink
+    the run set first.  ``keep_inputs`` protects the *input* run files
+    from deletion (pool mode: a rescued task must be able to re-read
+    them); intermediates are always reclaimed.  Returns (path, length).
+    """
     if not runs:
         empty = os.path.join(workdir, f"{tag}.empty.bin")
         open(empty, "wb").close()
         return empty, 0
-    size = -1
+    fanin = max(2, int(fanin))
+    protected = set(runs) if keep_inputs else set()
+    n_runs = len(runs)
+    bytes_in = sum(os.path.getsize(r) for r in runs)
+    counter = {"bytes_read": 0}
+    rounds = 0
     generation = 0
-    while len(runs) > 1:
+    while len(runs) > fanin:
+        rounds += 1
         if progress:
-            progress(f"merge[{tag}]: {len(runs)} runs")
-        merged: list[str] = []
-        for i in range(0, len(runs) - 1, 2):
-            out = os.path.join(workdir, f"{tag}.m{generation}.{i // 2}.bin")
-            size = _merge_two(runs[i], runs[i + 1], out, block)
-            os.unlink(runs[i])
-            os.unlink(runs[i + 1])
-            merged.append(out)
-        if len(runs) % 2:
-            merged.append(runs[-1])
-        runs = merged
+            progress(f"merge[{tag}]: reducing {len(runs)} runs (fan-in {fanin})")
+        reduced: list[str] = []
+        for i in range(0, len(runs), fanin):
+            group = runs[i : i + fanin]
+            if len(group) == 1:
+                reduced.append(group[0])
+                continue
+            out = os.path.join(workdir, f"{tag}.g{generation}.{i // fanin}.bin")
+            _merge_group(group, out, block, dedup=True, counter=counter)
+            for path in group:
+                if path not in protected:
+                    os.unlink(path)
+            reduced.append(out)
+        runs = reduced
         generation += 1
-    if size < 0:  # single run: already sorted + deduplicated at spill
-        size = os.path.getsize(runs[0]) // 8
-    return runs[0], size
+    out = runs[0]
+    if len(runs) > 1:
+        if progress:
+            progress(f"merge[{tag}]: {len(runs)} runs, final pass")
+        out = os.path.join(workdir, f"{tag}.merged.bin")
+        size = _merge_group(runs, out, block, dedup=True, counter=counter)
+        for path in runs:
+            if path not in protected:
+                os.unlink(path)
+    else:  # single run: already sorted + deduplicated at spill
+        size = os.path.getsize(out) // 8
+    _merge_accumulate(
+        stats, fanin=fanin, runs=n_runs, bytes_in=bytes_in,
+        bytes_read=counter["bytes_read"], rounds=rounds,
+    )
+    return out, size
+
+
+def _merge_stats_into(stats: dict, mstats: dict) -> None:
+    """Fold one task's merge accounting into the build-level stats."""
+    for key, value in mstats.items():
+        if key == "merge_rounds":
+            stats[key] = max(stats.get(key, 0), value)
+        elif key == "merge_fanin":
+            stats[key] = value
+        else:
+            stats[key] = stats.get(key, 0) + value
 
 
 # -- key packing -----------------------------------------------------------
@@ -343,42 +487,181 @@ def _source_blocks(source, chunk: int):
     raise BulkBuildError(f"unsupported source type {type(source).__name__}")
 
 
+# -- scan ------------------------------------------------------------------
+
+
+def _scan_source(
+    source, chunk: int, n_partitions: int, keyed: bool,
+    n_nodes: Optional[int], n_predicates: Optional[int],
+    workdir: str, stats: dict,
+):
+    """Phase 1: chunked scan into per-partition sorted deduplicated runs.
+
+    With ``n_partitions > 1`` each pending chunk is split by splitmix64
+    subject hash before spilling, so every partition's runs hold a
+    disjoint subject subset — and because the triple key embeds the
+    subject, per-partition dedup *is* global dedup and merging the
+    per-partition sorted streams reproduces the global sorted stream.
+    Runs hold packed keys when the universes are pinned upfront (1/3 the
+    bytes of rows), sorted rows otherwise (keys need N and P).
+    Returns (runs_per_partition, dictionary, max_node, max_pred).
+    """
+    shard_vector = None
+    if n_partitions > 1:
+        from repro.serving.sharding import shard_vector
+
+    dictionary: Optional[Dictionary] = None
+    max_node = -1
+    max_pred = -1
+    runs: list[list[str]] = [[] for _ in range(n_partitions)]
+    pending: list[list[np.ndarray]] = [[] for _ in range(n_partitions)]
+    pending_rows = 0
+
+    def spill(pid: int) -> None:
+        blocks = pending[pid]
+        pending[pid] = []
+        if not blocks:
+            return
+        block = np.concatenate(blocks) if len(blocks) > 1 else blocks[0]
+        if len(block) == 0:
+            return
+        if block.min() < 0:
+            raise BulkBuildError("ids must be non-negative")
+        run = os.path.join(workdir, f"scan.p{pid}.run{len(runs[pid])}.bin")
+        if keyed:
+            if (
+                int(block[:, S].max()) >= n_nodes
+                or int(block[:, O].max()) >= n_nodes
+                or int(block[:, P].max()) >= n_predicates
+            ):
+                raise BulkBuildError("id outside the pinned universes")
+            keys = _spo_keys(block, int(n_nodes), int(n_predicates))
+            keys.sort()
+            if keys.size:
+                keys = keys[np.concatenate(([True], keys[1:] != keys[:-1]))]
+            _spill_run(run, keys)
+        else:
+            order = np.lexsort((block[:, O], block[:, P], block[:, S]))
+            block = block[order]
+            uniq = np.concatenate(
+                ([True], np.any(block[1:] != block[:-1], axis=1))
+            )
+            block = np.ascontiguousarray(block[uniq])
+            _spill_run(run, block)
+        runs[pid].append(run)
+        stats["runs_spilled"] += 1
+
+    def flush_all() -> None:
+        nonlocal pending_rows
+        for pid in range(n_partitions):
+            spill(pid)
+        pending_rows = 0
+
+    for block, block_dict in _source_blocks(source, chunk):
+        if block_dict is not None:
+            dictionary = block_dict
+        if not len(block):
+            continue
+        stats["input_triples"] += len(block)
+        block = np.ascontiguousarray(block, dtype=np.int64)
+        if not keyed:
+            max_node = max(
+                max_node, int(block[:, S].max()), int(block[:, O].max())
+            )
+            max_pred = max(max_pred, int(block[:, P].max()))
+        if shard_vector is None:
+            pending[0].append(block)
+        else:
+            owner = shard_vector(block[:, S], n_partitions)
+            for pid in np.unique(owner):
+                pending[int(pid)].append(block[owner == pid])
+        pending_rows += len(block)
+        if pending_rows >= chunk:
+            flush_all()
+    flush_all()
+    return runs, dictionary, max_node, max_pred
+
+
+def _resolve_universe(
+    dictionary: Optional[Dictionary], keyed: bool,
+    n_nodes: Optional[int], n_predicates: Optional[int],
+    max_node: int, max_pred: int,
+) -> tuple[int, int]:
+    """Universe resolution (mirrors Graph's inference exactly)."""
+    if dictionary is not None:
+        N, Pn = dictionary.n_nodes, dictionary.n_predicates
+        if n_nodes is not None and n_nodes != N:
+            raise BulkBuildError(
+                "explicit n_nodes conflicts with the dictionary"
+            )
+        if n_predicates is not None and n_predicates != Pn:
+            raise BulkBuildError(
+                "explicit n_predicates conflicts with the dictionary"
+            )
+    elif keyed:
+        N, Pn = int(n_nodes), int(n_predicates)
+    else:
+        N = int(n_nodes) if n_nodes is not None else max_node + 1
+        Pn = (
+            int(n_predicates)
+            if n_predicates is not None
+            else max_pred + 1
+        )
+        if max_node >= N or max_pred >= Pn:
+            raise BulkBuildError("id outside the declared universes")
+    _check_universe(N, Pn)
+    return N, Pn
+
+
 # -- wavelet + counts passes -----------------------------------------------
 
 
 def _build_wavelet_streaming(
-    writer: PackWriter,
+    sink,
     zone: int,
-    key_path: str,
+    key_paths: list[str],
     transform,
     n: int,
     sigma: int,
     workdir: str,
     chunk: int,
+    scratch_tag: Optional[str] = None,
 ) -> dict:
     """One zone's wavelet matrix, level by level, out of core.
 
-    ``transform`` decodes the zone's symbol column from the sorted key
-    stream at level 0; deeper levels read the scratch partitions of the
-    previous one.  Returns the zone's manifest metadata block.
+    ``key_paths`` is one sorted key stream or several disjoint sorted
+    partition streams: level 0 k-way *merges* them into the zone's
+    global order, while deeper levels read the previous level's two
+    scratch partitions *sequentially* — those are one logical sequence
+    split in two, not sorted runs to merge.  ``sink`` is a
+    :class:`PackWriter` or any object with its ``add_array`` shape (the
+    pool path spools to a scratch directory instead).  Returns the
+    zone's manifest metadata block.
     """
     levels = max(1, (sigma - 1).bit_length())
     zeros_list: list[int] = []
     level_meta: list[dict] = []
-    inputs: list[str] = [key_path]
+    inputs = list(key_paths)
+    sources = set(inputs)
+    merged = len(inputs) > 1
     input_transform = transform
+    prefix_tag = scratch_tag or f"wm{zone}"
     nwords = -(-max(n, 1) // 64)
     for level in range(levels):
         shift = levels - 1 - level
         words = np.zeros(nwords, dtype=np.uint64)
         wbytes = words.view(np.uint8)
-        zero_path = os.path.join(workdir, f"wm{zone}.l{level}.part0.bin")
-        one_path = os.path.join(workdir, f"wm{zone}.l{level}.part1.bin")
+        zero_path = os.path.join(workdir, f"{prefix_tag}.l{level}.part0.bin")
+        one_path = os.path.join(workdir, f"{prefix_tag}.l{level}.part1.bin")
         zeros = 0
         byte_pos = 0
         last_level = level == levels - 1
+        if merged:
+            blocks = _iter_merged_aligned(inputs, chunk, input_transform)
+        else:
+            blocks = _iter_files_aligned(inputs, chunk, input_transform)
         with open(zero_path, "wb") as zf, open(one_path, "wb") as of:
-            for vals in _iter_files_aligned(inputs, chunk, input_transform):
+            for vals in blocks:
                 bits = ((vals >> shift) & 1).astype(np.uint8)
                 packed = np.packbits(bits, bitorder="little")
                 wbytes[byte_pos : byte_pos + packed.size] = packed
@@ -387,23 +670,22 @@ def _build_wavelet_streaming(
                 if not last_level:  # the bottom partition feeds nothing
                     vals[~mask].tofile(zf)
                     vals[mask].tofile(of)
-                    zeros += int(vals.size - mask.sum())
-                else:
-                    zeros += int(vals.size - mask.sum())
+                zeros += int(vals.size - mask.sum())
         bv = BitVector.from_packed_words(words, n)
         prefix = f"wm{zone}.l{level}"
-        writer.add_array(f"{prefix}.words", bv._words)
-        writer.add_array(f"{prefix}.super", bv._super)
-        writer.add_array(f"{prefix}.rel", bv._rel)
+        sink.add_array(f"{prefix}.words", bv._words)
+        sink.add_array(f"{prefix}.super", bv._super)
+        sink.add_array(f"{prefix}.rel", bv._rel)
         zeros_list.append(zeros)
         level_meta.append({"n": n, "ones": bv._ones})
         for path in inputs:
-            if path != key_path:
+            if path not in sources:
                 os.unlink(path)
         inputs = [zero_path, one_path]
+        merged = False
         input_transform = None
     for path in inputs:
-        if path != key_path and os.path.exists(path):
+        if path not in sources and os.path.exists(path):
             os.unlink(path)
     return {
         "n": n,
@@ -415,7 +697,7 @@ def _build_wavelet_streaming(
 
 
 def _counts_from_keys(
-    key_path: str, chunk: int, decode, sigma: int
+    key_paths: list[str], chunk: int, decode, sigma: int
 ) -> np.ndarray:
     """Streaming ``counts_from_column``: cumulative counts, length σ+1.
 
@@ -425,36 +707,353 @@ def _counts_from_keys(
     where a ``bincount`` per chunk would allocate a *second* σ-sized
     array every iteration — at σ = 3 M nodes that one temporary is
     24 MB, the difference between passing and blowing the build's
-    RSS-over-index gate.  The final prefix sum runs in place.
+    RSS-over-index gate.  The histogram is order-independent, so the
+    per-partition streams chain sequentially — no merge needed.  The
+    final prefix sum runs in place.
     """
     out = np.zeros(sigma + 1, dtype=np.int64)
     if sigma:
         acc = out[1:]
-        for keys in _iter_file_int64(key_path, chunk):
-            values, counts = np.unique(decode(keys), return_counts=True)
-            acc[values] += counts
+        for path in key_paths:
+            for keys in _iter_file_int64(path, chunk):
+                values, counts = np.unique(decode(keys), return_counts=True)
+                acc[values] += counts
         np.cumsum(acc, out=acc)
     return out
+
+
+def _count_decoder(attr: int, n_nodes: int, n_predicates: int):
+    """Single-column decoder for the C-array passes: with
+    ``key = (s·P + p)·N + o`` every column is one division/modulo away,
+    where ``_decode_spo`` would materialise all three columns (five
+    chunk-sized temporaries) when each pass needs exactly one."""
+    N, Pn = n_nodes, n_predicates
+    if attr == S:
+        return (lambda keys: keys // (N * Pn)) if N * Pn else (lambda keys: keys)
+    if attr == P:
+        return (lambda keys: (keys // N) % Pn) if N and Pn else (lambda keys: keys)
+    return (lambda keys: keys % N) if N else (lambda keys: keys)
 
 
 def _external_sort(
     src_path: str,
     repack,
     workdir: str,
-    chunk: int,
+    run_values: int,
+    io_block: int,
     tag: str,
     progress=None,
+    *,
+    fanin: int = DEFAULT_MERGE_FANIN,
+    stats: Optional[dict] = None,
 ) -> str:
-    """Re-sort a key stream under a different key packing, out of core."""
+    """Re-sort a key stream under a different key packing, out of core.
+
+    Runs are spilled at ``run_values`` granularity (the scan chunk — the
+    working-set bound the caller already pays), which keeps the run
+    count within one merge fan-in at scale so the k-way merge stays a
+    single pass; the merge itself reads with ``io_block``-value buffers.
+    """
     runs: list[str] = []
-    for i, keys in enumerate(_iter_file_int64(src_path, chunk)):
+    for i, keys in enumerate(_iter_file_int64(src_path, max(64, run_values))):
         new_keys = repack(keys)
         new_keys.sort()
         run = os.path.join(workdir, f"{tag}.run{i}.bin")
         _spill_run(run, new_keys)
         runs.append(run)
-    path, _ = _merge_runs(runs, workdir, chunk, tag, progress)
+    path, _ = _merge_runs(
+        runs, workdir, io_block, tag, progress, fanin=fanin, stats=stats
+    )
     return path
+
+
+# -- build tasks -----------------------------------------------------------
+
+
+#: Executor spec handed to :class:`repro.parallel.pool.TaskPool` — the
+#: worker resolves it per task, so a fault patched over
+#: ``_execute_build_task`` (the ``build.worker`` site) fires inside the
+#: forked worker too.
+_TASK_EXECUTOR = "repro.graph.bulkload:_execute_build_task"
+
+#: Test/chaos hook: when set, called with each freshly created TaskPool
+#: (drills install ``_kill_after_dispatch`` through it).
+_POOL_HOOK = None
+
+
+def _partition_streams(
+    pid: int,
+    runs: list[str],
+    keyed: bool,
+    n_nodes: int,
+    n_predicates: int,
+    run_values: int,
+    io_block: int,
+    fanin: int,
+    workdir: str,
+    tag: str,
+    keep_inputs: bool = False,
+) -> dict:
+    """Merge + re-sort one partition's scan runs into its three sorted
+    zone streams (spo, pos, osp).  Re-runnable when ``keep_inputs`` is
+    set: the scan runs (task *inputs*) are never deleted, and every
+    intermediate is regenerated with truncating writes — so an inline
+    rescue after a worker kill reproduces the exact same files.
+    """
+    N, Pn = int(n_nodes), int(n_predicates)
+    mstats: dict = {}
+    if not keyed and runs:
+        # Row runs become key runs now that N and P are known.
+        key_runs = []
+        for i, run in enumerate(runs):
+            krun = os.path.join(workdir, f"{tag}.keys{i}.bin")
+            with open(krun, "wb") as kf:
+                for rows in _iter_file_int64(run, io_block * 3):
+                    _merge_chunk(kf, _spo_keys(rows.reshape(-1, 3), N, Pn))
+            if not keep_inputs:
+                os.unlink(run)
+            key_runs.append(krun)
+        runs = key_runs
+        keep_inputs = False  # key runs are task-local: always reclaim
+
+    spo_path, n = _merge_runs(
+        runs, workdir, io_block, f"{tag}.spo",
+        fanin=fanin, stats=mstats, keep_inputs=keep_inputs,
+    )
+
+    def to_pos(keys: np.ndarray) -> np.ndarray:
+        s, p, o = _decode_spo(keys, N, Pn)
+        return (p * N + o) * N + s
+
+    def to_osp(keys: np.ndarray) -> np.ndarray:
+        s, p, o = _decode_spo(keys, N, Pn)
+        return (o * N + s) * Pn + p
+
+    pos_path = _external_sort(
+        spo_path, to_pos, workdir, run_values, io_block, f"{tag}.pos",
+        fanin=fanin, stats=mstats,
+    )
+    osp_path = _external_sort(
+        spo_path, to_osp, workdir, run_values, io_block, f"{tag}.osp",
+        fanin=fanin, stats=mstats,
+    )
+    return {
+        "pid": pid,
+        "n": n,
+        "spo": spo_path,
+        "pos": pos_path,
+        "osp": osp_path,
+        "merge_stats": mstats,
+    }
+
+
+def _partition_task(payload: dict) -> dict:
+    return _partition_streams(
+        payload["pid"], payload["runs"], payload["keyed"],
+        payload["n_nodes"], payload["n_predicates"],
+        payload["run_values"], payload["io_block"], payload["fanin"],
+        payload["workdir"], payload["tag"],
+        keep_inputs=payload.get("keep_inputs", False),
+    )
+
+
+class _ScratchSink:
+    """PackWriter-shaped sink that spools arrays to a scratch directory.
+
+    Build workers cannot append to the (single) pack concurrently, so a
+    wavelet/counts task streams its arrays here and the driver replays
+    them into the real :class:`PackWriter` in canonical order with
+    :meth:`~repro.core.frozen.PackWriter.add_array_from_file` — a pure
+    byte copy, so the stitched pack is identical to a serial build's.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self._dir = directory
+        self.table: list[tuple[str, str, str, int]] = []
+
+    def add_array(self, name: str, arr: np.ndarray) -> None:
+        arr = np.ascontiguousarray(arr)
+        fname = f"{len(self.table):03d}.arr"
+        arr.tofile(os.path.join(self._dir, fname))
+        self.table.append((name, fname, arr.dtype.str, int(arr.size)))
+
+
+def _wavelet_task(payload: dict) -> dict:
+    scratch = os.path.join(payload["workdir"], payload["scratch"])
+    os.makedirs(scratch, exist_ok=True)
+    sink = _ScratchSink(scratch)
+    mod = payload["mod"]
+    meta = _build_wavelet_streaming(
+        sink, payload["zone"], payload["paths"],
+        lambda keys: keys % mod,
+        payload["n"], payload["sigma"], payload["workdir"],
+        payload["io_block"],
+    )
+    return {
+        "zone": payload["zone"],
+        "meta": meta,
+        "scratch": payload["scratch"],
+        "table": sink.table,
+    }
+
+
+def _counts_task(payload: dict) -> dict:
+    scratch = os.path.join(payload["workdir"], payload["scratch"])
+    os.makedirs(scratch, exist_ok=True)
+    decode = _count_decoder(
+        payload["attr"], payload["n_nodes"], payload["n_predicates"]
+    )
+    c = _counts_from_keys(
+        payload["paths"], payload["io_block"], decode, payload["sigma"]
+    )
+    fname = f"c{payload['attr']}.arr"
+    c.tofile(os.path.join(scratch, fname))
+    return {
+        "attr": payload["attr"],
+        "scratch": payload["scratch"],
+        "file": fname,
+        "dtype": c.dtype.str,
+        "size": int(c.size),
+    }
+
+
+def _shard_task(payload: dict) -> dict:
+    """Build one shard's complete durable store: merge + re-sort its
+    partition, write its frozen pack, install it as the store's first
+    checkpoint beside a fresh empty WAL.  Re-runnable: the shard
+    directory is rebuilt from scratch, so a rescued kill mid-task (even
+    after the WAL was created) starts clean."""
+    from repro.reliability.integrity import manifest_path
+    from repro.reliability.wal import install_frozen_checkpoint
+
+    workdir = payload["workdir"]
+    tag = payload["tag"]
+    N = int(payload["n_nodes"])
+    Pn = int(payload["n_predicates"])
+    io_block = payload["io_block"]
+    shard_dir = payload["shard_dir"]
+    shutil.rmtree(shard_dir, ignore_errors=True)
+    os.makedirs(shard_dir)
+    upath = payload["universe"]
+    udst = os.path.join(shard_dir, "universe.npz")
+    shutil.copyfile(upath, udst)
+    shutil.copyfile(manifest_path(upath), manifest_path(udst))
+
+    part = _partition_streams(
+        payload["pid"], payload["runs"], payload["keyed"], N, Pn,
+        payload["run_values"], io_block, payload["fanin"],
+        workdir, tag, keep_inputs=payload.get("keep_inputs", False),
+    )
+    n = part["n"]
+    pack_path = os.path.join(workdir, f"{tag}.pack.ring")
+    writer: Optional[PackWriter] = PackWriter(pack_path)
+    try:
+        sigma = {S: N, P: Pn, O: N}
+        wm_meta = {
+            S: _build_wavelet_streaming(
+                writer, S, [part["spo"]], lambda keys: keys % max(N, 1),
+                n, sigma[O], workdir, io_block, scratch_tag=f"{tag}.wm{S}",
+            ),
+            P: _build_wavelet_streaming(
+                writer, P, [part["pos"]], lambda keys: keys % max(N, 1),
+                n, sigma[S], workdir, io_block, scratch_tag=f"{tag}.wm{P}",
+            ),
+            O: _build_wavelet_streaming(
+                writer, O, [part["osp"]], lambda keys: keys % max(Pn, 1),
+                n, sigma[P], workdir, io_block, scratch_tag=f"{tag}.wm{O}",
+            ),
+        }
+        for attr in (S, P, O):
+            c = _counts_from_keys(
+                [part["spo"]], io_block, _count_decoder(attr, N, Pn),
+                sigma[attr],
+            )
+            writer.add_array(f"c{attr}", c)
+        table = writer.table
+        size = writer.finish()
+        writer = None
+        meta = {
+            "n": n,
+            "sigma": (N, Pn, N),
+            "leap_memo_size": int(payload["leap_memo_size"]),
+            "wm": wm_meta,
+        }
+        write_pack_manifest(
+            pack_path, meta=meta, table=table, file_size=size,
+            n_nodes=N, n_predicates=Pn, dictionary=None,
+        )
+    finally:
+        if writer is not None:
+            writer.abort()
+    install_frozen_checkpoint(
+        shard_dir, pack_path, n_triples=n, n_nodes=N, n_predicates=Pn
+    )
+    for key in ("spo", "pos", "osp"):
+        if os.path.exists(part[key]):
+            os.unlink(part[key])
+    return {
+        "pid": payload["pid"],
+        "n": n,
+        "pack_bytes": size,
+        "merge_stats": part["merge_stats"],
+    }
+
+
+def _execute_build_task(payload: dict) -> dict:
+    """Run one build task (the ``build.worker`` fault site).
+
+    Dispatched in a pool worker when the build is parallel, inline
+    otherwise; either way the result carries the executing process's
+    peak RSS so the driver can enforce the per-worker memory budget.
+    """
+    kind = payload["kind"]
+    if kind == "partition":
+        result = _partition_task(payload)
+    elif kind == "wavelet":
+        result = _wavelet_task(payload)
+    elif kind == "counts":
+        result = _counts_task(payload)
+    elif kind == "shard":
+        result = _shard_task(payload)
+    else:
+        raise BulkBuildError(f"unknown build task kind {kind!r}")
+    result["kind"] = kind
+    try:
+        from repro.perf.hostmeta import peak_rss_bytes
+
+        result["peak_rss_bytes"] = peak_rss_bytes()
+    except Exception:
+        result["peak_rss_bytes"] = None
+    return result
+
+
+def _run_build_tasks(payloads: list[dict], workers: int, stats: dict) -> list:
+    """Run build tasks on a :class:`TaskPool`, or inline.
+
+    Pool *startup* failure degrades to the serial path (recorded in
+    ``stats["pool_degraded"]``) rather than failing the build; worker
+    deaths mid-batch are already rescued inside the pool itself.
+    """
+    if not payloads:
+        return []
+    if workers > 0:
+        from repro.parallel.pool import PoolUnavailable, TaskPool
+
+        try:
+            pool = TaskPool(_TASK_EXECUTOR, workers=workers)
+        except PoolUnavailable:
+            stats["pool_degraded"] = True
+        else:
+            if _POOL_HOOK is not None:
+                _POOL_HOOK(pool)
+            try:
+                results = pool.run(payloads)
+            finally:
+                pool.close()
+            for key, value in pool.stats().items():
+                stats[f"pool_{key}"] = value
+            return results
+    return [_execute_build_task(dict(p)) for p in payloads]
 
 
 # -- the builder -----------------------------------------------------------
@@ -471,6 +1070,8 @@ def bulk_build(
     leap_memo_size: int = 1 << 16,
     progress=None,
     stats: Optional[dict] = None,
+    workers: int = 0,
+    merge_fanin: int = DEFAULT_MERGE_FANIN,
 ) -> dict:
     """Stream-build a frozen ring pack at ``out_path``; returns the manifest.
 
@@ -480,195 +1081,163 @@ def bulk_build(
     :class:`Graph`, or any iterable of rows/blocks.  ``chunk_triples``
     bounds the scan/sort working set; ``n_nodes``/``n_predicates`` pin
     the universes (inferred from the data when omitted, exactly like
-    :class:`Graph`).  All spill files live in a private directory under
+    :class:`Graph`).  ``workers > 0`` runs the build tasks on a pool of
+    that many worker processes, with the scan partitioned by subject
+    hash when ``workers > 1`` — the output is byte-identical to the
+    serial build.  ``merge_fanin`` bounds how many spill runs one k-way
+    merge pass opens.  All spill files live in a private directory under
     ``spill_dir`` (default: next to ``out_path``) and are removed on
     exit; the pack itself appears atomically.  ``stats`` (a dict, if
-    given) receives build counters.  Failures raise
+    given) receives build counters, including the merge accounting
+    (``merge_runs_merged``, ``merge_bytes_read``,
+    ``merge_extra_pass_bytes``, …).  Failures raise
     :class:`BulkBuildError` and leave no partial pack behind.
     """
     out_path = str(out_path)
     if chunk_triples < 1:
         raise ValueError("chunk_triples must be positive")
+    if workers < 0:
+        raise ValueError("workers must be non-negative")
+    if merge_fanin < 2:
+        raise ValueError("merge_fanin must be at least 2")
     chunk = int(chunk_triples)
+    fanin = int(merge_fanin)
+    workers = int(workers)
+    use_pool = workers > 0
+    n_partitions = workers if workers > 1 else 1
     parent = spill_dir or (os.path.dirname(os.path.abspath(out_path)) or ".")
     os.makedirs(parent, exist_ok=True)
     workdir = tempfile.mkdtemp(prefix=".bulkload-", dir=parent)
     if stats is None:
         stats = {}
-    stats.update(input_triples=0, runs_spilled=0, phase="scan")
+    stats.update(
+        input_triples=0, runs_spilled=0, phase="scan",
+        workers=workers, n_partitions=n_partitions,
+    )
     writer: Optional[PackWriter] = None
     try:
-        # Phase 1: scan + chunked sorted runs.  Runs hold packed keys
-        # when the universes are pinned upfront (1/3 the bytes of rows),
-        # sorted rows otherwise (keys need N and P).
         keyed = n_nodes is not None and n_predicates is not None
         if keyed:
             _check_universe(int(n_nodes), int(n_predicates))
-        dictionary: Optional[Dictionary] = None
-        max_node = -1
-        max_pred = -1
-        runs: list[str] = []
-        pending: list[np.ndarray] = []
-        pending_rows = 0
+        part_runs, dictionary, max_node, max_pred = _scan_source(
+            source, chunk, n_partitions, keyed, n_nodes, n_predicates,
+            workdir, stats,
+        )
+        N, Pn = _resolve_universe(
+            dictionary, keyed, n_nodes, n_predicates, max_node, max_pred
+        )
 
-        def flush_pending() -> None:
-            nonlocal pending, pending_rows
-            if not pending_rows:
-                pending = []
-                return
-            block = np.concatenate(pending) if len(pending) > 1 else pending[0]
-            pending, pending_rows = [], 0
-            if len(block) and block.min() < 0:
-                raise BulkBuildError("ids must be non-negative")
-            run = os.path.join(workdir, f"scan.run{len(runs)}.bin")
-            if keyed:
-                if len(block) and (
-                    int(block[:, S].max()) >= n_nodes
-                    or int(block[:, O].max()) >= n_nodes
-                    or int(block[:, P].max()) >= n_predicates
-                ):
-                    raise BulkBuildError("id outside the pinned universes")
-                keys = _spo_keys(block, int(n_nodes), int(n_predicates))
-                keys.sort()
-                if keys.size:
-                    keys = keys[np.concatenate(([True], keys[1:] != keys[:-1]))]
-                _spill_run(run, keys)
-            else:
-                order = np.lexsort((block[:, O], block[:, P], block[:, S]))
-                block = block[order]
-                if len(block):
-                    uniq = np.concatenate(
-                        ([True], np.any(block[1:] != block[:-1], axis=1))
-                    )
-                    block = block[uniq]
-                _spill_run(run, block)
-            runs.append(run)
-            stats["runs_spilled"] += 1
-
-        for block, block_dict in _source_blocks(source, chunk):
-            if block_dict is not None:
-                dictionary = block_dict
-            if not len(block):
-                continue
-            stats["input_triples"] += len(block)
-            if not keyed:
-                if len(block):
-                    max_node = max(
-                        max_node,
-                        int(block[:, S].max()),
-                        int(block[:, O].max()),
-                    )
-                    max_pred = max(max_pred, int(block[:, P].max()))
-            pending.append(np.ascontiguousarray(block, dtype=np.int64))
-            pending_rows += len(block)
-            if pending_rows >= chunk:
-                flush_pending()
-        flush_pending()
-
-        # Universe resolution (mirrors Graph's inference exactly).
-        if dictionary is not None:
-            N, Pn = dictionary.n_nodes, dictionary.n_predicates
-            if n_nodes is not None and n_nodes != N:
-                raise BulkBuildError(
-                    "explicit n_nodes conflicts with the dictionary"
-                )
-            if n_predicates is not None and n_predicates != Pn:
-                raise BulkBuildError(
-                    "explicit n_predicates conflicts with the dictionary"
-                )
-        elif keyed:
-            N, Pn = int(n_nodes), int(n_predicates)
-        else:
-            N = int(n_nodes) if n_nodes is not None else max_node + 1
-            Pn = (
-                int(n_predicates)
-                if n_predicates is not None
-                else max_pred + 1
-            )
-            if max_node >= N or max_pred >= Pn:
-                raise BulkBuildError("id outside the declared universes")
-        _check_universe(N, Pn)
-
-        # Phase 2: merge to the canonical deduplicated spo key stream.
-        # Everything from here on streams sorted files: buffers shrink
-        # to _STREAM_BLOCK regardless of the scan chunk (see above).
+        # Phase 2+3: per-partition merge to sorted zone streams.
+        # Everything from here on streams sorted files: read buffers
+        # shrink to _STREAM_BLOCK regardless of the scan chunk.
         stats["phase"] = "merge"
         io_block = max(64, min(chunk, _STREAM_BLOCK))
-        if not keyed and runs:
-            # Row runs become key runs now that N and P are known.
-            key_runs = []
-            for i, run in enumerate(runs):
-                krun = os.path.join(workdir, f"scan.keys{i}.bin")
-                with open(krun, "wb") as kf:
-                    for rows in _iter_file_int64(run, io_block * 3):
-                        _merge_chunk(kf, _spo_keys(rows.reshape(-1, 3), N, Pn))
-                os.unlink(run)
-                key_runs.append(krun)
-            runs = key_runs
-        spo_path, n = _merge_runs(runs, workdir, io_block, "spo", progress)
+        payloads = [
+            {
+                "kind": "partition",
+                "pid": pid,
+                "runs": runs,
+                "keyed": keyed,
+                "n_nodes": N,
+                "n_predicates": Pn,
+                "run_values": chunk,
+                "io_block": io_block,
+                "fanin": fanin,
+                "workdir": workdir,
+                "tag": f"p{pid}",
+                "keep_inputs": use_pool,
+            }
+            for pid, runs in enumerate(part_runs)
+        ]
+        parts = sorted(
+            _run_build_tasks(payloads, workers, stats),
+            key=lambda r: r["pid"],
+        )
+        n = sum(p["n"] for p in parts)
+        for part in parts:
+            _merge_stats_into(stats, part["merge_stats"])
         stats["n_triples"] = n
         stats["deduplicated"] = stats["input_triples"] - n
         if progress:
-            progress(f"canonical stream: {n} triples")
-
-        # Phase 3: derive the (p,o,s) and (o,s,p) orders.
-        stats["phase"] = "resort"
-
-        def to_pos(keys: np.ndarray) -> np.ndarray:
-            s, p, o = _decode_spo(keys, N, Pn)
-            return (p * N + o) * N + s
-
-        def to_osp(keys: np.ndarray) -> np.ndarray:
-            s, p, o = _decode_spo(keys, N, Pn)
-            return (o * N + s) * Pn + p
-
-        pos_path = _external_sort(
-            spo_path, to_pos, workdir, io_block, "pos", progress
-        )
-        osp_path = _external_sort(
-            spo_path, to_osp, workdir, io_block, "osp", progress
-        )
-
-        # Phase 4: wavelet matrices, written straight into the pack.
-        stats["phase"] = "wavelet"
-        writer = PackWriter(out_path)
-        sigma = {S: N, P: Pn, O: N}
-        wm_meta = {
-            S: _build_wavelet_streaming(
-                writer, S, spo_path,
-                lambda keys: keys % max(N, 1),  # spo key % N == o
-                n, sigma[O], workdir, io_block,
-            ),
-            P: _build_wavelet_streaming(
-                writer, P, pos_path,
-                lambda keys: keys % max(N, 1),
-                n, sigma[S], workdir, io_block,
-            ),
-            O: _build_wavelet_streaming(
-                writer, O, osp_path,
-                lambda keys: keys % max(Pn, 1),
-                n, sigma[P], workdir, io_block,
-            ),
-        }
-        os.unlink(pos_path)
-        os.unlink(osp_path)
-
-        # Phase 5: C arrays by streaming bincount over the canonical stream.
-        # Single-column decoders: ``_decode_spo`` materialises all three
-        # columns (five chunk-sized temporaries) when each pass needs
-        # exactly one — with ``key = (s*P + p)*N + o`` every column is
-        # one division/modulo away.
-        stats["phase"] = "counts"
-        decoders = {
-            S: lambda keys: keys // (N * Pn) if N * Pn else keys,
-            P: lambda keys: (keys // N) % Pn if N and Pn else keys,
-            O: lambda keys: keys % N if N else keys,
-        }
-        for attr in (S, P, O):
-            c = _counts_from_keys(
-                spo_path, io_block, decoders[attr], sigma[attr]
+            progress(
+                f"canonical stream: {n} triples ({n_partitions} partitions)"
             )
-            writer.add_array(f"c{attr}", c)
+
+        spo_paths = [p["spo"] for p in parts]
+        sigma = {S: N, P: Pn, O: N}
+        zone_specs = [
+            (S, spo_paths, max(N, 1), sigma[O]),
+            (P, [p["pos"] for p in parts], max(N, 1), sigma[S]),
+            (O, [p["osp"] for p in parts], max(Pn, 1), sigma[P]),
+        ]
+
+        stats["phase"] = "wavelet"
+        if not use_pool:
+            # Phases 4+5 inline, straight into the pack.
+            writer = PackWriter(out_path)
+            wm_meta = {}
+            for zone, paths, mod, zsigma in zone_specs:
+                wm_meta[zone] = _build_wavelet_streaming(
+                    writer, zone, paths,
+                    lambda keys, _m=mod: keys % _m,
+                    n, zsigma, workdir, io_block,
+                )
+            stats["phase"] = "counts"
+            for attr in (S, P, O):
+                c = _counts_from_keys(
+                    spo_paths, io_block, _count_decoder(attr, N, Pn),
+                    sigma[attr],
+                )
+                writer.add_array(f"c{attr}", c)
+        else:
+            # Phases 4+5 as pool tasks (three zones + three count
+            # columns in one batch), then stitch the spooled arrays
+            # into the pack in canonical order.
+            task_payloads = [
+                {
+                    "kind": "wavelet", "zone": zone, "paths": paths,
+                    "mod": mod, "n": n, "sigma": zsigma,
+                    "workdir": workdir, "io_block": io_block,
+                    "scratch": f"wm{zone}-scratch",
+                }
+                for zone, paths, mod, zsigma in zone_specs
+            ] + [
+                {
+                    "kind": "counts", "attr": attr, "paths": spo_paths,
+                    "n_nodes": N, "n_predicates": Pn,
+                    "sigma": sigma[attr], "workdir": workdir,
+                    "io_block": io_block, "scratch": f"c{attr}-scratch",
+                }
+                for attr in (S, P, O)
+            ]
+            results = _run_build_tasks(task_payloads, workers, stats)
+            wavelets = {r["zone"]: r for r in results if r["kind"] == "wavelet"}
+            counts = {r["attr"]: r for r in results if r["kind"] == "counts"}
+            peaks = [
+                r["peak_rss_bytes"]
+                for r in parts + results
+                if r.get("peak_rss_bytes")
+            ]
+            if peaks:
+                stats["worker_peak_rss_bytes"] = max(peaks)
+            stats["phase"] = "stitch"
+            writer = PackWriter(out_path)
+            wm_meta = {}
+            for zone, _paths, _mod, _zsigma in zone_specs:
+                r = wavelets[zone]
+                wm_meta[zone] = r["meta"]
+                scratch = os.path.join(workdir, r["scratch"])
+                for name, fname, dtype, size in r["table"]:
+                    writer.add_array_from_file(
+                        name, os.path.join(scratch, fname), dtype, size
+                    )
+            for attr in (S, P, O):
+                r = counts[attr]
+                writer.add_array_from_file(
+                    f"c{attr}",
+                    os.path.join(workdir, r["scratch"], r["file"]),
+                    r["dtype"], r["size"],
+                )
         table = writer.table
         size = writer.finish()
         writer = None
@@ -702,3 +1271,147 @@ def bulk_build(
         if writer is not None:
             writer.abort()
         shutil.rmtree(workdir, ignore_errors=True)
+
+
+def bulk_build_sharded(
+    source,
+    out_dir,
+    *,
+    n_shards: int,
+    chunk_triples: int = 1_000_000,
+    n_nodes: Optional[int] = None,
+    n_predicates: Optional[int] = None,
+    spill_dir: Optional[str] = None,
+    leap_memo_size: int = 1 << 16,
+    progress=None,
+    stats: Optional[dict] = None,
+    workers: int = 0,
+    merge_fanin: int = DEFAULT_MERGE_FANIN,
+) -> dict:
+    """Partition-build a ready-to-serve sharded durable layout.
+
+    One scan pass splits the source by splitmix64 subject hash — the
+    exact hash :class:`~repro.serving.sharding.ShardedRingIndex` routes
+    queries with — and each shard's sort/merge/wavelet pipeline runs as
+    one build task (concurrently across shards when ``workers > 0``).
+    Every shard directory becomes a complete durable store (universe
+    payload, frozen-pack checkpoint, fresh empty WAL), so
+    ``ShardedRingIndex.recover(out_dir, mmap=True)`` serves the result
+    with **zero** extra passes over the data.  The layout is published
+    atomically: built under ``<out_dir>.tmp`` and renamed into place, so
+    a crash leaves no half-written layout.  Returns the ``SHARDS.json``
+    manifest dict.
+    """
+    out_dir = str(out_dir)
+    if chunk_triples < 1:
+        raise ValueError("chunk_triples must be positive")
+    if n_shards < 1:
+        raise ValueError("n_shards must be positive")
+    if workers < 0:
+        raise ValueError("workers must be non-negative")
+    if merge_fanin < 2:
+        raise ValueError("merge_fanin must be at least 2")
+    if os.path.exists(out_dir):
+        raise BulkBuildError(f"output directory {out_dir!r} already exists")
+    chunk = int(chunk_triples)
+    fanin = int(merge_fanin)
+    workers = int(workers)
+    n_shards = int(n_shards)
+    parent = spill_dir or (os.path.dirname(os.path.abspath(out_dir)) or ".")
+    os.makedirs(parent, exist_ok=True)
+    workdir = tempfile.mkdtemp(prefix=".bulkload-", dir=parent)
+    tmp_dir = out_dir + ".tmp"
+    if stats is None:
+        stats = {}
+    stats.update(
+        input_triples=0, runs_spilled=0, phase="scan",
+        workers=workers, n_shards=n_shards,
+    )
+    try:
+        keyed = n_nodes is not None and n_predicates is not None
+        if keyed:
+            _check_universe(int(n_nodes), int(n_predicates))
+        part_runs, dictionary, max_node, max_pred = _scan_source(
+            source, chunk, n_shards, keyed, n_nodes, n_predicates,
+            workdir, stats,
+        )
+        N, Pn = _resolve_universe(
+            dictionary, keyed, n_nodes, n_predicates, max_node, max_pred
+        )
+
+        # The universe payload every shard's durable store embeds
+        # (written once, copied per shard by its build task).
+        from repro.graph.io import save_graph
+        from repro.reliability.integrity import write_manifest
+
+        universe = Graph(
+            np.zeros((0, 3), dtype=np.int64),
+            n_nodes=N, n_predicates=Pn, dictionary=dictionary,
+        )
+        upath = os.path.join(workdir, "universe.npz")
+        save_graph(universe, upath)
+        write_manifest(upath, compressed=False, graph=universe)
+
+        shutil.rmtree(tmp_dir, ignore_errors=True)
+        os.makedirs(tmp_dir)
+        stats["phase"] = "shards"
+        io_block = max(64, min(chunk, _STREAM_BLOCK))
+        payloads = [
+            {
+                "kind": "shard",
+                "pid": sid,
+                "runs": runs,
+                "keyed": keyed,
+                "n_nodes": N,
+                "n_predicates": Pn,
+                "run_values": chunk,
+                "io_block": io_block,
+                "fanin": fanin,
+                "workdir": workdir,
+                "tag": f"s{sid}",
+                "keep_inputs": workers > 0,
+                "universe": upath,
+                "shard_dir": os.path.join(tmp_dir, f"shard-{sid:02d}"),
+                "leap_memo_size": int(leap_memo_size),
+            }
+            for sid, runs in enumerate(part_runs)
+        ]
+        results = sorted(
+            _run_build_tasks(payloads, workers, stats),
+            key=lambda r: r["pid"],
+        )
+        n = sum(r["n"] for r in results)
+        for result in results:
+            _merge_stats_into(stats, result["merge_stats"])
+        peaks = [
+            r["peak_rss_bytes"] for r in results if r.get("peak_rss_bytes")
+        ]
+        if peaks:
+            stats["worker_peak_rss_bytes"] = max(peaks)
+        stats["n_triples"] = n
+        stats["deduplicated"] = stats["input_triples"] - n
+        stats["shard_triples"] = [r["n"] for r in results]
+        stats["pack_bytes"] = sum(r["pack_bytes"] for r in results)
+
+        stats["phase"] = "manifest"
+        from repro.serving.sharding import write_shards_manifest
+
+        manifest = write_shards_manifest(
+            tmp_dir, n_shards=n_shards, n_nodes=N, n_predicates=Pn,
+            replicas=1, transport="inproc",
+        )
+        os.replace(tmp_dir, out_dir)
+        stats["phase"] = "done"
+        if progress:
+            progress(f"sharded layout: {n} triples across {n_shards} shards")
+        return manifest
+    except BulkBuildError:
+        raise
+    except Exception as exc:
+        raise BulkBuildError(
+            f"sharded bulk build failed during {stats.get('phase')}: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+        shutil.rmtree(tmp_dir, ignore_errors=True)

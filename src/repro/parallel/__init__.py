@@ -25,7 +25,7 @@ from repro.parallel.shm import (
     export_ring,
 )
 from repro.parallel.slices import SlicePlan, plan_slices
-from repro.parallel.pool import WorkerPool, merge_blocks
+from repro.parallel.pool import TaskError, TaskPool, WorkerPool, merge_blocks
 from repro.parallel.system import ParallelRingIndex
 
 __all__ = [

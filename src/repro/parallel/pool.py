@@ -32,6 +32,7 @@ the worker after the query.  A fully unspawnable pool raises
 
 from __future__ import annotations
 
+import importlib
 import itertools
 import multiprocessing as mp
 import os
@@ -497,5 +498,290 @@ class WorkerPool:
             "workers": len(self._procs),
             "alive_workers": self.alive_workers,
             "busy_seconds": list(self._busy),
+            **self._counters,
+        }
+
+
+# -- generic task pool -------------------------------------------------------
+
+
+class TaskError(RuntimeError):
+    """A :class:`TaskPool` task raised in its worker (message attached)."""
+
+
+def _task_worker_main(worker_id: int, executor: str, task_q, result_q) -> None:
+    """Generic worker loop: resolve the executor, serve tasks forever.
+
+    The executor is re-resolved from its module **per task**, not
+    captured at spawn: fault injection (:mod:`repro.reliability.faults`)
+    patches module attributes, and fork-started workers inherit the
+    patched module — so a site armed around the executor fires inside
+    workers exactly as it does inline.
+    """
+    mod_name, _, attr = executor.partition(":")
+    while True:
+        task = task_q.get()
+        if task is None:
+            return
+        task_id, payload = task
+        try:
+            fn = getattr(importlib.import_module(mod_name), attr)
+            result = fn(payload)
+            status, error = "ok", None
+        except BaseException as exc:  # ship the failure, keep serving
+            result, status = None, "error"
+            error = f"{type(exc).__name__}: {exc}"
+        result_q.put((worker_id, task_id, status, result, error))
+
+
+class TaskPool:
+    """A fixed set of generic task workers with WorkerPool's failure model.
+
+    Where :class:`WorkerPool` is specialised to ring slices, this pool
+    runs arbitrary picklable payloads through one module-level executor
+    (``"package.module:function"``) — the bulk builder's partition and
+    wavelet tasks are its first client.  It keeps the battle-tested
+    idioms of the slice pool:
+
+    - **per-worker queue pairs** — a process killed mid-``get``/``put``
+      can leave a queue's internal lock held forever, so queues are
+      never shared and a respawned worker gets fresh ones;
+    - **inline rescue** — tasks of a dead worker are re-executed in the
+      calling process (through the same module attribute, so injected
+      faults apply there too), never silently dropped;
+    - **respawn after the batch** — the degraded batch ran
+      short-handed; the next one is whole;
+    - a ``_kill_after_dispatch`` test hook and the same counter set,
+      so chaos drills can assert the rescue path deterministically.
+
+    A task that *raises* (rather than dies) surfaces as
+    :class:`TaskError` after the whole batch has settled — callers get
+    deterministic all-or-error semantics, and file outputs written with
+    ``"wb"`` truncation make re-execution idempotent.
+    """
+
+    def __init__(
+        self,
+        executor: str,
+        workers: int = 2,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if ":" not in executor:
+            raise ValueError("executor must be 'package.module:function'")
+        method = start_method or os.environ.get(START_METHOD_ENV, "fork")
+        self._ctx = mp.get_context(method)
+        self._executor = executor
+        self._result_qs = [self._ctx.Queue() for _ in range(workers)]
+        self._task_qs = [self._ctx.Queue() for _ in range(workers)]
+        self._procs: list = [None] * workers
+        self._task_counter = itertools.count()
+        self._counters = {
+            "batches": 0,
+            "dispatched": 0,
+            "completed": 0,
+            "respawns": 0,
+            "serial_rescues": 0,
+            "spawn_failures": 0,
+        }
+        #: Test/chaos hook: worker id to ``kill()`` right after dispatch.
+        self._kill_after_dispatch: Optional[int] = None
+        self._closed = False
+        for wid in range(workers):
+            self._try_spawn(wid)
+        if not any(p is not None for p in self._procs):
+            self.close()
+            raise PoolUnavailable("no task worker could be spawned")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _try_spawn(self, wid: int) -> None:
+        try:
+            proc = self._ctx.Process(
+                target=_task_worker_main,
+                args=(
+                    wid,
+                    self._executor,
+                    self._task_qs[wid],
+                    self._result_qs[wid],
+                ),
+                name=f"task-worker-{wid}",
+                daemon=True,
+            )
+            proc.start()
+            self._procs[wid] = proc
+        except Exception:
+            self._procs[wid] = None
+            self._counters["spawn_failures"] += 1
+
+    @property
+    def workers(self) -> int:
+        return len(self._procs)
+
+    @property
+    def alive_workers(self) -> int:
+        return sum(1 for p in self._procs if p is not None and p.is_alive())
+
+    def close(self) -> None:
+        """Stop every worker and release the queues (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for tq, proc in zip(self._task_qs, self._procs):
+            if proc is not None and proc.is_alive():
+                try:
+                    tq.put_nowait(None)
+                except Exception:
+                    pass
+        for proc in self._procs:
+            if proc is None:
+                continue
+            proc.join(timeout=1.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=1.0)
+        for q in [*self._result_qs, *self._task_qs]:
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except Exception:
+                pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- execution -----------------------------------------------------------
+
+    def _resolve(self):
+        mod_name, _, attr = self._executor.partition(":")
+        return getattr(importlib.import_module(mod_name), attr)
+
+    def run(self, payloads: Sequence) -> list:
+        """Execute one task per payload; results return in payload order.
+
+        Dead workers' unfinished tasks are rescued inline; a task that
+        raised (in a worker or during rescue) makes the whole call raise
+        :class:`TaskError` — after every other task has settled, so
+        callers never leave orphan work running.
+        """
+        if self._closed:
+            raise PoolUnavailable("pool is closed")
+        alive = [
+            wid
+            for wid, p in enumerate(self._procs)
+            if p is not None and p.is_alive()
+        ]
+        if not alive:
+            raise PoolUnavailable("no live workers")
+        self._counters["batches"] += 1
+        for rq in self._result_qs:  # stale results from a prior batch
+            self._drain(rq)
+
+        payloads = list(payloads)
+        task_ids = [next(self._task_counter) for _ in payloads]
+        index_of = {tid: i for i, tid in enumerate(task_ids)}
+        assignment: dict[int, int] = {}
+        for i, (tid, payload) in enumerate(zip(task_ids, payloads)):
+            wid = alive[i % len(alive)]
+            self._task_qs[wid].put((tid, payload))
+            assignment[tid] = wid
+            self._counters["dispatched"] += 1
+
+        if self._kill_after_dispatch is not None:
+            wid, self._kill_after_dispatch = self._kill_after_dispatch, None
+            proc = self._procs[wid]
+            if proc is not None:
+                proc.kill()
+                proc.join(timeout=1.0)
+
+        results: dict[int, object] = {}
+        errors: dict[int, str] = {}
+        while len(results) < len(payloads):
+            progressed = False
+            for rq in list(self._result_qs):
+                while True:
+                    try:
+                        msg = rq.get_nowait()
+                    except (queue_mod.Empty, OSError, ValueError):
+                        break
+                    progressed = True
+                    wid, tid, status, result, error = msg
+                    if tid not in index_of or tid in results:
+                        continue  # stale or already rescued
+                    results[tid] = result
+                    if status != "ok":
+                        errors[tid] = error or "unknown worker error"
+                    self._counters["completed"] += 1
+            if len(results) >= len(payloads):
+                break
+            if not progressed:
+                self._rescue_dead(assignment, results, errors, index_of, payloads)
+                time.sleep(0.005)
+
+        self._respawn_dead()
+        if errors:
+            tid = min(errors)  # deterministic: lowest task id first
+            raise TaskError(
+                f"task {index_of[tid]} failed: {errors[tid]}"
+            )
+        return [results[tid] for tid in task_ids]
+
+    def _rescue_dead(self, assignment, results, errors, index_of, payloads):
+        """Inline re-execution of unfinished tasks of dead workers."""
+        fn = None
+        for tid, wid in assignment.items():
+            if tid in results:
+                continue
+            proc = self._procs[wid]
+            if proc is not None and proc.is_alive():
+                continue
+            if fn is None:
+                fn = self._resolve()
+            try:
+                results[tid] = fn(payloads[index_of[tid]])
+            except BaseException as exc:
+                results[tid] = None
+                errors[tid] = f"{type(exc).__name__}: {exc}"
+            self._counters["serial_rescues"] += 1
+
+    def _respawn_dead(self) -> None:
+        """Replace dead workers after the batch (fresh queues, same
+        reasoning as :meth:`WorkerPool._respawn_dead`)."""
+        for wid, proc in enumerate(self._procs):
+            if proc is not None and proc.is_alive():
+                continue
+            if proc is not None:
+                proc.join(timeout=0.5)
+            for old in (self._task_qs[wid], self._result_qs[wid]):
+                try:
+                    old.close()
+                    old.cancel_join_thread()
+                except Exception:
+                    pass
+            self._task_qs[wid] = self._ctx.Queue()
+            self._result_qs[wid] = self._ctx.Queue()
+            self._try_spawn(wid)
+            if self._procs[wid] is not None:
+                self._counters["respawns"] += 1
+
+    @staticmethod
+    def _drain(q) -> None:
+        while True:
+            try:
+                q.get_nowait()
+            except (queue_mod.Empty, OSError, ValueError):
+                return
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Pool telemetry: worker liveness plus the batch counters."""
+        return {
+            "workers": len(self._procs),
+            "alive_workers": self.alive_workers,
             **self._counters,
         }

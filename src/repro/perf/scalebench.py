@@ -44,13 +44,21 @@ import numpy as np
 from repro.perf.hostmeta import host_metadata, peak_rss_bytes
 
 #: Bump when the JSON layout changes, so trajectory tooling can dispatch.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: The build-RSS ceiling as a fraction of the final pack size, and the
 #: smallest pack the gate is meaningful on: below that the interpreter
 #: baseline swamps the builder's own working set.
 MAX_BUILD_RSS_FRACTION = 0.5
 MIN_RSS_GATE_INDEX_BYTES = 96 * 2**20
+
+#: Parallel-build speedup floor and its applicability threshold: with
+#: fewer host CPUs than this the partitioned build has no cores to win
+#: on, so the ratio is recorded with ``status: skipped`` instead of
+#: faking a verdict (same idiom as the parallel bench's CPU-count gate).
+MIN_BUILD_SPEEDUP = 2.0
+MIN_SPEEDUP_GATE_CPUS = 4
+BENCH_BUILD_WORKERS = 2
 
 #: Warm memmapped queries may cost at most this multiple of the
 #: eager-RAM time; only enforced when the RAM pass is long enough for
@@ -137,6 +145,8 @@ def _child_build_main(config_path: str, result_path: str) -> None:
         chunk_triples=config["chunk_triples"],
         n_nodes=config.get("n_nodes"),
         n_predicates=config.get("n_predicates"),
+        workers=config.get("workers", 0),
+        merge_fanin=config.get("merge_fanin", 64),
         stats=stats,
     )
     elapsed = time.perf_counter() - start
@@ -164,6 +174,8 @@ def _run_child_build(
     chunk_triples: int,
     n_nodes: Optional[int] = None,
     n_predicates: Optional[int] = None,
+    workers: int = 0,
+    merge_fanin: int = 64,
 ) -> dict:
     """Run :func:`_child_build_main` in a fresh interpreter; return its
     result payload.  The child inherits this interpreter's import path
@@ -178,6 +190,8 @@ def _run_child_build(
                 "chunk_triples": chunk_triples,
                 "n_nodes": n_nodes,
                 "n_predicates": n_predicates,
+                "workers": workers,
+                "merge_fanin": merge_fanin,
             },
             fh,
         )
@@ -216,6 +230,37 @@ def _run_child_build(
         return json.load(fh)
 
 
+def _merge_section(stats: dict, chunk_triples: int) -> dict:
+    """The k-way merge accounting + its single-pass gate.
+
+    The gate pins the tentpole property of the heap-based merge: as long
+    as the run count stays within the fan-in, every spilled byte is read
+    exactly once on its way to the canonical stream —
+    ``merge_extra_pass_bytes`` (bytes read beyond one pass, summed over
+    the spo merge and both re-sorts) must be zero.  Reduction rounds
+    (``merge_rounds > 0``) only appear when the caller forces a tiny
+    fan-in, and then the extra bytes are reported, not hidden.
+    """
+    extra = stats.get("merge_extra_pass_bytes", 0)
+    rounds = stats.get("merge_rounds", 0)
+    return {
+        "fanin": stats.get("merge_fanin"),
+        "runs_merged": stats.get("merge_runs_merged", 0),
+        "spill_runs": stats.get("runs_spilled", 0),
+        "chunk_triples": chunk_triples,
+        "bytes_in": stats.get("merge_bytes_in", 0),
+        "bytes_read": stats.get("merge_bytes_read", 0),
+        "extra_pass_bytes": extra,
+        "reduction_rounds": rounds,
+        "merge_passes": stats.get("merge_passes", 0),
+        "single_pass_gate": {
+            "applicable": True,
+            "passed": extra == 0,
+            "status": "enforced",
+        },
+    }
+
+
 def bench_build(
     workdir: str,
     n_triples: int,
@@ -223,11 +268,15 @@ def bench_build(
     n_predicates: int,
     chunk_triples: int,
     seed: int = 0,
+    workers: int = 0,
+    merge_fanin: int = 64,
+    keep_source: bool = False,
 ) -> tuple[dict, str]:
     """Streaming-build a synthetic graph in a subprocess; gate its RSS.
 
     Returns ``(section, pack_path)`` — the pack stays on disk for the
-    query benchmark to reuse.
+    query benchmark to reuse (and, with ``keep_source``, the input stays
+    for the parallel-build benchmark to rebuild from).
     """
     source = os.path.join(workdir, "scale-input.bin")
     pack = os.path.join(workdir, "scale-index.ring")
@@ -235,7 +284,8 @@ def bench_build(
     write_synthetic_bin(source, n_triples, n_nodes, n_predicates, seed=seed)
     gen_seconds = time.perf_counter() - gen_start
     child = _run_child_build(
-        source, pack, workdir, chunk_triples, n_nodes, n_predicates
+        source, pack, workdir, chunk_triples, n_nodes, n_predicates,
+        workers=workers, merge_fanin=merge_fanin,
     )
     index_bytes = os.path.getsize(pack)
     peak = child["peak_rss_bytes"]
@@ -247,6 +297,7 @@ def bench_build(
         "n_nodes": child["n_nodes"],
         "n_predicates": child["n_predicates"],
         "chunk_triples": chunk_triples,
+        "workers": workers,
         "input_bytes": os.path.getsize(source),
         "index_bytes": index_bytes,
         "generate_seconds": gen_seconds,
@@ -260,6 +311,7 @@ def bench_build(
         "peak_rss_bytes": peak,
         "rss_over_index": ratio,
         "build_stats": child["stats"],
+        "merge": _merge_section(child["stats"], chunk_triples),
         "rss_gate": {
             "max_fraction": MAX_BUILD_RSS_FRACTION,
             "min_index_bytes": MIN_RSS_GATE_INDEX_BYTES,
@@ -279,8 +331,152 @@ def bench_build(
             ),
         },
     }
-    os.unlink(source)  # the pack is all the query bench needs
+    if not keep_source:
+        os.unlink(source)  # the pack is all the query bench needs
     return section, pack
+
+
+def _sha256_file(path: str, block: int = 1 << 20) -> str:
+    import hashlib
+
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        while True:
+            chunk = fh.read(block)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def bench_parallel_build(
+    workdir: str,
+    source: str,
+    serial_section: dict,
+    serial_pack: str,
+    chunk_triples: int,
+    workers: int = BENCH_BUILD_WORKERS,
+    merge_fanin: int = 64,
+) -> dict:
+    """Rebuild the same input with a worker pool; gate identity + speedup.
+
+    Three verdicts ride in this section:
+
+    - **byte identity, always enforced** — the partitioned parallel
+      build must produce the exact serial pack (and manifest sidecar),
+      whatever the host;
+    - **speedup, where cores exist** — at least ``MIN_BUILD_SPEEDUP``
+      over the serial subprocess build, enforced only on hosts with
+      ``MIN_SPEEDUP_GATE_CPUS``+ CPUs (a 1-2 core runner records the
+      ratio with ``status: skipped`` instead of faking a verdict);
+    - **per-worker RSS** — the workers' own high-water mark must honor
+      the same ≤ 50%-of-pack budget as the serial builder, once the pack
+      is big enough for the ratio to mean anything.
+    """
+    pack = os.path.join(workdir, "scale-index-parallel.ring")
+    child = _run_child_build(
+        source, pack, workdir, chunk_triples,
+        serial_section["n_nodes"], serial_section["n_predicates"],
+        workers=workers, merge_fanin=merge_fanin,
+    )
+    pack_identical = _sha256_file(pack) == _sha256_file(serial_pack)
+    with open(pack + ".config.json", "rb") as fh:
+        par_manifest = fh.read()
+    with open(serial_pack + ".config.json", "rb") as fh:
+        ser_manifest = fh.read()
+    manifest_identical = par_manifest == ser_manifest
+
+    serial_seconds = serial_section["build_seconds"]
+    parallel_seconds = child["build_seconds"]
+    speedup = (
+        serial_seconds / parallel_seconds if parallel_seconds > 0
+        else float("inf")
+    )
+    cpus = os.cpu_count() or 1
+    speedup_applicable = cpus >= MIN_SPEEDUP_GATE_CPUS
+
+    index_bytes = os.path.getsize(pack)
+    worker_peak = child["stats"].get("worker_peak_rss_bytes")
+    rss_applicable = (
+        index_bytes >= MIN_RSS_GATE_INDEX_BYTES and worker_peak is not None
+    )
+    worker_ratio = (
+        worker_peak / index_bytes
+        if (worker_peak and index_bytes)
+        else None
+    )
+    section = {
+        "workers": workers,
+        "merge_fanin": merge_fanin,
+        "build_seconds": parallel_seconds,
+        "serial_build_seconds": serial_seconds,
+        "speedup": speedup,
+        "triples_per_second": (
+            child["n_triples"] / parallel_seconds
+            if parallel_seconds > 0
+            else float("inf")
+        ),
+        "pack_identical": pack_identical,
+        "manifest_identical": manifest_identical,
+        "worker_peak_rss_bytes": worker_peak,
+        "worker_rss_over_index": worker_ratio,
+        "pool": {
+            k[len("pool_"):]: v
+            for k, v in child["stats"].items()
+            if k.startswith("pool_")
+        },
+        "merge": _merge_section(child["stats"], chunk_triples),
+        "identity_gate": {
+            "applicable": True,
+            "passed": pack_identical and manifest_identical,
+            "status": "enforced",
+        },
+        "speedup_gate": {
+            "min_speedup": MIN_BUILD_SPEEDUP,
+            "min_cpus": MIN_SPEEDUP_GATE_CPUS,
+            "cpus": cpus,
+            "speedup": speedup,
+            "applicable": speedup_applicable,
+            "passed": (
+                (speedup >= MIN_BUILD_SPEEDUP) if speedup_applicable else None
+            ),
+            "status": (
+                "enforced"
+                if speedup_applicable
+                else (
+                    f"skipped: host has {cpus} CPU(s) "
+                    f"(< {MIN_SPEEDUP_GATE_CPUS}); a partitioned build has "
+                    "no cores to win on, the ratio is not a verdict on the "
+                    "parallel path"
+                )
+            ),
+        },
+        "worker_rss_gate": {
+            "max_fraction": MAX_BUILD_RSS_FRACTION,
+            "min_index_bytes": MIN_RSS_GATE_INDEX_BYTES,
+            "index_bytes": index_bytes,
+            "worker_peak_rss_bytes": worker_peak,
+            "applicable": rss_applicable,
+            "passed": (
+                (worker_ratio <= MAX_BUILD_RSS_FRACTION)
+                if rss_applicable
+                else None
+            ),
+            "status": (
+                "enforced"
+                if rss_applicable
+                else (
+                    f"skipped: pack is {index_bytes / 2**20:.0f} MiB "
+                    f"(< {MIN_RSS_GATE_INDEX_BYTES / 2**20:.0f} MiB); the "
+                    "interpreter baseline dominates each worker's RSS"
+                )
+            ),
+        },
+    }
+    os.unlink(pack)
+    if os.path.exists(pack + ".config.json"):
+        os.unlink(pack + ".config.json")
+    return section
 
 
 # -- query overhead ------------------------------------------------------------
@@ -416,11 +612,14 @@ def bench_identity(
     The reference is the eagerly-loaded serial index; each other path
     reports whether its rows matched (ordered, except the sharded
     coordinator whose cross-shard merge order is its own contract —
-    that path compares sorted rows).
+    that path compares sorted rows).  The pack under test is rebuilt a
+    second time by the *parallel partitioned* builder and must not
+    differ by a byte; the sharded bulk builder's ready-to-serve layout
+    is recovered memmapped and queried like any other path.
     """
     from repro.cache import CachedQuerySystem
     from repro.core import RingIndex
-    from repro.graph.bulkload import bulk_build
+    from repro.graph.bulkload import bulk_build, bulk_build_sharded
     from repro.graph.dataset import Graph
     from repro.parallel import ParallelRingIndex
     from repro.serving.coordinator import ShardCoordinator
@@ -447,6 +646,26 @@ def bench_identity(
     _, ref_keys, ref_rows = _run_workload(reference, queries, limit, timeout)
     del reference
     paths: dict[str, bool] = {}
+
+    # The parallel partitioned build must reproduce the serial pack
+    # byte-for-byte (pack and manifest sidecar both).
+    par_pack = os.path.join(workdir, "identity-index-parallel.ring")
+    bulk_build(
+        graph,
+        par_pack,
+        chunk_triples=max(1, n_triples // 7),
+        n_nodes=n_nodes,
+        n_predicates=n_predicates,
+        workers=2,
+    )
+    with open(pack + ".config.json", "rb") as fh:
+        ref_manifest = fh.read()
+    with open(par_pack + ".config.json", "rb") as fh:
+        par_manifest = fh.read()
+    paths["parallel_build_bytes"] = (
+        _sha256_file(par_pack) == _sha256_file(pack)
+        and par_manifest == ref_manifest
+    )
 
     serial = RingIndex.load(pack, mmap=True)
     _, keys, _ = _run_workload(serial, queries, limit, timeout)
@@ -481,6 +700,27 @@ def bench_identity(
         sharded_sorted = sharded_keys == [sorted(k) for k in ref_keys]
     paths["sharded_mmap_recover"] = bool(sharded_sorted)
 
+    # The sharded *bulk builder*'s ready-to-serve layout: one scan pass,
+    # recovered memmapped with zero extra passes, same (sorted) rows.
+    built_dir = os.path.join(workdir, "identity-shards-built")
+    shutil.rmtree(built_dir, ignore_errors=True)
+    bulk_build_sharded(
+        graph,
+        built_dir,
+        n_shards=2,
+        chunk_triples=max(1, n_triples // 7),
+        n_nodes=n_nodes,
+        n_predicates=n_predicates,
+        workers=2,
+    )
+    with ShardedRingIndex.recover(built_dir, mmap=True) as shards:
+        coordinator = ShardCoordinator(shards)
+        built_keys = []
+        for bgp in queries:
+            result = coordinator.evaluate(bgp, limit=limit, timeout=timeout)
+            built_keys.append(sorted(_rows_key(result)))
+    paths["sharded_bulk_build"] = built_keys == [sorted(k) for k in ref_keys]
+
     return {
         "n_triples": graph.n_triples,
         "n_queries": len(queries),
@@ -502,6 +742,7 @@ def full_report(
     n_predicates: Optional[int] = None,
     chunk_triples: Optional[int] = None,
     workdir: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> dict:
     """The complete ``BENCH_scale.json`` payload.
 
@@ -527,10 +768,26 @@ def full_report(
         workdir = tempfile.mkdtemp(prefix="repro-scale-")
     else:
         os.makedirs(workdir, exist_ok=True)
+    if workers is None:
+        workers = int(
+            os.environ.get("REPRO_BENCH_SCALE_WORKERS", str(BENCH_BUILD_WORKERS))
+        )
     try:
         build, pack = bench_build(
-            workdir, n_triples, n_nodes, n_predicates, chunk_triples, seed=seed
+            workdir,
+            n_triples,
+            n_nodes,
+            n_predicates,
+            chunk_triples,
+            seed=seed,
+            keep_source=True,
         )
+        source = os.path.join(workdir, "scale-input.bin")
+        parallel_build = bench_parallel_build(
+            workdir, source, build, pack, chunk_triples, workers=workers
+        )
+        if os.path.exists(source):
+            os.unlink(source)
         query = bench_query(pack, n_predicates)
         identity = bench_identity(workdir, seed=seed)
     finally:
@@ -549,8 +806,10 @@ def full_report(
             "n_predicates": n_predicates,
             "chunk_triples": chunk_triples,
             "seed": seed,
+            "workers": workers,
         },
         "build": build,
+        "parallel_build": parallel_build,
         "query": query,
         "identity": identity,
     }
@@ -590,6 +849,43 @@ def format_report(report: dict) -> str:
         )
     else:
         lines.append(f"  RSS gate      : {gate['status']}")
+    merge = build.get("merge")
+    if merge:
+        mgate = merge["single_pass_gate"]
+        verdict = "PASS" if mgate["passed"] else "FAIL"
+        lines.append(
+            f"  k-way merge   : {verdict} "
+            f"({merge['runs_merged']} runs, fan-in {merge['fanin']}, "
+            f"{merge['bytes_read'] / 2**20:.1f}MiB read, "
+            f"{merge['extra_pass_bytes']} extra-pass bytes, "
+            f"{merge['reduction_rounds']} reduction rounds)"
+        )
+    parallel = report.get("parallel_build")
+    if parallel:
+        ident = "identical" if parallel["identity_gate"]["passed"] else "MISMATCH"
+        lines.append(
+            f"  parallel build: {parallel['build_seconds']:>8.1f}s  "
+            f"({parallel['workers']} workers, "
+            f"{parallel['speedup']:.2f}x vs serial, pack {ident})"
+        )
+        sgate = parallel["speedup_gate"]
+        if sgate["applicable"]:
+            verdict = "PASS" if sgate["passed"] else "FAIL"
+            lines.append(
+                f"  speedup gate  : {verdict} "
+                f"(>= {sgate['min_speedup']:.1f}x on {sgate['cpus']} CPUs)"
+            )
+        else:
+            lines.append(f"  speedup gate  : {sgate['status']}")
+        wgate = parallel["worker_rss_gate"]
+        if wgate["applicable"]:
+            verdict = "PASS" if wgate["passed"] else "FAIL"
+            lines.append(
+                f"  worker RSS    : {verdict} "
+                f"(<= {100 * wgate['max_fraction']:.0f}% of pack)"
+            )
+        else:
+            lines.append(f"  worker RSS    : {wgate['status']}")
     lines.append(
         f"  query RAM     : {1000 * query['ram_seconds']:>8.1f}ms  "
         f"({query['rows']} rows)"

@@ -118,6 +118,12 @@ LAZY_SITES: dict[str, tuple[str, Optional[str], str]] = {
     # over garbage pages.
     "build.spill": ("repro.graph.bulkload", None, "_spill_run"),
     "build.merge": ("repro.graph.bulkload", None, "_merge_chunk"),
+    # Parallel partitioned build: a failing build task must surface as a
+    # typed BulkBuildError with no partial pack (forked workers resolve
+    # the executor per task, so the patched site fires inside them too);
+    # a *killed* worker is rescued inline and the retry stays
+    # byte-identical.
+    "build.worker": ("repro.graph.bulkload", None, "_execute_build_task"),
     "mmap.open": ("repro.core.frozen", None, "_open_memmap"),
 }
 

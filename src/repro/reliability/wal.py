@@ -453,6 +453,87 @@ def write_checkpoint(
     return final_dir
 
 
+def install_frozen_checkpoint(
+    directory,
+    pack_path,
+    *,
+    n_triples: int,
+    n_nodes: int,
+    n_predicates: int,
+    epoch: int = 1,
+) -> str:
+    """Adopt a bulk-built frozen pack as a durable store's first checkpoint.
+
+    The sharded bulk builder (:func:`repro.graph.bulkload.bulk_build_sharded`)
+    writes each shard's pack once and must not pay a second pass to
+    materialise the ``.npz`` ring payload ``write_checkpoint`` produces —
+    so this installs a *pack-only* checkpoint: the pack (and its sidecar
+    manifest) is moved into ``checkpoint-<epoch>/`` as the single ring
+    entry, a fresh generation-0 WAL is created, and the ``CURRENT``
+    pointer is published with the same fsync discipline as
+    :func:`write_checkpoint`.  ``load_checkpoint`` opens such entries
+    through the pack in both eager and mmap modes, so
+    ``DurableDynamicRing.recover(mmap=True)`` serves the shard with
+    zero extra passes over the data.
+
+    The caller must already have placed ``universe.npz`` (plus its
+    sidecar) in ``directory``; refuses to touch a directory that
+    already holds a WAL.
+    """
+    from repro.reliability.integrity import manifest_path
+
+    directory = str(directory)
+    pack_path = str(pack_path)
+    wal_path = os.path.join(directory, WAL_FILE)
+    if os.path.exists(wal_path):
+        raise WALError(wal_path, "directory already holds a durable index")
+    wal = WriteAheadLog.create(wal_path, n_nodes, n_predicates, generation=0)
+    wal_offset = wal.tell()
+    wal.close()
+
+    name = f"{CHECKPOINT_PREFIX}{epoch:010d}"
+    final_dir = os.path.join(directory, name)
+    tmp_dir = final_dir + ".tmp"
+    for stale in (tmp_dir, final_dir):
+        if os.path.exists(stale):
+            shutil.rmtree(stale)
+    os.makedirs(tmp_dir)
+
+    pack_name = "ring-000.ring"
+    dest = os.path.join(tmp_dir, pack_name)
+    shutil.move(pack_path, dest)
+    shutil.move(manifest_path(pack_path), manifest_path(dest))
+    with open(dest, "rb") as f:
+        _fsync(f)
+
+    manifest = {
+        "format_version": CHECKPOINT_VERSION,
+        "epoch": int(epoch),
+        "n_nodes": int(n_nodes),
+        "n_predicates": int(n_predicates),
+        "rings": [{"pack": pack_name, "n_triples": int(n_triples)}],
+        "buffer": [],
+        "tombstones": [],
+        "wal_generation": 0,
+        "wal_offset": int(wal_offset),
+    }
+    mpath = os.path.join(tmp_dir, CHECKPOINT_MANIFEST)
+    with open(mpath, "w") as f:
+        json.dump(manifest, f)
+        _fsync(f)
+
+    os.replace(tmp_dir, final_dir)
+    _fsync_dir(directory)
+
+    pointer_tmp = os.path.join(directory, CURRENT_POINTER + ".tmp")
+    with open(pointer_tmp, "w") as f:
+        f.write(name)
+        _fsync(f)
+    os.replace(pointer_tmp, os.path.join(directory, CURRENT_POINTER))
+    _fsync_dir(directory)
+    return final_dir
+
+
 def load_checkpoint(
     directory, verify: bool = True, mmap: bool = False
 ) -> Optional[CheckpointState]:
@@ -504,11 +585,16 @@ def load_checkpoint(
 
     for entry in manifest.get("rings", []):
         pack = entry.get("pack")
-        if mmap and pack is not None:
+        fname = entry.get("file")
+        # Pack-backed rings serve the mmap path; pack-*only* entries
+        # (bulk-built shard checkpoints, which never materialise a
+        # .npz — see install_frozen_checkpoint) open through the pack
+        # in either mode, eagerly when mmap is off.
+        if pack is not None and (mmap or fname is None):
             ppath = os.path.join(cpdir, pack)
             if verify:
                 verify_frozen_layout(ppath)
-            ring, _ = open_frozen_ring(ppath, mmap=True, verify=verify)
+            ring, _ = open_frozen_ring(ppath, mmap=mmap, verify=verify)
             if ring.n != int(entry["n_triples"]):
                 raise IndexIntegrityError(
                     ppath,
@@ -523,7 +609,7 @@ def load_checkpoint(
                 )
             state.rings.append(ring)
             continue
-        fpath = os.path.join(cpdir, entry["file"])
+        fpath = os.path.join(cpdir, fname)
         if verify:
             verify_file(fpath, read_manifest(fpath))
         graph = checked_load_graph(fpath)

@@ -46,10 +46,43 @@ from repro.core.dynamic import DynamicRingIndex
 from repro.graph.dataset import Graph
 from repro.serving.endpoint import InProcessEndpoint
 
-__all__ = ["shard_of", "shard_vector", "partition_graph", "ShardedRingIndex"]
+__all__ = [
+    "shard_of",
+    "shard_vector",
+    "partition_graph",
+    "write_shards_manifest",
+    "ShardedRingIndex",
+]
 
 MANIFEST_NAME = "SHARDS.json"
 _MASK64 = (1 << 64) - 1
+
+
+def write_shards_manifest(
+    directory,
+    *,
+    n_shards: int,
+    n_nodes: int,
+    n_predicates: int,
+    replicas: int = 1,
+    transport: str = "inproc",
+) -> dict:
+    """Write ``SHARDS.json`` for a durable sharded layout.
+
+    Shared by :meth:`ShardedRingIndex.create_durable` and the bulk
+    builder's sharded emit (:func:`repro.graph.bulkload.bulk_build_sharded`),
+    so both produce manifests :meth:`ShardedRingIndex.recover` accepts.
+    """
+    manifest = {
+        "version": 2,
+        "n_shards": int(n_shards),
+        "n_nodes": int(n_nodes),
+        "n_predicates": int(n_predicates),
+        "replicas": int(replicas),
+        "transport": transport,
+    }
+    (Path(directory) / MANIFEST_NAME).write_text(json.dumps(manifest))
+    return manifest
 
 
 def shard_of(subject: int, n_shards: int) -> int:
@@ -259,15 +292,14 @@ class ShardedRingIndex:
             raise ValueError("replicas must be >= 1")
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
-        manifest = {
-            "version": 2,
-            "n_shards": n_shards,
-            "n_nodes": graph.n_nodes,
-            "n_predicates": graph.n_predicates,
-            "replicas": replicas,
-            "transport": "process" if processes else "inproc",
-        }
-        (directory / MANIFEST_NAME).write_text(json.dumps(manifest))
+        write_shards_manifest(
+            directory,
+            n_shards=n_shards,
+            n_nodes=graph.n_nodes,
+            n_predicates=graph.n_predicates,
+            replicas=replicas,
+            transport="process" if processes else "inproc",
+        )
         parts = partition_graph(graph, n_shards)
         endpoints = [
             _build_durable_shard(

@@ -7,13 +7,19 @@ bounded by the chunk size, spills in a private directory, and typed
 failures that leave no partial pack behind.
 """
 
+import json
 import os
 
 import numpy as np
 import pytest
 
 from repro.core import RingIndex
-from repro.graph.bulkload import BulkBuildError, bulk_build
+from repro.graph import bulkload
+from repro.graph.bulkload import (
+    BulkBuildError,
+    bulk_build,
+    bulk_build_sharded,
+)
 from repro.graph.dataset import Graph
 from repro.graph.dictionary import Dictionary
 from repro.graph.generators import random_graph
@@ -226,3 +232,153 @@ class TestFaults:
                     graph, str(tmp_path / "p.ring"), chunk_triples=300
                 )
         assert "during" in str(err.value)
+
+
+class TestKwayMerge:
+    def test_default_fanin_is_single_pass(self, graph, tmp_path):
+        reference = _reference_pack(graph, tmp_path)
+        out = str(tmp_path / "kway64.ring")
+        stats: dict = {}
+        bulk_build(graph, out, chunk_triples=150, stats=stats)
+        assert _read(out) == _read(reference)
+        # Many runs, one pass: every spilled byte read exactly once.
+        assert stats["runs_spilled"] > 2
+        assert stats["merge_extra_pass_bytes"] == 0
+        assert stats["merge_bytes_read"] == stats["merge_bytes_in"]
+        assert stats["merge_rounds"] == 0
+        assert stats["merge_fanin"] == bulkload.DEFAULT_MERGE_FANIN
+
+    @pytest.mark.parametrize("fanin", [2, 3])
+    def test_tiny_fanin_recurses_byte_identically(self, graph, tmp_path, fanin):
+        reference = _reference_pack(graph, tmp_path)
+        out = str(tmp_path / f"kway{fanin}.ring")
+        stats: dict = {}
+        bulk_build(
+            graph, out, chunk_triples=150, merge_fanin=fanin, stats=stats
+        )
+        assert _read(out) == _read(reference)
+        assert _read(out + ".config.json") == _read(
+            reference + ".config.json"
+        )
+        # Reduction rounds happened and their rereads are accounted, not
+        # hidden: beyond-one-pass bytes must be positive at fan-in 2-3.
+        assert stats["merge_rounds"] > 0
+        assert stats["merge_extra_pass_bytes"] > 0
+        assert (
+            stats["merge_bytes_read"]
+            == stats["merge_bytes_in"] + stats["merge_extra_pass_bytes"]
+        )
+
+    def test_bad_fanin_rejected(self, graph, tmp_path):
+        with pytest.raises(ValueError):
+            bulk_build(graph, str(tmp_path / "x.ring"), merge_fanin=1)
+
+
+class TestParallelBuild:
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_workers_match_serial_bytes(self, graph, tmp_path, workers):
+        reference = _reference_pack(graph, tmp_path)
+        out = str(tmp_path / f"par{workers}.ring")
+        stats: dict = {}
+        bulk_build(graph, out, chunk_triples=300, workers=workers, stats=stats)
+        assert _read(out) == _read(reference)
+        assert _read(out + ".config.json") == _read(
+            reference + ".config.json"
+        )
+        if not stats.get("pool_degraded"):
+            assert stats["pool_completed"] > 0
+            assert stats["pool_serial_rescues"] == 0
+            assert stats.get("worker_peak_rss_bytes") is None or (
+                stats["worker_peak_rss_bytes"] > 0
+            )
+
+    def test_bad_workers_rejected(self, graph, tmp_path):
+        with pytest.raises(ValueError):
+            bulk_build(graph, str(tmp_path / "x.ring"), workers=-1)
+
+
+class TestShardedBuild:
+    def test_layout_recovers_and_answers(self, graph, tmp_path):
+        from repro.graph.model import BasicGraphPattern, TriplePattern, Var
+        from repro.serving.coordinator import ShardCoordinator
+        from repro.serving.sharding import ShardedRingIndex
+
+        out_dir = str(tmp_path / "shards")
+        stats: dict = {}
+        bulk_build_sharded(
+            graph,
+            out_dir,
+            n_shards=2,
+            chunk_triples=300,
+            workers=2,
+            stats=stats,
+        )
+        manifest = json.loads(
+            open(os.path.join(out_dir, "SHARDS.json")).read()
+        )
+        assert manifest["n_shards"] == 2
+        assert manifest["n_nodes"] == graph.n_nodes
+        assert manifest["n_predicates"] == graph.n_predicates
+        assert manifest["transport"] == "inproc"
+        for sid in range(2):
+            assert os.path.isdir(os.path.join(out_dir, f"shard-{sid:02d}"))
+        assert sum(stats["shard_triples"]) == stats["n_triples"]
+
+        x, y, z = Var("x"), Var("y"), Var("z")
+        bgps = [
+            BasicGraphPattern([TriplePattern(x, Var("p"), y)]),
+            BasicGraphPattern(
+                [TriplePattern(x, 0, y), TriplePattern(y, 1, z)]
+            ),
+        ]
+
+        def rows(mus):
+            return sorted(
+                tuple(sorted((v.name, c) for v, c in mu.items()))
+                for mu in mus
+            )
+
+        reference = RingIndex(graph)
+        with ShardedRingIndex.recover(out_dir, mmap=True) as shards:
+            coordinator = ShardCoordinator(shards)
+            for bgp in bgps:
+                got = rows(coordinator.evaluate(bgp, timeout=60.0))
+                assert got == rows(reference.evaluate(bgp))
+        assert rows(reference.evaluate(bgps[0]))  # scan must return rows
+
+    def test_refuses_existing_out_dir(self, graph, tmp_path):
+        out_dir = tmp_path / "taken"
+        out_dir.mkdir()
+        with pytest.raises(BulkBuildError, match="exists"):
+            bulk_build_sharded(graph, str(out_dir), n_shards=2)
+
+
+class TestWorkerFaults:
+    def test_worker_fault_is_typed_and_clean(self, graph, tmp_path):
+        reference = _reference_pack(graph, tmp_path)
+        out = str(tmp_path / "wfault.ring")
+        # probability=1.0: the armed site fires inside the forked workers
+        # (the executor is resolved per task) and in any inline rescue.
+        fault = Fault("build.worker", probability=1.0, error=InjectedFault)
+        with inject_faults(fault, seed=3):
+            with pytest.raises(BulkBuildError):
+                bulk_build(graph, out, chunk_triples=300, workers=2)
+        assert not os.path.exists(out)
+        assert not os.path.exists(out + ".config.json")
+        bulk_build(graph, out, chunk_triples=300, workers=2)
+        assert _read(out) == _read(reference)
+
+    def test_killed_worker_is_rescued(self, graph, tmp_path):
+        reference = _reference_pack(graph, tmp_path)
+        out = str(tmp_path / "wkill.ring")
+        stats: dict = {}
+        bulkload._POOL_HOOK = lambda pool: setattr(
+            pool, "_kill_after_dispatch", 0
+        )
+        try:
+            bulk_build(graph, out, chunk_triples=300, workers=2, stats=stats)
+        finally:
+            bulkload._POOL_HOOK = None
+        if not stats.get("pool_degraded"):
+            assert stats["pool_serial_rescues"] >= 1
+        assert _read(out) == _read(reference)

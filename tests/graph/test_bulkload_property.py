@@ -1,11 +1,15 @@
-"""Property test: streaming build ≡ in-memory build (ISSUE 9).
+"""Property tests: streaming ≡ parallel ≡ in-memory build (ISSUES 9, 10).
 
 For *any* triple multiset, presented in *any* order with *any*
-duplication, built with *any* chunk size:
+duplication, built with *any* chunk size, *any* worker count and *any*
+merge fan-in:
 
 - the external-memory :func:`~repro.graph.bulkload.bulk_build` pack is
   **byte-identical** to ``RingIndex(graph).save_frozen`` of the same
-  logical graph — file and manifest both;
+  logical graph — file and manifest both — whether it was built
+  serially, through the single-process partitioned path (``workers=1``)
+  or by a forked worker pool (``workers>=2``), and whether the k-way
+  merge ran in one pass or recursed through tiny fan-ins;
 - the memmapped load of that pack answers a full scan and a join
   exactly like the in-memory index.
 
@@ -97,3 +101,54 @@ def test_streaming_equals_in_memory(tmp_path_factory, case):
     fresh = RingIndex(graph)
     assert _rows(mapped, SCAN) == _rows(fresh, SCAN)
     assert _rows(mapped, JOIN) == _rows(fresh, JOIN)
+
+
+@st.composite
+def parallel_cases(draw):
+    """A noisy presentation plus a (workers, fan-in) build configuration."""
+    rows, presented, chunk = draw(noisy_inputs())
+    workers = draw(st.sampled_from([0, 1, 2]))
+    fanin = draw(st.sampled_from([2, 3, 64]))
+    return rows, presented, chunk, workers, fanin
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(parallel_cases())
+def test_parallel_equals_serial_equals_in_memory(tmp_path_factory, case):
+    rows, presented, chunk, workers, fanin = case
+    tmp = tmp_path_factory.mktemp("bulkpar")
+    arr = (
+        np.array(rows, dtype=np.int64).reshape(-1, 3)
+        if rows
+        else np.empty((0, 3), dtype=np.int64)
+    )
+    graph = Graph(arr, n_nodes=N_NODES, n_predicates=N_PREDICATES)
+    reference = str(tmp / "reference.ring")
+    RingIndex(graph).save_frozen(reference)
+
+    presented_arr = (
+        np.array(presented, dtype=np.int64).reshape(-1, 3)
+        if presented
+        else np.empty((0, 3), dtype=np.int64)
+    )
+    out = str(tmp / "parallel.ring")
+    bulk_build(
+        iter(presented_arr),
+        out,
+        chunk_triples=chunk,
+        n_nodes=N_NODES,
+        n_predicates=N_PREDICATES,
+        workers=workers,
+        merge_fanin=fanin,
+    )
+
+    with open(out, "rb") as a, open(reference, "rb") as b:
+        assert a.read() == b.read()
+    with open(out + ".config.json") as a, open(
+        reference + ".config.json"
+    ) as b:
+        assert a.read() == b.read()
